@@ -1,0 +1,16 @@
+"""Shared benchmark helpers: every experiment runs exactly once under
+pytest-benchmark (these are simulations, not micro-benchmarks)."""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment a single time through pytest-benchmark."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return runner

@@ -1,0 +1,94 @@
+"""Netflix-style movie recommendation on the simulated cluster.
+
+End-to-end distributed GraphLab (paper Sec. 5.1): generate a synthetic
+ratings matrix, over-partition it into atoms, load them onto a
+simulated 8-machine EC2 deployment, and factorize with ALS on the
+chromatic engine (the bipartite graph is 2-colorable, and ALS only
+needs edge consistency).
+
+Run:  python examples/netflix_recommender.py
+"""
+
+import numpy as np
+
+from repro.apps import initialize_factors, make_als_update, test_rmse, training_rmse
+from repro.core import Consistency, bipartite_coloring
+from repro.datasets import synthetic_netflix
+from repro.distributed import (
+    ChromaticEngine,
+    deploy,
+    netflix_cost,
+    netflix_sizes,
+)
+
+D = 8  # latent dimension (the paper sweeps 5..100 in Fig. 6c)
+MACHINES = 8
+ITERATIONS = 5
+
+
+def main() -> None:
+    data = synthetic_netflix(
+        num_users=400, num_movies=120, ratings_per_user=20, seed=7
+    )
+    graph = data.graph
+    initialize_factors(graph, D, seed=1)
+    print(
+        f"ratings graph: {data.num_users} users x {data.num_movies} "
+        f"movies, {graph.num_edges} train ratings, "
+        f"{len(data.test_ratings)} held out"
+    )
+
+    # Initialization phase (Fig. 5a): atoms on the DFS, placed by the
+    # atom index, loaded in parallel with real simulated I/O cost.
+    dep = deploy(
+        graph,
+        MACHINES,
+        partitioner="hash",  # Table 2: Netflix uses a random partition
+        atoms_per_machine=4,
+        sizes=netflix_sizes(D),
+    )
+    print(
+        f"deployed on {dep.cluster}: ingress took "
+        f"{dep.ingress.load_seconds:.3f} simulated seconds"
+    )
+
+    engine = ChromaticEngine(
+        dep.cluster,
+        graph,
+        make_als_update(d=D, dynamic=False),
+        dep.stores,
+        dep.owner,
+        netflix_cost(D),
+        netflix_sizes(D),
+        consistency=Consistency.EDGE,
+        coloring=bipartite_coloring(graph, side_fn=data.side_fn),
+        max_sweeps=1,
+    )
+    for iteration in range(ITERATIONS):
+        engine.run(initial=graph.vertices())
+        values = engine.gather_vertex_data()
+        for v, value in values.items():
+            graph.set_vertex_data(v, value)
+        print(
+            f"iteration {iteration + 1}: "
+            f"train RMSE {training_rmse(graph):.4f}  "
+            f"test RMSE {test_rmse(graph, data.test_ratings):.4f}  "
+            f"(simulated t={dep.cluster.kernel.now:.2f}s, "
+            f"${dep.cluster.cost(dep.cluster.kernel.now):.4f})"
+        )
+
+    # Recommend: best unseen movie for one user.
+    user = ("u", 0)
+    seen = set(graph.neighbors(user))
+    scores = {
+        m: float(np.dot(graph.vertex_data(user), graph.vertex_data(("m", j))))
+        for j in range(data.num_movies)
+        if (m := ("m", j)) not in seen
+    }
+    best = max(scores, key=scores.get)
+    print(f"top recommendation for user 0: movie {best[1]} "
+          f"(predicted rating {scores[best]:.2f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""The paper's applications (Sec. 5): PageRank (running example),
+Netflix ALS, loopy BP, CoSeg (LBP + GMM via sync), and NER CoEM.
+"""
+
+from repro.apps.als import (
+    initialize_factors,
+    make_als_update,
+    static_sweep_schedule,
+    test_rmse,
+    training_rmse,
+)
+from repro.apps.coem import (
+    labeling_accuracy,
+    make_coem_update,
+    phrase_labels,
+    top_words_per_type,
+)
+from repro.apps.coseg import (
+    ascii_frame,
+    make_coseg_update,
+    prepare_coseg,
+    segmentation_accuracy,
+    segmentation_labels,
+)
+from repro.apps.gmm import GaussianMixture, gmm_sync, initialize_gmm
+from repro.apps.lbp import (
+    init_lbp_data,
+    make_lbp_update,
+    map_labels,
+    potts_potential,
+    synchronous_lbp_sweep,
+    total_residual,
+)
+from repro.apps.pagerank import (
+    exact_pagerank,
+    initialize_ranks,
+    jacobi_pagerank_sweep,
+    l1_error,
+    make_pagerank_update,
+    pagerank_update,
+)
+
+__all__ = [
+    "GaussianMixture",
+    "ascii_frame",
+    "exact_pagerank",
+    "gmm_sync",
+    "init_lbp_data",
+    "initialize_factors",
+    "initialize_gmm",
+    "initialize_ranks",
+    "jacobi_pagerank_sweep",
+    "l1_error",
+    "labeling_accuracy",
+    "make_als_update",
+    "make_coem_update",
+    "make_coseg_update",
+    "make_lbp_update",
+    "make_pagerank_update",
+    "map_labels",
+    "pagerank_update",
+    "phrase_labels",
+    "potts_potential",
+    "prepare_coseg",
+    "segmentation_accuracy",
+    "segmentation_labels",
+    "static_sweep_schedule",
+    "synchronous_lbp_sweep",
+    "test_rmse",
+    "top_words_per_type",
+    "total_residual",
+    "training_rmse",
+]

@@ -1,0 +1,159 @@
+"""Per-label Gaussian appearance models for CoSeg (paper Sec. 5.2).
+
+CoSeg alternates Expectation-Maximization style between loopy BP (which
+produces per-vertex label *beliefs*) and re-estimating a Gaussian
+appearance model per label from the belief-weighted features. The
+paper maintains the GMM parameters "using the sync operation" — so the
+M-step here is literally a :class:`~repro.core.sync.SyncOperation`:
+
+* ``Map(S_v)`` emits the belief-weighted sufficient statistics
+  ``(sum_l b, sum_l b x, sum_l b x^2)``;
+* the combiner adds them;
+* ``Finalize`` turns them into means/variances/weights.
+
+The E-step reads the published parameters through ``scope.globals`` to
+compute unaries inside the LBP update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.scope import Scope
+from repro.core.sync import SyncOperation
+
+_VAR_FLOOR = 1e-3
+
+
+@dataclass(frozen=True)
+class GaussianMixture:
+    """Diagonal Gaussians, one per label.
+
+    ``means``/``variances`` are ``(L, F)``; ``weights`` is ``(L,)``.
+    """
+
+    means: np.ndarray
+    variances: np.ndarray
+    weights: np.ndarray
+
+    @property
+    def num_labels(self) -> int:
+        """Label cardinality ``L``."""
+        return self.means.shape[0]
+
+    def log_likelihood(self, features: np.ndarray) -> np.ndarray:
+        """Per-label log density of one feature vector, shape ``(L,)``."""
+        diff = features[None, :] - self.means
+        return (
+            np.log(np.maximum(self.weights, 1e-12))
+            - 0.5 * np.sum(np.log(2.0 * np.pi * self.variances), axis=1)
+            - 0.5 * np.sum(diff * diff / self.variances, axis=1)
+        )
+
+    def unary(self, features: np.ndarray) -> np.ndarray:
+        """Normalized potential ``exp(loglik)`` used by the LBP update."""
+        log_lik = self.log_likelihood(features)
+        log_lik = log_lik - log_lik.max()
+        potential = np.exp(log_lik)
+        return potential / potential.sum()
+
+
+def initialize_gmm(
+    features: Sequence[np.ndarray],
+    num_labels: int,
+    seed: int = 0,
+    kmeans_iterations: int = 10,
+) -> GaussianMixture:
+    """K-means++ seeding plus Lloyd refinement from raw features.
+
+    Deterministic per seed. The Lloyd iterations matter: pure
+    farthest-point seeding can land two means in one cluster when
+    feature noise produces outliers, which stalls the CoSeg EM loop.
+    """
+    if not features:
+        raise ValueError("need at least one feature vector")
+    rng = np.random.default_rng(seed)
+    stacked = np.stack([np.asarray(f, dtype=float) for f in features])
+    means = [stacked[rng.integers(len(stacked))]]
+    while len(means) < num_labels:
+        dists = np.min(
+            [np.sum((stacked - m) ** 2, axis=1) for m in means], axis=0
+        )
+        total = dists.sum()
+        if total <= 0:
+            means.append(stacked[rng.integers(len(stacked))])
+            continue
+        means.append(stacked[rng.choice(len(stacked), p=dists / total)])
+    centers = np.stack(means)
+    for _ in range(kmeans_iterations):
+        distances = np.stack(
+            [np.sum((stacked - c) ** 2, axis=1) for c in centers]
+        )
+        labels = np.argmin(distances, axis=0)
+        for k in range(num_labels):
+            members = stacked[labels == k]
+            if len(members):
+                centers[k] = members.mean(axis=0)
+    distances = np.stack([np.sum((stacked - c) ** 2, axis=1) for c in centers])
+    labels = np.argmin(distances, axis=0)
+    variances = np.empty_like(centers)
+    weights = np.empty(num_labels)
+    for k in range(num_labels):
+        members = stacked[labels == k]
+        if len(members):
+            variances[k] = np.maximum(members.var(axis=0), _VAR_FLOOR)
+            weights[k] = len(members) / len(stacked)
+        else:
+            variances[k] = np.maximum(stacked.var(axis=0), _VAR_FLOOR)
+            weights[k] = 1.0 / len(stacked)
+    weights = weights / weights.sum()
+    return GaussianMixture(
+        means=centers, variances=variances, weights=weights
+    )
+
+
+def _suffstats_map(scope: Scope):
+    data = scope.data
+    belief = data["belief"]
+    features = data["features"]
+    return (
+        belief.copy(),
+        belief[:, None] * features[None, :],
+        belief[:, None] * (features * features)[None, :],
+    )
+
+
+def _suffstats_combine(a, b):
+    if a is None:
+        return b
+    return (a[0] + b[0], a[1] + b[1], a[2] + b[2])
+
+
+def _suffstats_finalize(stats) -> Optional[GaussianMixture]:
+    if stats is None:
+        return None
+    counts, sums, squares = stats
+    counts = np.maximum(counts, 1e-9)
+    means = sums / counts[:, None]
+    variances = np.maximum(
+        squares / counts[:, None] - means * means, _VAR_FLOOR
+    )
+    weights = counts / counts.sum()
+    return GaussianMixture(means=means, variances=variances, weights=weights)
+
+
+def gmm_sync(
+    key: str = "gmm", interval_updates: Optional[int] = None
+) -> SyncOperation:
+    """The CoSeg M-step as a sync operation (Eq. 2 with a finalizer)."""
+    return SyncOperation(
+        key=key,
+        map_fn=_suffstats_map,
+        combine_fn=_suffstats_combine,
+        zero=None,
+        finalize_fn=_suffstats_finalize,
+        interval_updates=interval_updates,
+    )

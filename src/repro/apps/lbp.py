@@ -1,0 +1,205 @@
+"""Loopy Belief Propagation on pairwise MRFs (paper Secs. 4.2.2, 5.2).
+
+The workhorse of two of the paper's evaluations: the 26-connected 3-D
+mesh benchmark driving the pipelining and snapshot experiments, and the
+CoSeg video-segmentation application (with GMM-derived unaries).
+
+Representation:
+
+* vertex data — ``{"unary": p(L), "belief": p(L)}`` numpy arrays
+  (replaced, never mutated, so copies are cheap and ghosts coherent);
+* edge data — a pair ``(msg_src_to_dst, msg_dst_to_src)`` of messages,
+  one per direction of the stored edge (the paper's ``D_{u<->v}``);
+* the pairwise potential ``psi(l, l')`` is a shared ``L x L`` matrix.
+
+The update on ``v`` recomputes all outgoing messages from the incoming
+cavity products (sum-product), writes the new belief, and schedules a
+neighbor with priority equal to the message residual when it exceeds
+``epsilon`` — exactly the residual-BP dynamic schedule [11] the CoSeg
+application uses on the locking engine.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.graph import DataGraph, VertexId
+from repro.core.scope import Scope
+
+_FLOOR = 1e-12
+
+
+def _normalize(array: np.ndarray) -> np.ndarray:
+    array = np.maximum(array, _FLOOR)
+    return array / array.sum()
+
+
+def potts_potential(num_labels: int, smoothing: float = 2.0) -> np.ndarray:
+    """Potts pairwise potential: agreement weighted ``exp(smoothing)``."""
+    psi = np.ones((num_labels, num_labels))
+    np.fill_diagonal(psi, np.exp(smoothing))
+    return psi
+
+
+def get_message(scope: Scope, frm: VertexId, to: VertexId) -> np.ndarray:
+    """Message ``frm -> to`` regardless of which direction the edge was
+    stored in."""
+    if scope.graph.has_edge(frm, to):
+        return scope.edge(frm, to)[0]
+    return scope.edge(to, frm)[1]
+
+
+def set_message(
+    scope: Scope, frm: VertexId, to: VertexId, message: np.ndarray
+) -> None:
+    """Write the ``frm -> to`` message (replacing the edge-data pair)."""
+    if scope.graph.has_edge(frm, to):
+        fwd, bwd = scope.edge(frm, to)
+        scope.set_edge(frm, to, (message, bwd))
+    else:
+        fwd, bwd = scope.edge(to, frm)
+        scope.set_edge(to, frm, (fwd, message))
+
+
+def make_lbp_update(
+    psi: np.ndarray,
+    epsilon: float = 1e-3,
+    damping: float = 0.0,
+    unary_fn: Optional[Callable[[Scope], np.ndarray]] = None,
+):
+    """Build the residual-BP update function.
+
+    ``unary_fn`` optionally recomputes the unary potential from the
+    scope at update time (CoSeg derives it from the sync-maintained GMM
+    globals); by default the stored unary is used. ``damping`` blends
+    new messages with old (0 = undamped).
+    """
+
+    def lbp_update(scope: Scope):
+        vertex = scope.vertex
+        data = scope.data
+        unary = unary_fn(scope) if unary_fn is not None else data["unary"]
+        neighbors = scope.neighbors
+        incoming = {
+            u: get_message(scope, u, vertex) for u in neighbors
+        }
+        prod = unary.copy()
+        for message in incoming.values():
+            prod = prod * message
+        belief = _normalize(prod)
+        # Preserve any extra vertex payload (e.g. CoSeg's feature vector).
+        scope.data = {**data, "unary": unary, "belief": belief}
+        scheduled = []
+        for u in neighbors:
+            cavity = _normalize(prod / np.maximum(incoming[u], _FLOOR))
+            new_message = _normalize(cavity @ psi)
+            if damping > 0.0:
+                old = get_message(scope, vertex, u)
+                new_message = _normalize(
+                    damping * old + (1.0 - damping) * new_message
+                )
+            residual = float(
+                np.abs(new_message - get_message(scope, vertex, u)).max()
+            )
+            set_message(scope, vertex, u, new_message)
+            if residual > epsilon:
+                scheduled.append((u, residual))
+        return scheduled
+
+    return lbp_update
+
+
+def init_lbp_data(graph: DataGraph, unaries: Dict[VertexId, np.ndarray]) -> int:
+    """Install unaries/uniform beliefs and uniform messages.
+
+    Returns the label cardinality. All vertices must appear in
+    ``unaries`` with same-length positive vectors.
+    """
+    num_labels = len(next(iter(unaries.values())))
+    uniform = np.full(num_labels, 1.0 / num_labels)
+    for v in graph.vertices():
+        unary = _normalize(np.asarray(unaries[v], dtype=float))
+        graph.set_vertex_data(v, {"unary": unary, "belief": uniform.copy()})
+    for (u, w) in graph.edges():
+        graph.set_edge_data(u, w, (uniform.copy(), uniform.copy()))
+    return num_labels
+
+
+def total_residual(graph: DataGraph, psi: np.ndarray) -> float:
+    """Max message residual if every vertex updated now (Fig. 1c y-axis).
+
+    Measures how far the current messages are from a fixed point.
+    """
+    worst = 0.0
+    for v in graph.vertices():
+        data = graph.vertex_data(v)
+        incoming = {}
+        for u in graph.neighbors(v):
+            if graph.has_edge(u, v):
+                incoming[u] = graph.edge_data(u, v)[0]
+            else:
+                incoming[u] = graph.edge_data(v, u)[1]
+        prod = data["unary"].copy()
+        for message in incoming.values():
+            prod = prod * message
+        for u in graph.neighbors(v):
+            cavity = _normalize(prod / np.maximum(incoming[u], _FLOOR))
+            new_message = _normalize(cavity @ psi)
+            if graph.has_edge(v, u):
+                old = graph.edge_data(v, u)[0]
+            else:
+                old = graph.edge_data(u, v)[1]
+            worst = max(worst, float(np.abs(new_message - old).max()))
+    return worst
+
+
+def synchronous_lbp_sweep(graph: DataGraph, psi: np.ndarray) -> float:
+    """One Pregel-style superstep: all messages recomputed simultaneously
+    from the previous iteration's messages. Returns the max residual.
+
+    The "Sync. (Pregel)" baseline of Fig. 1(c).
+    """
+    old_edges = {key: graph.edge_data(*key) for key in graph.edges()}
+
+    def old_message(frm: VertexId, to: VertexId) -> np.ndarray:
+        if (frm, to) in old_edges:
+            return old_edges[(frm, to)][0]
+        return old_edges[(to, frm)][1]
+
+    worst = 0.0
+    new_messages: Dict[Tuple[VertexId, VertexId], np.ndarray] = {}
+    for v in graph.vertices():
+        data = graph.vertex_data(v)
+        prod = data["unary"].copy()
+        for u in graph.neighbors(v):
+            prod = prod * old_message(u, v)
+        graph.set_vertex_data(
+            v, {"unary": data["unary"], "belief": _normalize(prod)}
+        )
+        for u in graph.neighbors(v):
+            cavity = _normalize(
+                prod / np.maximum(old_message(u, v), _FLOOR)
+            )
+            new_message = _normalize(cavity @ psi)
+            worst = max(
+                worst, float(np.abs(new_message - old_message(v, u)).max())
+            )
+            new_messages[(v, u)] = new_message
+    for (frm, to), message in new_messages.items():
+        if graph.has_edge(frm, to):
+            fwd, bwd = graph.edge_data(frm, to)
+            graph.set_edge_data(frm, to, (message, bwd))
+        else:
+            fwd, bwd = graph.edge_data(to, frm)
+            graph.set_edge_data(to, frm, (fwd, message))
+    return worst
+
+
+def map_labels(graph: DataGraph, values: Optional[dict] = None) -> Dict[VertexId, int]:
+    """Maximum-a-posteriori label per vertex from current beliefs."""
+    get = values.__getitem__ if values is not None else graph.vertex_data
+    return {
+        v: int(np.argmax(get(v)["belief"])) for v in graph.vertices()
+    }

@@ -1,0 +1,63 @@
+"""Comparison systems (paper Secs. 2, 5): Pregel BSP, Hadoop/MapReduce,
+MPI, plus the paper-scale analytic cost models behind Figs. 6, 8c, 9b.
+"""
+
+from repro.baselines.analytic import (
+    PaperWorkload,
+    coseg_workload,
+    graphlab_mbps_per_machine,
+    graphlab_runtime,
+    hadoop_runtime,
+    mpi_runtime,
+    ner_workload,
+    netflix_workload,
+    speedup_curve,
+)
+from repro.baselines.hadoop_apps import (
+    HadoopRunResult,
+    run_hadoop_als,
+    run_hadoop_coem,
+)
+from repro.baselines.mapreduce import (
+    MapReduceEngine,
+    MapReduceJob,
+    MapReduceJobStats,
+)
+from repro.baselines.mpi import (
+    MPIRunResult,
+    bsp_superstep,
+    run_mpi_als,
+    run_mpi_coem,
+)
+from repro.baselines.pregel import (
+    PregelContext,
+    PregelEngine,
+    PregelResult,
+    pregel_pagerank,
+)
+
+__all__ = [
+    "HadoopRunResult",
+    "MPIRunResult",
+    "MapReduceEngine",
+    "MapReduceJob",
+    "MapReduceJobStats",
+    "PaperWorkload",
+    "PregelContext",
+    "PregelEngine",
+    "PregelResult",
+    "bsp_superstep",
+    "coseg_workload",
+    "graphlab_mbps_per_machine",
+    "graphlab_runtime",
+    "hadoop_runtime",
+    "mpi_runtime",
+    "ner_workload",
+    "netflix_workload",
+    "pregel_pagerank",
+    "run_hadoop_als",
+    "run_hadoop_coem",
+    "run_mpi_als",
+    "run_mpi_coem",
+    "speedup_curve",
+]

@@ -1,0 +1,330 @@
+"""Paper-scale cost models for the system comparisons (Figs. 6, 8c, 9b).
+
+The paper's headline comparisons (GraphLab vs Hadoop vs MPI on Netflix
+and NER; speedup and network curves from 4-64 machines) ran on inputs
+far too large to instantiate vertex-by-vertex in Python (99M-200M
+edges). For those figures we evaluate the three systems' cost models at
+the *paper's* input sizes, built from the same calibrated constants the
+executing simulator uses (cc1.4xlarge clock/cores, 10 GbE, the paper's
+measured per-update cycle counts and Table 2 byte sizes). The executing
+engines validate the mechanisms at reduced scale elsewhere (Figs. 3, 4,
+8a, 8b); this module extrapolates the same arithmetic to paper scale.
+
+Model summaries:
+
+* **GraphLab (chromatic)** — per sweep, per machine: update cycles over
+  8 cores (inflated by the engine-overhead factor the paper itself
+  measures: ≈12× at d=5 down to ≈4.9× at d=100, Sec. 5.1), overlapped
+  with ghost synchronization traffic capped by the RPC layer's
+  ~110 MB/s effective throughput (Fig. 6b), plus per-color barriers.
+* **MPI** — per superstep: the same compute (no framework overhead,
+  it is "highly optimized" C) then a non-overlapped Alltoall at full
+  NIC rate.
+* **Hadoop** — per job: startup, map input from disk, shuffle that
+  multiplies vertex data per edge (spill + transfer + merge), skewed
+  reduce, replicated HDFS output.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.distributed.models import netflix_cycles
+from repro.sim.cluster import CC1_4XLARGE, InstanceType
+
+#: Effective per-machine throughput of the GraphLab RPC layer (B/s).
+#: Fig. 6(b): NER saturates near 100 MB/s/machine on 10 GbE.
+GRAPHLAB_EFFECTIVE_BW = 1.1e8
+#: MPI collectives drive the NIC to a large fraction of line rate.
+MPI_EFFECTIVE_BW = 1.0e9
+#: Hadoop constants (2012-era): job startup and effective disk stream.
+HADOOP_STARTUP_SECONDS = 25.0
+HADOOP_DISK_BPS = 1.0e8
+#: Straggler/skew multiplier on Hadoop's shuffle+reduce critical path.
+HADOOP_SKEW = 2.0
+#: Serialization cycles per shuffled record (binary marshaling; the
+#: paper notes text marshaling was another 5x worse).
+HADOOP_SERDE_CYCLES = 20000.0
+#: Per-record key/framing overhead on the wire, bytes.
+RECORD_OVERHEAD = 24.0
+#: Per-color barrier cost for the chromatic engine: a fixed component
+#: plus a straggler term growing with cluster size (multi-tenancy,
+#: Sec. 2's synchronous-computation penalty).
+BARRIER_SECONDS = 0.02
+STRAGGLER_SECONDS_PER_MACHINE = 0.002
+#: Cluster/job setup time for the always-resident runtimes (GraphLab
+#: process launch + atom placement; mpiexec), seconds.
+SETUP_SECONDS = 5.0
+
+
+def bsp_skew(num_machines: int) -> float:
+    """BSP straggler multiplier: each superstep waits for the slowest of
+    M machines; grows slowly with M (multi-tenant EC2)."""
+    return 1.0 + 0.1 * math.log(max(num_machines, 1))
+
+
+@dataclass(frozen=True)
+class PaperWorkload:
+    """One evaluation workload at the paper's scale (Table 2).
+
+    ``mirrors_fn(num_machines)`` gives the expected number of remote
+    machines holding a ghost of an updated vertex (partition-dependent:
+    random cut for Netflix/NER, frame blocks for CoSeg).
+    """
+
+    name: str
+    num_vertices: float
+    num_edges: float
+    vertex_bytes: float
+    edge_bytes: float
+    cycles_per_update: float
+    iterations: int
+    engine_overhead: float
+    mirrors_fn: Callable[[int], float]
+    colors: int = 2
+    #: Extra asynchronous-engine coordination cost per iteration per
+    #: machine (locking-engine workloads), seconds.
+    per_machine_overhead: float = 0.0
+
+    @property
+    def avg_degree(self) -> float:
+        """Mean undirected degree."""
+        return 2.0 * self.num_edges / self.num_vertices
+
+
+def random_cut_mirrors(avg_degree: float) -> Callable[[int], float]:
+    """Expected remote mirrors per vertex under a random partition.
+
+    With ``deg`` neighbors scattered uniformly over ``M`` machines, a
+    given remote machine hosts at least one neighbor with probability
+    ``1 - (1 - 1/M)^deg``.
+    """
+
+    def mirrors(num_machines: int) -> float:
+        if num_machines <= 1:
+            return 0.0
+        m = float(num_machines)
+        return (m - 1.0) * (1.0 - (1.0 - 1.0 / m) ** avg_degree)
+
+    return mirrors
+
+
+def frame_block_mirrors(superpixels_per_frame: float, num_vertices: float):
+    """Mirrors for CoSeg's contiguous frame blocks: only the two frames
+    at each block boundary touch a remote machine."""
+
+    def mirrors(num_machines: int) -> float:
+        if num_machines <= 1:
+            return 0.0
+        boundary_vertices = 2.0 * (num_machines - 1) * superpixels_per_frame
+        return boundary_vertices / num_vertices  # average over all vertices
+
+    return mirrors
+
+
+def netflix_workload(d: int = 20, iterations: int = 10) -> PaperWorkload:
+    """Netflix ALS at paper scale (0.5M vertices, 99M ratings).
+
+    The engine-overhead factor on raw update cycles is small for ALS
+    (long numeric kernels amortize framework costs); the paper's quoted
+    12x (d=5) and 4.9x (d=100) *total* overheads also fold in loading
+    and communication, which this model charges separately.
+    """
+    overhead = 1.2
+    avg_degree = 2.0 * 99e6 / 0.5e6
+    return PaperWorkload(
+        name=f"netflix-d{d}",
+        num_vertices=0.5e6,
+        num_edges=99e6,
+        vertex_bytes=8.0 * d + 13.0,
+        edge_bytes=16.0,
+        cycles_per_update=netflix_cycles(d),
+        iterations=iterations,
+        engine_overhead=overhead,
+        mirrors_fn=random_cut_mirrors(avg_degree),
+    )
+
+
+def ner_workload(iterations: int = 10) -> PaperWorkload:
+    """NER CoEM at paper scale (2M vertices, 200M edges, 816-B data)."""
+    avg_degree = 2.0 * 200e6 / 2e6
+    cycles_per_byte = (1.0e6 / (198.0 * 69.0)) / 5.7
+    cycles = cycles_per_byte * avg_degree / 2.0 * (816.0 + 4.0)
+    return PaperWorkload(
+        name="ner-coem",
+        num_vertices=2e6,
+        num_edges=200e6,
+        vertex_bytes=816.0,
+        edge_bytes=4.0,
+        cycles_per_update=cycles,
+        iterations=iterations,
+        engine_overhead=2.0,
+        mirrors_fn=random_cut_mirrors(avg_degree),
+    )
+
+
+def coseg_workload(iterations: int = 10) -> PaperWorkload:
+    """CoSeg at paper scale (10.5M vertices, 31M edges, frame blocks)."""
+    return PaperWorkload(
+        name="coseg",
+        num_vertices=10.5e6,
+        num_edges=31e6,
+        vertex_bytes=392.0,
+        edge_bytes=80.0,
+        cycles_per_update=40.0 * 25 * 25.0 * 6.0,
+        iterations=iterations,
+        engine_overhead=2.0,
+        mirrors_fn=frame_block_mirrors(
+            superpixels_per_frame=6000.0, num_vertices=10.5e6
+        ),
+        colors=2,
+        per_machine_overhead=0.02,
+    )
+
+
+# ----------------------------------------------------------------------
+# System cost models.
+# ----------------------------------------------------------------------
+def graphlab_runtime(
+    num_machines: int,
+    workload: PaperWorkload,
+    instance: InstanceType = CC1_4XLARGE,
+    effective_bw: float = GRAPHLAB_EFFECTIVE_BW,
+    include_load: bool = True,
+) -> float:
+    """Chromatic-engine runtime at paper scale, seconds."""
+    cores = instance.num_cores * instance.clock_hz
+    updates_per_machine = workload.num_vertices / num_machines
+    compute = (
+        updates_per_machine
+        * workload.cycles_per_update
+        * workload.engine_overhead
+        / cores
+    )
+    ghost_bytes = (
+        updates_per_machine
+        * workload.mirrors_fn(num_machines)
+        * (workload.vertex_bytes + 8.0)
+    )
+    comm = ghost_bytes / min(effective_bw, instance.nic_bandwidth_bps)
+    barrier = workload.colors * (
+        BARRIER_SECONDS + STRAGGLER_SECONDS_PER_MACHINE * num_machines
+    )
+    per_sweep = (
+        max(compute, comm)
+        + barrier
+        + workload.per_machine_overhead * num_machines
+    )
+    runtime = workload.iterations * per_sweep + SETUP_SECONDS
+    if include_load:
+        runtime += _load_seconds(num_machines, workload)
+    return runtime
+
+
+def graphlab_mbps_per_machine(
+    num_machines: int,
+    workload: PaperWorkload,
+    instance: InstanceType = CC1_4XLARGE,
+) -> float:
+    """Average egress MB/s per machine (Fig. 6b)."""
+    runtime = graphlab_runtime(
+        num_machines, workload, instance, include_load=False
+    )
+    updates_per_machine = workload.num_vertices / num_machines
+    ghost_bytes = (
+        updates_per_machine
+        * workload.mirrors_fn(num_machines)
+        * (workload.vertex_bytes + 8.0)
+        * workload.iterations
+    )
+    return ghost_bytes / runtime / 1e6 if runtime > 0 else 0.0
+
+
+def mpi_runtime(
+    num_machines: int,
+    workload: PaperWorkload,
+    instance: InstanceType = CC1_4XLARGE,
+    effective_bw: float = MPI_EFFECTIVE_BW,
+    include_load: bool = True,
+) -> float:
+    """Optimized MPI BSP runtime at paper scale, seconds."""
+    cores = instance.num_cores * instance.clock_hz
+    updates_per_machine = workload.num_vertices / num_machines
+    compute = updates_per_machine * workload.cycles_per_update / cores
+    alltoall_bytes = (
+        updates_per_machine
+        * workload.mirrors_fn(num_machines)
+        * (workload.vertex_bytes + 8.0)
+    )
+    comm = alltoall_bytes / min(effective_bw, instance.nic_bandwidth_bps)
+    # BSP: every superstep waits for the slowest machine.
+    per_iteration = compute * bsp_skew(num_machines) + comm + 2 * BARRIER_SECONDS
+    runtime = workload.iterations * per_iteration + SETUP_SECONDS
+    if include_load:
+        runtime += _load_seconds(num_machines, workload)
+    return runtime
+
+
+def hadoop_runtime(
+    num_machines: int,
+    workload: PaperWorkload,
+    instance: InstanceType = CC1_4XLARGE,
+    replication: int = 1,
+    jobs_per_iteration: int = 2,
+) -> float:
+    """Mahout-style Hadoop runtime at paper scale, seconds."""
+    cores = instance.num_cores * instance.clock_hz
+    edges_per_machine = workload.num_edges / num_machines
+    vertices_per_machine = workload.num_vertices / num_machines
+    map_read = (
+        edges_per_machine
+        * (workload.edge_bytes + RECORD_OVERHEAD)
+        / HADOOP_DISK_BPS
+    )
+    shuffle_bytes = edges_per_machine * (
+        workload.vertex_bytes + RECORD_OVERHEAD
+    )
+    serde = edges_per_machine * HADOOP_SERDE_CYCLES / cores
+    spill = shuffle_bytes / HADOOP_DISK_BPS
+    transfer = shuffle_bytes / instance.nic_bandwidth_bps
+    merge = shuffle_bytes / HADOOP_DISK_BPS
+    reduce_compute = (
+        vertices_per_machine * workload.cycles_per_update / cores
+    )
+    output = (
+        vertices_per_machine
+        * workload.vertex_bytes
+        * replication
+        / HADOOP_DISK_BPS
+    )
+    per_job = (
+        HADOOP_STARTUP_SECONDS
+        + map_read
+        + serde
+        + HADOOP_SKEW * (spill + transfer + merge + reduce_compute)
+        + output
+    )
+    return workload.iterations * jobs_per_iteration * per_job
+
+
+def _load_seconds(num_machines: int, workload: PaperWorkload) -> float:
+    """Atom ingress time: journal bytes streamed from the DFS."""
+    total_bytes = (
+        workload.num_vertices * (workload.vertex_bytes + 12.0)
+        + workload.num_edges * (workload.edge_bytes + 12.0)
+    )
+    return total_bytes / num_machines / HADOOP_DISK_BPS
+
+
+def speedup_curve(
+    runtime_fn: Callable[[int], float],
+    machine_counts,
+    baseline_machines: int = 4,
+) -> Dict[int, float]:
+    """Speedup relative to the ``baseline_machines`` deployment, the
+    normalization of Fig. 6(a) ("single node experiments were not
+    always feasible due to memory limitations")."""
+    base = runtime_fn(baseline_machines)
+    return {m: base / runtime_fn(m) for m in machine_counts}

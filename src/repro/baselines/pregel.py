@@ -1,0 +1,228 @@
+"""Pregel-style BSP vertex-message engine (the paper's synchronous
+comparator: Figs. 1a, 1c, 9a; Sec. 2's Table 1 row).
+
+Faithful to Malewicz et al.: computation proceeds in *supersteps*; each
+active vertex runs ``compute(ctx)`` seeing only the messages sent to it
+in the previous superstep, may mutate its own value, send messages
+along edges, and vote to halt; a vertex reactivates when messages
+arrive. There is no shared state and no pull access to neighbor data —
+exactly the restriction Sec. 3.2 of the GraphLab paper contrasts with
+scopes (dynamic PageRank needs neighbor values even when the neighbor
+did not send).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.graph import DataGraph, VertexId
+from repro.errors import EngineError
+
+
+class PregelContext:
+    """What one vertex sees during one superstep."""
+
+    __slots__ = (
+        "vertex",
+        "superstep",
+        "messages",
+        "_graph",
+        "_value",
+        "_outbox",
+        "_halted",
+    )
+
+    def __init__(
+        self,
+        graph: DataGraph,
+        vertex: VertexId,
+        superstep: int,
+        value: Any,
+        messages: List[Any],
+    ) -> None:
+        self._graph = graph
+        self.vertex = vertex
+        self.superstep = superstep
+        self.messages = messages
+        self._value = value
+        self._outbox: List[Tuple[VertexId, Any]] = []
+        self._halted = False
+
+    @property
+    def value(self) -> Any:
+        """This vertex's state."""
+        return self._value
+
+    @value.setter
+    def value(self, new_value: Any) -> None:
+        self._value = new_value
+
+    @property
+    def out_neighbors(self) -> Tuple[VertexId, ...]:
+        """Targets of outgoing edges (message fan-out)."""
+        return self._graph.out_neighbors(self.vertex)
+
+    @property
+    def num_vertices(self) -> int:
+        """Global vertex count (Pregel exposes this)."""
+        return self._graph.num_vertices
+
+    def out_edge_value(self, target: VertexId) -> Any:
+        """Data on the out-edge to ``target``."""
+        return self._graph.edge_data(self.vertex, target)
+
+    def send(self, target: VertexId, message: Any) -> None:
+        """Send ``message`` to ``target``, delivered next superstep."""
+        self._outbox.append((target, message))
+
+    def send_to_all_neighbors(self, message: Any) -> None:
+        """Broadcast along all out-edges — the O(|V|) -> O(|E|) state
+        blow-up Sec. 5 blames for Pregel-style inefficiency."""
+        for target in self.out_neighbors:
+            self._outbox.append((target, message))
+
+    def vote_to_halt(self) -> None:
+        """Deactivate until a message arrives."""
+        self._halted = True
+
+
+@dataclass
+class PregelResult:
+    """Summary of a BSP run."""
+
+    supersteps: int
+    total_compute_calls: int
+    total_messages: int
+    converged: bool
+    values: Dict[VertexId, Any] = field(default_factory=dict)
+    superstep_stats: List[Tuple[int, int]] = field(default_factory=list)
+
+
+class PregelEngine:
+    """In-process BSP engine over a :class:`DataGraph` structure.
+
+    Vertex values live in the engine (not the graph's data), keeping
+    baseline runs from disturbing GraphLab state on the same graph.
+    """
+
+    def __init__(
+        self,
+        graph: DataGraph,
+        compute: Callable[[PregelContext], None],
+        initial_values: Dict[VertexId, Any],
+        combiner: Optional[Callable[[Any, Any], Any]] = None,
+        max_supersteps: int = 1000,
+    ) -> None:
+        graph.require_finalized()
+        missing = [v for v in graph.vertices() if v not in initial_values]
+        if missing:
+            raise EngineError(
+                f"initial_values misses {len(missing)} vertices"
+            )
+        self.graph = graph
+        self.compute = compute
+        self.values = dict(initial_values)
+        self.combiner = combiner
+        self.max_supersteps = max_supersteps
+
+    def run(self) -> PregelResult:
+        """Execute supersteps until quiescence or the step limit."""
+        inbox: Dict[VertexId, List[Any]] = {}
+        halted: Dict[VertexId, bool] = {
+            v: False for v in self.graph.vertices()
+        }
+        total_calls = 0
+        total_messages = 0
+        stats: List[Tuple[int, int]] = []
+        for superstep in range(self.max_supersteps):
+            active = [
+                v
+                for v in self.graph.vertices()
+                if not halted[v] or v in inbox
+            ]
+            if not active:
+                return PregelResult(
+                    supersteps=superstep,
+                    total_compute_calls=total_calls,
+                    total_messages=total_messages,
+                    converged=True,
+                    values=dict(self.values),
+                    superstep_stats=stats,
+                )
+            next_inbox: Dict[VertexId, List[Any]] = {}
+            sent_this_step = 0
+            for v in active:
+                ctx = PregelContext(
+                    self.graph,
+                    v,
+                    superstep,
+                    self.values[v],
+                    inbox.get(v, []),
+                )
+                self.compute(ctx)
+                total_calls += 1
+                self.values[v] = ctx._value
+                halted[v] = ctx._halted
+                for (target, message) in ctx._outbox:
+                    sent_this_step += 1
+                    if self.combiner is not None and target in next_inbox:
+                        next_inbox[target] = [
+                            self.combiner(next_inbox[target][0], message)
+                        ]
+                    else:
+                        next_inbox.setdefault(target, []).append(message)
+            total_messages += sent_this_step
+            stats.append((len(active), sent_this_step))
+            inbox = next_inbox
+        return PregelResult(
+            supersteps=self.max_supersteps,
+            total_compute_calls=total_calls,
+            total_messages=total_messages,
+            converged=False,
+            values=dict(self.values),
+            superstep_stats=stats,
+        )
+
+
+def pregel_pagerank(
+    graph: DataGraph,
+    alpha: float = 0.15,
+    num_iterations: int = 60,
+    tolerance: float = 0.0,
+    max_supersteps: int = 1000,
+) -> PregelResult:
+    """Classic Pregel PageRank: push weighted rank along out-edges for a
+    fixed number of supersteps (Malewicz et al.'s canonical example) —
+    the synchronous baseline of Fig. 1(a).
+
+    A vertex cannot halt adaptively here without starving its
+    dependents of messages — exactly the expressiveness limitation
+    Sec. 3.2 of the GraphLab paper discusses: the *receiver* needs the
+    sender's value whether or not the sender changed. ``tolerance`` is
+    accepted for API compatibility and ignored (Pregel cannot implement
+    it correctly for pull-dependencies).
+    """
+    del tolerance  # see docstring: not expressible in pure Pregel
+    n = graph.num_vertices
+
+    def compute(ctx: PregelContext) -> None:
+        if ctx.superstep == 0:
+            rank = ctx.value
+        else:
+            rank = alpha / n + (1.0 - alpha) * sum(ctx.messages)
+        ctx.value = rank
+        if ctx.superstep < num_iterations:
+            for target in ctx.out_neighbors:
+                ctx.send(target, rank * ctx.out_edge_value(target))
+        else:
+            ctx.vote_to_halt()
+
+    engine = PregelEngine(
+        graph,
+        compute,
+        initial_values={v: graph.vertex_data(v) for v in graph.vertices()},
+        combiner=lambda a, b: a + b,
+        max_supersteps=max_supersteps,
+    )
+    return engine.run()

@@ -1,0 +1,21 @@
+"""Experiment harness: figure containers and the Table 1 capability
+registry. One benchmark module per paper table/figure lives under
+``benchmarks/``.
+"""
+
+from repro.bench.capabilities import (
+    FrameworkRow,
+    PROPERTIES,
+    capability_table,
+    graphlab_claims,
+)
+from repro.bench.figures import Figure, Series
+
+__all__ = [
+    "Figure",
+    "FrameworkRow",
+    "PROPERTIES",
+    "Series",
+    "capability_table",
+    "graphlab_claims",
+]

@@ -1,0 +1,88 @@
+"""The GraphLab abstraction (paper Sec. 3): data graph, scopes,
+consistency models, schedulers, sync operations, and reference engines.
+"""
+
+from repro.core.coloring import (
+    bipartite_coloring,
+    color_classes,
+    coloring_for,
+    constant_coloring,
+    greedy_coloring,
+    num_colors,
+    second_order_coloring,
+    validate_coloring,
+)
+from repro.core.consistency import (
+    Consistency,
+    LockKind,
+    edge_key,
+    lock_plan,
+    read_set,
+    scope_keys,
+    scopes_conflict,
+    vertex_key,
+    write_set,
+)
+from repro.core.engine import (
+    EngineResult,
+    SequentialEngine,
+    ThreadedEngine,
+    run_to_convergence,
+)
+from repro.core.graph import DataGraph
+from repro.core.scheduler import (
+    FIFOScheduler,
+    PriorityScheduler,
+    Scheduler,
+    SweepScheduler,
+    make_scheduler,
+)
+from repro.core.scope import Scope
+from repro.core.sync import GlobalValues, SyncOperation, sum_sync
+from repro.core.tracing import ScopeExecution, Trace
+from repro.core.update import (
+    UpdateFunction,
+    UpdateResult,
+    normalize_schedule,
+    run_update,
+)
+
+__all__ = [
+    "Consistency",
+    "DataGraph",
+    "EngineResult",
+    "FIFOScheduler",
+    "GlobalValues",
+    "LockKind",
+    "PriorityScheduler",
+    "Scheduler",
+    "Scope",
+    "ScopeExecution",
+    "SequentialEngine",
+    "SweepScheduler",
+    "SyncOperation",
+    "ThreadedEngine",
+    "Trace",
+    "UpdateFunction",
+    "UpdateResult",
+    "bipartite_coloring",
+    "color_classes",
+    "coloring_for",
+    "constant_coloring",
+    "edge_key",
+    "greedy_coloring",
+    "lock_plan",
+    "make_scheduler",
+    "normalize_schedule",
+    "num_colors",
+    "read_set",
+    "run_to_convergence",
+    "run_update",
+    "scope_keys",
+    "scopes_conflict",
+    "second_order_coloring",
+    "sum_sync",
+    "validate_coloring",
+    "vertex_key",
+    "write_set",
+]

@@ -1,0 +1,272 @@
+"""The data graph: ``G = (V, E, D)`` (paper Sec. 3.1).
+
+The :class:`DataGraph` stores the user's program state: arbitrary mutable
+data attached to every vertex and to every *directed* edge, over a static
+structure. Following the paper:
+
+* data is "model parameters, algorithm state, and even statistical data";
+* the structure is immutable once execution begins (``finalize()``);
+* the abstraction is not dependent on edge direction — the scope of a
+  vertex contains data on *both* directions of every adjacent edge, and
+  neighborhood queries default to the undirected neighborhood ``N[v]``.
+
+Vertex identifiers may be any hashable value, though the distributed layer
+is fastest with dense integers (atom journals store raw ids).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterable, Iterator, List, Tuple
+
+from repro.errors import GraphNotFinalizedError, GraphStructureError
+
+VertexId = Hashable
+EdgeKey = Tuple[Hashable, Hashable]
+
+
+class DataGraph:
+    """Directed graph with mutable per-vertex and per-edge data.
+
+    Parameters
+    ----------
+    vertices:
+        Optional iterable of ``vertex_id`` or ``(vertex_id, data)`` pairs.
+    edges:
+        Optional iterable of ``(src, dst)`` or ``(src, dst, data)`` tuples.
+        Vertices referenced by edges must be added explicitly; this mirrors
+        the atom-journal format where ``AddVertex`` precedes ``AddEdge``.
+
+    Examples
+    --------
+    >>> g = DataGraph()
+    >>> g.add_vertex(0, data=1.0)
+    >>> g.add_vertex(1, data=2.0)
+    >>> g.add_edge(0, 1, data=0.5)
+    >>> g.finalize()
+    >>> g.vertex_data(0)
+    1.0
+    >>> sorted(g.neighbors(1))
+    [0]
+    """
+
+    def __init__(
+        self,
+        vertices: Iterable[Any] = (),
+        edges: Iterable[Any] = (),
+    ) -> None:
+        self._vdata: Dict[VertexId, Any] = {}
+        self._edata: Dict[EdgeKey, Any] = {}
+        self._out: Dict[VertexId, List[VertexId]] = {}
+        self._in: Dict[VertexId, List[VertexId]] = {}
+        self._nbrs: Dict[VertexId, Tuple[VertexId, ...]] = {}
+        self._finalized = False
+        for item in vertices:
+            if isinstance(item, tuple) and len(item) == 2:
+                self.add_vertex(item[0], data=item[1])
+            else:
+                self.add_vertex(item)
+        for item in edges:
+            if len(item) == 3:
+                self.add_edge(item[0], item[1], data=item[2])
+            else:
+                self.add_edge(item[0], item[1])
+
+    # ------------------------------------------------------------------
+    # Structure construction (legal only before finalize()).
+    # ------------------------------------------------------------------
+    def add_vertex(self, vid: VertexId, data: Any = None) -> None:
+        """Add vertex ``vid`` carrying ``data``.
+
+        Raises :class:`GraphStructureError` if the vertex already exists
+        or the graph has been finalized.
+        """
+        self._check_mutable()
+        if vid in self._vdata:
+            raise GraphStructureError(f"duplicate vertex {vid!r}")
+        self._vdata[vid] = data
+        self._out[vid] = []
+        self._in[vid] = []
+
+    def add_edge(self, src: VertexId, dst: VertexId, data: Any = None) -> None:
+        """Add the directed edge ``src -> dst`` carrying ``data``.
+
+        Both endpoints must already exist; self-loops and duplicate edges
+        are rejected (the paper's data graph is simple).
+        """
+        self._check_mutable()
+        if src == dst:
+            raise GraphStructureError(f"self-loop on vertex {src!r}")
+        if src not in self._vdata:
+            raise GraphStructureError(f"unknown source vertex {src!r}")
+        if dst not in self._vdata:
+            raise GraphStructureError(f"unknown target vertex {dst!r}")
+        key = (src, dst)
+        if key in self._edata:
+            raise GraphStructureError(f"duplicate edge {src!r} -> {dst!r}")
+        self._edata[key] = data
+        self._out[src].append(dst)
+        self._in[dst].append(src)
+
+    def finalize(self) -> "DataGraph":
+        """Freeze the structure and precompute undirected neighborhoods.
+
+        After this call the structure is immutable (data stays mutable),
+        matching the paper's static-structure requirement. Idempotent.
+        Returns ``self`` for chaining.
+        """
+        if self._finalized:
+            return self
+        for vid in self._vdata:
+            merged = dict.fromkeys(self._in[vid])
+            merged.update(dict.fromkeys(self._out[vid]))
+            self._nbrs[vid] = tuple(merged)
+        self._finalized = True
+        return self
+
+    @property
+    def finalized(self) -> bool:
+        """Whether :meth:`finalize` has been called."""
+        return self._finalized
+
+    def _check_mutable(self) -> None:
+        if self._finalized:
+            raise GraphStructureError(
+                "graph structure is static after finalize() (paper Sec. 3.1)"
+            )
+
+    def require_finalized(self) -> None:
+        """Raise :class:`GraphNotFinalizedError` unless finalized."""
+        if not self._finalized:
+            raise GraphNotFinalizedError(
+                "operation requires a finalized graph; call finalize() first"
+            )
+
+    # ------------------------------------------------------------------
+    # Structure queries.
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``|V|``."""
+        return len(self._vdata)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges ``|E|``."""
+        return len(self._edata)
+
+    def vertices(self) -> Iterator[VertexId]:
+        """Iterate over vertex ids in insertion order."""
+        return iter(self._vdata)
+
+    def edges(self) -> Iterator[EdgeKey]:
+        """Iterate over directed edge keys ``(src, dst)``."""
+        return iter(self._edata)
+
+    def has_vertex(self, vid: VertexId) -> bool:
+        """Whether ``vid`` is a vertex of the graph."""
+        return vid in self._vdata
+
+    def has_edge(self, src: VertexId, dst: VertexId) -> bool:
+        """Whether the directed edge ``src -> dst`` exists."""
+        return (src, dst) in self._edata
+
+    def out_neighbors(self, vid: VertexId) -> Tuple[VertexId, ...]:
+        """Targets of out-edges of ``vid``."""
+        return tuple(self._out[vid])
+
+    def in_neighbors(self, vid: VertexId) -> Tuple[VertexId, ...]:
+        """Sources of in-edges of ``vid``."""
+        return tuple(self._in[vid])
+
+    def neighbors(self, vid: VertexId) -> Tuple[VertexId, ...]:
+        """Undirected neighborhood ``N[v]`` (in- and out-neighbors, deduped).
+
+        This is the neighborhood the scope ``S_v`` is built from. Requires
+        a finalized graph (the tuple is precomputed by :meth:`finalize`).
+        """
+        if self._finalized:
+            return self._nbrs[vid]
+        merged = dict.fromkeys(self._in[vid])
+        merged.update(dict.fromkeys(self._out[vid]))
+        return tuple(merged)
+
+    def degree(self, vid: VertexId) -> int:
+        """Undirected degree ``|N[v]|``."""
+        return len(self.neighbors(vid))
+
+    def out_degree(self, vid: VertexId) -> int:
+        """Number of out-edges of ``vid``."""
+        return len(self._out[vid])
+
+    def in_degree(self, vid: VertexId) -> int:
+        """Number of in-edges of ``vid``."""
+        return len(self._in[vid])
+
+    def adjacent_edges(self, vid: VertexId) -> List[EdgeKey]:
+        """All directed edges incident to ``vid`` (both directions)."""
+        edges = [(u, vid) for u in self._in[vid]]
+        edges.extend((vid, w) for w in self._out[vid])
+        return edges
+
+    # ------------------------------------------------------------------
+    # Data access (always legal; data is mutable during execution).
+    # ------------------------------------------------------------------
+    def vertex_data(self, vid: VertexId) -> Any:
+        """Return ``D_v``."""
+        try:
+            return self._vdata[vid]
+        except KeyError:
+            raise GraphStructureError(f"unknown vertex {vid!r}") from None
+
+    def set_vertex_data(self, vid: VertexId, value: Any) -> None:
+        """Overwrite ``D_v``."""
+        if vid not in self._vdata:
+            raise GraphStructureError(f"unknown vertex {vid!r}")
+        self._vdata[vid] = value
+
+    def edge_data(self, src: VertexId, dst: VertexId) -> Any:
+        """Return ``D_{src -> dst}``."""
+        try:
+            return self._edata[(src, dst)]
+        except KeyError:
+            raise GraphStructureError(f"unknown edge {src!r} -> {dst!r}") from None
+
+    def set_edge_data(self, src: VertexId, dst: VertexId, value: Any) -> None:
+        """Overwrite ``D_{src -> dst}``."""
+        if (src, dst) not in self._edata:
+            raise GraphStructureError(f"unknown edge {src!r} -> {dst!r}")
+        self._edata[(src, dst)] = value
+
+    # ------------------------------------------------------------------
+    # Convenience.
+    # ------------------------------------------------------------------
+    def copy(self) -> "DataGraph":
+        """Deep-copy of structure and a shallow copy of data values.
+
+        Used by engines that need a pristine baseline (e.g. snapshot
+        recovery tests). Data values themselves are shared — update
+        functions in this codebase replace values rather than mutating
+        them in place, which keeps copies cheap.
+        """
+        other = DataGraph()
+        other._vdata = dict(self._vdata)
+        other._edata = dict(self._edata)
+        other._out = {v: list(ns) for v, ns in self._out.items()}
+        other._in = {v: list(ns) for v, ns in self._in.items()}
+        if self._finalized:
+            other._nbrs = dict(self._nbrs)
+            other._finalized = True
+        return other
+
+    def __contains__(self, vid: VertexId) -> bool:
+        return vid in self._vdata
+
+    def __len__(self) -> int:
+        return len(self._vdata)
+
+    def __repr__(self) -> str:
+        state = "finalized" if self._finalized else "building"
+        return (
+            f"DataGraph(|V|={self.num_vertices}, |E|={self.num_edges}, "
+            f"{state})"
+        )

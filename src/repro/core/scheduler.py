@@ -1,0 +1,207 @@
+"""Schedulers: the task set ``T`` of the execution model (Sec. 3.3).
+
+The execution model (Alg. 2) maintains a set of vertices to update;
+``RemoveNext(T)`` is deliberately underspecified — the runtime may pick
+any order as long as every scheduled vertex is eventually executed, and
+may consult user-assigned priorities. The paper relaxes the original
+shared-memory ordering guarantees precisely to allow the efficient
+distributed FIFO and priority schedulers implemented here.
+
+All schedulers share *set semantics*: scheduling a vertex already in ``T``
+is absorbed (duplicates ignored), and for the priority scheduler the
+priorities are merged by ``max`` — re-scheduling can only raise urgency,
+mirroring GraphLab's ``priority_merge``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.graph import VertexId
+from repro.errors import SchedulerError
+
+
+class Scheduler:
+    """Interface shared by every scheduler.
+
+    Subclasses implement :meth:`add`, :meth:`pop`, :meth:`__len__`, and
+    :meth:`__contains__`. ``pop`` raises :class:`SchedulerError` when
+    empty so engine loops fail loudly on logic errors.
+    """
+
+    def add(self, vertex: VertexId, priority: float = 0.0) -> None:
+        """Insert ``vertex`` (or merge with its pending entry)."""
+        raise NotImplementedError
+
+    def add_all(
+        self, items: Iterable, priority: float = 0.0
+    ) -> None:
+        """Insert many vertices; items may be ids or ``(id, prio)`` pairs."""
+        for item in items:
+            if isinstance(item, tuple) and len(item) == 2:
+                self.add(item[0], float(item[1]))
+            else:
+                self.add(item, priority)
+
+    def pop(self) -> Tuple[VertexId, float]:
+        """Remove and return ``(vertex, priority)`` per this policy."""
+        raise NotImplementedError
+
+    def peek_priority(self) -> float:
+        """Priority the next :meth:`pop` would return (0.0 for FIFO)."""
+        return 0.0
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __contains__(self, vertex: VertexId) -> bool:
+        raise NotImplementedError
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+
+class FIFOScheduler(Scheduler):
+    """First-in-first-out scheduler with set semantics.
+
+    The default distributed scheduler: cheap, fair, and — because
+    re-scheduling an in-queue vertex is absorbed — guarantees each vertex
+    appears at most once in ``T`` (Alg. 2: "Duplicate vertices are
+    ignored.").
+    """
+
+    def __init__(self) -> None:
+        self._queue: deque = deque()
+        self._members: set = set()
+
+    def add(self, vertex: VertexId, priority: float = 0.0) -> None:
+        if vertex in self._members:
+            return
+        self._members.add(vertex)
+        self._queue.append(vertex)
+
+    def pop(self) -> Tuple[VertexId, float]:
+        try:
+            vertex = self._queue.popleft()
+        except IndexError:
+            raise SchedulerError("pop from empty FIFO scheduler") from None
+        self._members.discard(vertex)
+        return vertex, 0.0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __contains__(self, vertex: VertexId) -> bool:
+        return vertex in self._members
+
+
+class PriorityScheduler(Scheduler):
+    """Max-priority scheduler with lazy-deletion heap.
+
+    Re-adding a pending vertex merges priorities with ``max``; stale heap
+    entries are skipped at pop time. Ties break by insertion order, which
+    keeps runs deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, VertexId]] = []
+        self._priority: Dict[VertexId, float] = {}
+        self._counter = itertools.count()
+
+    def add(self, vertex: VertexId, priority: float = 0.0) -> None:
+        priority = float(priority)
+        current = self._priority.get(vertex)
+        if current is not None and current >= priority:
+            return
+        self._priority[vertex] = priority
+        heapq.heappush(self._heap, (-priority, next(self._counter), vertex))
+
+    def pop(self) -> Tuple[VertexId, float]:
+        while self._heap:
+            neg_priority, _, vertex = heapq.heappop(self._heap)
+            if self._priority.get(vertex) == -neg_priority:
+                del self._priority[vertex]
+                return vertex, -neg_priority
+        raise SchedulerError("pop from empty priority scheduler")
+
+    def peek_priority(self) -> float:
+        while self._heap:
+            neg_priority, _, vertex = self._heap[0]
+            if self._priority.get(vertex) == -neg_priority:
+                return -neg_priority
+            heapq.heappop(self._heap)
+        raise SchedulerError("peek on empty priority scheduler")
+
+    def __len__(self) -> int:
+        return len(self._priority)
+
+    def __contains__(self, vertex: VertexId) -> bool:
+        return vertex in self._priority
+
+
+class SweepScheduler(Scheduler):
+    """Round-robin sweep over a fixed vertex order with dirty bits.
+
+    Mirrors GraphLab's ``sweep`` scheduler: vertices are visited in a
+    fixed order; scheduling marks a vertex dirty, popping returns the next
+    dirty vertex at or after the cursor, wrapping around. Deterministic
+    Gauss-Seidel-style execution, the natural fit for "async" convergence
+    baselines.
+    """
+
+    def __init__(self, order: Iterable[VertexId]) -> None:
+        self._order: List[VertexId] = list(order)
+        self._index = {v: i for i, v in enumerate(self._order)}
+        if len(self._index) != len(self._order):
+            raise SchedulerError("sweep order contains duplicate vertices")
+        self._dirty: set = set()
+        self._cursor = 0
+
+    def add(self, vertex: VertexId, priority: float = 0.0) -> None:
+        if vertex not in self._index:
+            raise SchedulerError(f"vertex {vertex!r} not in sweep order")
+        self._dirty.add(vertex)
+
+    def pop(self) -> Tuple[VertexId, float]:
+        if not self._dirty:
+            raise SchedulerError("pop from empty sweep scheduler")
+        n = len(self._order)
+        for offset in range(n):
+            vertex = self._order[(self._cursor + offset) % n]
+            if vertex in self._dirty:
+                self._cursor = (self._cursor + offset + 1) % n
+                self._dirty.discard(vertex)
+                return vertex, 0.0
+        raise SchedulerError("dirty set inconsistent with sweep order")
+
+    def __len__(self) -> int:
+        return len(self._dirty)
+
+    def __contains__(self, vertex: VertexId) -> bool:
+        return vertex in self._dirty
+
+
+_SCHEDULERS = {
+    "fifo": FIFOScheduler,
+    "priority": PriorityScheduler,
+}
+
+
+def make_scheduler(
+    name: str, order: Optional[Iterable[VertexId]] = None
+) -> Scheduler:
+    """Factory: ``"fifo"``, ``"priority"``, or ``"sweep"`` (needs order)."""
+    if name == "sweep":
+        if order is None:
+            raise SchedulerError("sweep scheduler requires a vertex order")
+        return SweepScheduler(order)
+    try:
+        return _SCHEDULERS[name]()
+    except KeyError:
+        raise SchedulerError(
+            f"unknown scheduler {name!r}; expected one of "
+            f"{sorted(_SCHEDULERS)} or 'sweep'"
+        ) from None

@@ -1,0 +1,241 @@
+"""Scopes: the overlapping data contexts update functions run in (Sec. 3.2).
+
+The scope ``S_v`` of vertex ``v`` is the data stored in ``v``, in all
+adjacent vertices, and on all adjacent edges (Fig. 2a). An update function
+receives a :class:`Scope` and, through it, reads and writes graph data.
+The scope enforces the active :class:`~repro.core.consistency.Consistency`
+model at the API boundary: an illegal write raises
+:class:`~repro.errors.ConsistencyError` immediately, so consistency bugs
+surface at their source rather than as data races.
+
+The scope is backed by two collaborators:
+
+* ``graph`` answers *structure* queries (neighbors, adjacent edges) — in
+  the distributed setting structure is locally known via ghosts;
+* ``store`` answers *data* queries with ``vertex_data / set_vertex_data /
+  edge_data / set_edge_data`` methods. :class:`repro.core.graph.DataGraph`
+  itself satisfies this protocol, as does the distributed
+  :class:`repro.distributed.graph_store.LocalGraphStore`.
+
+Scopes also collect scheduling requests (``scope.schedule(u, prio)``) and
+expose read-only global values maintained by sync operations (Sec. 3.5).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.core.consistency import (
+    Consistency,
+    DataKey,
+    edge_key,
+    vertex_key,
+    write_set,
+)
+from repro.core.graph import DataGraph, VertexId
+from repro.errors import ConsistencyError, GraphStructureError
+
+_EMPTY_GLOBALS: Mapping[str, Any] = {}
+
+
+class Scope:
+    """Consistency-enforced view of ``S_v`` handed to update functions.
+
+    Parameters
+    ----------
+    graph:
+        Structure provider (usually the :class:`DataGraph` itself).
+    vertex:
+        The central vertex ``v``.
+    model:
+        Active consistency model; writes outside the model's write set
+        raise :class:`ConsistencyError`.
+    store:
+        Data provider; defaults to ``graph``.
+    globals_view:
+        Read-only mapping of global values maintained by sync operations.
+    record:
+        When true, every data access is recorded in :attr:`reads` /
+        :attr:`writes` (used by the serializability tracer).
+    """
+
+    __slots__ = (
+        "graph",
+        "vertex",
+        "model",
+        "_store",
+        "_globals",
+        "_write_keys",
+        "_scheduled",
+        "reads",
+        "writes",
+        "_record",
+    )
+
+    def __init__(
+        self,
+        graph: DataGraph,
+        vertex: VertexId,
+        model: Consistency = Consistency.EDGE,
+        store: Optional[Any] = None,
+        globals_view: Mapping[str, Any] = _EMPTY_GLOBALS,
+        record: bool = False,
+    ) -> None:
+        self.graph = graph
+        self.vertex = vertex
+        self.model = model
+        self._store = store if store is not None else graph
+        self._globals = globals_view
+        self._write_keys = write_set(graph, vertex, model)
+        self._scheduled: List[Tuple[VertexId, float]] = []
+        self._record = record
+        self.reads: Set[DataKey] = set()
+        self.writes: Set[DataKey] = set()
+
+    # ------------------------------------------------------------------
+    # Central vertex data.
+    # ------------------------------------------------------------------
+    @property
+    def data(self) -> Any:
+        """Read the central vertex datum ``D_v``."""
+        if self._record:
+            self.reads.add(vertex_key(self.vertex))
+        return self._store.vertex_data(self.vertex)
+
+    @data.setter
+    def data(self, value: Any) -> None:
+        """Write ``D_v`` (legal under every model)."""
+        if self._record:
+            self.writes.add(vertex_key(self.vertex))
+        self._store.set_vertex_data(self.vertex, value)
+
+    # ------------------------------------------------------------------
+    # Neighbor vertex data.
+    # ------------------------------------------------------------------
+    def neighbor(self, u: VertexId) -> Any:
+        """Read neighbor vertex datum ``D_u``.
+
+        Readable under every model; note that under *vertex* consistency
+        the read is unprotected and may race with a concurrent writer.
+        """
+        self._check_adjacent(u)
+        if self._record:
+            self.reads.add(vertex_key(u))
+        return self._store.vertex_data(u)
+
+    def set_neighbor(self, u: VertexId, value: Any) -> None:
+        """Write ``D_u`` — only legal under the *full* consistency model."""
+        self._check_adjacent(u)
+        key = vertex_key(u)
+        if key not in self._write_keys:
+            raise ConsistencyError(
+                f"writing neighbor {u!r} requires the FULL consistency "
+                f"model (active model: {self.model})"
+            )
+        if self._record:
+            self.writes.add(key)
+        self._store.set_vertex_data(u, value)
+
+    # ------------------------------------------------------------------
+    # Edge data (both directions of adjacent edges).
+    # ------------------------------------------------------------------
+    def edge(self, src: VertexId, dst: VertexId) -> Any:
+        """Read edge datum ``D_{src->dst}`` on an adjacent edge."""
+        self._check_adjacent_edge(src, dst)
+        if self._record:
+            self.reads.add(edge_key(src, dst))
+        return self._store.edge_data(src, dst)
+
+    def set_edge(self, src: VertexId, dst: VertexId, value: Any) -> None:
+        """Write an adjacent edge datum — needs *edge* or *full* model."""
+        self._check_adjacent_edge(src, dst)
+        key = edge_key(src, dst)
+        if key not in self._write_keys:
+            raise ConsistencyError(
+                f"writing edge {src!r}->{dst!r} requires the EDGE or FULL "
+                f"consistency model (active model: {self.model})"
+            )
+        if self._record:
+            self.writes.add(key)
+        self._store.set_edge_data(src, dst, value)
+
+    # ------------------------------------------------------------------
+    # Structure queries (always legal; structure is static).
+    # ------------------------------------------------------------------
+    @property
+    def neighbors(self) -> Tuple[VertexId, ...]:
+        """Undirected neighborhood ``N[v]``."""
+        return self.graph.neighbors(self.vertex)
+
+    @property
+    def in_neighbors(self) -> Tuple[VertexId, ...]:
+        """Sources of in-edges of ``v``."""
+        return self.graph.in_neighbors(self.vertex)
+
+    @property
+    def out_neighbors(self) -> Tuple[VertexId, ...]:
+        """Targets of out-edges of ``v``."""
+        return self.graph.out_neighbors(self.vertex)
+
+    @property
+    def degree(self) -> int:
+        """Undirected degree of ``v``."""
+        return self.graph.degree(self.vertex)
+
+    def adjacent_edges(self) -> List[Tuple[VertexId, VertexId]]:
+        """All directed edges incident to ``v``."""
+        return self.graph.adjacent_edges(self.vertex)
+
+    # ------------------------------------------------------------------
+    # Global values and dynamic scheduling.
+    # ------------------------------------------------------------------
+    @property
+    def globals(self) -> Mapping[str, Any]:
+        """Read-only view of sync-maintained global values (Sec. 3.5)."""
+        return self._globals
+
+    def schedule(self, u: VertexId, priority: float = 0.0) -> None:
+        """Request a future update of vertex ``u`` with ``priority``.
+
+        Equivalent to returning ``u`` in the task set ``T'`` of
+        ``f(v, S_v) -> (S_v, T')``; both styles may be mixed and the
+        engine merges them. Only vertices of the graph may be scheduled.
+        """
+        if not self.graph.has_vertex(u):
+            raise GraphStructureError(f"cannot schedule unknown vertex {u!r}")
+        self._scheduled.append((u, float(priority)))
+
+    def schedule_neighbors(self, priority: float = 0.0) -> None:
+        """Convenience: schedule every vertex in ``N[v]``."""
+        for u in self.neighbors:
+            self._scheduled.append((u, float(priority)))
+
+    def drain_scheduled(self) -> List[Tuple[VertexId, float]]:
+        """Return and clear the scheduling requests collected so far.
+
+        Called by engines after running the update function.
+        """
+        out, self._scheduled = self._scheduled, []
+        return out
+
+    # ------------------------------------------------------------------
+    # Internals.
+    # ------------------------------------------------------------------
+    def _check_adjacent(self, u: VertexId) -> None:
+        if u == self.vertex or u in self.graph.neighbors(self.vertex):
+            return
+        raise ConsistencyError(
+            f"vertex {u!r} is outside the scope of {self.vertex!r}"
+        )
+
+    def _check_adjacent_edge(self, src: VertexId, dst: VertexId) -> None:
+        if self.vertex not in (src, dst):
+            raise ConsistencyError(
+                f"edge {src!r}->{dst!r} is outside the scope of "
+                f"{self.vertex!r}"
+            )
+        if not self.graph.has_edge(src, dst):
+            raise GraphStructureError(f"unknown edge {src!r} -> {dst!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Scope(v={self.vertex!r}, model={self.model})"

@@ -1,0 +1,190 @@
+"""Sync operations and global values (paper Sec. 3.5, Eq. 2).
+
+A sync operation maintains a global aggregate::
+
+    Z = Finalize( (+)_{v in V}  Map(S_v) )
+
+where ``(+)`` is an associative, commutative combiner. Unlike Pregel's
+per-superstep aggregation, GraphLab syncs can run *continuously in the
+background*; the chromatic engine runs them between color-steps and the
+locking engine on a configurable update cadence. Update functions read
+the latest published value through ``scope.globals[key]``.
+
+The :class:`GlobalValues` store also backs the *consistent* vs
+*inconsistent* sync distinction: a consistent sync is computed under a
+full stop (all scopes quiesced), an inconsistent sync walks the graph
+while updates are in flight — cheap but possibly internally torn, which
+is acceptable for monitoring-style aggregates (Sec. 3.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Mapping, Optional
+
+from repro.core.consistency import Consistency
+from repro.core.graph import DataGraph, VertexId
+from repro.core.scope import Scope
+
+
+def _identity(value: Any) -> Any:
+    return value
+
+
+@dataclass(frozen=True)
+class SyncOperation:
+    """Declarative description of one global aggregate.
+
+    Attributes
+    ----------
+    key:
+        Name under which the finalized value is published.
+    map_fn:
+        ``Map(S_v)`` — maps one scope to a partial value.
+    combine_fn:
+        Associative commutative ``(+)`` over partial values.
+    finalize_fn:
+        ``Finalize`` applied to the combined value before publication
+        (e.g. normalization); defaults to identity.
+    zero:
+        Identity element of ``combine_fn`` (value published for an empty
+        graph, and the fold seed).
+    interval_updates:
+        For asynchronous engines: re-compute the sync every this many
+        update-function executions. ``None`` means only at barriers /
+        termination.
+    """
+
+    key: str
+    map_fn: Callable[[Scope], Any]
+    combine_fn: Callable[[Any, Any], Any]
+    zero: Any = None
+    finalize_fn: Callable[[Any], Any] = _identity
+    interval_updates: Optional[int] = None
+
+    def compute(
+        self,
+        graph: DataGraph,
+        store: Optional[Any] = None,
+        vertices: Optional[Iterable[VertexId]] = None,
+        globals_view: Optional[Mapping[str, Any]] = None,
+    ) -> Any:
+        """Fold the map over (a subset of) the graph and finalize.
+
+        ``vertices`` restricts the fold (used by distributed engines that
+        combine per-machine partials); ``store`` overrides the data
+        provider exactly as for scopes.
+        """
+        partial = self.zero
+        view = globals_view if globals_view is not None else {}
+        for vid in vertices if vertices is not None else graph.vertices():
+            scope = Scope(
+                graph,
+                vid,
+                model=Consistency.EDGE,
+                store=store,
+                globals_view=view,
+            )
+            partial = self.combine_fn(partial, self.map_fn(scope))
+        return self.finalize_fn(partial)
+
+    def combine_partials(self, partials: Iterable[Any]) -> Any:
+        """Combine per-machine partial values and finalize (Eq. 2)."""
+        total = self.zero
+        for part in partials:
+            total = self.combine_fn(total, part)
+        return self.finalize_fn(total)
+
+    def partial(
+        self,
+        graph: DataGraph,
+        vertices: Iterable[VertexId],
+        store: Optional[Any] = None,
+    ) -> Any:
+        """Un-finalized fold over ``vertices`` (one machine's share)."""
+        partial = self.zero
+        for vid in vertices:
+            scope = Scope(graph, vid, model=Consistency.EDGE, store=store)
+            partial = self.combine_fn(partial, self.map_fn(scope))
+        return partial
+
+
+class GlobalValues:
+    """Mutable store of published sync results, read-only through scopes.
+
+    Engines own a :class:`GlobalValues`; update functions see it as the
+    mapping ``scope.globals``. Values may also be seeded directly (e.g.
+    model hyper-parameters) via :meth:`publish`.
+    """
+
+    def __init__(self, initial: Optional[Mapping[str, Any]] = None) -> None:
+        self._values: Dict[str, Any] = dict(initial or {})
+        self._versions: Dict[str, int] = {k: 0 for k in self._values}
+
+    def publish(self, key: str, value: Any) -> None:
+        """Publish a new value for ``key`` (bumps its version)."""
+        self._values[key] = value
+        self._versions[key] = self._versions.get(key, 0) + 1
+
+    def version(self, key: str) -> int:
+        """Number of times ``key`` has been published (0 if never)."""
+        return self._versions.get(key, 0)
+
+    def view(self) -> Mapping[str, Any]:
+        """The live read-only mapping handed to scopes."""
+        return _ReadOnlyView(self._values)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Point-in-time copy (used by checkpointing)."""
+        return dict(self._values)
+
+    def restore(self, values: Mapping[str, Any]) -> None:
+        """Replace contents from a checkpoint snapshot."""
+        self._values = dict(values)
+        for key in self._values:
+            self._versions[key] = self._versions.get(key, 0) + 1
+
+    def __getitem__(self, key: str) -> Any:
+        return self._values[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._values
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Mapping-style ``get``."""
+        return self._values.get(key, default)
+
+
+class _ReadOnlyView(Mapping[str, Any]):
+    """Read-only live view over the globals dict."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: Dict[str, Any]) -> None:
+        self._values = values
+
+    def __getitem__(self, key: str) -> Any:
+        return self._values[key]
+
+    def __iter__(self):
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+
+def sum_sync(
+    key: str,
+    map_fn: Callable[[Scope], float],
+    finalize_fn: Callable[[Any], Any] = _identity,
+    interval_updates: Optional[int] = None,
+) -> SyncOperation:
+    """Convenience constructor for a numeric-sum sync (the common case)."""
+    return SyncOperation(
+        key=key,
+        map_fn=map_fn,
+        combine_fn=lambda a, b: a + b,
+        zero=0.0,
+        finalize_fn=finalize_fn,
+        interval_updates=interval_updates,
+    )

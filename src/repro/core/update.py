@@ -1,0 +1,98 @@
+"""Update functions: ``f(v, S_v) -> (S_v, T')`` (paper Sec. 3.2, Alg. 1).
+
+An update function in this package is any callable taking a
+:class:`~repro.core.scope.Scope` and optionally returning scheduling
+requests. Three return styles are accepted and normalized by
+:func:`normalize_schedule`:
+
+* ``None`` — schedule nothing (beyond ``scope.schedule(...)`` calls);
+* an iterable of vertex ids — schedule each with priority ``0.0``;
+* an iterable of ``(vertex, priority)`` pairs.
+
+Update functions must be *stateless*: all state lives in the data graph
+or in sync-maintained globals. Statelessness is what lets the distributed
+engines run the same function on any machine and what makes snapshots
+(Sec. 4.3) a pure function of graph data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, List, Optional, Tuple, Union
+
+from repro.core.graph import VertexId
+from repro.core.scope import Scope
+
+#: Anything an update function may return.
+ScheduleLike = Optional[Iterable[Union[VertexId, Tuple[VertexId, float]]]]
+
+#: The update-function protocol.
+UpdateFunction = Callable[[Scope], ScheduleLike]
+
+
+def normalize_schedule(
+    result: ScheduleLike, graph: Optional[Any] = None
+) -> List[Tuple[VertexId, float]]:
+    """Normalize an update function's return value to ``[(vid, prio)]``.
+
+    ``None`` becomes the empty list; bare ids get priority ``0.0``.
+    2-tuples whose second element is a real number are treated as
+    ``(vertex, priority)`` pairs — *unless* the tuple itself is a vertex
+    of ``graph`` (graphs keyed by coordinate tuples, like grids, schedule
+    their vertices bare). Engines always pass their graph here.
+    """
+    if result is None:
+        return []
+    normalized: List[Tuple[VertexId, float]] = []
+    for item in result:
+        if graph is not None and graph.has_vertex(item):
+            normalized.append((item, 0.0))
+            continue
+        if (
+            isinstance(item, tuple)
+            and len(item) == 2
+            and isinstance(item[1], (int, float))
+            and not isinstance(item[1], bool)
+        ):
+            normalized.append((item[0], float(item[1])))
+        else:
+            normalized.append((item, 0.0))
+    return normalized
+
+
+@dataclass
+class UpdateResult:
+    """Outcome of one update-function execution, as seen by an engine.
+
+    Attributes
+    ----------
+    vertex:
+        The vertex the update ran on.
+    scheduled:
+        Normalized ``(vertex, priority)`` scheduling requests, merging the
+        function's return value with ``scope.schedule(...)`` calls.
+    reads / writes:
+        Data keys touched (populated only when tracing is enabled).
+    """
+
+    vertex: VertexId
+    scheduled: List[Tuple[VertexId, float]] = field(default_factory=list)
+    reads: frozenset = frozenset()
+    writes: frozenset = frozenset()
+
+
+def run_update(fn: UpdateFunction, scope: Scope) -> UpdateResult:
+    """Execute ``fn`` on ``scope`` and collect its scheduling requests.
+
+    This is the single choke-point all engines use, so the merge of the
+    two scheduling styles and the access-set capture live here.
+    """
+    returned = fn(scope)
+    scheduled = scope.drain_scheduled()
+    scheduled.extend(normalize_schedule(returned, graph=scope.graph))
+    return UpdateResult(
+        vertex=scope.vertex,
+        scheduled=scheduled,
+        reads=frozenset(scope.reads),
+        writes=frozenset(scope.writes),
+    )

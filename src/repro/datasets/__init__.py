@@ -1,0 +1,22 @@
+"""Synthetic workload generators matching the paper's inputs (Table 2)."""
+
+from repro.datasets.mesh import grid_2d, mesh_3d
+from repro.datasets.netflix import NetflixData, synthetic_netflix
+from repro.datasets.ner import NERData, TYPE_VOCABULARY, synthetic_ner
+from repro.datasets.video import NUM_FEATURES, VideoData, synthetic_video
+from repro.datasets.webgraph import power_law_web_graph, webgraph_stats
+
+__all__ = [
+    "NERData",
+    "NUM_FEATURES",
+    "NetflixData",
+    "TYPE_VOCABULARY",
+    "VideoData",
+    "grid_2d",
+    "mesh_3d",
+    "power_law_web_graph",
+    "synthetic_ner",
+    "synthetic_netflix",
+    "synthetic_video",
+    "webgraph_stats",
+]

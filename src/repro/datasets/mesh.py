@@ -1,0 +1,104 @@
+"""Mesh/grid MRF generators (paper Secs. 4.2.2, 4.3).
+
+The pipelining and snapshot experiments run loopy BP on a synthetic
+three-dimensional ``n x n x n`` mesh where every vertex is 26-connected
+(axis neighbors plus all diagonals) — 27M vertices and 375M edges at
+the paper's scale; the generator defaults are laptop-sized with the
+same topology. Vertices carry binary-MRF unaries (randomly biased) and
+edges attractive Potts potentials, so LBP does real inference work.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.apps.lbp import init_lbp_data, potts_potential
+from repro.core.graph import DataGraph, VertexId
+
+
+def mesh_3d(
+    side: int,
+    connectivity: int = 26,
+    seed: int = 0,
+    unary_strength: float = 1.0,
+) -> Tuple[DataGraph, np.ndarray]:
+    """Build the paper's 3-D mesh MRF at side length ``side``.
+
+    ``connectivity`` is 6 (axis neighbors) or 26 (axis + diagonals, the
+    paper's choice). Returns ``(graph, psi)`` ready for
+    :func:`repro.apps.lbp.make_lbp_update`; vertex ids are ``(x, y, z)``
+    tuples (which the ``grid`` partitioner block-decomposes).
+    """
+    if side < 2:
+        raise ValueError("mesh side must be >= 2")
+    if connectivity not in (6, 26):
+        raise ValueError("connectivity must be 6 or 26")
+    offsets = [
+        delta
+        for delta in itertools.product((-1, 0, 1), repeat=3)
+        if delta != (0, 0, 0)
+        and (connectivity == 26 or sum(abs(d) for d in delta) == 1)
+    ]
+    graph = DataGraph()
+    for x in range(side):
+        for y in range(side):
+            for z in range(side):
+                graph.add_vertex((x, y, z), data=None)
+    for x in range(side):
+        for y in range(side):
+            for z in range(side):
+                for (dx, dy, dz) in offsets:
+                    u, w = (x, y, z), (x + dx, y + dy, z + dz)
+                    # Add each undirected pair once, lexicographically.
+                    if w in graph and u < w:
+                        graph.add_edge(u, w, data=None)
+    graph.finalize()
+
+    rng = np.random.default_rng(seed)
+    unaries: Dict[VertexId, np.ndarray] = {}
+    for v in graph.vertices():
+        bias = unary_strength * rng.standard_normal()
+        unaries[v] = np.array([np.exp(bias), np.exp(-bias)])
+    init_lbp_data(graph, unaries)
+    psi = potts_potential(2, smoothing=0.8)
+    return graph, psi
+
+
+def grid_2d(
+    rows: int,
+    cols: int,
+    num_labels: int = 2,
+    seed: int = 0,
+    unary_strength: float = 1.0,
+    smoothing: float = 1.0,
+) -> Tuple[DataGraph, np.ndarray]:
+    """4-connected 2-D grid MRF (the web-spam-like workload of Fig. 1c).
+
+    Vertex ids are ``(row, col)``; returns ``(graph, psi)``.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("grid must be non-empty")
+    graph = DataGraph()
+    for r in range(rows):
+        for c in range(cols):
+            graph.add_vertex((r, c), data=None)
+    for r in range(rows):
+        for c in range(cols):
+            if r + 1 < rows:
+                graph.add_edge((r, c), (r + 1, c), data=None)
+            if c + 1 < cols:
+                graph.add_edge((r, c), (r, c + 1), data=None)
+    graph.finalize()
+
+    rng = np.random.default_rng(seed)
+    unaries: Dict[VertexId, np.ndarray] = {}
+    for v in graph.vertices():
+        weights = unary_strength * rng.standard_normal(num_labels)
+        unaries[v] = np.exp(weights)
+    init_lbp_data(graph, unaries)
+    psi = potts_potential(num_labels, smoothing=smoothing)
+    return graph, psi

@@ -1,0 +1,130 @@
+"""Checkpoint intervals and recovery (paper Sec. 4.3).
+
+The snapshot *construction* lives inside the engines (synchronous at
+barriers, asynchronous via the Chandy-Lamport update function of
+Alg. 5). This module holds what surrounds it:
+
+* Young's first-order approximation of the optimal checkpoint interval
+  (Eq. 3) — the calculation the paper uses to argue that, at its scale,
+  checkpoint intervals (~3 h) exceed entire job runtimes, questioning
+  Hadoop's always-on fault-tolerance tax;
+* recovery: reading a snapshot's per-machine journals back from the DFS
+  and restoring every machine's owned data, the path exercised by the
+  fault-tolerance tests and example.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Generator, Iterable, Mapping, Optional
+
+from repro.distributed.dfs import DistributedFileSystem
+from repro.distributed.graph_store import LocalGraphStore
+from repro.errors import SnapshotError
+
+#: Seconds in a (365-day) year, for MTBF conversions.
+SECONDS_PER_YEAR = 365.0 * 24 * 3600
+
+
+def cluster_mtbf(mtbf_per_machine_seconds: float, num_machines: int) -> float:
+    """Mean time between failures for the whole cluster.
+
+    With independent failures the cluster fails ``num_machines`` times
+    as often as one machine.
+    """
+    if num_machines < 1:
+        raise SnapshotError("num_machines must be >= 1")
+    if mtbf_per_machine_seconds <= 0:
+        raise SnapshotError("MTBF must be positive")
+    return mtbf_per_machine_seconds / num_machines
+
+
+def young_checkpoint_interval(
+    checkpoint_seconds: float,
+    mtbf_per_machine_seconds: float,
+    num_machines: int,
+) -> float:
+    """Young's optimal checkpoint interval (Eq. 3):
+    ``T = sqrt(2 · T_checkpoint · T_MTBF)``.
+
+    The paper's example — 64 machines, 1-year per-machine MTBF, 2-minute
+    checkpoints — yields ≈ 3 hours.
+    """
+    if checkpoint_seconds <= 0:
+        raise SnapshotError("checkpoint time must be positive")
+    t_mtbf = cluster_mtbf(mtbf_per_machine_seconds, num_machines)
+    return math.sqrt(2.0 * checkpoint_seconds * t_mtbf)
+
+
+def snapshot_file(snapshot_id: int, machine_id: int) -> str:
+    """DFS path of one machine's journal within a snapshot."""
+    return f"snapshot/{snapshot_id}/machine-{machine_id}"
+
+
+def list_snapshot_machines(
+    dfs: DistributedFileSystem, snapshot_id: int
+) -> Iterable[int]:
+    """Machine ids with journals stored for ``snapshot_id``."""
+    prefix = f"snapshot/{snapshot_id}/machine-"
+    for name in dfs.listing():
+        if name.startswith(prefix):
+            yield int(name[len(prefix):])
+
+
+def recover_from_snapshot(
+    dfs: DistributedFileSystem,
+    snapshot_id: int,
+    stores: Mapping[int, LocalGraphStore],
+    reschedule: Optional[set] = None,
+) -> Generator:
+    """Process: restore every machine's owned data from a snapshot.
+
+    Each machine reads its own journal (parallel DFS reads, charged) and
+    applies it with :meth:`LocalGraphStore.restore_checkpoint`. Restores
+    are idempotent. Returns the number of journals applied. If
+    ``reschedule`` is given, all restored vertices are added to it — the
+    caller then re-seeds its engine with that set, since recovery
+    "restarts the execution at the previous snapshot".
+    """
+    machines = sorted(list_snapshot_machines(dfs, snapshot_id))
+    if not machines:
+        raise SnapshotError(f"snapshot {snapshot_id} has no journals")
+    kernel = dfs.kernel
+
+    def restore_one(machine_id: int) -> Generator:
+        payload = yield kernel.spawn(
+            dfs.read(machine_id, snapshot_file(snapshot_id, machine_id))
+        )
+        store = stores[machine_id]
+        store.restore_checkpoint(payload)
+        if reschedule is not None:
+            reschedule.update(payload["vdata"].keys())
+
+    yield [
+        kernel.spawn(restore_one(m), name=f"recover@{m}") for m in machines
+    ]
+    return len(machines)
+
+
+def run_recovery(
+    dfs: DistributedFileSystem,
+    snapshot_id: int,
+    stores: Mapping[int, LocalGraphStore],
+) -> Dict[str, object]:
+    """Synchronous wrapper: run recovery to completion on the kernel.
+
+    Returns ``{"machines": count, "seconds": simulated recovery time,
+    "reschedule": vertices to re-seed}``.
+    """
+    kernel = dfs.kernel
+    start = kernel.now
+    reschedule: set = set()
+    count = kernel.run_process(
+        recover_from_snapshot(dfs, snapshot_id, stores, reschedule),
+        name="recovery",
+    )
+    return {
+        "machines": count,
+        "seconds": kernel.now - start,
+        "reschedule": reschedule,
+    }

@@ -1,0 +1,44 @@
+"""Deterministic discrete-event cluster simulator.
+
+Substitutes for the paper's 64-node EC2 testbed: simulated machines
+(cores × clock), a latency/bandwidth network with per-NIC byte
+accounting, and an asynchronous RPC layer — all driven by a single
+deterministic event kernel.
+"""
+
+from repro.sim.cluster import CC1_4XLARGE, M1_LARGE, Cluster, InstanceType
+from repro.sim.kernel import AllOf, Future, Process, SimKernel, Timeout
+from repro.sim.machine import Machine
+from repro.sim.network import MESSAGE_OVERHEAD_BYTES, Network, NicStats
+from repro.sim.primitives import (
+    Barrier,
+    Channel,
+    CountDownLatch,
+    Resource,
+    Semaphore,
+)
+from repro.sim.rpc import ACK_BYTES, RpcNode, connect_all
+
+__all__ = [
+    "ACK_BYTES",
+    "AllOf",
+    "Barrier",
+    "CC1_4XLARGE",
+    "Channel",
+    "Cluster",
+    "CountDownLatch",
+    "Future",
+    "InstanceType",
+    "M1_LARGE",
+    "MESSAGE_OVERHEAD_BYTES",
+    "Machine",
+    "Network",
+    "NicStats",
+    "Process",
+    "Resource",
+    "RpcNode",
+    "Semaphore",
+    "SimKernel",
+    "Timeout",
+    "connect_all",
+]

@@ -1,0 +1,172 @@
+"""Simulated machines: cores, clock speed, stragglers, and failures.
+
+A :class:`Machine` models one cluster node (the paper's EC2
+``cc1.4xlarge``: dual quad-core 2.93 GHz Nehalem, 22 GB): a pool of
+cores (a :class:`~repro.sim.primitives.Resource`) executing *work* whose
+cost is expressed in **cycles** — the same unit the paper reports
+(e.g. a Netflix ``d=20`` update costs 2.1 M cycles, Fig. 6c).
+
+Multi-tenancy and fault effects are injected as *slowdown intervals*:
+during ``[start, end)`` the effective clock is ``factor × clock_hz``.
+``factor = 0`` halts the machine (the 15-second stall of Fig. 4b);
+``factor = 0.5`` models a noisy neighbor. Permanent failures
+(:meth:`kill`) make subsequent work raise
+:class:`~repro.errors.MachineFailureError` and the network drop traffic,
+which is what the snapshot-recovery tests exercise.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Tuple
+
+from repro.errors import MachineFailureError, SimulationError
+from repro.sim.kernel import SimKernel
+from repro.sim.primitives import Resource
+
+
+class Machine:
+    """One simulated cluster node.
+
+    Parameters
+    ----------
+    kernel:
+        The event kernel.
+    machine_id:
+        Dense integer id; machine 0 conventionally doubles as the
+        master/monitor (Sec. 4.4).
+    num_cores:
+        Core count (the paper spawns 8 engine threads per node).
+    clock_hz:
+        Nominal per-core clock in cycles/second.
+    """
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        machine_id: int,
+        num_cores: int = 8,
+        clock_hz: float = 2.93e9,
+    ) -> None:
+        if num_cores < 1:
+            raise SimulationError("machines need at least one core")
+        self.kernel = kernel
+        self.machine_id = machine_id
+        self.num_cores = num_cores
+        self.clock_hz = float(clock_hz)
+        self.cores = Resource(kernel, num_cores)
+        self.busy_seconds = 0.0
+        self.cycles_executed = 0.0
+        self._slowdowns: List[Tuple[float, float, float]] = []
+        self._killed_at: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Fault / straggler injection.
+    # ------------------------------------------------------------------
+    def add_slowdown(self, start: float, end: float, factor: float) -> None:
+        """Scale the clock by ``factor`` during ``[start, end)``.
+
+        ``factor = 0`` halts all cores for the interval. Intervals may
+        not overlap (keeps the integration below simple and the configs
+        readable).
+        """
+        if end <= start:
+            raise SimulationError(f"empty slowdown interval [{start}, {end})")
+        if factor < 0:
+            raise SimulationError(f"negative slowdown factor {factor}")
+        for s, e, _f in self._slowdowns:
+            if start < e and s < end:
+                raise SimulationError(
+                    f"slowdown [{start}, {end}) overlaps existing [{s}, {e})"
+                )
+        self._slowdowns.append((float(start), float(end), float(factor)))
+        self._slowdowns.sort()
+
+    def kill(self) -> None:
+        """Fail the machine permanently (until :meth:`restore`)."""
+        self._killed_at = self.kernel.now
+
+    def restore(self) -> None:
+        """Bring a killed machine back (fresh state is the caller's job)."""
+        self._killed_at = None
+
+    @property
+    def alive(self) -> bool:
+        """Whether the machine is currently operational."""
+        return self._killed_at is None
+
+    # ------------------------------------------------------------------
+    # Work execution.
+    # ------------------------------------------------------------------
+    def speed_factor(self, at: float) -> float:
+        """Clock multiplier in effect at simulated time ``at``."""
+        for start, end, factor in self._slowdowns:
+            if start <= at < end:
+                return factor
+        return 1.0
+
+    def work_duration(self, cycles: float, start: float) -> float:
+        """Seconds needed to execute ``cycles`` starting at time ``start``.
+
+        Integrates the effective clock across slowdown intervals; a
+        ``factor = 0`` interval contributes time but no cycles.
+        """
+        if cycles < 0:
+            raise SimulationError(f"negative work {cycles!r}")
+        remaining = float(cycles)
+        now = float(start)
+        # Walk interval boundaries after `start` in order.
+        boundaries = sorted(
+            {b for s, e, _f in self._slowdowns for b in (s, e) if b > now}
+        )
+        for boundary in boundaries:
+            speed = self.clock_hz * self.speed_factor(now)
+            if speed > 0:
+                doable = (boundary - now) * speed
+                if doable >= remaining:
+                    return now + remaining / speed - start
+                remaining -= doable
+            now = boundary
+        speed = self.clock_hz * self.speed_factor(now)
+        if speed <= 0 or now == float("inf"):
+            raise SimulationError(
+                f"machine {self.machine_id} is halted forever at t={now}"
+            )
+        return now + remaining / speed - start
+
+    def execute(self, cycles: float) -> Generator:
+        """Process: occupy one core for ``cycles`` of work.
+
+        ``yield from machine.execute(c)`` inside an engine process
+        acquires a core (FIFO), burns the computed duration, updates the
+        utilization counters, and releases the core.
+        """
+        if not self.alive:
+            raise MachineFailureError(
+                f"machine {self.machine_id} is down (killed at "
+                f"{self._killed_at})"
+            )
+        yield self.cores.acquire()
+        try:
+            start = self.kernel.now
+            duration = self.work_duration(cycles, start)
+            yield self.kernel.timeout(duration)
+            if not self.alive:
+                raise MachineFailureError(
+                    f"machine {self.machine_id} died mid-execution"
+                )
+            self.busy_seconds += duration
+            self.cycles_executed += cycles
+        finally:
+            self.cores.release()
+
+    def utilization(self, elapsed: float) -> float:
+        """Average core utilization over ``elapsed`` seconds of sim time."""
+        if elapsed <= 0:
+            return 0.0
+        return self.busy_seconds / (elapsed * self.num_cores)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Machine({self.machine_id}, cores={self.num_cores}, "
+            f"{self.clock_hz / 1e9:.2f} GHz)"
+        )

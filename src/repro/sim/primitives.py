@@ -1,0 +1,206 @@
+"""Synchronization primitives for simulated processes.
+
+Everything here is built from :class:`~repro.sim.kernel.Future` and is
+therefore deterministic: waiters are served strictly FIFO.
+
+* :class:`Resource` — counted resource (e.g. a machine's core pool);
+* :class:`Channel` — unbounded FIFO message queue with blocking ``get``;
+* :class:`Barrier` — n-party reusable barrier (color-step boundaries);
+* :class:`Semaphore` — counted permits (pipeline occupancy limits).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Future, SimKernel
+
+
+class Resource:
+    """A pool of ``capacity`` identical units acquired one at a time.
+
+    ``acquire()`` returns a future resolving when a unit is granted;
+    ``release()`` hands the unit to the longest-waiting acquirer.
+    Used for machine cores: holding a unit for ``d`` simulated seconds
+    models ``d`` seconds of single-core compute.
+    """
+
+    def __init__(self, kernel: SimKernel, capacity: int) -> None:
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.kernel = kernel
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Future] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Units currently held."""
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        """Waiters not yet granted a unit."""
+        return len(self._waiters)
+
+    def acquire(self) -> Future:
+        """Request a unit; the future resolves when granted."""
+        future = Future(self.kernel)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            future.resolve()
+        else:
+            self._waiters.append(future)
+        return future
+
+    def release(self) -> None:
+        """Return a unit, waking the next waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError("release() without acquire()")
+        if self._waiters:
+            # Hand the unit directly to the next waiter: in_use unchanged.
+            self._waiters.popleft().resolve()
+        else:
+            self._in_use -= 1
+
+
+class Semaphore:
+    """Counted permits with FIFO blocking ``acquire``.
+
+    The pipelined locking engine uses a semaphore to cap the number of
+    vertices with in-flight lock requests (the *pipeline length*,
+    Sec. 4.2.2).
+    """
+
+    def __init__(self, kernel: SimKernel, permits: int) -> None:
+        if permits < 0:
+            raise SimulationError(f"permits must be >= 0, got {permits}")
+        self.kernel = kernel
+        self._permits = permits
+        self._waiters: Deque[Future] = deque()
+
+    @property
+    def available(self) -> int:
+        """Permits currently grantable."""
+        return self._permits
+
+    def acquire(self) -> Future:
+        """Take one permit (future resolves when available)."""
+        future = Future(self.kernel)
+        if self._permits > 0:
+            self._permits -= 1
+            future.resolve()
+        else:
+            self._waiters.append(future)
+        return future
+
+    def release(self) -> None:
+        """Return one permit, waking the next waiter if any."""
+        if self._waiters:
+            self._waiters.popleft().resolve()
+        else:
+            self._permits += 1
+
+
+class Channel:
+    """Unbounded FIFO queue connecting simulated processes.
+
+    ``put`` never blocks; ``get`` returns a future for the next item.
+    Waiting getters are matched with arriving items strictly FIFO.
+    """
+
+    def __init__(self, kernel: SimKernel) -> None:
+        self.kernel = kernel
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Future] = deque()
+
+    def put(self, item: Any) -> None:
+        """Enqueue ``item`` (delivering to a waiting getter if any)."""
+        if self._getters:
+            self._getters.popleft().resolve(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Future:
+        """Future for the next item."""
+        future = Future(self.kernel)
+        if self._items:
+            future.resolve(self._items.popleft())
+        else:
+            self._getters.append(future)
+        return future
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class Barrier:
+    """Reusable ``parties``-way barrier.
+
+    ``wait()`` returns a future resolving once all parties have arrived;
+    the barrier then resets for the next generation. This is the
+    color-step boundary of the chromatic engine and the superstep
+    boundary of the BSP baselines.
+    """
+
+    def __init__(self, kernel: SimKernel, parties: int) -> None:
+        if parties < 1:
+            raise SimulationError(f"parties must be >= 1, got {parties}")
+        self.kernel = kernel
+        self.parties = parties
+        self._arrived: list = []
+
+    def wait(self) -> Future:
+        """Arrive at the barrier; resolves for everyone on the last arrival."""
+        future = Future(self.kernel)
+        self._arrived.append(future)
+        if len(self._arrived) == self.parties:
+            waiters, self._arrived = self._arrived, []
+            for waiter in waiters:
+                waiter.resolve()
+        return future
+
+    @property
+    def waiting(self) -> int:
+        """Parties currently blocked at the barrier."""
+        return len(self._arrived)
+
+
+class CountDownLatch:
+    """Future that resolves after ``count`` calls to :meth:`count_down`.
+
+    Handy for "wait until all in-flight messages are flushed" barriers in
+    the chromatic engine and the synchronous snapshot.
+    """
+
+    def __init__(self, kernel: SimKernel, count: int) -> None:
+        if count < 0:
+            raise SimulationError(f"count must be >= 0, got {count}")
+        self.kernel = kernel
+        self._count = count
+        self.future = Future(kernel)
+        if count == 0:
+            self.future.resolve()
+
+    def count_down(self, n: int = 1) -> None:
+        """Decrement; resolves the future at zero."""
+        if self.future.done:
+            raise SimulationError("count_down() after latch released")
+        self._count -= n
+        if self._count < 0:
+            raise SimulationError("latch count went negative")
+        if self._count == 0:
+            self.future.resolve()
+
+    def add(self, n: int = 1) -> None:
+        """Increase the outstanding count (before it reaches zero)."""
+        if self.future.done:
+            raise SimulationError("add() after latch released")
+        self._count += n
+
+    @property
+    def count(self) -> int:
+        """Remaining count."""
+        return self._count

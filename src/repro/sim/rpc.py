@@ -1,0 +1,157 @@
+"""Asynchronous RPC over the simulated network (paper Sec. 4.4).
+
+The paper's runtime is symmetric: one GraphLab process per machine, all
+communicating through a custom async RPC protocol over TCP/IP. This
+module reproduces that shape: each machine hosts an :class:`RpcNode`
+with named handlers; peers invoke them with
+
+* :meth:`RpcNode.cast` — one-way, fire-and-forget (scheduling requests,
+  ghost pushes, lock-chain forwarding), or
+* :meth:`RpcNode.call` — request/response returning a future (lock
+  grants, data pulls).
+
+Handlers may be plain callables (run instantly at delivery time) or
+generator functions (spawned as kernel processes, so they can do their
+own waiting — e.g. acquire locks — before replying).
+
+Message sizes are supplied by the caller because only the engine knows
+the modeled wire size of its payloads (Table 2's vertex/edge byte sizes).
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Callable, Dict, Generator, Optional
+
+from repro.errors import RPCError
+from repro.sim.kernel import Future, SimKernel
+from repro.sim.network import Network
+
+#: Wire size of an empty reply / ack.
+ACK_BYTES = 16
+
+
+class RpcNode:
+    """RPC endpoint living on one machine."""
+
+    def __init__(self, network: Network, machine_id: int) -> None:
+        self.network = network
+        self.machine_id = machine_id
+        self.kernel: SimKernel = network.kernel
+        self._handlers: Dict[str, Callable] = {}
+        self._peers: Dict[int, "RpcNode"] = {}
+
+    def register(
+        self, method: str, handler: Callable, replace: bool = False
+    ) -> None:
+        """Expose ``handler`` under ``method``.
+
+        Plain handlers are invoked as ``handler(sender_id, *args)`` and
+        their return value is the reply. Generator-function handlers are
+        spawned as processes; their return value is the reply.
+        ``replace=True`` lets a newly constructed engine take over a
+        retired engine's handler names on the same cluster.
+        """
+        if method in self._handlers and not replace:
+            raise RPCError(f"handler {method!r} registered twice")
+        self._handlers[method] = handler
+
+    def connect(self, peer: "RpcNode") -> None:
+        """Make ``peer`` addressable from this node (and not vice versa)."""
+        self._peers[peer.machine_id] = peer
+
+    # ------------------------------------------------------------------
+    def cast(
+        self, dst: int, method: str, size_bytes: float, *args: Any
+    ) -> None:
+        """One-way message; any handler return value is discarded."""
+        peer = self._peer(dst)
+        self.network.send(
+            self.machine_id,
+            dst,
+            size_bytes,
+            lambda _payload: peer._dispatch(self.machine_id, method, args),
+        )
+
+    def call(
+        self,
+        dst: int,
+        method: str,
+        size_bytes: float,
+        *args: Any,
+        reply_size: float = ACK_BYTES,
+    ) -> Future:
+        """Request/response; resolves with the handler's return value.
+
+        The reply travels back over the network charged at
+        ``reply_size`` bytes.
+        """
+        peer = self._peer(dst)
+        result = Future(self.kernel)
+
+        def on_request(_payload: Any) -> None:
+            outcome = peer._dispatch(self.machine_id, method, args)
+
+            def send_reply(reply: Future) -> None:
+                if reply.exception is not None:
+                    # Deliver the failure over the network too.
+                    self.network.send(
+                        dst,
+                        self.machine_id,
+                        ACK_BYTES,
+                        lambda exc: result.fail(exc),
+                        reply.exception,
+                    )
+                else:
+                    self.network.send(
+                        dst,
+                        self.machine_id,
+                        reply_size,
+                        result.resolve,
+                        reply.value,
+                    )
+
+            outcome.add_callback(send_reply)
+
+        self.network.send(self.machine_id, dst, size_bytes, on_request)
+        return result
+
+    # ------------------------------------------------------------------
+    def _peer(self, dst: int) -> "RpcNode":
+        if dst == self.machine_id:
+            return self
+        try:
+            return self._peers[dst]
+        except KeyError:
+            raise RPCError(
+                f"machine {self.machine_id} has no route to {dst}"
+            ) from None
+
+    def _dispatch(self, sender: int, method: str, args: tuple) -> Future:
+        """Run a handler locally, returning a future for its result."""
+        try:
+            handler = self._handlers[method]
+        except KeyError:
+            future = Future(self.kernel)
+            future.fail(
+                RPCError(f"machine {self.machine_id}: no handler {method!r}")
+            )
+            return future
+        if inspect.isgeneratorfunction(handler):
+            return self.kernel.spawn(
+                handler(sender, *args), name=f"rpc:{method}@{self.machine_id}"
+            )
+        future = Future(self.kernel)
+        try:
+            future.resolve(handler(sender, *args))
+        except BaseException as exc:  # noqa: BLE001 - propagate to caller
+            future.fail(exc)
+        return future
+
+
+def connect_all(nodes: Dict[int, RpcNode]) -> None:
+    """Fully mesh a set of RPC nodes (every pair mutually routable)."""
+    for a in nodes.values():
+        for b in nodes.values():
+            if a is not b:
+                a.connect(b)

@@ -1,0 +1,69 @@
+"""Shared graph builders used across the test suite."""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.core.graph import DataGraph
+
+
+def ring_graph(n: int, vdata: float = 1.0, edata: float = 0.5) -> DataGraph:
+    """Directed ring 0 -> 1 -> ... -> n-1 -> 0."""
+    g = DataGraph()
+    for i in range(n):
+        g.add_vertex(i, data=vdata)
+    for i in range(n):
+        g.add_edge(i, (i + 1) % n, data=edata)
+    return g.finalize()
+
+
+def path_graph(n: int, vdata: float = 0.0) -> DataGraph:
+    """Directed path 0 -> 1 -> ... -> n-1."""
+    g = DataGraph()
+    for i in range(n):
+        g.add_vertex(i, data=vdata)
+    for i in range(n - 1):
+        g.add_edge(i, i + 1, data=None)
+    return g.finalize()
+
+
+def star_graph(n_leaves: int) -> DataGraph:
+    """Hub vertex 0 with edges 0 -> 1..n."""
+    g = DataGraph()
+    g.add_vertex(0, data=0.0)
+    for i in range(1, n_leaves + 1):
+        g.add_vertex(i, data=float(i))
+        g.add_edge(0, i, data=None)
+    return g.finalize()
+
+
+def grid_graph(rows: int, cols: int) -> DataGraph:
+    """4-connected grid with (r, c) tuple vertex ids."""
+    g = DataGraph()
+    for r in range(rows):
+        for c in range(cols):
+            g.add_vertex((r, c), data=0.0)
+    for r in range(rows):
+        for c in range(cols):
+            if r + 1 < rows:
+                g.add_edge((r, c), (r + 1, c), data=None)
+            if c + 1 < cols:
+                g.add_edge((r, c), (r, c + 1), data=None)
+    return g.finalize()
+
+
+def graph_from_edges(
+    edges: Iterable[Tuple[int, int]], default: float = 0.0
+) -> DataGraph:
+    """Graph from an edge list, creating vertices on demand."""
+    g = DataGraph()
+    seen = set()
+    edge_list = list(edges)
+    for u, v in edge_list:
+        for x in (u, v):
+            if x not in seen:
+                seen.add(x)
+                g.add_vertex(x, data=default)
+    for u, v in edge_list:
+        g.add_edge(u, v, data=None)
+    return g.finalize()

@@ -1,0 +1,293 @@
+"""Tests for the comparison systems: Pregel, MapReduce/Hadoop, MPI, DFS,
+and the paper-scale analytic cost models."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    exact_pagerank,
+    initialize_factors,
+    make_als_update,
+    training_rmse,
+)
+from repro.baselines import (
+    MapReduceEngine,
+    MapReduceJob,
+    PregelEngine,
+    coseg_workload,
+    graphlab_mbps_per_machine,
+    graphlab_runtime,
+    hadoop_runtime,
+    mpi_runtime,
+    ner_workload,
+    netflix_workload,
+    pregel_pagerank,
+    run_hadoop_als,
+    run_hadoop_coem,
+    run_mpi_als,
+    run_mpi_coem,
+    speedup_curve,
+)
+from repro.core import SequentialEngine
+from repro.datasets import power_law_web_graph, synthetic_ner, synthetic_netflix
+from repro.distributed import DistributedFileSystem
+from repro.errors import DFSError, EngineError
+from repro.sim import Cluster
+
+from tests.helpers import ring_graph
+
+
+class TestPregel:
+    def test_pagerank_matches_exact(self):
+        g = power_law_web_graph(120, seed=1)
+        truth = exact_pagerank(g)
+        result = pregel_pagerank(g, num_iterations=80)
+        assert result.converged
+        err = sum(abs(result.values[v] - truth[v]) for v in g.vertices())
+        assert err < 1e-3
+
+    def test_halted_vertices_wake_on_message(self):
+        g = ring_graph(3)
+
+        def compute(ctx):
+            if ctx.superstep == 0 and ctx.vertex == 0:
+                ctx.send(1, "ping")
+            if ctx.superstep > 0 and ctx.messages:
+                ctx.value = ctx.messages[0]
+            ctx.vote_to_halt()
+
+        engine = PregelEngine(
+            g, compute, initial_values={v: None for v in g.vertices()}
+        )
+        result = engine.run()
+        assert result.converged
+        assert result.values[1] == "ping"
+
+    def test_combiner_reduces_messages(self):
+        g = ring_graph(4)
+        seen = {}
+
+        def compute(ctx):
+            if ctx.superstep == 0:
+                for t in ctx.out_neighbors:
+                    ctx.send(t, 1.0)
+                    ctx.send(t, 2.0)
+            elif ctx.messages:
+                seen[ctx.vertex] = list(ctx.messages)
+            ctx.vote_to_halt()
+
+        engine = PregelEngine(
+            g,
+            compute,
+            initial_values={v: 0 for v in g.vertices()},
+            combiner=lambda a, b: a + b,
+        )
+        engine.run()
+        assert all(msgs == [3.0] for msgs in seen.values())
+
+    def test_missing_initial_values_rejected(self):
+        g = ring_graph(3)
+        with pytest.raises(EngineError):
+            PregelEngine(g, lambda ctx: None, initial_values={0: 1})
+
+    def test_superstep_limit(self):
+        g = ring_graph(2)
+
+        def chatty(ctx):
+            ctx.send_to_all_neighbors("x")
+
+        engine = PregelEngine(
+            g, chatty, initial_values={v: 0 for v in g.vertices()},
+            max_supersteps=5,
+        )
+        result = engine.run()
+        assert not result.converged
+        assert result.supersteps == 5
+
+
+class TestDFS:
+    def test_write_read_round_trip(self):
+        cluster = Cluster(3)
+        dfs = DistributedFileSystem(cluster, replication=2)
+
+        def flow():
+            yield cluster.kernel.spawn(
+                dfs.write(0, "blob", 1e6, payload={"k": 1})
+            )
+            value = yield cluster.kernel.spawn(dfs.read(2, "blob"))
+            return value
+
+        assert cluster.kernel.run_process(flow()) == {"k": 1}
+        assert dfs.stat("blob").size_bytes == 1e6
+        assert len(dfs.stat("blob").replicas) == 2
+        assert cluster.kernel.now > 0
+
+    def test_replication_capped_by_cluster(self):
+        cluster = Cluster(2)
+        dfs = DistributedFileSystem(cluster, replication=5)
+        assert dfs.replication == 2
+
+    def test_missing_file(self):
+        cluster = Cluster(1)
+        dfs = DistributedFileSystem(cluster)
+        with pytest.raises(DFSError):
+            dfs.stat("nope")
+
+    def test_local_read_cheaper_than_remote(self):
+        cluster = Cluster(2)
+        dfs = DistributedFileSystem(cluster, replication=1)
+
+        def write(machine):
+            yield cluster.kernel.spawn(dfs.write(0, "f", 1e7))
+
+        cluster.kernel.run_process(write(0))
+
+        def read(machine):
+            start = cluster.kernel.now
+            yield cluster.kernel.spawn(dfs.read(machine, "f"))
+            return cluster.kernel.now - start
+
+        local = cluster.kernel.run_process(read(0))
+        remote = cluster.kernel.run_process(read(1))
+        assert remote > local
+
+
+class TestMapReduce:
+    def test_wordcount_semantics(self):
+        cluster = Cluster(3)
+        dfs = DistributedFileSystem(cluster, replication=1)
+        engine = MapReduceEngine(cluster, dfs)
+        job = MapReduceJob(
+            name="wordcount",
+            map_fn=lambda k, text: [(w, 1) for w in text.split()],
+            reduce_fn=lambda word, ones: [(word, sum(ones))],
+            record_size=lambda k, v: 64.0,
+            pair_size=lambda k, v: 16.0,
+        )
+        records = [(0, "a b a"), (1, "b c"), (2, "a")]
+        output, stats = engine.run_job(job, records)
+        assert dict(output) == {"a": 3, "b": 2, "c": 1}
+        assert stats.map_records == 3
+        assert stats.shuffle_pairs == 6
+        assert stats.runtime > 20.0  # job startup dominates small jobs
+
+    def test_hadoop_als_agrees_with_graphlab_als(self):
+        data = synthetic_netflix(num_users=60, num_movies=20, seed=2)
+        d, iterations = 3, 3
+        # Reference: sequential GraphLab static ALS.
+        initialize_factors(data.graph, d, seed=1)
+        static = make_als_update(d=d, dynamic=False)
+        from repro.apps import static_sweep_schedule
+
+        engine = SequentialEngine(data.graph, static)
+        sides = static_sweep_schedule(data.graph, data.side_fn)
+        for _ in range(iterations):
+            for side in sides:
+                engine.run(initial=side)
+        reference_rmse = training_rmse(data.graph)
+
+        cluster = Cluster(2)
+        dfs = DistributedFileSystem(cluster, replication=1)
+        hadoop = run_hadoop_als(
+            cluster, dfs, data.graph, data.side_fn, d, iterations, seed=1
+        )
+        predicted = [
+            (np.dot(hadoop.values[u], hadoop.values[m]) - data.graph.edge_data(u, m)) ** 2
+            for (u, m) in data.graph.edges()
+        ]
+        hadoop_rmse = float(np.sqrt(np.mean(predicted)))
+        assert abs(hadoop_rmse - reference_rmse) < 0.1
+        assert hadoop.jobs == 2 * iterations
+        assert hadoop.runtime > 40.0  # startup-dominated
+
+    def test_hadoop_coem_propagates_types(self):
+        data = synthetic_ner(phrases_per_type=10, num_contexts=30, seed=3)
+        cluster = Cluster(2)
+        dfs = DistributedFileSystem(cluster, replication=1)
+        result = run_hadoop_coem(
+            cluster, dfs, data.graph, data.side_fn, data.seeds,
+            num_types=len(data.types), iterations=4,
+        )
+        labels = {
+            v: int(np.argmax(dist))
+            for v, dist in result.values.items()
+            if v[0] == "np"
+        }
+        correct = sum(
+            1 for v, t in data.truth.items() if labels.get(v) == t
+        )
+        assert correct / len(data.truth) > 0.8
+
+
+class TestMPI:
+    def test_mpi_als_converges(self):
+        data = synthetic_netflix(num_users=60, num_movies=20, seed=4)
+        cluster = Cluster(4)
+        result = run_mpi_als(
+            cluster, data.graph, data.side_fn, d=3, iterations=4, seed=1
+        )
+        sq = [
+            (np.dot(result.values[u], result.values[m]) - data.graph.edge_data(u, m)) ** 2
+            for (u, m) in data.graph.edges()
+        ]
+        assert float(np.sqrt(np.mean(sq))) < 0.3
+        assert result.supersteps == 8
+        assert result.runtime > 0
+        assert sum(result.bytes_sent_per_machine.values()) > 0
+
+    def test_mpi_coem_respects_seeds(self):
+        data = synthetic_ner(phrases_per_type=8, num_contexts=24, seed=5)
+        cluster = Cluster(2)
+        result = run_mpi_coem(
+            cluster, data.graph, data.side_fn, data.seeds,
+            num_types=len(data.types), iterations=3,
+        )
+        for seed_vertex, seed_type in data.seeds.items():
+            assert result.values[seed_vertex][seed_type] == 1.0
+
+
+class TestAnalyticModels:
+    def test_more_machines_faster_everywhere(self):
+        for wl in (netflix_workload(20), coseg_workload()):
+            times = [graphlab_runtime(m, wl) for m in (4, 8, 16, 32, 64)]
+            assert times == sorted(times, reverse=True)
+
+    def test_ner_scaling_plateaus(self):
+        wl = ner_workload()
+        curve = speedup_curve(
+            lambda m: graphlab_runtime(m, wl), [4, 16, 64]
+        )
+        assert curve[64] < 4.5
+        assert curve[16] > 2.5
+
+    def test_hadoop_ratio_bands(self):
+        wl = netflix_workload(20)
+        for m in (4, 16, 64):
+            ratio = hadoop_runtime(m, wl) / graphlab_runtime(m, wl)
+            assert 20.0 <= ratio <= 90.0
+
+    def test_mpi_comparable_on_netflix(self):
+        wl = netflix_workload(20)
+        for m in (4, 16, 64):
+            ratio = graphlab_runtime(m, wl) / mpi_runtime(m, wl)
+            assert 0.6 <= ratio <= 1.6
+
+    def test_mpi_wins_on_ner(self):
+        wl = ner_workload()
+        for m in (16, 64):
+            assert graphlab_runtime(m, wl) / mpi_runtime(m, wl) > 1.2
+
+    def test_ner_saturates_effective_bandwidth(self):
+        wl = ner_workload()
+        assert graphlab_mbps_per_machine(64, wl) > 95.0
+        assert graphlab_mbps_per_machine(64, netflix_workload(20)) < 80.0
+
+    def test_netflix_d_monotone(self):
+        finals = [
+            speedup_curve(
+                lambda m, d=d: graphlab_runtime(m, netflix_workload(d)),
+                [4, 64],
+            )[64]
+            for d in (5, 20, 50, 100)
+        ]
+        assert finals == sorted(finals)

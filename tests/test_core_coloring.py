@@ -1,0 +1,156 @@
+"""Tests for graph coloring (chromatic engine prerequisites, Sec. 4.2.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Consistency,
+    bipartite_coloring,
+    color_classes,
+    coloring_for,
+    constant_coloring,
+    greedy_coloring,
+    num_colors,
+    second_order_coloring,
+    validate_coloring,
+)
+from repro.core.graph import DataGraph
+from repro.errors import ColoringError
+
+from tests.helpers import graph_from_edges, grid_graph, ring_graph, star_graph
+
+
+class TestGreedy:
+    def test_proper_on_ring(self):
+        g = ring_graph(6)
+        colors = greedy_coloring(g)
+        validate_coloring(g, colors, Consistency.EDGE)
+        assert num_colors(colors) <= 3
+
+    def test_odd_ring_needs_three(self):
+        g = ring_graph(5)
+        colors = greedy_coloring(g)
+        validate_coloring(g, colors, Consistency.EDGE)
+        assert num_colors(colors) == 3
+
+    def test_star_two_colors(self):
+        g = star_graph(10)
+        colors = greedy_coloring(g)
+        validate_coloring(g, colors, Consistency.EDGE)
+        assert num_colors(colors) == 2
+
+    def test_natural_order(self):
+        g = grid_graph(3, 3)
+        colors = greedy_coloring(g, order="natural")
+        validate_coloring(g, colors, Consistency.EDGE)
+
+    def test_unknown_order(self):
+        with pytest.raises(ColoringError):
+            greedy_coloring(ring_graph(3), order="bogus")
+
+    def test_empty_graph(self):
+        g = DataGraph().finalize()
+        assert greedy_coloring(g) == {}
+        assert num_colors({}) == 0
+
+    @given(st.integers(min_value=2, max_value=9), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_random_graphs_get_proper_colorings(self, n, data):
+        pairs = data.draw(
+            st.lists(
+                st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+                max_size=30,
+            )
+        )
+        edges = {(u, v) for u, v in pairs if u < v}
+        g = DataGraph(vertices=range(n), edges=sorted(edges)).finalize()
+        colors = greedy_coloring(g)
+        validate_coloring(g, colors, Consistency.EDGE)
+        max_degree = max((g.degree(v) for v in g.vertices()), default=0)
+        assert num_colors(colors) <= max_degree + 1  # greedy bound
+
+
+class TestSecondOrder:
+    def test_distance_two_valid(self):
+        g = grid_graph(4, 4)
+        colors = second_order_coloring(g)
+        validate_coloring(g, colors, Consistency.FULL)
+
+    def test_first_order_coloring_fails_full_validation(self):
+        g = grid_graph(3, 3)
+        first_order = greedy_coloring(g)
+        with pytest.raises(ColoringError):
+            validate_coloring(g, first_order, Consistency.FULL)
+
+
+class TestBipartite:
+    def test_even_ring_is_bipartite(self):
+        g = ring_graph(8)
+        colors = bipartite_coloring(g)
+        validate_coloring(g, colors, Consistency.EDGE)
+        assert num_colors(colors) == 2
+
+    def test_odd_ring_raises(self):
+        with pytest.raises(ColoringError):
+            bipartite_coloring(ring_graph(5))
+
+    def test_side_fn(self):
+        g = graph_from_edges([(0, 10), (1, 10), (0, 11)])
+        colors = bipartite_coloring(g, side_fn=lambda v: 0 if v < 10 else 1)
+        validate_coloring(g, colors, Consistency.EDGE)
+
+    def test_bad_side_fn_value(self):
+        g = graph_from_edges([(0, 1)])
+        with pytest.raises(ColoringError):
+            bipartite_coloring(g, side_fn=lambda v: 7)
+
+    def test_wrong_side_fn_detected(self):
+        g = graph_from_edges([(0, 1)])
+        with pytest.raises(ColoringError):
+            bipartite_coloring(g, side_fn=lambda v: 0)
+
+    def test_disconnected_components(self):
+        g = graph_from_edges([(0, 1), (2, 3)])
+        colors = bipartite_coloring(g)
+        validate_coloring(g, colors, Consistency.EDGE)
+
+
+class TestHelpers:
+    def test_constant_coloring_valid_for_vertex_model(self):
+        g = ring_graph(4)
+        colors = constant_coloring(g)
+        validate_coloring(g, colors, Consistency.VERTEX)
+        with pytest.raises(ColoringError):
+            validate_coloring(g, colors, Consistency.EDGE)
+
+    def test_coloring_for_dispatch(self):
+        g = ring_graph(6)
+        assert num_colors(coloring_for(g, Consistency.VERTEX)) == 1
+        validate_coloring(g, coloring_for(g, Consistency.EDGE), Consistency.EDGE)
+        validate_coloring(g, coloring_for(g, Consistency.FULL), Consistency.FULL)
+
+    def test_coloring_for_validates_user_coloring(self):
+        g = ring_graph(4)
+        good = {0: 0, 1: 1, 2: 0, 3: 1}
+        assert coloring_for(g, Consistency.EDGE, coloring=good) == good
+        bad = {0: 0, 1: 0, 2: 0, 3: 0}
+        with pytest.raises(ColoringError):
+            coloring_for(g, Consistency.EDGE, coloring=bad)
+
+    def test_missing_vertices_detected(self):
+        g = ring_graph(4)
+        with pytest.raises(ColoringError):
+            validate_coloring(g, {0: 0}, Consistency.VERTEX)
+
+    def test_color_classes_partition_vertices(self):
+        g = grid_graph(3, 4)
+        colors = greedy_coloring(g)
+        classes = color_classes(colors)
+        flattened = [v for cls in classes for v in cls]
+        assert sorted(map(str, flattened)) == sorted(map(str, g.vertices()))
+        # classes ordered by color id and no class empty
+        assert all(cls for cls in classes)
+
+    def test_color_classes_empty(self):
+        assert color_classes({}) == []

@@ -1,0 +1,204 @@
+"""Unit tests for consistency models, scopes, and lock plans (Sec. 3.4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Consistency,
+    LockKind,
+    Scope,
+    edge_key,
+    lock_plan,
+    read_set,
+    scope_keys,
+    scopes_conflict,
+    vertex_key,
+    write_set,
+)
+from repro.errors import ConsistencyError, GraphStructureError
+
+from tests.helpers import grid_graph, path_graph, ring_graph, star_graph
+
+
+class TestWriteSets:
+    def test_vertex_model_writes_only_center(self):
+        g = ring_graph(5)
+        assert write_set(g, 0, Consistency.VERTEX) == {vertex_key(0)}
+
+    def test_edge_model_writes_center_and_edges(self):
+        g = ring_graph(5)
+        ws = write_set(g, 0, Consistency.EDGE)
+        assert vertex_key(0) in ws
+        assert edge_key(0, 1) in ws
+        assert edge_key(4, 0) in ws
+        assert vertex_key(1) not in ws
+
+    def test_full_model_writes_whole_scope(self):
+        g = ring_graph(5)
+        assert write_set(g, 0, Consistency.FULL) == scope_keys(g, 0)
+
+    def test_read_set_vertex_model_unprotected(self):
+        g = ring_graph(5)
+        assert read_set(g, 0, Consistency.VERTEX) == {vertex_key(0)}
+
+    def test_read_set_edge_model_covers_scope(self):
+        g = ring_graph(5)
+        assert read_set(g, 0, Consistency.EDGE) == scope_keys(g, 0)
+
+
+class TestScopeEnforcement:
+    def test_center_write_always_legal(self):
+        g = ring_graph(3)
+        for model in Consistency:
+            scope = Scope(g, 0, model=model)
+            scope.data = 7.0
+            assert g.vertex_data(0) == 7.0
+
+    def test_neighbor_write_requires_full(self):
+        g = ring_graph(3)
+        scope = Scope(g, 0, model=Consistency.EDGE)
+        with pytest.raises(ConsistencyError):
+            scope.set_neighbor(1, 0.0)
+        scope_full = Scope(g, 0, model=Consistency.FULL)
+        scope_full.set_neighbor(1, 5.0)
+        assert g.vertex_data(1) == 5.0
+
+    def test_edge_write_requires_edge_or_full(self):
+        g = ring_graph(3)
+        scope = Scope(g, 0, model=Consistency.VERTEX)
+        with pytest.raises(ConsistencyError):
+            scope.set_edge(0, 1, 9.0)
+        Scope(g, 0, model=Consistency.EDGE).set_edge(0, 1, 9.0)
+        assert g.edge_data(0, 1) == 9.0
+
+    def test_neighbor_read_allowed_under_all_models(self):
+        g = ring_graph(3)
+        for model in Consistency:
+            assert Scope(g, 0, model=model).neighbor(1) == 1.0
+
+    def test_out_of_scope_vertex_rejected(self):
+        g = path_graph(4)
+        scope = Scope(g, 0, model=Consistency.FULL)
+        with pytest.raises(ConsistencyError):
+            scope.neighbor(2)
+        with pytest.raises(ConsistencyError):
+            scope.set_neighbor(2, 1.0)
+
+    def test_out_of_scope_edge_rejected(self):
+        g = path_graph(4)
+        scope = Scope(g, 0, model=Consistency.FULL)
+        with pytest.raises(ConsistencyError):
+            scope.edge(1, 2)
+
+    def test_unknown_edge_rejected(self):
+        g = path_graph(4)
+        scope = Scope(g, 1, model=Consistency.EDGE)
+        with pytest.raises(GraphStructureError):
+            scope.edge(1, 0)  # only 0 -> 1 exists
+
+    def test_schedule_unknown_vertex_rejected(self):
+        g = ring_graph(3)
+        scope = Scope(g, 0)
+        with pytest.raises(GraphStructureError):
+            scope.schedule(99)
+
+    def test_scope_records_accesses(self):
+        g = ring_graph(3)
+        scope = Scope(g, 0, model=Consistency.EDGE, record=True)
+        _ = scope.data
+        _ = scope.neighbor(1)
+        scope.set_edge(0, 1, 2.0)
+        assert vertex_key(0) in scope.reads
+        assert vertex_key(1) in scope.reads
+        assert edge_key(0, 1) in scope.writes
+
+    def test_scope_structure_queries(self):
+        g = star_graph(3)
+        scope = Scope(g, 0)
+        assert set(scope.neighbors) == {1, 2, 3}
+        assert scope.degree == 3
+        assert set(scope.out_neighbors) == {1, 2, 3}
+        assert scope.in_neighbors == ()
+        assert set(scope.adjacent_edges()) == {(0, 1), (0, 2), (0, 3)}
+
+    def test_schedule_collects_requests(self):
+        g = ring_graph(3)
+        scope = Scope(g, 0)
+        scope.schedule(1, priority=2.0)
+        scope.schedule_neighbors()
+        drained = scope.drain_scheduled()
+        assert (1, 2.0) in drained
+        assert len(drained) == 1 + g.degree(0)
+        assert scope.drain_scheduled() == []
+
+
+class TestLockPlans:
+    def test_vertex_plan(self):
+        g = ring_graph(5)
+        assert lock_plan(g, 2, Consistency.VERTEX) == [(2, LockKind.WRITE)]
+
+    def test_edge_plan_sorted_with_read_neighbors(self):
+        g = ring_graph(5)
+        plan = lock_plan(g, 2, Consistency.EDGE)
+        assert plan == [
+            (1, LockKind.READ),
+            (2, LockKind.WRITE),
+            (3, LockKind.READ),
+        ]
+
+    def test_full_plan_write_locks_neighbors(self):
+        g = ring_graph(5)
+        plan = lock_plan(g, 2, Consistency.FULL)
+        assert all(kind is LockKind.WRITE for _v, kind in plan)
+        assert [v for v, _k in plan] == [1, 2, 3]
+
+    def test_custom_order_key(self):
+        g = ring_graph(5)
+        plan = lock_plan(
+            g, 2, Consistency.EDGE, order_key=lambda v: -v
+        )
+        assert [v for v, _k in plan] == [3, 2, 1]
+
+
+class TestConflicts:
+    def test_same_vertex_always_conflicts(self):
+        g = ring_graph(5)
+        for model in Consistency:
+            assert scopes_conflict(g, 0, 0, model)
+
+    def test_vertex_model_nonadjacent_no_conflict(self):
+        g = ring_graph(5)
+        assert not scopes_conflict(g, 0, 1, Consistency.VERTEX)
+
+    def test_edge_model_adjacent_conflict(self):
+        g = ring_graph(5)
+        assert scopes_conflict(g, 0, 1, Consistency.EDGE)
+        assert not scopes_conflict(g, 0, 2, Consistency.EDGE)
+
+    def test_full_model_distance_two_conflict(self):
+        g = ring_graph(6)
+        assert scopes_conflict(g, 0, 2, Consistency.FULL)
+        assert not scopes_conflict(g, 0, 3, Consistency.FULL)
+
+    @given(st.integers(min_value=0, max_value=15), st.integers(min_value=0, max_value=15))
+    @settings(max_examples=50, deadline=None)
+    def test_conflict_symmetry(self, a, b):
+        g = grid_graph(4, 4)
+        va, vb = (a // 4, a % 4), (b // 4, b % 4)
+        for model in Consistency:
+            assert scopes_conflict(g, va, vb, model) == scopes_conflict(
+                g, vb, va, model
+            )
+
+    def test_consistency_strength_is_monotone(self):
+        """Stronger models conflict at least as often (Fig. 2c)."""
+        g = grid_graph(4, 4)
+        vs = list(g.vertices())
+        for a in vs:
+            for b in vs:
+                vtx = scopes_conflict(g, a, b, Consistency.VERTEX)
+                edge = scopes_conflict(g, a, b, Consistency.EDGE)
+                full = scopes_conflict(g, a, b, Consistency.FULL)
+                assert (not vtx) or edge
+                assert (not edge) or full

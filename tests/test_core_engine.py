@@ -1,0 +1,207 @@
+"""Tests for the in-process reference engines (Alg. 2 semantics)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Consistency,
+    SequentialEngine,
+    ThreadedEngine,
+    run_to_convergence,
+    sum_sync,
+)
+from repro.errors import EngineError, GraphNotFinalizedError
+from repro.core.graph import DataGraph
+
+from tests.helpers import grid_graph, path_graph, ring_graph
+
+
+def increment(scope):
+    """Touch-once update: bump own data, schedule nothing."""
+    scope.data = scope.data + 1.0
+
+
+def propagate_max(scope):
+    """Flood-max: adopt the max of neighbors; reschedule on change."""
+    best = scope.data
+    for u in scope.neighbors:
+        best = max(best, scope.neighbor(u))
+    if best != scope.data:
+        scope.data = best
+        return scope.neighbors
+    return None
+
+
+class TestSequentialEngine:
+    def test_requires_finalized_graph(self):
+        g = DataGraph(vertices=[0])
+        with pytest.raises(GraphNotFinalizedError):
+            SequentialEngine(g, increment)
+
+    def test_executes_each_seed_once(self):
+        g = ring_graph(5)
+        result = SequentialEngine(g, increment).run(initial=g.vertices())
+        assert result.num_updates == 5
+        assert result.converged
+        assert all(g.vertex_data(v) == 2.0 for v in g.vertices())
+
+    def test_dynamic_scheduling_floods(self):
+        g = path_graph(10)
+        g.set_vertex_data(0, 9.0)
+        result = run_to_convergence(g, propagate_max, initial=g.vertices())
+        assert result.converged
+        assert all(g.vertex_data(v) == 9.0 for v in g.vertices())
+        # Dynamic scheduling did real work: more updates than vertices.
+        assert result.num_updates > g.num_vertices
+
+    def test_max_updates_caps_execution(self):
+        g = ring_graph(3)
+
+        def always_reschedule(scope):
+            scope.data = scope.data + 1
+            return [scope.vertex]
+
+        result = SequentialEngine(g, always_reschedule, max_updates=7).run(
+            initial=[0]
+        )
+        assert result.num_updates == 7
+        assert not result.converged
+
+    def test_updates_per_vertex_histogram(self):
+        g = path_graph(3)
+        g.set_vertex_data(0, 5.0)
+        result = run_to_convergence(g, propagate_max, initial=list(g.vertices()))
+        assert sum(result.updates_per_vertex.values()) == result.num_updates
+        assert result.updates_per_vertex[0] >= 1
+
+    def test_trace_recorded_and_serializable(self):
+        g = ring_graph(4)
+        result = SequentialEngine(g, increment, trace=True).run(
+            initial=g.vertices()
+        )
+        assert result.trace is not None
+        assert len(result.trace) == 4
+        assert result.trace.is_serializable()
+
+    def test_priority_scheduler_order(self):
+        g = ring_graph(4)
+        seen = []
+
+        def observe(scope):
+            seen.append(scope.vertex)
+
+        engine = SequentialEngine(g, observe, scheduler="priority")
+        engine.run(initial=[(0, 1.0), (1, 9.0), (2, 5.0)])
+        assert seen == [1, 2, 0]
+
+    def test_sweep_scheduler_gauss_seidel(self):
+        g = path_graph(4)
+        seen = []
+
+        def observe(scope):
+            seen.append(scope.vertex)
+
+        engine = SequentialEngine(g, observe, scheduler="sweep")
+        engine.run(initial=[2, 0, 3, 1])
+        assert seen == [0, 1, 2, 3]
+
+    def test_syncs_published_before_and_after(self):
+        g = ring_graph(4, vdata=1.0)
+        total = sum_sync("total", map_fn=lambda s: s.data)
+        engine = SequentialEngine(g, increment, syncs=[total])
+        result = engine.run(initial=g.vertices())
+        assert result.globals["total"] == 8.0  # after all increments
+
+    def test_sync_interval_updates(self):
+        g = ring_graph(4, vdata=0.0)
+        observed = []
+        total = sum_sync("total", map_fn=lambda s: s.data, interval_updates=2)
+
+        def fn(scope):
+            observed.append(scope.globals.get("total"))
+            scope.data = scope.data + 1.0
+
+        SequentialEngine(g, fn, syncs=[total]).run(initial=g.vertices())
+        # Sync ran at 0 (initial), after update 2 -> visible to updates 3,4.
+        assert observed[0] == 0.0
+        assert observed[2] == 2.0
+
+    def test_initial_globals_visible(self):
+        g = ring_graph(2)
+        seen = {}
+
+        def fn(scope):
+            seen[scope.vertex] = scope.globals["alpha"]
+
+        SequentialEngine(g, fn, initial_globals={"alpha": 0.15}).run(
+            initial=[0, 1]
+        )
+        assert seen == {0: 0.15, 1: 0.15}
+
+
+class TestThreadedEngine:
+    def test_rejects_bad_worker_count(self):
+        g = ring_graph(3)
+        with pytest.raises(EngineError):
+            ThreadedEngine(g, increment, num_workers=0)
+
+    def test_completes_all_updates(self):
+        g = grid_graph(6, 6)
+        engine = ThreadedEngine(g, increment, num_workers=4)
+        result = engine.run(initial=g.vertices())
+        assert result.num_updates == 36
+        assert all(g.vertex_data(v) == 1.0 for v in g.vertices())
+
+    def test_edge_consistency_trace_is_serializable(self):
+        g = grid_graph(5, 5)
+
+        def bump_with_neighbor_reads(scope):
+            total = sum(scope.neighbor(u) for u in scope.neighbors)
+            scope.data = scope.data + 1.0 + 0.0 * total
+
+        engine = ThreadedEngine(
+            g,
+            bump_with_neighbor_reads,
+            num_workers=4,
+            consistency=Consistency.EDGE,
+            trace=True,
+        )
+        result = engine.run(initial=g.vertices())
+        assert result.num_updates == 25
+        result.trace.check()
+
+    def test_dynamic_flood_terminates(self):
+        g = grid_graph(4, 4)
+        g.set_vertex_data((0, 0), 3.0)
+        engine = ThreadedEngine(g, propagate_max, num_workers=3)
+        result = engine.run(initial=list(g.vertices()))
+        assert result.converged
+        assert all(g.vertex_data(v) == 3.0 for v in g.vertices())
+
+    def test_max_updates_respected(self):
+        g = ring_graph(4)
+
+        def reschedule(scope):
+            return [scope.vertex]
+
+        engine = ThreadedEngine(g, reschedule, num_workers=2, max_updates=10)
+        result = engine.run(initial=[0, 1])
+        assert not result.converged
+        assert result.num_updates <= 10 + 2  # may overshoot by in-flight
+
+
+class TestEngineEquivalence:
+    """Sequential and threaded engines agree for commuting updates."""
+
+    @given(st.integers(min_value=2, max_value=6), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=15, deadline=None)
+    def test_increment_everywhere_matches(self, rows, workers):
+        g1 = grid_graph(rows, 3)
+        g2 = g1.copy()
+        SequentialEngine(g1, increment).run(initial=g1.vertices())
+        ThreadedEngine(g2, increment, num_workers=workers).run(
+            initial=g2.vertices()
+        )
+        for v in g1.vertices():
+            assert g1.vertex_data(v) == g2.vertex_data(v)

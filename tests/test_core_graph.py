@@ -1,0 +1,195 @@
+"""Unit tests for repro.core.graph (the data graph, Sec. 3.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.graph import DataGraph
+from repro.errors import GraphNotFinalizedError, GraphStructureError
+
+from tests.helpers import ring_graph
+
+
+class TestConstruction:
+    def test_add_vertex_and_data(self):
+        g = DataGraph()
+        g.add_vertex("a", data=3)
+        assert g.has_vertex("a")
+        assert g.vertex_data("a") == 3
+        assert g.num_vertices == 1
+
+    def test_add_edge_and_data(self):
+        g = DataGraph()
+        g.add_vertex(0)
+        g.add_vertex(1)
+        g.add_edge(0, 1, data="w")
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+        assert g.edge_data(0, 1) == "w"
+
+    def test_constructor_bulk(self):
+        g = DataGraph(vertices=[(0, "x"), (1, "y"), 2], edges=[(0, 1, 5), (1, 2)])
+        assert g.vertex_data(0) == "x"
+        assert g.vertex_data(2) is None
+        assert g.edge_data(0, 1) == 5
+        assert g.edge_data(1, 2) is None
+
+    def test_duplicate_vertex_rejected(self):
+        g = DataGraph()
+        g.add_vertex(0)
+        with pytest.raises(GraphStructureError):
+            g.add_vertex(0)
+
+    def test_duplicate_edge_rejected(self):
+        g = DataGraph(vertices=[0, 1], edges=[(0, 1)])
+        with pytest.raises(GraphStructureError):
+            g.add_edge(0, 1)
+
+    def test_self_loop_rejected(self):
+        g = DataGraph(vertices=[0])
+        with pytest.raises(GraphStructureError):
+            g.add_edge(0, 0)
+
+    def test_edge_to_missing_vertex_rejected(self):
+        g = DataGraph(vertices=[0])
+        with pytest.raises(GraphStructureError):
+            g.add_edge(0, 1)
+        with pytest.raises(GraphStructureError):
+            g.add_edge(9, 0)
+
+    def test_reverse_edge_is_distinct(self):
+        g = DataGraph(vertices=[0, 1], edges=[(0, 1, "fwd"), (1, 0, "bwd")])
+        assert g.edge_data(0, 1) == "fwd"
+        assert g.edge_data(1, 0) == "bwd"
+        assert g.num_edges == 2
+
+
+class TestFinalization:
+    def test_structure_frozen_after_finalize(self):
+        g = DataGraph(vertices=[0, 1], edges=[(0, 1)])
+        g.finalize()
+        with pytest.raises(GraphStructureError):
+            g.add_vertex(2)
+        with pytest.raises(GraphStructureError):
+            g.add_edge(1, 0)
+
+    def test_finalize_idempotent(self):
+        g = DataGraph(vertices=[0])
+        assert g.finalize() is g
+        assert g.finalize() is g
+
+    def test_data_mutable_after_finalize(self):
+        g = ring_graph(3)
+        g.set_vertex_data(0, 42.0)
+        g.set_edge_data(0, 1, -1.0)
+        assert g.vertex_data(0) == 42.0
+        assert g.edge_data(0, 1) == -1.0
+
+    def test_require_finalized(self):
+        g = DataGraph(vertices=[0])
+        with pytest.raises(GraphNotFinalizedError):
+            g.require_finalized()
+        g.finalize()
+        g.require_finalized()
+
+
+class TestNeighborhoods:
+    def test_directed_neighbors(self):
+        g = DataGraph(vertices=[0, 1, 2], edges=[(0, 1), (2, 0)]).finalize()
+        assert g.out_neighbors(0) == (1,)
+        assert g.in_neighbors(0) == (2,)
+        assert set(g.neighbors(0)) == {1, 2}
+
+    def test_neighbors_dedupe_bidirectional_edges(self):
+        g = DataGraph(vertices=[0, 1], edges=[(0, 1), (1, 0)]).finalize()
+        assert g.neighbors(0) == (1,)
+        assert g.degree(0) == 1
+        assert g.in_degree(0) == 1 and g.out_degree(0) == 1
+
+    def test_adjacent_edges_both_directions(self):
+        g = DataGraph(
+            vertices=[0, 1, 2], edges=[(0, 1), (1, 2), (2, 1)]
+        ).finalize()
+        assert set(g.adjacent_edges(1)) == {(0, 1), (1, 2), (2, 1)}
+
+    def test_neighbors_before_finalize(self):
+        g = DataGraph(vertices=[0, 1], edges=[(0, 1)])
+        assert g.neighbors(0) == (1,)
+
+    def test_unknown_vertex_data_raises(self):
+        g = ring_graph(3)
+        with pytest.raises(GraphStructureError):
+            g.vertex_data(99)
+        with pytest.raises(GraphStructureError):
+            g.set_vertex_data(99, 0)
+        with pytest.raises(GraphStructureError):
+            g.edge_data(0, 2)
+
+
+class TestCopy:
+    def test_copy_is_independent(self):
+        g = ring_graph(4)
+        h = g.copy()
+        h.set_vertex_data(0, 99.0)
+        assert g.vertex_data(0) == 1.0
+        assert h.vertex_data(0) == 99.0
+        assert h.finalized
+
+    def test_copy_preserves_structure(self):
+        g = ring_graph(5)
+        h = g.copy()
+        assert h.num_vertices == 5
+        assert h.num_edges == 5
+        assert h.neighbors(0) == g.neighbors(0)
+
+
+@st.composite
+def random_edge_lists(draw):
+    n = draw(st.integers(min_value=2, max_value=20))
+    pairs = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=60,
+        )
+    )
+    edges = []
+    seen = set()
+    for u, v in pairs:
+        if u != v and (u, v) not in seen:
+            seen.add((u, v))
+            edges.append((u, v))
+    return n, edges
+
+
+class TestProperties:
+    @given(random_edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_degree_sums_match_edge_count(self, case):
+        n, edges = case
+        g = DataGraph(vertices=range(n), edges=edges).finalize()
+        assert sum(g.out_degree(v) for v in g.vertices()) == len(edges)
+        assert sum(g.in_degree(v) for v in g.vertices()) == len(edges)
+
+    @given(random_edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_neighbor_symmetry(self, case):
+        n, edges = case
+        g = DataGraph(vertices=range(n), edges=edges).finalize()
+        for v in g.vertices():
+            for u in g.neighbors(v):
+                assert v in g.neighbors(u)
+
+    @given(random_edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_adjacent_edges_consistent_with_neighbors(self, case):
+        n, edges = case
+        g = DataGraph(vertices=range(n), edges=edges).finalize()
+        for v in g.vertices():
+            endpoints = set()
+            for (a, b) in g.adjacent_edges(v):
+                assert v in (a, b)
+                endpoints.add(b if a == v else a)
+            assert endpoints == set(g.neighbors(v))

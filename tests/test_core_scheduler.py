@@ -1,0 +1,190 @@
+"""Unit + property tests for the schedulers (Sec. 3.3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scheduler import (
+    FIFOScheduler,
+    PriorityScheduler,
+    SweepScheduler,
+    make_scheduler,
+)
+from repro.errors import SchedulerError
+
+
+class TestFIFO:
+    def test_fifo_order(self):
+        s = FIFOScheduler()
+        s.add(3)
+        s.add(1)
+        s.add(2)
+        assert [s.pop()[0] for _ in range(3)] == [3, 1, 2]
+
+    def test_duplicates_ignored(self):
+        s = FIFOScheduler()
+        s.add(1)
+        s.add(1)
+        assert len(s) == 1
+        s.pop()
+        assert len(s) == 0
+
+    def test_readd_after_pop_allowed(self):
+        s = FIFOScheduler()
+        s.add(1)
+        s.pop()
+        s.add(1)
+        assert 1 in s
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SchedulerError):
+            FIFOScheduler().pop()
+
+    def test_contains_and_bool(self):
+        s = FIFOScheduler()
+        assert not s
+        s.add("x")
+        assert s and "x" in s and "y" not in s
+
+    def test_add_all_mixed_forms(self):
+        s = FIFOScheduler()
+        s.add_all([1, (2, 5.0), 3])
+        assert [s.pop()[0] for _ in range(3)] == [1, 2, 3]
+
+
+class TestPriority:
+    def test_max_priority_first(self):
+        s = PriorityScheduler()
+        s.add("low", 1.0)
+        s.add("high", 10.0)
+        s.add("mid", 5.0)
+        assert s.pop() == ("high", 10.0)
+        assert s.pop() == ("mid", 5.0)
+        assert s.pop() == ("low", 1.0)
+
+    def test_priority_merge_takes_max(self):
+        s = PriorityScheduler()
+        s.add("a", 1.0)
+        s.add("b", 5.0)
+        s.add("a", 10.0)  # boost
+        assert s.pop() == ("a", 10.0)
+        assert len(s) == 1
+
+    def test_lower_readd_is_ignored(self):
+        s = PriorityScheduler()
+        s.add("a", 10.0)
+        s.add("a", 1.0)
+        assert s.pop() == ("a", 10.0)
+        assert len(s) == 0
+
+    def test_fifo_tiebreak(self):
+        s = PriorityScheduler()
+        s.add("first", 1.0)
+        s.add("second", 1.0)
+        assert s.pop()[0] == "first"
+
+    def test_peek_priority(self):
+        s = PriorityScheduler()
+        s.add("a", 1.0)
+        s.add("b", 3.0)
+        assert s.peek_priority() == 3.0
+        assert s.pop()[0] == "b"
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(SchedulerError):
+            PriorityScheduler().peek_priority()
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SchedulerError):
+            PriorityScheduler().pop()
+
+    @given(st.lists(st.tuples(st.integers(0, 20), st.floats(0, 100)), max_size=80))
+    @settings(max_examples=60, deadline=None)
+    def test_pops_are_nonincreasing(self, items):
+        s = PriorityScheduler()
+        for v, p in items:
+            s.add(v, p)
+        last = float("inf")
+        popped = set()
+        while s:
+            v, p = s.pop()
+            assert p <= last
+            assert v not in popped
+            popped.add(v)
+            last = p
+        assert popped == {v for v, _p in items}
+
+
+class TestSweep:
+    def test_sweep_visits_in_order(self):
+        s = SweepScheduler(order=[0, 1, 2, 3])
+        s.add(2)
+        s.add(0)
+        assert s.pop()[0] == 0
+        assert s.pop()[0] == 2
+
+    def test_sweep_wraps_around(self):
+        s = SweepScheduler(order=[0, 1, 2])
+        s.add(2)
+        assert s.pop()[0] == 2  # cursor now past 2
+        s.add(0)
+        s.add(1)
+        assert s.pop()[0] == 0
+        assert s.pop()[0] == 1
+
+    def test_unknown_vertex_rejected(self):
+        s = SweepScheduler(order=[0, 1])
+        with pytest.raises(SchedulerError):
+            s.add(7)
+
+    def test_duplicate_order_rejected(self):
+        with pytest.raises(SchedulerError):
+            SweepScheduler(order=[0, 0, 1])
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SchedulerError):
+            SweepScheduler(order=[0]).pop()
+
+    def test_readding_same_vertex_is_single_entry(self):
+        s = SweepScheduler(order=[0, 1])
+        s.add(1)
+        s.add(1)
+        assert len(s) == 1
+
+
+class TestFactory:
+    def test_make_fifo(self):
+        assert isinstance(make_scheduler("fifo"), FIFOScheduler)
+
+    def test_make_priority(self):
+        assert isinstance(make_scheduler("priority"), PriorityScheduler)
+
+    def test_make_sweep_needs_order(self):
+        with pytest.raises(SchedulerError):
+            make_scheduler("sweep")
+        assert isinstance(make_scheduler("sweep", order=[1, 2]), SweepScheduler)
+
+    def test_unknown_name(self):
+        with pytest.raises(SchedulerError):
+            make_scheduler("banana")
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["add", "pop"]), st.integers(0, 10)),
+        max_size=100,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_fifo_never_holds_duplicates(ops):
+    """Invariant: the scheduler is a *set* (Alg. 2 ignores duplicates)."""
+    s = FIFOScheduler()
+    for op, v in ops:
+        if op == "add":
+            s.add(v)
+        elif s:
+            s.pop()
+    drained = []
+    while s:
+        drained.append(s.pop()[0])
+    assert len(drained) == len(set(drained))

@@ -1,0 +1,142 @@
+"""Tests for sync operations, global values, and update normalization."""
+
+import pytest
+
+from repro.core import (
+    Consistency,
+    GlobalValues,
+    Scope,
+    SyncOperation,
+    normalize_schedule,
+    run_update,
+    sum_sync,
+)
+
+from tests.helpers import ring_graph
+
+
+class TestNormalizeSchedule:
+    def test_none_is_empty(self):
+        assert normalize_schedule(None) == []
+
+    def test_bare_ids_get_zero_priority(self):
+        assert normalize_schedule([3, "a"]) == [(3, 0.0), ("a", 0.0)]
+
+    def test_pairs_pass_through(self):
+        assert normalize_schedule([(1, 2.5)]) == [(1, 2.5)]
+
+    def test_int_priority_coerced(self):
+        assert normalize_schedule([(1, 2)]) == [(1, 2.0)]
+
+    def test_bool_second_element_is_not_priority(self):
+        # (vertex, True) is a vertex id that happens to be a tuple.
+        assert normalize_schedule([((1, True), 3.0)]) == [((1, True), 3.0)]
+
+    def test_generator_input(self):
+        assert normalize_schedule(v for v in [1, 2]) == [(1, 0.0), (2, 0.0)]
+
+
+class TestRunUpdate:
+    def test_merges_return_and_scope_schedule(self):
+        g = ring_graph(4)
+        scope = Scope(g, 0)
+
+        def fn(s):
+            s.schedule(1, priority=1.0)
+            return [(2, 3.0)]
+
+        result = run_update(fn, scope)
+        assert (1, 1.0) in result.scheduled
+        assert (2, 3.0) in result.scheduled
+        assert result.vertex == 0
+
+    def test_captures_access_sets_when_recording(self):
+        g = ring_graph(4)
+        scope = Scope(g, 0, record=True)
+
+        def fn(s):
+            s.data = s.neighbor(1) + 1.0
+
+        result = run_update(fn, scope)
+        assert ("v", 0) in result.writes
+        assert ("v", 1) in result.reads
+
+
+class TestSyncOperation:
+    def test_sum_sync_computes_total(self):
+        g = ring_graph(5, vdata=2.0)
+        sync = sum_sync("total", map_fn=lambda s: s.data)
+        assert sync.compute(g) == 10.0
+
+    def test_finalize_applied(self):
+        g = ring_graph(4, vdata=1.0)
+        sync = sum_sync("mean", map_fn=lambda s: s.data, finalize_fn=lambda x: x / 4)
+        assert sync.compute(g) == 1.0
+
+    def test_vertex_subset(self):
+        g = ring_graph(5, vdata=3.0)
+        sync = sum_sync("partial", map_fn=lambda s: s.data)
+        assert sync.compute(g, vertices=[0, 1]) == 6.0
+
+    def test_partial_plus_combine_equals_full(self):
+        """Per-machine partials combine to the global value (Eq. 2)."""
+        g = ring_graph(6, vdata=1.5)
+        sync = sum_sync("t", map_fn=lambda s: s.data)
+        parts = [
+            sync.partial(g, [0, 1]),
+            sync.partial(g, [2, 3]),
+            sync.partial(g, [4, 5]),
+        ]
+        assert sync.combine_partials(parts) == pytest.approx(sync.compute(g))
+
+    def test_non_numeric_combiner(self):
+        g = ring_graph(3, vdata=1.0)
+        sync = SyncOperation(
+            key="ids",
+            map_fn=lambda s: {s.vertex},
+            combine_fn=lambda a, b: a | b,
+            zero=frozenset(),
+            finalize_fn=lambda s: tuple(sorted(s)),
+        )
+        assert sync.compute(g) == (0, 1, 2)
+
+    def test_map_reads_through_scope_model(self):
+        g = ring_graph(3, vdata=1.0, edata=2.0)
+        sync = sum_sync("edges", map_fn=lambda s: s.edge(s.vertex, s.out_neighbors[0]))
+        assert sync.compute(g) == 6.0
+
+
+class TestGlobalValues:
+    def test_publish_and_read(self):
+        gv = GlobalValues({"alpha": 0.85})
+        assert gv["alpha"] == 0.85
+        gv.publish("err", 1.0)
+        assert gv["err"] == 1.0
+        assert gv.get("missing", 7) == 7
+        assert "err" in gv
+
+    def test_versions_bump(self):
+        gv = GlobalValues()
+        assert gv.version("x") == 0
+        gv.publish("x", 1)
+        gv.publish("x", 2)
+        assert gv.version("x") == 2
+
+    def test_view_is_read_only_and_live(self):
+        gv = GlobalValues()
+        view = gv.view()
+        gv.publish("k", 1)
+        assert view["k"] == 1
+        assert len(view) == 1
+        assert list(view) == ["k"]
+        with pytest.raises(AttributeError):
+            view.publish  # noqa: B018 - attribute must not exist
+
+    def test_snapshot_and_restore(self):
+        gv = GlobalValues({"a": 1})
+        snap = gv.snapshot()
+        gv.publish("a", 2)
+        gv.restore(snap)
+        assert gv["a"] == 1
+        snap["a"] = 99  # snapshot is a copy
+        assert gv["a"] == 1

@@ -1,0 +1,143 @@
+"""Tests for execution tracing and the serializability checker."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Trace, edge_key, vertex_key
+from repro.errors import SerializabilityViolation
+
+
+def _rec(trace, vertex, start, end, reads=(), writes=()):
+    return trace.record(
+        vertex, start, end, frozenset(reads), frozenset(writes)
+    )
+
+
+class TestConflictPredicate:
+    def test_write_write_conflict(self):
+        t = Trace()
+        a = _rec(t, 0, 0, 1, writes=[vertex_key(0)])
+        b = _rec(t, 1, 2, 3, writes=[vertex_key(0)])
+        assert a.conflicts_with(b)
+
+    def test_read_write_conflict(self):
+        t = Trace()
+        a = _rec(t, 0, 0, 1, reads=[vertex_key(5)])
+        b = _rec(t, 1, 2, 3, writes=[vertex_key(5)])
+        assert a.conflicts_with(b)
+        assert b.conflicts_with(a)
+
+    def test_read_read_no_conflict(self):
+        t = Trace()
+        a = _rec(t, 0, 0, 1, reads=[vertex_key(5)])
+        b = _rec(t, 1, 0, 1, reads=[vertex_key(5)])
+        assert not a.conflicts_with(b)
+
+    def test_disjoint_keys_no_conflict(self):
+        t = Trace()
+        a = _rec(t, 0, 0, 1, writes=[vertex_key(0)])
+        b = _rec(t, 1, 0, 1, writes=[edge_key(1, 2)])
+        assert not a.conflicts_with(b)
+
+
+class TestOverlap:
+    def test_touching_endpoints_do_not_overlap(self):
+        t = Trace()
+        a = _rec(t, 0, 0, 1)
+        b = _rec(t, 1, 1, 2)
+        assert not a.overlaps(b)
+
+    def test_nested_interval_overlaps(self):
+        t = Trace()
+        a = _rec(t, 0, 0, 10)
+        b = _rec(t, 1, 3, 4)
+        assert a.overlaps(b) and b.overlaps(a)
+
+
+class TestSerializability:
+    def test_serial_trace_is_serializable(self):
+        t = Trace()
+        for i in range(5):
+            _rec(t, i, i, i + 1, writes=[vertex_key(0)])
+        assert t.is_serializable()
+        t.check()
+
+    def test_concurrent_nonconflicting_is_serializable(self):
+        t = Trace()
+        _rec(t, 0, 0, 5, writes=[vertex_key(0)])
+        _rec(t, 1, 0, 5, writes=[vertex_key(1)])
+        assert t.is_serializable()
+
+    def test_concurrent_conflicting_is_violation(self):
+        t = Trace()
+        _rec(t, 0, 0, 5, writes=[vertex_key(0)])
+        _rec(t, 1, 2, 7, reads=[vertex_key(0)])
+        assert not t.is_serializable()
+        with pytest.raises(SerializabilityViolation):
+            t.check()
+        assert len(t.violations()) == 1
+
+    def test_equivalent_serial_order_sorted_by_end(self):
+        t = Trace()
+        _rec(t, "b", 2, 4, writes=[vertex_key(1)])
+        _rec(t, "a", 0, 1, writes=[vertex_key(1)])
+        order = [e.vertex for e in t.equivalent_serial_order()]
+        assert order == ["a", "b"]
+
+    def test_equivalent_serial_order_raises_on_violation(self):
+        t = Trace()
+        _rec(t, 0, 0, 5, writes=[vertex_key(0)])
+        _rec(t, 1, 1, 2, writes=[vertex_key(0)])
+        with pytest.raises(SerializabilityViolation):
+            t.equivalent_serial_order()
+
+    def test_updates_per_vertex(self):
+        t = Trace()
+        _rec(t, "x", 0, 1)
+        _rec(t, "x", 1, 2)
+        _rec(t, "y", 2, 3)
+        assert t.updates_per_vertex() == {"x": 2, "y": 1}
+
+    def test_len_and_executions(self):
+        t = Trace()
+        _rec(t, 0, 0, 1)
+        assert len(t) == 1
+        assert t.executions[0].vertex == 0
+        assert t.executions[0].seq == 0
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 5),          # vertex/key id
+            st.floats(0, 50),           # start
+            st.floats(0.1, 5),          # duration
+            st.booleans(),              # writes (else reads)
+        ),
+        min_size=2,
+        max_size=25,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_violations_match_bruteforce(entries):
+    """The sweep-based checker agrees with the O(n^2) definition."""
+    t = Trace()
+    for key, start, dur, is_write in entries:
+        keys = [vertex_key(key)]
+        _rec(
+            t,
+            key,
+            start,
+            start + dur,
+            reads=[] if is_write else keys,
+            writes=keys if is_write else [],
+        )
+    brute = 0
+    execs = t.executions
+    for i in range(len(execs)):
+        for j in range(i + 1, len(execs)):
+            a, b = execs[i], execs[j]
+            if a.overlaps(b) and a.conflicts_with(b):
+                brute += 1
+    assert len(t.violations()) == brute
