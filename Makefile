@@ -1,0 +1,19 @@
+# Convenience entry points; all commands assume the repo root as cwd.
+
+PY := PYTHONPATH=src python
+
+.PHONY: test perf bench
+
+# Tier-1 verify: unit + figure-reproduction suites (perf tests skipped).
+test:
+	$(PY) -m pytest -x -q
+
+# Hot-path perf checks (non-tier-1, selected by the perf marker).
+perf:
+	$(PY) -m pytest -m perf benchmarks/perf -q
+
+# Record core throughput to BENCH_core.json. Refuses to overwrite an
+# existing file from a dirty working tree so the perf trajectory stays
+# reproducible from committed states (pass FORCE=1 to override).
+bench:
+	$(PY) -m benchmarks.perf.bench_core $(if $(FORCE),--force,)

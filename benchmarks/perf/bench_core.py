@@ -1,0 +1,249 @@
+"""Core hot-path micro-benchmark: updates/sec through ``SequentialEngine``.
+
+Unlike the ``benchmarks/test_fig*`` modules (which reproduce the paper's
+*figures* on the simulated cluster), this module measures the raw
+throughput of the in-process execution hot loop — pop a vertex, bind a
+scope, run the update — on two representative workloads:
+
+* **PageRank** on a seeded random directed graph (scalar vertex data,
+  the paper's running example, Alg. 1);
+* **Loopy BP** on a 2-D grid MRF (numpy-vector vertex/edge data, the
+  workload of Secs. 4.2.2/5.2).
+
+Results are written to ``BENCH_core.json`` at the repo root together
+with the pre-refactor baseline (measured with this same harness on the
+seed tree, commit 362b979), so the perf trajectory of later PRs is
+anchored to a fixed reference.
+
+Run it as::
+
+    PYTHONPATH=src python -m benchmarks.perf.bench_core
+    make bench
+
+The script refuses to overwrite an existing ``BENCH_core.json`` from a
+dirty working tree (pass ``--force`` to override): recorded numbers must
+be reproducible from a committed state.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict
+
+from repro.apps.lbp import init_lbp_data, make_lbp_update, potts_potential
+from repro.apps.pagerank import make_pagerank_update
+from repro.core.engine import SequentialEngine
+from repro.core.graph import DataGraph
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_core.json"
+
+#: Throughput of this same harness on the seed tree (commit 362b979,
+#: pre-CSR dict-of-lists storage, per-update Scope allocation), measured
+#: on the reference container (Python 3.11.7, best of 3). Kept in-file
+#: so every future ``BENCH_core.json`` carries the anchor it is
+#: compared against.
+PRE_REFACTOR_BASELINE: Dict[str, Dict[str, float]] = {
+    "pagerank": {
+        "num_updates": 3645,
+        "seconds": 0.068,
+        "updates_per_sec": 53576.3,
+    },
+    "lbp": {
+        "num_updates": 8000,
+        "seconds": 0.489,
+        "updates_per_sec": 16359.4,
+    },
+}
+
+
+# ----------------------------------------------------------------------
+# Workload builders (deterministic; structure identical across runs).
+# ----------------------------------------------------------------------
+def build_pagerank_workload(
+    n: int = 2000, out_degree: int = 8, seed: int = 7
+):
+    """Seeded random directed graph with 1/out-degree edge weights."""
+    rng = random.Random(seed)
+    edges = set()
+    for i in range(n):
+        for _ in range(out_degree):
+            j = rng.randrange(n)
+            if j != i:
+                edges.add((i, j))
+    out_count: Dict[int, int] = {}
+    for (i, _j) in edges:
+        out_count[i] = out_count.get(i, 0) + 1
+    graph = DataGraph()
+    for i in range(n):
+        graph.add_vertex(i, data=1.0 / n)
+    for (i, j) in sorted(edges):
+        graph.add_edge(i, j, data=1.0 / out_count[i])
+    graph.finalize()
+
+    def run() -> int:
+        for v in range(n):
+            graph.set_vertex_data(v, 1.0 / n)
+        engine = SequentialEngine(
+            graph,
+            make_pagerank_update(epsilon=1e-4),
+            scheduler="fifo",
+            max_updates=60000,
+        )
+        return engine.run(range(n)).num_updates
+
+    return run
+
+
+def build_lbp_workload(rows: int = 20, cols: int = 20, labels: int = 5, seed: int = 3):
+    """2-D grid MRF with seeded random unaries (Potts potential)."""
+    rng = random.Random(seed)
+    graph = DataGraph()
+    for r in range(rows):
+        for c in range(cols):
+            graph.add_vertex((r, c))
+    for r in range(rows):
+        for c in range(cols):
+            if r + 1 < rows:
+                graph.add_edge((r, c), (r + 1, c))
+            if c + 1 < cols:
+                graph.add_edge((r, c), (r, c + 1))
+    graph.finalize()
+    unaries = {
+        v: [rng.random() + 0.1 for _ in range(labels)] for v in graph.vertices()
+    }
+    psi = potts_potential(labels, smoothing=1.5)
+
+    def run() -> int:
+        init_lbp_data(graph, unaries)
+        engine = SequentialEngine(
+            graph,
+            make_lbp_update(psi, epsilon=1e-3),
+            scheduler="fifo",
+            max_updates=8000,
+        )
+        return engine.run(list(graph.vertices())).num_updates
+
+    return run
+
+
+WORKLOADS: Dict[str, Callable[[], Callable[[], int]]] = {
+    "pagerank": build_pagerank_workload,
+    "lbp": build_lbp_workload,
+}
+
+
+# ----------------------------------------------------------------------
+# Measurement.
+# ----------------------------------------------------------------------
+def measure(run: Callable[[], int], repeats: int = 3) -> Dict[str, float]:
+    """Best-of-``repeats`` wall-clock throughput for one workload."""
+    best: Dict[str, float] = {}
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        num_updates = run()
+        elapsed = time.perf_counter() - t0
+        ups = num_updates / elapsed
+        if not best or ups > best["updates_per_sec"]:
+            best = {
+                "num_updates": num_updates,
+                "seconds": round(elapsed, 4),
+                "updates_per_sec": round(ups, 1),
+            }
+    return best
+
+
+def run_benchmarks(repeats: int = 3) -> Dict[str, Dict[str, float]]:
+    """Measure every workload; returns ``{name: metrics}``."""
+    results = {}
+    for name, builder in WORKLOADS.items():
+        results[name] = measure(builder(), repeats=repeats)
+    return results
+
+
+def _tree_is_dirty() -> bool:
+    try:
+        out = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+    except (OSError, subprocess.CalledProcessError):
+        return False  # not a git checkout: nothing to protect
+    return bool(out.strip())
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT,
+        help="where to write the JSON results",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="best-of-N repetitions"
+    )
+    parser.add_argument(
+        "--force", action="store_true",
+        help="overwrite the output even from a dirty working tree",
+    )
+    parser.add_argument(
+        "--print-only", action="store_true",
+        help="measure and print without writing the output file",
+    )
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+
+    if (
+        not args.print_only
+        and not args.force
+        and args.output.exists()
+        and _tree_is_dirty()
+    ):
+        print(
+            f"refusing to overwrite {args.output} from a dirty working "
+            "tree; commit first or pass --force",
+            file=sys.stderr,
+        )
+        return 1
+
+    results = run_benchmarks(repeats=args.repeats)
+    payload = {
+        "harness": "benchmarks.perf.bench_core",
+        "python": platform.python_version(),
+        "baseline": PRE_REFACTOR_BASELINE,
+        "current": results,
+        "speedup": {
+            name: round(
+                results[name]["updates_per_sec"]
+                / PRE_REFACTOR_BASELINE[name]["updates_per_sec"],
+                2,
+            )
+            for name in results
+            if PRE_REFACTOR_BASELINE.get(name, {}).get("updates_per_sec")
+        },
+    }
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    if args.print_only:
+        print(text, end="")
+        return 0
+    args.output.write_text(text)
+    print(f"wrote {args.output}")
+    for name, metrics in results.items():
+        speedup = payload["speedup"].get(name)
+        note = f" ({speedup}x over baseline)" if speedup else ""
+        print(f"  {name}: {metrics['updates_per_sec']:.0f} updates/s{note}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Perf-marked checks over the core hot path (``pytest -m perf``).
+
+These are *not* part of the tier-1 suite (the root conftest skips the
+``perf`` marker by default): they exercise the same workloads as
+``bench_core`` and assert the properties the recorded numbers rely on —
+deterministic update counts and a hot loop that actually beats the
+recorded pre-refactor baseline on this machine.
+"""
+
+import pytest
+
+from benchmarks.perf.bench_core import (
+    PRE_REFACTOR_BASELINE,
+    build_lbp_workload,
+    build_pagerank_workload,
+    measure,
+)
+
+pytestmark = pytest.mark.perf
+
+
+def test_pagerank_workload_is_deterministic():
+    run = build_pagerank_workload()
+    assert run() == run()
+
+
+def test_lbp_workload_is_deterministic():
+    run = build_lbp_workload()
+    assert run() == run()
+
+
+def test_measure_reports_throughput():
+    metrics = measure(build_pagerank_workload(), repeats=1)
+    assert metrics["num_updates"] > 0
+    assert metrics["updates_per_sec"] > 0
+
+
+def test_pagerank_beats_recorded_baseline():
+    """The pooled-scope CSR hot loop must outrun the recorded seed
+    throughput with comfortable slack for machine variance."""
+    baseline = PRE_REFACTOR_BASELINE["pagerank"]["updates_per_sec"]
+    if not baseline:
+        pytest.skip("no recorded baseline")
+    metrics = measure(build_pagerank_workload(), repeats=3)
+    assert metrics["updates_per_sec"] > 1.5 * baseline

@@ -1,0 +1,28 @@
+"""Repo-wide pytest configuration.
+
+Registers the ``perf`` marker and keeps perf benchmarks out of the
+tier-1 suite: ``pytest -x -q`` (the verify command) skips anything
+marked ``perf``; run them explicitly with ``pytest -m perf`` or
+``make perf``. The throughput *recorder* is ``make bench``
+(``python -m benchmarks.perf.bench_core``), which writes
+``BENCH_core.json``.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "perf: core hot-path throughput benchmarks (non-tier-1; "
+        "select with -m perf)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if "perf" in (config.option.markexpr or ""):
+        return
+    skip_perf = pytest.mark.skip(reason="perf benchmark: run with -m perf")
+    for item in items:
+        if "perf" in item.keywords:
+            item.add_marker(skip_perf)

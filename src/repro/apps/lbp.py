@@ -82,8 +82,11 @@ def make_lbp_update(
         data = scope.data
         unary = unary_fn(scope) if unary_fn is not None else data["unary"]
         neighbors = scope.neighbors
+        has_edge = scope.graph.has_edge
+        edge = scope.edge
         incoming = {
-            u: get_message(scope, u, vertex) for u in neighbors
+            u: (edge(u, vertex)[0] if has_edge(u, vertex) else edge(vertex, u)[1])
+            for u in neighbors
         }
         prod = unary.copy()
         for message in incoming.values():
@@ -95,15 +98,23 @@ def make_lbp_update(
         for u in neighbors:
             cavity = _normalize(prod / np.maximum(incoming[u], _FLOOR))
             new_message = _normalize(cavity @ psi)
+            # Resolve the storage direction of the v -> u message once:
+            # the pair datum gives the old message (residual, damping)
+            # and its partner for the write-back.
+            forward = has_edge(vertex, u)
+            if forward:
+                old, partner = edge(vertex, u)
+            else:
+                partner, old = edge(u, vertex)
             if damping > 0.0:
-                old = get_message(scope, vertex, u)
                 new_message = _normalize(
                     damping * old + (1.0 - damping) * new_message
                 )
-            residual = float(
-                np.abs(new_message - get_message(scope, vertex, u)).max()
-            )
-            set_message(scope, vertex, u, new_message)
+            residual = float(np.abs(new_message - old).max())
+            if forward:
+                scope.set_edge(vertex, u, (new_message, partner))
+            else:
+                scope.set_edge(u, vertex, (partner, new_message))
             if residual > epsilon:
                 scheduled.append((u, residual))
         return scheduled

@@ -36,19 +36,21 @@ def make_pagerank_update(
     """
     if schedule not in ("out", "all", "none"):
         raise ValueError(f"unknown schedule policy {schedule!r}")
+    damp = 1.0 - alpha
+    dynamic = schedule != "none"
+    out_targets = schedule == "out"
 
     def pagerank_update(scope: Scope):
-        n = scope.graph.num_vertices
         old_rank = scope.data
-        rank = alpha / n
-        for u in scope.in_neighbors:
-            rank += (1.0 - alpha) * scope.edge(u, scope.vertex) * scope.neighbor(u)
+        rank = alpha / scope.graph.num_vertices
+        # Bulk-gather the in-scope (weight, neighbor-rank) pairs: one
+        # call resolves D_{u->v} and D_u for every in-neighbor.
+        for _u, weight, nbr_rank in scope.gather_in():
+            rank += damp * weight * nbr_rank
         scope.data = rank
         change = abs(rank - old_rank)
-        if change > epsilon and schedule != "none":
-            targets = (
-                scope.out_neighbors if schedule == "out" else scope.neighbors
-            )
+        if change > epsilon and dynamic:
+            targets = scope.out_neighbors if out_targets else scope.neighbors
             return [(u, change) for u in targets]
         return None
 

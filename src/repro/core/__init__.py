@@ -23,6 +23,7 @@ from repro.core.consistency import (
     vertex_key,
     write_set,
 )
+from repro.core.csr import CSRGraph
 from repro.core.engine import (
     EngineResult,
     SequentialEngine,
@@ -48,6 +49,7 @@ from repro.core.update import (
 )
 
 __all__ = [
+    "CSRGraph",
     "Consistency",
     "DataGraph",
     "EngineResult",

@@ -63,12 +63,9 @@ class LockKind(enum.Enum):
         return self.value
 
 
-def write_set(graph: DataGraph, vid: VertexId, model: Consistency) -> FrozenSet[DataKey]:
-    """Data keys an update on ``vid`` may *write* under ``model``.
-
-    Per Fig. 2(b): vertex => ``{D_v}``; edge => ``{D_v} + adjacent edges``;
-    full => the whole scope.
-    """
+def _compute_write_set(
+    graph: DataGraph, vid: VertexId, model: Consistency
+) -> FrozenSet[DataKey]:
     keys = {vertex_key(vid)}
     if model is Consistency.VERTEX:
         return frozenset(keys)
@@ -77,6 +74,28 @@ def write_set(graph: DataGraph, vid: VertexId, model: Consistency) -> FrozenSet[
         return frozenset(keys)
     keys.update(vertex_key(u) for u in graph.neighbors(vid))
     return frozenset(keys)
+
+
+def write_set(graph: DataGraph, vid: VertexId, model: Consistency) -> FrozenSet[DataKey]:
+    """Data keys an update on ``vid`` may *write* under ``model``.
+
+    Per Fig. 2(b): vertex => ``{D_v}``; edge => ``{D_v} + adjacent edges``;
+    full => the whole scope.
+
+    Structure is static after ``finalize()``, so on a compiled graph the
+    result is memoized per ``(vertex, model)`` in the CSR storage (shared
+    by copies and by every machine of a distributed run) — scope binding
+    costs one dict hit instead of an O(degree) frozenset build.
+    """
+    csr = getattr(graph, "compiled", None)
+    if csr is None:
+        return _compute_write_set(graph, vid, model)
+    cache = csr.write_set_cache
+    key = (vid, model)
+    keys = cache.get(key)
+    if keys is None:
+        keys = cache[key] = _compute_write_set(graph, vid, model)
+    return keys
 
 
 def read_set(graph: DataGraph, vid: VertexId, model: Consistency) -> FrozenSet[DataKey]:
@@ -96,11 +115,23 @@ def read_set(graph: DataGraph, vid: VertexId, model: Consistency) -> FrozenSet[D
 
 
 def scope_keys(graph: DataGraph, vid: VertexId) -> FrozenSet[DataKey]:
-    """All data keys in the scope ``S_v`` regardless of model."""
+    """All data keys in the scope ``S_v`` regardless of model.
+
+    Memoized on the compiled structure like :func:`write_set` (the
+    locking engine resolves these on every pipelined acquisition).
+    """
+    csr = getattr(graph, "compiled", None)
+    if csr is not None:
+        keys = csr.scope_key_cache.get(vid)
+        if keys is not None:
+            return keys
     keys = {vertex_key(vid)}
     keys.update(vertex_key(u) for u in graph.neighbors(vid))
     keys.update(edge_key(u, w) for (u, w) in graph.adjacent_edges(vid))
-    return frozenset(keys)
+    keys = frozenset(keys)
+    if csr is not None:
+        csr.scope_key_cache[vid] = keys
+    return keys
 
 
 def lock_plan(

@@ -1,0 +1,250 @@
+"""Finalize-time compiled CSR storage backing :class:`DataGraph`.
+
+The paper's C++ runtime owes much of its throughput to a compact
+adjacency representation resolved *once*, when the graph structure is
+frozen — not per update. This module is the Python equivalent: at
+``DataGraph.finalize()`` the builder dictionaries are compiled into a
+:class:`CSRGraph` holding
+
+* a dense ``vertex id -> index`` mapping (``index_of`` / ``vertex_ids``);
+* numpy index/offset arrays in CSR form for the out-, in-, and
+  undirected neighborhoods (``out_offsets``/``out_targets`` etc.) plus
+  per-edge endpoint arrays, for vectorized consumers;
+* per-vertex *pre-materialized* Python tuples (``out_ids``, ``in_ids``,
+  ``nbr_ids``, ``adj_edges``) and neighbor frozensets (``nbr_sets``) so
+  the interpreter hot path answers structure queries with a single
+  index — no per-call tuple allocation, no linear membership scans;
+* flat, slot-addressed vertex/edge data lists (``vdata`` / ``edata``)
+  with an O(1) ``(src, dst) -> slot`` lookup (``edge_slot``).
+
+The compiled **structure is immutable and shared** — ``DataGraph.copy()``
+clones only the data lists (see :meth:`CSRGraph.clone_with_data`) — while
+the **data lists stay mutable** for the lifetime of the run. Memoization
+caches that depend only on structure (consistency write sets, sorted
+scope keys) live here so every copy and every machine of a distributed
+run shares them.
+
+Neighborhood orderings exactly reproduce the pre-compiled dict-of-lists
+representation (in-neighbors first, then out-neighbors, deduplicated in
+first-seen order), so engine executions are bit-identical across the
+representations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, List, Tuple
+
+import numpy as np
+
+from repro.errors import GraphStructureError
+
+VertexId = Any
+EdgeKey = Tuple[Any, Any]
+
+
+def _csr_arrays(
+    per_vertex: List[Tuple], index_of: Dict
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Pack per-vertex id tuples into (offsets, dense-index values)."""
+    offsets = np.zeros(len(per_vertex) + 1, dtype=np.int64)
+    np.cumsum([len(ids) for ids in per_vertex], out=offsets[1:])
+    values = np.fromiter(
+        (index_of[u] for ids in per_vertex for u in ids),
+        dtype=np.int64,
+        count=int(offsets[-1]),
+    )
+    return offsets, values
+
+
+class CSRGraph:
+    """Compiled graph: immutable CSR structure + mutable flat data."""
+
+    __slots__ = (
+        # dense vertex numbering
+        "vertex_ids",
+        "index_of",
+        # numpy CSR adjacency (dense indices)
+        "out_offsets",
+        "out_targets",
+        "in_offsets",
+        "in_sources",
+        "nbr_offsets",
+        "nbr_targets",
+        # edge slots
+        "edge_keys",
+        "edge_slot",
+        "edge_src_index",
+        "edge_dst_index",
+        # pre-materialized Python-level views (index -> tuple)
+        "out_ids",
+        "in_ids",
+        "nbr_ids",
+        "nbr_sets",
+        "adj_edges",
+        "in_gather",
+        # flat mutable data
+        "vdata",
+        "edata",
+        # structure-derived memo caches (shared across copies)
+        "write_set_cache",
+        "scope_key_cache",
+        "bind_cache",
+    )
+
+    @classmethod
+    def build(
+        cls,
+        vdata: Dict[VertexId, Any],
+        edata: Dict[EdgeKey, Any],
+        out: Dict[VertexId, List[VertexId]],
+        in_: Dict[VertexId, List[VertexId]],
+    ) -> "CSRGraph":
+        """Compile the builder dictionaries (insertion orders preserved)."""
+        obj = cls.__new__(cls)
+        vertex_ids = tuple(vdata)
+        index_of = {v: i for i, v in enumerate(vertex_ids)}
+        obj.vertex_ids = vertex_ids
+        obj.index_of = index_of
+        obj.vdata = [vdata[v] for v in vertex_ids]
+
+        edge_keys = tuple(edata)
+        edge_slot = {key: slot for slot, key in enumerate(edge_keys)}
+        obj.edge_keys = edge_keys
+        obj.edge_slot = edge_slot
+        obj.edata = [edata[key] for key in edge_keys]
+        obj.edge_src_index = np.fromiter(
+            (index_of[s] for (s, _d) in edge_keys),
+            dtype=np.int64,
+            count=len(edge_keys),
+        )
+        obj.edge_dst_index = np.fromiter(
+            (index_of[d] for (_s, d) in edge_keys),
+            dtype=np.int64,
+            count=len(edge_keys),
+        )
+
+        out_ids: List[Tuple] = []
+        in_ids: List[Tuple] = []
+        nbr_ids: List[Tuple] = []
+        nbr_sets: List[FrozenSet] = []
+        adj_edges: List[Tuple[EdgeKey, ...]] = []
+        in_gather: List[Tuple] = []
+        for v in vertex_ids:
+            outs = tuple(out[v])
+            ins = tuple(in_[v])
+            out_ids.append(outs)
+            in_ids.append(ins)
+            # Undirected N[v]: in-neighbors first, then out, first-seen
+            # dedup — the exact order finalize() produced pre-CSR.
+            merged = dict.fromkeys(ins)
+            merged.update(dict.fromkeys(outs))
+            nbrs = tuple(merged)
+            nbr_ids.append(nbrs)
+            nbr_sets.append(frozenset(nbrs))
+            adj_edges.append(
+                tuple([(u, v) for u in ins] + [(v, w) for w in outs])
+            )
+            in_gather.append(
+                tuple((u, edge_slot[(u, v)], index_of[u]) for u in ins)
+            )
+        obj.out_ids = tuple(out_ids)
+        obj.in_ids = tuple(in_ids)
+        obj.nbr_ids = tuple(nbr_ids)
+        obj.nbr_sets = tuple(nbr_sets)
+        obj.adj_edges = tuple(adj_edges)
+        obj.in_gather = tuple(in_gather)
+
+        obj.out_offsets, obj.out_targets = _csr_arrays(out_ids, index_of)
+        obj.in_offsets, obj.in_sources = _csr_arrays(in_ids, index_of)
+        obj.nbr_offsets, obj.nbr_targets = _csr_arrays(nbr_ids, index_of)
+
+        obj.write_set_cache = {}
+        obj.scope_key_cache = {}
+        obj.bind_cache = {}
+        return obj
+
+    def bind_cache_for(self, model: Any) -> Dict:
+        """Per-consistency-model scope-binding memo: ``vertex ->
+        (write_keys, neighbor_set, vertex_index)``.
+
+        Populated lazily by :meth:`repro.core.scope.Scope.rebind`; like
+        the other caches it depends only on structure, so it is shared
+        by every copy/machine.
+        """
+        cache = self.bind_cache.get(model)
+        if cache is None:
+            cache = self.bind_cache[model] = {}
+        return cache
+
+    # ------------------------------------------------------------------
+    # Copies: structure (and memo caches) shared, data cloned.
+    # ------------------------------------------------------------------
+    def clone_with_data(self) -> "CSRGraph":
+        """A copy sharing every structure array but with fresh data lists.
+
+        Data *values* are shared (updates in this codebase replace values
+        rather than mutating in place), so cloning is O(|V| + |E|) list
+        copies — the cheap ``DataGraph.copy()`` contract.
+        """
+        other = CSRGraph.__new__(CSRGraph)
+        for name in CSRGraph.__slots__:
+            setattr(other, name, getattr(self, name))
+        other.vdata = list(self.vdata)
+        other.edata = list(self.edata)
+        return other
+
+    # ------------------------------------------------------------------
+    # Structure queries (index-based fast path lives in DataGraph/Scope).
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self.vertex_ids)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edge_keys)
+
+    def degree_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(out_degree, in_degree, undirected_degree)`` numpy vectors."""
+        return (
+            np.diff(self.out_offsets),
+            np.diff(self.in_offsets),
+            np.diff(self.nbr_offsets),
+        )
+
+    # ------------------------------------------------------------------
+    # Flat data access by id (slot addressing for the common case).
+    # ------------------------------------------------------------------
+    def vertex_data(self, vid: VertexId) -> Any:
+        try:
+            return self.vdata[self.index_of[vid]]
+        except KeyError:
+            raise GraphStructureError(f"unknown vertex {vid!r}") from None
+
+    def set_vertex_data(self, vid: VertexId, value: Any) -> None:
+        try:
+            self.vdata[self.index_of[vid]] = value
+        except KeyError:
+            raise GraphStructureError(f"unknown vertex {vid!r}") from None
+
+    def edge_data(self, src: VertexId, dst: VertexId) -> Any:
+        try:
+            return self.edata[self.edge_slot[(src, dst)]]
+        except KeyError:
+            raise GraphStructureError(
+                f"unknown edge {src!r} -> {dst!r}"
+            ) from None
+
+    def set_edge_data(self, src: VertexId, dst: VertexId, value: Any) -> None:
+        try:
+            self.edata[self.edge_slot[(src, dst)]] = value
+        except KeyError:
+            raise GraphStructureError(
+                f"unknown edge {src!r} -> {dst!r}"
+            ) from None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CSRGraph(|V|={len(self.vertex_ids)}, "
+            f"|E|={len(self.edge_keys)})"
+        )

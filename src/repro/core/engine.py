@@ -26,7 +26,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
-from repro.core.consistency import Consistency
+from repro.core.consistency import Consistency, LockKind, lock_plan
 from repro.core.graph import DataGraph, VertexId
 from repro.core.scheduler import Scheduler, make_scheduler
 from repro.core.scope import Scope
@@ -133,38 +133,65 @@ class SequentialEngine(_EngineBase):
     ``sweep`` scheduler this is Gauss-Seidel ("async" in the paper's
     convergence plots); with a ``priority`` scheduler it is the dynamic
     prioritized execution of Sec. 3.3.
+
+    The loop is the throughput-critical path of every figure
+    reproduction, so it pools a single :class:`Scope` (rebound per pop),
+    inlines the schedule merge of :func:`run_update` (same merge order),
+    hoists attribute lookups, and skips sync ticking entirely when no
+    syncs are registered. ``benchmarks/perf/bench_core.py`` tracks its
+    updates/sec.
     """
 
     def run(
         self, initial: Iterable[Union[VertexId, tuple]] = ()
     ) -> EngineResult:
         """Execute until quiescence. ``initial`` seeds the task set."""
-        self.scheduler.add_all(normalize_schedule(initial, graph=self.graph))
+        scheduler = self.scheduler
+        graph = self.graph
+        update_fn = self.update_fn
+        max_updates = self.max_updates
+        trace = self._trace
+        tick_syncs = self._tick_syncs if self.syncs else None
+        scheduler.add_pairs(normalize_schedule(initial, graph=graph))
         self._run_all_syncs()
         counts: Dict[VertexId, int] = {}
+        counts_get = counts.get
         updates = 0
         clock = itertools.count()
-        while self.scheduler:
-            if self.max_updates is not None and updates >= self.max_updates:
+        scope = Scope(
+            graph,
+            None,
+            model=self.consistency,
+            globals_view=self.globals.view(),
+            record=trace is not None,
+        )
+        rebind = scope.rebind
+        drain_scheduled = scope.drain_scheduled
+        pop = scheduler.pop
+        add_pairs = scheduler.add_pairs
+        while scheduler:
+            if max_updates is not None and updates >= max_updates:
                 return self._result(counts, converged=False)
-            vertex, _priority = self.scheduler.pop()
-            scope = Scope(
-                self.graph,
-                vertex,
-                model=self.consistency,
-                globals_view=self.globals.view(),
-                record=self._trace is not None,
-            )
-            result = run_update(self.update_fn, scope)
-            self.scheduler.add_all(result.scheduled)
-            counts[vertex] = counts.get(vertex, 0) + 1
+            vertex, _priority = pop()
+            rebind(vertex)
+            returned = update_fn(scope)
+            scheduled = drain_scheduled()
+            if returned is not None:
+                scheduled.extend(normalize_schedule(returned, graph=graph))
+            add_pairs(scheduled)
+            counts[vertex] = counts_get(vertex, 0) + 1
             updates += 1
-            if self._trace is not None:
+            if trace is not None:
                 tick = next(clock)
-                self._trace.record(
-                    vertex, tick, tick + 1, result.reads, result.writes
+                trace.record(
+                    vertex,
+                    tick,
+                    tick + 1,
+                    frozenset(scope.reads),
+                    frozenset(scope.writes),
                 )
-            self._tick_syncs(updates)
+            if tick_syncs is not None:
+                tick_syncs(updates)
         self._run_all_syncs()
         return self._result(counts, converged=True)
 
@@ -234,13 +261,16 @@ class ThreadedEngine(_EngineBase):
         self._updates = 0
         self._clock = itertools.count()
         self._trace_lock = threading.Lock()
-        self._order = {v: i for i, v in enumerate(self.graph.vertices())}
+        self._order = self.graph.vertex_index()
+        # Lock plans depend only on (vertex, model, order) — all static
+        # after finalize — so they are resolved once per vertex.
+        self._plans: Dict[VertexId, list] = {}
 
     def run(
         self, initial: Iterable[Union[VertexId, tuple]] = ()
     ) -> EngineResult:
         """Execute with ``num_workers`` threads until quiescence."""
-        self.scheduler.add_all(normalize_schedule(initial, graph=self.graph))
+        self.scheduler.add_pairs(normalize_schedule(initial, graph=self.graph))
         self._run_all_syncs()
         workers = [
             threading.Thread(target=self._worker, name=f"graphlab-w{i}")
@@ -255,6 +285,14 @@ class ThreadedEngine(_EngineBase):
 
     # ------------------------------------------------------------------
     def _worker(self) -> None:
+        # One pooled scope per worker thread, rebound per vertex.
+        scope = Scope(
+            self.graph,
+            None,
+            model=self.consistency,
+            globals_view=self.globals.view(),
+            record=self._trace is not None,
+        )
         while True:
             with self._sched_lock:
                 while not self.scheduler and self._active and not self._stop:
@@ -273,21 +311,25 @@ class ThreadedEngine(_EngineBase):
                 self._active += 1
                 self._updates += 1
             try:
-                self._execute(vertex)
+                self._execute(vertex, scope)
             finally:
                 with self._sched_lock:
                     self._active -= 1
                     self._idle.notify_all()
 
-    def _execute(self, vertex: VertexId) -> None:
-        from repro.core.consistency import LockKind, lock_plan
+    def _lock_plan_for(self, vertex: VertexId) -> list:
+        plan = self._plans.get(vertex)
+        if plan is None:
+            plan = self._plans[vertex] = lock_plan(
+                self.graph,
+                vertex,
+                self.consistency,
+                order_key=self._order.__getitem__,
+            )
+        return plan
 
-        plan = lock_plan(
-            self.graph,
-            vertex,
-            self.consistency,
-            order_key=self._order.__getitem__,
-        )
+    def _execute(self, vertex: VertexId, scope: Scope) -> None:
+        plan = self._lock_plan_for(vertex)
         start = next(self._clock)
         for vid, kind in plan:
             lock = self._locks[vid]
@@ -296,13 +338,7 @@ class ThreadedEngine(_EngineBase):
             else:
                 lock.acquire_read()
         try:
-            scope = Scope(
-                self.graph,
-                vertex,
-                model=self.consistency,
-                globals_view=self.globals.view(),
-                record=self._trace is not None,
-            )
+            scope.rebind(vertex)
             result = run_update(self.update_fn, scope)
         finally:
             end = next(self._clock)
@@ -318,7 +354,7 @@ class ThreadedEngine(_EngineBase):
                     vertex, start, end, result.reads, result.writes
                 )
         with self._sched_lock:
-            self.scheduler.add_all(result.scheduled)
+            self.scheduler.add_pairs(result.scheduled)
             self._counts[vertex] = self._counts.get(vertex, 0) + 1
             self._idle.notify_all()
 

@@ -21,6 +21,7 @@ from collections import deque
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.graph import VertexId
+from repro.core.update import is_priority_pair
 from repro.errors import SchedulerError
 
 
@@ -39,19 +40,48 @@ class Scheduler:
     def add_all(
         self, items: Iterable, priority: float = 0.0
     ) -> None:
-        """Insert many vertices; items may be ids or ``(id, prio)`` pairs."""
+        """Insert many vertices; items may be ids or ``(id, prio)`` pairs.
+
+        A 2-tuple counts as an ``(id, priority)`` pair only when its
+        second element is a real number — a tuple like ``("ctx", "x")``
+        is a *vertex id* and is scheduled whole. (A tuple vertex whose
+        second element happens to be numeric, e.g. a grid coordinate,
+        is still ambiguous here; engines resolve those through
+        :func:`repro.core.update.normalize_schedule`, which consults the
+        graph before this method ever sees the item.)
+        """
         for item in items:
-            if isinstance(item, tuple) and len(item) == 2:
+            if is_priority_pair(item):
                 self.add(item[0], float(item[1]))
             else:
                 self.add(item, priority)
+
+    def add_pairs(self, pairs: Iterable[Tuple[VertexId, float]]) -> None:
+        """Insert already-normalized ``(vertex, priority)`` pairs.
+
+        Hot-loop entry point for engines feeding the output of
+        :func:`repro.core.update.normalize_schedule` (or a scope's
+        drained requests) — the pairs are unambiguous, so the per-item
+        disambiguation of :meth:`add_all` is skipped.
+        """
+        add = self.add
+        for vertex, priority in pairs:
+            add(vertex, priority)
 
     def pop(self) -> Tuple[VertexId, float]:
         """Remove and return ``(vertex, priority)`` per this policy."""
         raise NotImplementedError
 
     def peek_priority(self) -> float:
-        """Priority the next :meth:`pop` would return (0.0 for FIFO)."""
+        """Priority the next :meth:`pop` would return.
+
+        Contract (all schedulers): unprioritized policies return ``0.0``
+        for a non-empty task set; **every** scheduler raises
+        :class:`SchedulerError` when empty, mirroring :meth:`pop` — a
+        peek at an empty task set is an engine logic error, not a value.
+        """
+        if not self:
+            raise SchedulerError("peek on empty scheduler")
         return 0.0
 
     def __len__(self) -> int:
@@ -150,6 +180,14 @@ class SweepScheduler(Scheduler):
     dirty vertex at or after the cursor, wrapping around. Deterministic
     Gauss-Seidel-style execution, the natural fit for "async" convergence
     baselines.
+
+    Dirty flags are mirrored in a Fenwick (binary indexed) tree over the
+    order positions, so both :meth:`add` and :meth:`pop` are O(log n)
+    worst case with no array shifting: a pop counts the dirty vertices
+    below the cursor (prefix sum) and descends the tree to the next
+    dirty position. Neither a sparse dirty set over a huge order (the
+    seed's O(n) cursor scan) nor a dense one (an O(d)-memmove sorted
+    list) degrades it.
     """
 
     def __init__(self, order: Iterable[VertexId]) -> None:
@@ -158,24 +196,66 @@ class SweepScheduler(Scheduler):
         if len(self._index) != len(self._order):
             raise SchedulerError("sweep order contains duplicate vertices")
         self._dirty: set = set()
+        n = len(self._order)
+        #: Fenwick tree over dirty flags, 1-based.
+        self._tree: List[int] = [0] * (n + 1)
+        #: Highest power of two <= n (descent start), 0 for empty order.
+        self._top_bit = 1 << (n.bit_length() - 1) if n else 0
         self._cursor = 0
 
+    def _flag(self, index: int, delta: int) -> None:
+        tree = self._tree
+        n = len(tree) - 1
+        i = index + 1
+        while i <= n:
+            tree[i] += delta
+            i += i & -i
+
+    def _count_below(self, index: int) -> int:
+        """Number of dirty vertices at order positions < ``index``."""
+        tree = self._tree
+        total = 0
+        i = index
+        while i > 0:
+            total += tree[i]
+            i -= i & -i
+        return total
+
+    def _kth_dirty(self, k: int) -> int:
+        """Order position of the k-th dirty vertex (1-based k)."""
+        tree = self._tree
+        n = len(tree) - 1
+        pos = 0
+        bit = self._top_bit
+        while bit:
+            nxt = pos + bit
+            if nxt <= n and tree[nxt] < k:
+                pos = nxt
+                k -= tree[nxt]
+            bit >>= 1
+        return pos  # 0-based position
+
     def add(self, vertex: VertexId, priority: float = 0.0) -> None:
-        if vertex not in self._index:
+        index = self._index.get(vertex)
+        if index is None:
             raise SchedulerError(f"vertex {vertex!r} not in sweep order")
-        self._dirty.add(vertex)
+        if vertex not in self._dirty:
+            self._dirty.add(vertex)
+            self._flag(index, 1)
 
     def pop(self) -> Tuple[VertexId, float]:
-        if not self._dirty:
+        total = len(self._dirty)
+        if not total:
             raise SchedulerError("pop from empty sweep scheduler")
-        n = len(self._order)
-        for offset in range(n):
-            vertex = self._order[(self._cursor + offset) % n]
-            if vertex in self._dirty:
-                self._cursor = (self._cursor + offset + 1) % n
-                self._dirty.discard(vertex)
-                return vertex, 0.0
-        raise SchedulerError("dirty set inconsistent with sweep order")
+        below = self._count_below(self._cursor)
+        # Next dirty at or after the cursor; wrap to the first otherwise.
+        k = below + 1 if below < total else 1
+        index = self._kth_dirty(k)
+        vertex = self._order[index]
+        self._dirty.discard(vertex)
+        self._flag(index, -1)
+        self._cursor = (index + 1) % len(self._order)
+        return vertex, 0.0
 
     def __len__(self) -> int:
         return len(self._dirty)

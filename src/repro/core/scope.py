@@ -19,11 +19,20 @@ The scope is backed by two collaborators:
 
 Scopes also collect scheduling requests (``scope.schedule(u, prio)``) and
 expose read-only global values maintained by sync operations (Sec. 3.5).
+
+Scopes are designed to be **pooled**: engines allocate one scope per
+worker and :meth:`Scope.rebind` it to each popped vertex, so the hot loop
+performs zero per-update scope allocation. Binding resolves the model's
+write set through the finalize-time memo (see
+:func:`repro.core.consistency.write_set`) — one dict hit, not an
+O(degree) rebuild — and caches the neighbor frozenset so adjacency checks
+are O(1) instead of a linear scan. Read/write recording costs a single
+falsy attribute test when tracing is off.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Optional, Set, Tuple
+from typing import Any, List, Mapping, Optional, Set, Tuple
 
 from repro.core.consistency import (
     Consistency,
@@ -36,6 +45,7 @@ from repro.core.graph import DataGraph, VertexId
 from repro.errors import ConsistencyError, GraphStructureError
 
 _EMPTY_GLOBALS: Mapping[str, Any] = {}
+_EMPTY_FROZENSET: frozenset = frozenset()
 
 
 class Scope:
@@ -46,7 +56,8 @@ class Scope:
     graph:
         Structure provider (usually the :class:`DataGraph` itself).
     vertex:
-        The central vertex ``v``.
+        The central vertex ``v``. May be ``None`` to create an unbound
+        pooled scope; call :meth:`rebind` before use.
     model:
         Active consistency model; writes outside the model's write set
         raise :class:`ConsistencyError`.
@@ -66,31 +77,80 @@ class Scope:
         "_store",
         "_globals",
         "_write_keys",
+        "_nbr_set",
         "_scheduled",
         "reads",
         "writes",
         "_record",
+        "_bind_cache",
+        "_csr_direct",
+        "_vidx",
     )
 
     def __init__(
         self,
         graph: DataGraph,
-        vertex: VertexId,
+        vertex: Optional[VertexId],
         model: Consistency = Consistency.EDGE,
         store: Optional[Any] = None,
         globals_view: Mapping[str, Any] = _EMPTY_GLOBALS,
         record: bool = False,
     ) -> None:
         self.graph = graph
-        self.vertex = vertex
         self.model = model
         self._store = store if store is not None else graph
         self._globals = globals_view
-        self._write_keys = write_set(graph, vertex, model)
-        self._scheduled: List[Tuple[VertexId, float]] = []
         self._record = record
+        self._scheduled: List[Tuple[VertexId, float]] = []
         self.reads: Set[DataKey] = set()
         self.writes: Set[DataKey] = set()
+        csr = graph.compiled
+        self._bind_cache = csr.bind_cache_for(model) if csr is not None else None
+        # Direct slot-addressed data access is only legal when the scope
+        # reads the compiled graph itself (not a distributed store) and
+        # does not need access recording.
+        self._csr_direct = (
+            csr if (csr is not None and self._store is graph and not record)
+            else None
+        )
+        self.vertex = vertex
+        # Non-indexable sentinel: touching data on an unbound pooled
+        # scope must fail loudly, not read/write vdata[-1].
+        self._vidx = None
+        if vertex is not None:
+            self.rebind(vertex)
+        else:
+            self._write_keys = _EMPTY_FROZENSET
+            self._nbr_set = _EMPTY_FROZENSET
+
+    def rebind(self, vertex: VertexId) -> "Scope":
+        """Re-center the scope on ``vertex`` (pooled reuse, zero alloc).
+
+        Engines call this once per popped vertex instead of constructing
+        a fresh scope. Binding resolves through the structure memo —
+        write set, neighbor frozenset, and dense index in one dict hit.
+        Pending scheduling requests are expected to have been drained by
+        the engine; recorded reads/writes are reset.
+        """
+        self.vertex = vertex
+        cache = self._bind_cache
+        if cache is not None:
+            entry = cache.get(vertex)
+            if entry is None:
+                graph = self.graph
+                entry = cache[vertex] = (
+                    write_set(graph, vertex, self.model),
+                    graph.neighbor_set(vertex),
+                    graph.compiled.index_of[vertex],
+                )
+            self._write_keys, self._nbr_set, self._vidx = entry
+        else:
+            self._write_keys = write_set(self.graph, vertex, self.model)
+            self._nbr_set = self.graph.neighbor_set(vertex)
+        if self._record:
+            self.reads.clear()
+            self.writes.clear()
+        return self
 
     # ------------------------------------------------------------------
     # Central vertex data.
@@ -98,6 +158,9 @@ class Scope:
     @property
     def data(self) -> Any:
         """Read the central vertex datum ``D_v``."""
+        csr = self._csr_direct
+        if csr is not None:
+            return csr.vdata[self._vidx]
         if self._record:
             self.reads.add(vertex_key(self.vertex))
         return self._store.vertex_data(self.vertex)
@@ -105,6 +168,10 @@ class Scope:
     @data.setter
     def data(self, value: Any) -> None:
         """Write ``D_v`` (legal under every model)."""
+        csr = self._csr_direct
+        if csr is not None:
+            csr.vdata[self._vidx] = value
+            return
         if self._record:
             self.writes.add(vertex_key(self.vertex))
         self._store.set_vertex_data(self.vertex, value)
@@ -118,7 +185,11 @@ class Scope:
         Readable under every model; note that under *vertex* consistency
         the read is unprotected and may race with a concurrent writer.
         """
-        self._check_adjacent(u)
+        if u != self.vertex and u not in self._nbr_set:
+            self._check_adjacent(u)  # single source of the scope error
+        csr = self._csr_direct
+        if csr is not None:
+            return csr.vdata[csr.index_of[u]]
         if self._record:
             self.reads.add(vertex_key(u))
         return self._store.vertex_data(u)
@@ -141,10 +212,24 @@ class Scope:
     # ------------------------------------------------------------------
     def edge(self, src: VertexId, dst: VertexId) -> Any:
         """Read edge datum ``D_{src->dst}`` on an adjacent edge."""
-        self._check_adjacent_edge(src, dst)
+        vertex = self.vertex
+        if src is not vertex and dst is not vertex and vertex not in (src, dst):
+            self._check_adjacent_edge(src, dst)  # shared out-of-scope raise
+        csr = self._csr_direct
+        if csr is not None:
+            try:
+                return csr.edata[csr.edge_slot[(src, dst)]]
+            except KeyError:
+                raise GraphStructureError(
+                    f"unknown edge {src!r} -> {dst!r}"
+                ) from None
+        # An unknown edge surfaces as GraphStructureError from the store,
+        # exactly as _check_adjacent_edge would raise it; record only
+        # reads that actually happened.
+        value = self._store.edge_data(src, dst)
         if self._record:
             self.reads.add(edge_key(src, dst))
-        return self._store.edge_data(src, dst)
+        return value
 
     def set_edge(self, src: VertexId, dst: VertexId, value: Any) -> None:
         """Write an adjacent edge datum — needs *edge* or *full* model."""
@@ -158,6 +243,41 @@ class Scope:
         if self._record:
             self.writes.add(key)
         self._store.set_edge_data(src, dst, value)
+
+    def gather_in(self) -> List[Tuple[VertexId, Any, Any]]:
+        """Bulk read ``[(u, D_{u->v}, D_u)]`` over the in-neighbors of ``v``.
+
+        Semantically identical to ``[(u, self.edge(u, self.vertex),
+        self.neighbor(u)) for u in self.in_neighbors]`` (same order, same
+        recording) but resolved in one call; when the store is the
+        compiled graph itself the reads go straight through the
+        finalize-time edge-slot and vertex-index arrays.
+        """
+        vertex = self.vertex
+        store = self._store
+        graph = self.graph
+        csr = self._csr_direct
+        if csr is not None:
+            vdata = csr.vdata
+            edata = csr.edata
+            return [
+                (u, edata[slot], vdata[ui])
+                for (u, slot, ui) in csr.in_gather[self._vidx]
+            ]
+        if self._record:
+            reads = self.reads
+            out = []
+            for u in graph.in_neighbors(vertex):
+                reads.add(edge_key(u, vertex))
+                reads.add(vertex_key(u))
+                out.append((u, store.edge_data(u, vertex), store.vertex_data(u)))
+            return out
+        edge_data = store.edge_data
+        vertex_data = store.vertex_data
+        return [
+            (u, edge_data(u, vertex), vertex_data(u))
+            for u in graph.in_neighbors(vertex)
+        ]
 
     # ------------------------------------------------------------------
     # Structure queries (always legal; structure is static).
@@ -182,7 +302,7 @@ class Scope:
         """Undirected degree of ``v``."""
         return self.graph.degree(self.vertex)
 
-    def adjacent_edges(self) -> List[Tuple[VertexId, VertexId]]:
+    def adjacent_edges(self) -> Tuple[Tuple[VertexId, VertexId], ...]:
         """All directed edges incident to ``v``."""
         return self.graph.adjacent_edges(self.vertex)
 
@@ -207,8 +327,10 @@ class Scope:
 
     def schedule_neighbors(self, priority: float = 0.0) -> None:
         """Convenience: schedule every vertex in ``N[v]``."""
+        priority = float(priority)
+        scheduled = self._scheduled
         for u in self.neighbors:
-            self._scheduled.append((u, float(priority)))
+            scheduled.append((u, priority))
 
     def drain_scheduled(self) -> List[Tuple[VertexId, float]]:
         """Return and clear the scheduling requests collected so far.
@@ -222,7 +344,7 @@ class Scope:
     # Internals.
     # ------------------------------------------------------------------
     def _check_adjacent(self, u: VertexId) -> None:
-        if u == self.vertex or u in self.graph.neighbors(self.vertex):
+        if u == self.vertex or u in self._nbr_set:
             return
         raise ConsistencyError(
             f"vertex {u!r} is outside the scope of {self.vertex!r}"

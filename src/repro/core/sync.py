@@ -139,8 +139,14 @@ class GlobalValues:
         return dict(self._values)
 
     def restore(self, values: Mapping[str, Any]) -> None:
-        """Replace contents from a checkpoint snapshot."""
-        self._values = dict(values)
+        """Replace contents from a checkpoint snapshot.
+
+        Mutates the dict in place: live views handed to (pooled) scopes
+        wrap this dict object, so rebinding it would leave every
+        existing ``scope.globals`` reading pre-restore values forever.
+        """
+        self._values.clear()
+        self._values.update(values)
         for key in self._values:
             self._versions[key] = self._versions.get(key, 0) + 1
 

@@ -30,6 +30,23 @@ ScheduleLike = Optional[Iterable[Union[VertexId, Tuple[VertexId, float]]]]
 UpdateFunction = Callable[[Scope], ScheduleLike]
 
 
+def is_priority_pair(item: Any) -> bool:
+    """Whether ``item`` reads as an ``(vertex, priority)`` pair: a
+    2-tuple whose second element is a real number (bool excluded).
+
+    The single source of the pair heuristic shared by
+    :func:`normalize_schedule` and :meth:`Scheduler.add_all` — note
+    ``normalize_schedule`` inlines the same predicate in its loop for
+    hot-path speed; keep the two in sync.
+    """
+    return (
+        isinstance(item, tuple)
+        and len(item) == 2
+        and isinstance(item[1], (int, float))
+        and not isinstance(item[1], bool)
+    )
+
+
 def normalize_schedule(
     result: ScheduleLike, graph: Optional[Any] = None
 ) -> List[Tuple[VertexId, float]]:
@@ -44,19 +61,24 @@ def normalize_schedule(
     if result is None:
         return []
     normalized: List[Tuple[VertexId, float]] = []
+    append = normalized.append
+    has_vertex = graph.has_vertex if graph is not None else None
     for item in result:
-        if graph is not None and graph.has_vertex(item):
-            normalized.append((item, 0.0))
-            continue
-        if (
-            isinstance(item, tuple)
-            and len(item) == 2
-            and isinstance(item[1], (int, float))
-            and not isinstance(item[1], bool)
-        ):
-            normalized.append((item[0], float(item[1])))
+        # Only tuples are ambiguous between "vertex id" and "(id, prio)";
+        # anything else is a bare vertex id, no graph probe needed.
+        if isinstance(item, tuple):
+            if has_vertex is not None and has_vertex(item):
+                append((item, 0.0))
+            elif (
+                len(item) == 2
+                and isinstance(item[1], (int, float))
+                and not isinstance(item[1], bool)
+            ):
+                append((item[0], float(item[1])))
+            else:
+                append((item, 0.0))
         else:
-            normalized.append((item, 0.0))
+            append((item, 0.0))
     return normalized
 
 
@@ -84,15 +106,22 @@ class UpdateResult:
 def run_update(fn: UpdateFunction, scope: Scope) -> UpdateResult:
     """Execute ``fn`` on ``scope`` and collect its scheduling requests.
 
-    This is the single choke-point all engines use, so the merge of the
-    two scheduling styles and the access-set capture live here.
+    The merge of the two scheduling styles and the access-set capture
+    live here. (:class:`~repro.core.engine.SequentialEngine` inlines the
+    same merge in its hot loop to skip the result object; the merge
+    order — ``scope.schedule`` requests first, then the return value —
+    must be kept identical in both places.) Access sets are frozen only
+    when the scope records them, so untraced runs allocate nothing.
     """
     returned = fn(scope)
     scheduled = scope.drain_scheduled()
-    scheduled.extend(normalize_schedule(returned, graph=scope.graph))
-    return UpdateResult(
-        vertex=scope.vertex,
-        scheduled=scheduled,
-        reads=frozenset(scope.reads),
-        writes=frozenset(scope.writes),
-    )
+    if returned is not None:
+        scheduled.extend(normalize_schedule(returned, graph=scope.graph))
+    if scope._record:
+        return UpdateResult(
+            vertex=scope.vertex,
+            scheduled=scheduled,
+            reads=frozenset(scope.reads),
+            writes=frozenset(scope.writes),
+        )
+    return UpdateResult(vertex=scope.vertex, scheduled=scheduled)

@@ -115,6 +115,11 @@ class DistributedEngineBase:
         self.progress: List[Tuple[float, int]] = []
         self.snapshots: List[SnapshotRecord] = []
         self._running = False
+        # One pooled scope per machine, rebound per update. Safe because
+        # the simulated kernel never interleaves inside the synchronous
+        # run_update call, and scheduling requests are drained before the
+        # next rebind.
+        self._scope_pool: Dict[int, Scope] = {}
 
     # ------------------------------------------------------------------
     # Update execution.
@@ -135,13 +140,21 @@ class DistributedEngineBase:
         """
         machine = self.cluster.machine(machine_id)
         yield from machine.execute(self.cost_model.cycles(self.graph, vertex))
-        scope = Scope(
-            self.graph,
-            vertex,
-            model=self.consistency,
-            store=self.stores[machine_id],
-            globals_view=self.globals[machine_id].view(),
-        )
+        scope = self._scope_pool.get(machine_id)
+        if scope is None:
+            scope = self._scope_pool[machine_id] = Scope(
+                self.graph,
+                vertex,
+                model=self.consistency,
+                store=self.stores[machine_id],
+                globals_view=self.globals[machine_id].view(),
+                # Engines that trace (the locking engine) need real
+                # read/write sets in the UpdateResult for the
+                # serializability checker.
+                record=getattr(self, "trace", None) is not None,
+            )
+        else:
+            scope.rebind(vertex)
         result = run_update(self.update_fn, scope)
         self.updates_per_machine[machine_id] += 1
         return result

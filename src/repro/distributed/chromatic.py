@@ -178,25 +178,31 @@ class ChromaticEngine(DistributedEngineBase):
             if entries:
                 pending.append(self.push_batch(machine_id, dst, entries))
 
+        owner = self.owner
+        local_scheduled = self.scheduled[machine_id]
+        collect_dirty = store.collect_dirty
+        num_work = len(work)
+        flush_batch = self.flush_batch
+
         def worker() -> Generator:
             while True:
                 i = cursor["i"]
-                if i >= len(work):
+                if i >= num_work:
                     return
                 cursor["i"] += 1
                 vertex = work[i]
                 result = yield from self.execute_update(machine_id, vertex)
                 for (u, prio) in result.scheduled:
-                    target = self.owner[u]
+                    target = owner[u]
                     if target == machine_id:
-                        self.scheduled[machine_id].add(u)
+                        local_scheduled.add(u)
                     else:
                         remote_sched.setdefault(target, []).append((u, prio))
                 # Asynchronous change propagation (Sec. 4.2.1): ship dirty
                 # ghosts as they accumulate, overlapping compute.
-                for dst, entries in store.collect_dirty().items():
+                for dst, entries in collect_dirty().items():
                     outbox.setdefault(dst, []).extend(entries)
-                    if len(outbox[dst]) >= self.flush_batch:
+                    if len(outbox[dst]) >= flush_batch:
                         flush(dst)
 
         cores = self.cluster.machine(machine_id).num_cores

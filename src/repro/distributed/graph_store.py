@@ -69,29 +69,38 @@ class LocalGraphStore:
         self._build()
 
     def _build(self) -> None:
+        graph = self.graph
+        owner = self.owner
+        machine_id = self.machine_id
         ghosts: Set[VertexId] = set()
-        for v in self.graph.vertices():
-            if self.owner[v] == self.machine_id:
-                self.owned_vertices.append(v)
+        self.owned_vertices.extend(
+            v for v in graph.vertices() if owner[v] == machine_id
+        )
         owned = set(self.owned_vertices)
+        neighbors = graph.neighbors
         for v in self.owned_vertices:
             mirror_set = set()
-            for u in self.graph.neighbors(v):
-                own_u = self.owner[u]
-                if own_u != self.machine_id:
+            for u in neighbors(v):
+                own_u = owner[u]
+                if own_u != machine_id:
                     mirror_set.add(own_u)
                     ghosts.add(u)
             if mirror_set:
                 self.mirrors[v] = frozenset(mirror_set)
         self.ghost_vertices: FrozenSet[VertexId] = frozenset(ghosts)
+        vertex_data = graph.vertex_data
         for v in owned | ghosts:
-            self._vdata[v] = self.graph.vertex_data(v)
+            self._vdata[v] = vertex_data(v)
             self._versions[vertex_key(v)] = 0
+        adjacent_edges = graph.adjacent_edges
+        edge_data = graph.edge_data
+        edata = self._edata
+        versions = self._versions
         for v in self.owned_vertices:
-            for (a, b) in self.graph.adjacent_edges(v):
-                if (a, b) not in self._edata:
-                    self._edata[(a, b)] = self.graph.edge_data(a, b)
-                    self._versions[edge_key(a, b)] = 0
+            for (a, b) in adjacent_edges(v):
+                if (a, b) not in edata:
+                    edata[(a, b)] = edge_data(a, b)
+                    versions[edge_key(a, b)] = 0
 
     # ------------------------------------------------------------------
     # Scope data-provider protocol.

@@ -121,8 +121,11 @@ class LockingEngine(DistributedEngineBase):
         self._wake: Dict[int, Optional[Future]] = {m: None for m in range(n)}
         self._idle_waiters: Dict[int, List[Future]] = {m: [] for m in range(n)}
         self._drain_waiters: Dict[int, List[Future]] = {m: [] for m in range(n)}
-        self._vertex_index = {v: i for i, v in enumerate(self.graph.vertices())}
+        # The compiled dense numbering doubles as the canonical total
+        # order (owner(v), index(v)) used by the lock chains.
+        self._vertex_index = self.graph.vertex_index()
         self._chains: Dict[VertexId, List[Tuple[int, List]]] = {}
+        self._sorted_scope_keys: Dict[VertexId, List] = {}
         self._acq_counter = itertools.count()
         self._acquisitions: Dict[int, Dict[str, Any]] = {}
         self._active_snapshot: Optional[Dict[str, Any]] = None
@@ -234,7 +237,12 @@ class LockingEngine(DistributedEngineBase):
         src_store = self.stores[from_machine]
         dst_store = self.stores[origin]
         entries = []
-        for key in sorted(scope_keys(self.graph, vertex), key=repr):
+        keys = self._sorted_scope_keys.get(vertex)
+        if keys is None:
+            keys = self._sorted_scope_keys[vertex] = sorted(
+                scope_keys(self.graph, vertex), key=repr
+            )
+        for key in keys:
             src_version = src_store.version(key)
             if src_version < 0:
                 continue

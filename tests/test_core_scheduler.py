@@ -152,6 +152,137 @@ class TestSweep:
         assert len(s) == 1
 
 
+class _CountingOrder(list):
+    """List that counts __getitem__ calls (sweep pop cost instrument)."""
+
+    def __init__(self, items):
+        super().__init__(items)
+        self.getitem_calls = 0
+
+    def __getitem__(self, index):
+        self.getitem_calls += 1
+        return super().__getitem__(index)
+
+
+class TestSweepSublinearPop:
+    def test_sparse_dirty_set_pops_without_scanning_order(self):
+        """Regression: pop must bisect to the next dirty vertex, not scan
+        the order. With 5 dirty vertices spread over an order of 100k,
+        the old implementation touched O(n) positions per pop."""
+        n = 100_000
+        s = SweepScheduler(order=range(n))
+        s._order = _CountingOrder(range(n))  # instrument lookups
+        dirty = [10, 25_000, 50_000, 75_000, 99_999]
+        for v in dirty:
+            s.add(v)
+        popped = [s.pop()[0] for _ in range(len(dirty))]
+        assert popped == dirty  # in-order from cursor 0
+        # One order lookup per pop (plus nothing else): sub-linear.
+        assert s._order.getitem_calls <= 2 * len(dirty)
+
+    def test_wrap_around_with_sparse_dirty_set(self):
+        s = SweepScheduler(order=range(1000))
+        s.add(990)
+        assert s.pop()[0] == 990  # cursor now at 991
+        s.add(5)
+        s.add(995)
+        assert s.pop()[0] == 995
+        assert s.pop()[0] == 5  # wrapped
+
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["add", "pop"]), st.integers(0, 30)),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_matches_linear_scan_reference(self, ops):
+        """The bisecting pop is behaviorally identical to the seed's
+        linear scan from the cursor."""
+        n = 31
+        s = SweepScheduler(order=range(n))
+        ref_dirty = set()
+        ref_cursor = 0
+        for op, v in ops:
+            if op == "add":
+                s.add(v)
+                ref_dirty.add(v)
+            elif s:
+                got = s.pop()[0]
+                expect = next(
+                    u
+                    for off in range(n)
+                    for u in [(ref_cursor + off) % n]
+                    if u in ref_dirty
+                )
+                ref_dirty.discard(expect)
+                ref_cursor = (expect + 1) % n
+                assert got == expect
+        assert set(s._dirty) == ref_dirty
+
+
+class TestEmptyPeekContract:
+    """All three schedulers share the raise-on-empty peek contract."""
+
+    @pytest.mark.parametrize(
+        "scheduler",
+        [FIFOScheduler(), PriorityScheduler(), SweepScheduler(order=[0, 1])],
+        ids=["fifo", "priority", "sweep"],
+    )
+    def test_empty_peek_raises(self, scheduler):
+        with pytest.raises(SchedulerError):
+            scheduler.peek_priority()
+
+    def test_nonempty_unprioritized_peek_is_zero(self):
+        fifo = FIFOScheduler()
+        fifo.add("v")
+        assert fifo.peek_priority() == 0.0
+        sweep = SweepScheduler(order=[0, 1])
+        sweep.add(1)
+        assert sweep.peek_priority() == 0.0
+
+    def test_nonempty_priority_peek_matches_pop(self):
+        s = PriorityScheduler()
+        s.add("a", 2.0)
+        assert s.peek_priority() == 2.0
+        assert s.pop() == ("a", 2.0)
+
+
+class TestAddAllTupleVertexIds:
+    def test_tuple_vertex_with_non_numeric_second_element(self):
+        """A hashable 2-tuple id like ("ctx", "x") must be scheduled
+        whole, not unpacked into (id, priority)."""
+        s = FIFOScheduler()
+        s.add_all([("ctx", "x"), ("ner", "y")])
+        assert s.pop()[0] == ("ctx", "x")
+        assert s.pop()[0] == ("ner", "y")
+
+    def test_numeric_pair_still_parsed_as_priority(self):
+        s = PriorityScheduler()
+        s.add_all([("low", 1), ("high", 9.0)])
+        assert s.pop() == ("high", 9.0)
+        assert s.pop() == ("low", 1.0)
+
+    def test_bool_second_element_is_vertex_id(self):
+        """bool is an int subtype but never a priority."""
+        s = FIFOScheduler()
+        s.add_all([("flag", True)])
+        assert s.pop()[0] == ("flag", True)
+
+    def test_three_tuples_and_longer_are_vertex_ids(self):
+        s = FIFOScheduler()
+        s.add_all([(0, 1, 2)])
+        assert s.pop()[0] == (0, 1, 2)
+
+    def test_add_pairs_takes_normalized_pairs_verbatim(self):
+        """add_pairs never disambiguates: pairs are (vertex, priority)
+        even when the vertex is itself a 2-tuple."""
+        s = PriorityScheduler()
+        s.add_pairs([(("r", "c"), 5.0), ("x", 1.0)])
+        assert s.pop() == (("r", "c"), 5.0)
+        assert s.pop() == ("x", 1.0)
+
+
 class TestFactory:
     def test_make_fifo(self):
         assert isinstance(make_scheduler("fifo"), FIFOScheduler)

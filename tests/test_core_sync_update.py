@@ -140,3 +140,16 @@ class TestGlobalValues:
         assert gv["a"] == 1
         snap["a"] = 99  # snapshot is a copy
         assert gv["a"] == 1
+
+
+class TestRestoreVisibleThroughLiveViews:
+    def test_restore_mutates_in_place(self):
+        """Pooled scopes hold one live view for an engine's lifetime;
+        restore() must mutate the underlying dict, not rebind it."""
+        gv = GlobalValues({"a": 1})
+        view = gv.view()  # captured once, like a pooled scope's globals
+        snap = gv.snapshot()
+        gv.publish("a", 2)
+        assert view["a"] == 2
+        gv.restore(snap)
+        assert view["a"] == 1  # restore visible through the old view

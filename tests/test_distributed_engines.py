@@ -236,6 +236,20 @@ class TestLockingEngine:
         assert len(trace) == result.num_updates
         trace.check()
 
+    def test_trace_records_real_access_sets(self):
+        """Regression: the pooled per-machine scope must record reads /
+        writes when the engine traces — empty access sets would make
+        trace.check() pass for any interleaving."""
+        g = _grid(4)
+        engine, _ = self._engine(g, trace=True)
+        result = engine.run(initial=g.vertices())
+        trace = result.extra["trace"]
+        assert len(trace) > 0
+        # flood_max reads D_v and every neighbor on each execution, and
+        # writes D_v whenever the flooded value changes.
+        assert all(e.reads for e in trace.executions)
+        assert any(e.writes for e in trace.executions)
+
     @given(st.integers(min_value=1, max_value=64))
     @settings(max_examples=8, deadline=None)
     def test_any_pipeline_length_terminates(self, pipeline):
