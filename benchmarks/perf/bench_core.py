@@ -1,14 +1,19 @@
-"""Core hot-path micro-benchmark: updates/sec through ``SequentialEngine``.
+"""Core hot-path micro-benchmark: updates/sec through the real engines.
 
 Unlike the ``benchmarks/test_fig*`` modules (which reproduce the paper's
-*figures* on the simulated cluster), this module measures the raw
-throughput of the in-process execution hot loop — pop a vertex, bind a
-scope, run the update — on two representative workloads:
+*figures* on the simulated cluster), this module measures raw wall-clock
+throughput on three fronts:
 
-* **PageRank** on a seeded random directed graph (scalar vertex data,
-  the paper's running example, Alg. 1);
-* **Loopy BP** on a 2-D grid MRF (numpy-vector vertex/edge data, the
-  workload of Secs. 4.2.2/5.2).
+* **PageRank** through ``SequentialEngine`` on a seeded random directed
+  graph (scalar vertex data, the paper's running example, Alg. 1);
+* **Loopy BP** through ``SequentialEngine`` on a 2-D grid MRF
+  (numpy-vector vertex/edge data, the workload of Secs. 4.2.2/5.2);
+* **Real-runtime PageRank** (PR 2): the Fig. 1a workload (1200-page
+  power-law web graph) as round-robin sweeps, on ``ThreadedEngine``
+  (4 GIL-bound threads — the old parallel ceiling) versus
+  ``RuntimeChromaticEngine`` over ``MpTransport`` at 1/2/4 worker OS
+  processes, with the results checked bit-identical against the
+  ``ColorSweepScheduler``-driven sequential oracle.
 
 Results are written to ``BENCH_core.json`` at the repo root together
 with the pre-refactor baseline (measured with this same harness on the
@@ -39,8 +44,15 @@ from typing import Callable, Dict
 
 from repro.apps.lbp import init_lbp_data, make_lbp_update, potts_potential
 from repro.apps.pagerank import make_pagerank_update
-from repro.core.engine import SequentialEngine
+from repro.core.coloring import greedy_coloring
+from repro.core.engine import SequentialEngine, ThreadedEngine
 from repro.core.graph import DataGraph
+from repro.datasets.webgraph import power_law_web_graph
+from repro.runtime import (
+    ColorSweepScheduler,
+    RuntimeChromaticEngine,
+    UpdateProgram,
+)
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_core.json"
@@ -141,6 +153,183 @@ WORKLOADS: Dict[str, Callable[[], Callable[[], int]]] = {
 
 
 # ----------------------------------------------------------------------
+# Real-runtime workload: Fig. 1a PageRank as round-robin sweeps.
+# ----------------------------------------------------------------------
+# One definition of the Fig. 1a workload: the figure reproduction owns
+# the constants, this harness measures the identical graph and sweep
+# count.
+from benchmarks.test_fig1a_pagerank_async import (  # noqa: E402
+    NUM_PAGES as FIG1A_PAGES,
+    OUT_DEGREE as FIG1A_OUT_DEGREE,
+    SEED as FIG1A_SEED,
+    SWEEPS as FIG1A_SWEEPS,
+)
+
+
+def _fig1a_graph():
+    return power_law_web_graph(
+        FIG1A_PAGES, out_degree=FIG1A_OUT_DEGREE, seed=FIG1A_SEED
+    )
+
+
+def build_threaded_fig1a_workload(num_workers: int = 4):
+    """Fig. 1a round-robin PageRank through ``ThreadedEngine``.
+
+    The pre-runtime parallel ceiling: real threads, per-vertex RW locks,
+    capped by the GIL. The runner times ``engine.run()`` only (graph
+    copy and lock-table construction excluded), mirroring how the
+    runtime side's ``exec_seconds`` excludes its setup, and returns
+    ``(num_updates, seconds)`` for :func:`measure_timed`.
+    """
+    graph = _fig1a_graph()
+    cap = FIG1A_SWEEPS * graph.num_vertices
+
+    def run():
+        copy = graph.copy()
+        engine = ThreadedEngine(
+            copy,
+            make_pagerank_update(schedule="self"),
+            num_workers=num_workers,
+            max_updates=cap,
+        )
+        start = time.perf_counter()
+        result = engine.run(initial=copy.vertices())
+        return result.num_updates, time.perf_counter() - start
+
+    return run
+
+
+def build_runtime_fig1a_workload(num_workers: int):
+    """Fig. 1a round-robin PageRank on real worker OS processes.
+
+    The runner reports the engine's own throughput accounting
+    (``exec_seconds`` excludes the one-time worker launch, mirroring the
+    simulated engines' ``include_load_time=False`` convention), so
+    :func:`measure_runtime` wraps it instead of :func:`measure`. After
+    each call ``run.last_graph`` holds the graph that run mutated, so
+    correctness checks verify the *same* configuration that was
+    measured.
+    """
+    graph = _fig1a_graph()
+    coloring = greedy_coloring(graph)
+    program = UpdateProgram(make_pagerank_update, kwargs={"schedule": "self"})
+
+    def run():
+        copy = graph.copy()
+        engine = RuntimeChromaticEngine(
+            copy,
+            program,
+            num_workers=num_workers,
+            transport="mp",
+            coloring=coloring,
+            max_sweeps=FIG1A_SWEEPS,
+        )
+        result = engine.run(initial=copy.vertices())
+        run.last_graph = copy
+        return result
+
+    run.last_graph = None
+    return run
+
+
+def fig1a_oracle_ranks() -> Dict[int, float]:
+    """Ground truth: the sequential engine in chromatic order."""
+    graph = _fig1a_graph()
+    coloring = greedy_coloring(graph)
+    engine = SequentialEngine(
+        graph,
+        make_pagerank_update(schedule="self"),
+        scheduler=ColorSweepScheduler(coloring),
+        max_updates=FIG1A_SWEEPS * graph.num_vertices,
+    )
+    engine.run(initial=graph.vertices())
+    return {v: graph.vertex_data(v) for v in graph.vertices()}
+
+
+def measure_timed(run, repeats: int = 3) -> Dict[str, float]:
+    """Best-of-``repeats`` for runners returning ``(updates, seconds)``."""
+    best: Dict[str, float] = {}
+    for _ in range(repeats):
+        num_updates, elapsed = run()
+        ups = num_updates / elapsed
+        if not best or ups > best["updates_per_sec"]:
+            best = {
+                "num_updates": num_updates,
+                "seconds": round(elapsed, 4),
+                "updates_per_sec": round(ups, 1),
+            }
+    return best
+
+
+def measure_runtime(run, repeats: int = 3) -> Dict[str, float]:
+    """Best-of-``repeats`` for a RuntimeChromaticEngine runner.
+
+    Records both accountings: ``updates_per_sec`` over ``exec_seconds``
+    (steady-state throughput; worker launch excluded, like the simulated
+    engines' ``include_load_time=False``) and
+    ``updates_per_sec_incl_launch`` over full wall time, so the one-time
+    structure-shipping cost is visible rather than hidden.
+    """
+    best: Dict[str, float] = {}
+    for _ in range(repeats):
+        result = run()
+        if not best or result.updates_per_sec > best["updates_per_sec"]:
+            incl = (
+                result.num_updates / result.wall_seconds
+                if result.wall_seconds > 0
+                else 0.0
+            )
+            best = {
+                "num_updates": result.num_updates,
+                "seconds": round(result.exec_seconds, 4),
+                "launch_seconds": round(result.launch_seconds, 4),
+                "updates_per_sec": round(result.updates_per_sec, 1),
+                "updates_per_sec_incl_launch": round(incl, 1),
+            }
+    return best
+
+
+def run_runtime_benchmarks(repeats: int = 3) -> Dict[str, Dict]:
+    """Fig. 1a throughput: threaded baseline vs workers=1/2/4 processes.
+
+    Also records whether the 4-worker run's final ranks are
+    bit-identical to the sequential oracle — the correctness side of
+    the speedup claim.
+    """
+    results: Dict[str, Dict] = {
+        "threaded_4_workers": measure_timed(
+            build_threaded_fig1a_workload(), repeats=repeats
+        )
+    }
+    oracle = fig1a_oracle_ranks()
+    bit_identical = True
+    for workers in (1, 2, 4):
+        run = build_runtime_fig1a_workload(workers)
+        results[f"mp_{workers}_workers"] = measure_runtime(
+            run, repeats=repeats
+        )
+        # Verify the exact configuration that was measured: the last
+        # measured run's final ranks must equal the oracle's.
+        bit_identical = bit_identical and all(
+            run.last_graph.vertex_data(v) == oracle[v] for v in oracle
+        )
+    threaded = results["threaded_4_workers"]["updates_per_sec"]
+    for workers in (1, 2, 4):
+        name = f"mp_{workers}_workers"
+        row = results[name]
+        row["speedup_vs_threaded"] = (
+            round(row["updates_per_sec"] / threaded, 2) if threaded else 0.0
+        )
+        row["speedup_vs_threaded_incl_launch"] = (
+            round(row["updates_per_sec_incl_launch"] / threaded, 2)
+            if threaded
+            else 0.0
+        )
+    results["bit_identical_to_sequential"] = bit_identical
+    return results
+
+
+# ----------------------------------------------------------------------
 # Measurement.
 # ----------------------------------------------------------------------
 def measure(run: Callable[[], int], repeats: int = 3) -> Dict[str, float]:
@@ -217,11 +406,13 @@ def main(argv=None) -> int:
         return 1
 
     results = run_benchmarks(repeats=args.repeats)
+    runtime_results = run_runtime_benchmarks(repeats=args.repeats)
     payload = {
         "harness": "benchmarks.perf.bench_core",
         "python": platform.python_version(),
         "baseline": PRE_REFACTOR_BASELINE,
         "current": results,
+        "runtime_pagerank": runtime_results,
         "speedup": {
             name: round(
                 results[name]["updates_per_sec"]
@@ -242,6 +433,23 @@ def main(argv=None) -> int:
         speedup = payload["speedup"].get(name)
         note = f" ({speedup}x over baseline)" if speedup else ""
         print(f"  {name}: {metrics['updates_per_sec']:.0f} updates/s{note}")
+    for name in ("threaded_4_workers", "mp_1_workers", "mp_2_workers", "mp_4_workers"):
+        metrics = runtime_results[name]
+        speedup = metrics.get("speedup_vs_threaded")
+        incl = metrics.get("speedup_vs_threaded_incl_launch")
+        note = (
+            f" ({speedup}x over threaded; {incl}x incl. launch)"
+            if speedup
+            else ""
+        )
+        print(
+            f"  runtime/{name}: {metrics['updates_per_sec']:.0f} "
+            f"updates/s{note}"
+        )
+    print(
+        "  runtime/bit_identical_to_sequential: "
+        f"{runtime_results['bit_identical_to_sequential']}"
+    )
     return 0
 
 

@@ -17,12 +17,17 @@ from repro.bench import Figure
 from repro.core import SequentialEngine, SweepScheduler
 from repro.datasets import power_law_web_graph
 
+#: The Fig. 1a workload definition — also imported by
+#: ``benchmarks.perf.bench_core`` so the real-runtime throughput rows in
+#: ``BENCH_core.json`` measure exactly this graph.
 NUM_PAGES = 1200
+OUT_DEGREE = 4
+SEED = 7
 SWEEPS = 12
 
 
 def run_experiment():
-    graph = power_law_web_graph(NUM_PAGES, out_degree=4, seed=7)
+    graph = power_law_web_graph(NUM_PAGES, out_degree=OUT_DEGREE, seed=SEED)
     truth = exact_pagerank(graph)
 
     # Synchronous (Pregel): Jacobi sweeps, error sampled per sweep.

@@ -25,7 +25,7 @@ from repro.distributed.snapshot import SECONDS_PER_YEAR
 MACHINES = 4
 
 
-def main() -> None:
+def main(side: int = 6) -> None:
     interval = young_checkpoint_interval(120.0, SECONDS_PER_YEAR, 64)
     print(
         "Young's optimal checkpoint interval (2-min checkpoint, 1-year "
@@ -33,7 +33,7 @@ def main() -> None:
         "(paper: ~3 hours)"
     )
 
-    graph, psi = mesh_3d(side=6, connectivity=26, seed=9)
+    graph, psi = mesh_3d(side=side, connectivity=26, seed=9)
     update = make_lbp_update(psi, epsilon=1e-3)
     dep = deploy(graph, MACHINES, partitioner="grid", sizes=COSEG_SIZES)
 

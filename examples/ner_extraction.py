@@ -21,9 +21,16 @@ from repro.distributed import NER_SIZES, ChromaticEngine, deploy, ner_cost
 MACHINES = 4
 
 
-def main() -> None:
+def main(
+    phrases_per_type: int = 30,
+    num_contexts: int = 120,
+    edges_per_phrase: int = 12,
+) -> None:
     data = synthetic_ner(
-        phrases_per_type=30, num_contexts=120, edges_per_phrase=12, seed=1
+        phrases_per_type=phrases_per_type,
+        num_contexts=num_contexts,
+        edges_per_phrase=edges_per_phrase,
+        seed=1,
     )
     graph = data.graph
     print(

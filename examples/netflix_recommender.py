@@ -26,9 +26,17 @@ MACHINES = 8
 ITERATIONS = 5
 
 
-def main() -> None:
+def main(
+    num_users: int = 400,
+    num_movies: int = 120,
+    ratings_per_user: int = 20,
+    iterations: int = ITERATIONS,
+) -> None:
     data = synthetic_netflix(
-        num_users=400, num_movies=120, ratings_per_user=20, seed=7
+        num_users=num_users,
+        num_movies=num_movies,
+        ratings_per_user=ratings_per_user,
+        seed=7,
     )
     graph = data.graph
     initialize_factors(graph, D, seed=1)
@@ -64,7 +72,7 @@ def main() -> None:
         coloring=bipartite_coloring(graph, side_fn=data.side_fn),
         max_sweeps=1,
     )
-    for iteration in range(ITERATIONS):
+    for iteration in range(iterations):
         engine.run(initial=graph.vertices())
         values = engine.gather_vertex_data()
         for v, value in values.items():

@@ -12,8 +12,8 @@ from repro.core import SequentialEngine
 from repro.datasets import power_law_web_graph
 
 
-def main() -> None:
-    graph = power_law_web_graph(num_vertices=500, out_degree=4, seed=42)
+def main(num_vertices: int = 500) -> None:
+    graph = power_law_web_graph(num_vertices=num_vertices, out_degree=4, seed=42)
     print(f"web graph: {graph.num_vertices} pages, {graph.num_edges} links")
 
     # The update function: recompute my rank from my in-neighbors and

@@ -29,8 +29,10 @@ from repro.distributed import (
 MACHINES = 4
 
 
-def main() -> None:
-    video = synthetic_video(frames=8, rows=10, cols=18, num_labels=3, seed=3)
+def main(frames: int = 8, rows: int = 10, cols: int = 18) -> None:
+    video = synthetic_video(
+        frames=frames, rows=rows, cols=cols, num_labels=3, seed=3
+    )
     graph = video.graph
     print(
         f"video: {video.frames} frames of {video.rows}x{video.cols} "
@@ -76,8 +78,8 @@ def main() -> None:
     print(f"segmentation accuracy (best label permutation): {accuracy:.1%}")
     print("\nframe 0 segmentation:")
     print(ascii_frame(labels, 0, video.rows, video.cols))
-    print("\nframe 7 segmentation (objects moved):")
-    print(ascii_frame(labels, 7, video.rows, video.cols))
+    print(f"\nframe {video.frames - 1} segmentation (objects moved):")
+    print(ascii_frame(labels, video.frames - 1, video.rows, video.cols))
 
 
 if __name__ == "__main__":

@@ -29,16 +29,20 @@ def make_pagerank_update(
 ):
     """Build the Alg. 1 update function.
 
-    ``schedule`` picks who gets rescheduled on a significant change:
-    ``"out"`` (dependents — pages we link to, the pull-model dependency
-    direction), ``"all"`` (the full ``N[v]`` of Alg. 1), or ``"none"``
-    (static sweeps drive everything).
+    ``schedule`` picks who gets rescheduled: ``"out"`` (on a significant
+    change, dependents — pages we link to, the pull-model dependency
+    direction), ``"all"`` (the full ``N[v]`` of Alg. 1, change-gated),
+    ``"self"`` (the vertex unconditionally re-schedules itself:
+    continuous round-robin sweeps, the paper's round-robin scheduler —
+    every vertex updates once per sweep until the engine's sweep/update
+    cap stops the run), or ``"none"`` (static sweeps drive everything).
     """
-    if schedule not in ("out", "all", "none"):
+    if schedule not in ("out", "all", "none", "self"):
         raise ValueError(f"unknown schedule policy {schedule!r}")
     damp = 1.0 - alpha
     dynamic = schedule != "none"
     out_targets = schedule == "out"
+    self_target = schedule == "self"
 
     def pagerank_update(scope: Scope):
         old_rank = scope.data
@@ -48,6 +52,8 @@ def make_pagerank_update(
         for _u, weight, nbr_rank in scope.gather_in():
             rank += damp * weight * nbr_rank
         scope.data = rank
+        if self_target:
+            return (scope.vertex,)
         change = abs(rank - old_rank)
         if change > epsilon and dynamic:
             targets = scope.out_neighbors if out_targets else scope.neighbors

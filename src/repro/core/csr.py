@@ -32,7 +32,7 @@ representations.
 
 from __future__ import annotations
 
-from typing import Any, Dict, FrozenSet, List, Tuple
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
 
 import numpy as np
 
@@ -91,6 +91,21 @@ class CSRGraph:
         "bind_cache",
     )
 
+    #: The canonical wire form: everything else is derived from these by
+    #: :meth:`_derive_views` (see ``__getstate__``).
+    _CANONICAL = (
+        "vertex_ids",
+        "vdata",
+        "edge_keys",
+        "edata",
+        "edge_src_index",
+        "edge_dst_index",
+        "out_offsets",
+        "out_targets",
+        "in_offsets",
+        "in_sources",
+    )
+
     @classmethod
     def build(
         cls,
@@ -104,13 +119,10 @@ class CSRGraph:
         vertex_ids = tuple(vdata)
         index_of = {v: i for i, v in enumerate(vertex_ids)}
         obj.vertex_ids = vertex_ids
-        obj.index_of = index_of
         obj.vdata = [vdata[v] for v in vertex_ids]
 
         edge_keys = tuple(edata)
-        edge_slot = {key: slot for slot, key in enumerate(edge_keys)}
         obj.edge_keys = edge_keys
-        obj.edge_slot = edge_slot
         obj.edata = [edata[key] for key in edge_keys]
         obj.edge_src_index = np.fromiter(
             (index_of[s] for (s, _d) in edge_keys),
@@ -122,16 +134,50 @@ class CSRGraph:
             dtype=np.int64,
             count=len(edge_keys),
         )
+        obj.out_offsets, obj.out_targets = _csr_arrays(
+            [out[v] for v in vertex_ids], index_of
+        )
+        obj.in_offsets, obj.in_sources = _csr_arrays(
+            [in_[v] for v in vertex_ids], index_of
+        )
+        obj._derive_views(index_of=index_of)
+        return obj
 
+    def _derive_views(self, index_of: Optional[Dict] = None) -> None:
+        """Materialize the interpreter-facing views from the canonical
+        arrays, and reset the memo caches.
+
+        Runs at compile time *and* after unpickling: the wire format is
+        just the canonical numpy/flat form, so structure ships compactly
+        (the runtime backend sends one copy per worker process) and the
+        pre-materialized tuples, frozensets, gather plans, and slot maps
+        are rebuilt identically on arrival. Orderings reproduce the
+        builder-dict insertion orders the arrays were compiled from.
+        ``index_of`` may be passed when the caller already built it
+        (:meth:`build` does); the unpickle path recomputes it.
+        """
+        vertex_ids = self.vertex_ids
+        if index_of is None:
+            index_of = {v: i for i, v in enumerate(vertex_ids)}
+        self.index_of = index_of
+        edge_slot = {key: slot for slot, key in enumerate(self.edge_keys)}
+        self.edge_slot = edge_slot
+
+        out_off, out_tgt = self.out_offsets, self.out_targets
+        in_off, in_src = self.in_offsets, self.in_sources
         out_ids: List[Tuple] = []
         in_ids: List[Tuple] = []
         nbr_ids: List[Tuple] = []
         nbr_sets: List[FrozenSet] = []
         adj_edges: List[Tuple[EdgeKey, ...]] = []
         in_gather: List[Tuple] = []
-        for v in vertex_ids:
-            outs = tuple(out[v])
-            ins = tuple(in_[v])
+        for i, v in enumerate(vertex_ids):
+            outs = tuple(
+                vertex_ids[j] for j in out_tgt[out_off[i]:out_off[i + 1]]
+            )
+            ins = tuple(
+                vertex_ids[j] for j in in_src[in_off[i]:in_off[i + 1]]
+            )
             out_ids.append(outs)
             in_ids.append(ins)
             # Undirected N[v]: in-neighbors first, then out, first-seen
@@ -147,21 +193,39 @@ class CSRGraph:
             in_gather.append(
                 tuple((u, edge_slot[(u, v)], index_of[u]) for u in ins)
             )
-        obj.out_ids = tuple(out_ids)
-        obj.in_ids = tuple(in_ids)
-        obj.nbr_ids = tuple(nbr_ids)
-        obj.nbr_sets = tuple(nbr_sets)
-        obj.adj_edges = tuple(adj_edges)
-        obj.in_gather = tuple(in_gather)
+        self.out_ids = tuple(out_ids)
+        self.in_ids = tuple(in_ids)
+        self.nbr_ids = tuple(nbr_ids)
+        self.nbr_sets = tuple(nbr_sets)
+        self.adj_edges = tuple(adj_edges)
+        self.in_gather = tuple(in_gather)
+        self.nbr_offsets, self.nbr_targets = _csr_arrays(nbr_ids, index_of)
 
-        obj.out_offsets, obj.out_targets = _csr_arrays(out_ids, index_of)
-        obj.in_offsets, obj.in_sources = _csr_arrays(in_ids, index_of)
-        obj.nbr_offsets, obj.nbr_targets = _csr_arrays(nbr_ids, index_of)
+        self.write_set_cache = {}
+        self.scope_key_cache = {}
+        self.bind_cache = {}
 
-        obj.write_set_cache = {}
-        obj.scope_key_cache = {}
-        obj.bind_cache = {}
-        return obj
+    # ------------------------------------------------------------------
+    # Pickling: canonical structure + data ship; views and memo caches
+    # are rebuilt on arrival.
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> Dict[str, Any]:
+        """Serialize only the canonical arrays and flat data.
+
+        The runtime backend (:mod:`repro.runtime`) ships one pickled
+        ``CSRGraph`` to every worker process at launch; the derived
+        views and memo caches are pure functions of the canonical form,
+        so each process rebuilds them instead of paying their wire cost.
+        Shipping caches would also break the sharing contract — an
+        unpickled cache dict is a *copy*, no longer the one object every
+        local clone shares.
+        """
+        return {name: getattr(self, name) for name in CSRGraph._CANONICAL}
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+        self._derive_views()
 
     def bind_cache_for(self, model: Any) -> Dict:
         """Per-consistency-model scope-binding memo: ``vertex ->

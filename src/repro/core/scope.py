@@ -84,6 +84,8 @@ class Scope:
         "_record",
         "_bind_cache",
         "_csr_direct",
+        "_flat_store",
+        "_store_gather",
         "_vidx",
     )
 
@@ -111,6 +113,22 @@ class Scope:
         # does not need access recording.
         self._csr_direct = (
             csr if (csr is not None and self._store is graph and not record)
+            else None
+        )
+        # Slot-addressed distributed shards (repro.runtime.shard) expose
+        # the compiled layout directly: flat data lists aligned to the
+        # CSR indices and a bulk in-gather. Reads then skip the store
+        # method call; writes still go through the store, which owns the
+        # version/dirty bookkeeping. Only legal untraced, on a finalized
+        # graph (the dense _vidx must be bound).
+        flat = self._store if (csr is not None and not record) else None
+        self._flat_store = (
+            flat if (flat is not None and hasattr(flat, "vdata_flat"))
+            else None
+        )
+        self._store_gather = (
+            self._store.gather_in
+            if (not record and hasattr(self._store, "gather_in"))
             else None
         )
         self.vertex = vertex
@@ -161,6 +179,9 @@ class Scope:
         csr = self._csr_direct
         if csr is not None:
             return csr.vdata[self._vidx]
+        flat = self._flat_store
+        if flat is not None:
+            return flat.vdata_flat[self._vidx]
         if self._record:
             self.reads.add(vertex_key(self.vertex))
         return self._store.vertex_data(self.vertex)
@@ -264,6 +285,9 @@ class Scope:
                 (u, edata[slot], vdata[ui])
                 for (u, slot, ui) in csr.in_gather[self._vidx]
             ]
+        bulk = self._store_gather
+        if bulk is not None:
+            return bulk(vertex)
         if self._record:
             reads = self.reads
             out = []

@@ -19,6 +19,7 @@ is acceptable for monitoring-style aggregates (Sec. 3.5).
 
 from __future__ import annotations
 
+import operator
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, Mapping, Optional
 
@@ -185,11 +186,16 @@ def sum_sync(
     finalize_fn: Callable[[Any], Any] = _identity,
     interval_updates: Optional[int] = None,
 ) -> SyncOperation:
-    """Convenience constructor for a numeric-sum sync (the common case)."""
+    """Convenience constructor for a numeric-sum sync (the common case).
+
+    The combiner is ``operator.add`` (not a lambda) so sum-syncs pickle
+    and can ship to the real-process runtime backend; user ``map_fn`` /
+    ``finalize_fn`` must likewise be module-level to cross processes.
+    """
     return SyncOperation(
         key=key,
         map_fn=map_fn,
-        combine_fn=lambda a, b: a + b,
+        combine_fn=operator.add,
         zero=0.0,
         finalize_fn=finalize_fn,
         interval_updates=interval_updates,

@@ -10,6 +10,7 @@ load every machine's partition + ghosts. The returned
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Callable, Dict, List, Optional, Union
 
 from repro.core.graph import DataGraph, VertexId
@@ -55,6 +56,73 @@ class Deployment:
     sizes: DataSizeModel
 
 
+class OwnershipPlan:
+    """Atoms, placement, and vertex ownership — no cluster attached.
+
+    The simulator-free half of :func:`deploy`: everything the two-phase
+    partitioning pipeline (Sec. 4.1) produces before any machine exists.
+    The real-process runtime backend (:mod:`repro.runtime`) consumes
+    this directly, so simulated and real executions share one placement
+    path — ``random_hash_assignment`` and :meth:`AtomIndex.place` are
+    deterministic, making vertex ownership reproducible across backends.
+
+    ``placement`` and ``owner`` are computed lazily: :func:`deploy`'s
+    ingress path derives ownership from journal playback itself and
+    only needs the atoms + index.
+    """
+
+    def __init__(
+        self, atoms: List[Atom], index: AtomIndex, num_machines: int
+    ) -> None:
+        self.atoms = atoms
+        self.index = index
+        self.num_machines = num_machines
+
+    @cached_property
+    def placement(self) -> Dict[int, int]:
+        """Balanced atom -> machine placement (via the atom index)."""
+        return self.index.place(self.num_machines)
+
+    @cached_property
+    def owner(self) -> Dict[VertexId, int]:
+        """Vertex -> machine ownership induced by :attr:`placement`."""
+        return ownership_from_placement(self.atoms, self.placement)
+
+
+def plan_ownership(
+    graph: DataGraph,
+    num_machines: int,
+    partitioner: Union[str, Callable[[DataGraph, int], Assignment], None] = "bfs",
+    assignment: Optional[Assignment] = None,
+    atoms_per_machine: int = 4,
+    sizes: DataSizeModel = DataSizeModel(),
+) -> OwnershipPlan:
+    """Over-partition ``graph`` into atoms and place them on machines.
+
+    Runs the graph-cut + atom-index placement phase of Fig. 5a without
+    touching the simulator: choose (or accept) an assignment into
+    ``atoms_per_machine * num_machines`` atoms, build the atom journals
+    and index, and place atoms greedily (on demand). :func:`deploy`
+    layers the simulated DFS/ingress on top of this plan.
+    """
+    graph.require_finalized()
+    num_atoms = max(1, atoms_per_machine) * num_machines
+    if assignment is None:
+        if partitioner is None:
+            raise PartitionError("need a partitioner or an assignment")
+        if isinstance(partitioner, str):
+            try:
+                partitioner = _PARTITIONERS[partitioner]
+            except KeyError:
+                raise PartitionError(
+                    f"unknown partitioner {partitioner!r}; expected one of "
+                    f"{sorted(_PARTITIONERS)}"
+                ) from None
+        assignment = partitioner(graph, num_atoms)
+    atoms, index = build_atoms(graph, assignment, num_atoms, sizes=sizes)
+    return OwnershipPlan(atoms=atoms, index=index, num_machines=num_machines)
+
+
 def deploy(
     graph: DataGraph,
     num_machines: int,
@@ -82,21 +150,15 @@ def deploy(
     DFS/journal-playback time — handy for unit tests where load time is
     noise.
     """
-    graph.require_finalized()
-    num_atoms = max(1, atoms_per_machine) * num_machines
-    if assignment is None:
-        if partitioner is None:
-            raise PartitionError("need a partitioner or an assignment")
-        if isinstance(partitioner, str):
-            try:
-                partitioner = _PARTITIONERS[partitioner]
-            except KeyError:
-                raise PartitionError(
-                    f"unknown partitioner {partitioner!r}; expected one of "
-                    f"{sorted(_PARTITIONERS)}"
-                ) from None
-        assignment = partitioner(graph, num_atoms)
-    atoms, index = build_atoms(graph, assignment, num_atoms, sizes=sizes)
+    plan = plan_ownership(
+        graph,
+        num_machines,
+        partitioner=partitioner,
+        assignment=assignment,
+        atoms_per_machine=atoms_per_machine,
+        sizes=sizes,
+    )
+    atoms, index = plan.atoms, plan.index
     cluster = Cluster(
         num_machines,
         instance=instance,
@@ -106,8 +168,8 @@ def deploy(
     )
     dfs = DistributedFileSystem(cluster, replication=replication)
     if skip_ingress_io:
-        placement = index.place(num_machines)
-        owner = ownership_from_placement(atoms, placement)
+        placement = plan.placement
+        owner = plan.owner
         stores = {
             m: LocalGraphStore(m, graph, owner, sizes=sizes)
             for m in range(num_machines)

@@ -31,6 +31,28 @@ from repro.distributed.models import VERSION_BYTES, DataSizeModel
 from repro.errors import GraphStructureError
 
 
+def ghost_write_targets(
+    graph: DataGraph,
+    owner: Mapping[VertexId, int],
+    machine_id: int,
+    vid: VertexId,
+) -> FrozenSet[int]:
+    """Remote holders of a ghost vertex, from ``machine_id``'s view.
+
+    The single source of the mirror-holder rule shared by
+    :class:`LocalGraphStore` and the runtime backend's
+    :class:`~repro.runtime.shard.CSRShardStore`: a vertex is held by its
+    owner and by every machine owning one of its neighbors, so a
+    FULL-consistency ghost write must ship to all of those except the
+    writer itself. Computable locally because structure and the owner
+    map are replicated on every machine.
+    """
+    holders = {owner[vid]}
+    holders.update(owner[u] for u in graph.neighbors(vid))
+    holders.discard(machine_id)
+    return frozenset(holders)
+
+
 class LocalGraphStore:
     """One machine's slice of the distributed data graph.
 
@@ -66,6 +88,9 @@ class LocalGraphStore:
         self.owned_vertices: List[VertexId] = []
         #: owned boundary vertex -> machines holding a ghost of it
         self.mirrors: Dict[VertexId, FrozenSet[int]] = {}
+        #: ghost vertex -> remote holders (owner + other mirrors), built
+        #: lazily: only FULL-consistency neighbor writes dirty ghosts.
+        self._ghost_targets: Dict[VertexId, FrozenSet[int]] = {}
         self._build()
 
     def _build(self) -> None:
@@ -191,15 +216,23 @@ class LocalGraphStore:
         """Drain dirty owned data grouped by destination machine.
 
         Returns ``{machine: [(key, value, version, bytes), ...]}`` for
-        every remote machine holding a ghost of a dirty datum. Edge data
-        travels to the owners of both endpoints. Unchanged data is never
-        shipped (the versioning system's whole point).
+        every remote machine holding a copy of a dirty datum: an owned
+        vertex travels to its mirrors, a dirty *ghost* (written via
+        ``set_neighbor`` under FULL consistency) to its owner plus the
+        other mirror holders — computable locally because structure and
+        the owner map are replicated. Edge data travels to the owners of
+        both endpoints. Unchanged data is never shipped (the versioning
+        system's whole point).
         """
         out: Dict[int, List[Tuple[DataKey, Any, int, float]]] = {}
         for key in sorted(self._dirty, key=repr):
             targets: Set[int] = set()
             if key[0] == "v":
-                targets = set(self.mirrors.get(key[1], ()))
+                vid = key[1]
+                if vid in self.ghost_vertices:
+                    targets = set(self._targets_of_ghost(vid))
+                else:
+                    targets = set(self.mirrors.get(vid, ()))
             else:
                 for endpoint in (key[1], key[2]):
                     own = self.owner[endpoint]
@@ -217,6 +250,14 @@ class LocalGraphStore:
                 out.setdefault(target, []).append(entry)
         self._dirty.clear()
         return out
+
+    def _targets_of_ghost(self, vid: VertexId) -> FrozenSet[int]:
+        targets = self._ghost_targets.get(vid)
+        if targets is None:
+            targets = self._ghost_targets[vid] = ghost_write_targets(
+                self.graph, self.owner, self.machine_id, vid
+            )
+        return targets
 
     @property
     def dirty_count(self) -> int:

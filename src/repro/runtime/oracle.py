@@ -1,0 +1,87 @@
+"""Sequential oracle for the chromatic execution order.
+
+Under a coloring proper for the consistency model, same-color scopes
+never observe each other's writes, so a color-step's outcome does not
+depend on intra-step order — the serializability argument of Sec. 4.2.1.
+Corollary: a *single-threaded* engine that pops vertices in chromatic
+order (sweep over colors; per color, the scheduled members of that
+class in class order, snapshotted at color entry) computes **bit-
+identical** results to the parallel chromatic engines — simulated or
+real, any worker count, any transport.
+
+:class:`ColorSweepScheduler` packages that order as an ordinary
+:class:`~repro.core.scheduler.Scheduler`, so
+``SequentialEngine(graph, fn, scheduler=ColorSweepScheduler(coloring))``
+becomes the ground-truth oracle the runtime backend's property tests
+compare against. It replicates the chromatic task semantics exactly:
+
+* set-based (duplicates absorbed), priorities ignored;
+* the work list of a color is snapshotted when the color is entered and
+  removed from ``T`` up front — a vertex rescheduled while its own
+  color-step runs executes again in the *next* sweep;
+* vertices scheduled mid-sweep run at the next visit of their color.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Set, Tuple
+
+from repro.core.coloring import Coloring, color_classes
+from repro.core.graph import VertexId
+from repro.core.scheduler import Scheduler
+from repro.errors import SchedulerError
+
+
+class ColorSweepScheduler(Scheduler):
+    """Pop vertices in the chromatic engine's deterministic order."""
+
+    def __init__(self, coloring: Coloring) -> None:
+        self._classes: List[List[VertexId]] = color_classes(coloring)
+        self._colored: Set[VertexId] = set(coloring)
+        #: The task set T (vertices awaiting their color's next visit).
+        self._pending: Set[VertexId] = set()
+        #: Current color's snapshot, already removed from T.
+        self._work: Deque[VertexId] = deque()
+        self._work_set: Set[VertexId] = set()
+        self._next_color = 0
+
+    def add(self, vertex: VertexId, priority: float = 0.0) -> None:
+        if vertex not in self._colored:
+            raise SchedulerError(
+                f"vertex {vertex!r} is not covered by the coloring"
+            )
+        self._pending.add(vertex)
+
+    def pop(self) -> Tuple[VertexId, float]:
+        if not self._work:
+            self._advance()
+        try:
+            vertex = self._work.popleft()
+        except IndexError:
+            raise SchedulerError(
+                "pop from empty color-sweep scheduler"
+            ) from None
+        self._work_set.discard(vertex)
+        return vertex, 0.0
+
+    def _advance(self) -> None:
+        """Snapshot the next non-empty color's scheduled members."""
+        pending = self._pending
+        if not pending:
+            return
+        for _ in range(len(self._classes)):
+            color = self._next_color
+            self._next_color = (color + 1) % len(self._classes)
+            work = [v for v in self._classes[color] if v in pending]
+            if work:
+                pending.difference_update(work)
+                self._work.extend(work)
+                self._work_set.update(work)
+                return
+
+    def __len__(self) -> int:
+        return len(self._pending) + len(self._work)
+
+    def __contains__(self, vertex: VertexId) -> bool:
+        return vertex in self._pending or vertex in self._work_set

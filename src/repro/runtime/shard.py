@@ -1,0 +1,444 @@
+"""Slot-addressed shard storage for runtime workers.
+
+:class:`CSRShardStore` is the runtime backend's answer to
+:class:`~repro.distributed.graph_store.LocalGraphStore`: the same
+ghost/version coherence protocol — monotone versions, idempotent
+``apply_remote``, ``collect_dirty`` batched per destination — but laid
+out on the finalize-time compiled form instead of id-keyed dicts. Every
+worker process unpickles the shared :class:`~repro.core.csr.CSRGraph`
+structure once; the shard then keeps its data in **flat lists aligned to
+the compiled slots** (``vdata_flat[index]`` / ``edata_flat[slot]``),
+versions in parallel flat lists, and dirty state as index/slot sets. The
+ROADMAP's storage contract ("per-machine stores … must treat graph
+structure queries as O(1) array hits") applied to data too: reads on the
+update hot path are a list index, not a dict probe, which is what lets a
+worker's inner loop run at reference-engine speed.
+
+Wire compatibility: entries still travel as ``(DataKey, value, version,
+bytes)`` with the same ``("v", vid)`` / ``("e", src, dst)`` keys and the
+same :class:`~repro.distributed.models.DataSizeModel` accounting, so the
+coordinator-side routing and any consumer of the simulated stores' entry
+format work unchanged.
+
+Scope contract: access is expected to come through
+:class:`~repro.core.scope.Scope`, whose adjacency checks confine reads
+to held data (the scope of an owned vertex is always fully held —
+primaries plus ghosts). Unlike ``LocalGraphStore``, reads of a known but
+*unheld* vertex are not detected (the flat lists cover the whole graph;
+unheld slots simply retain their load-time values); ``apply_remote``
+does check heldness, so misrouted deliveries are still dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, List, Mapping, Set, Tuple
+
+from repro.core.consistency import DataKey, edge_key, vertex_key
+from repro.core.graph import DataGraph, VertexId
+from repro.distributed.graph_store import ghost_write_targets
+from repro.distributed.models import VERSION_BYTES, DataSizeModel
+from repro.errors import GraphStructureError
+
+
+class FlatEntries:
+    """A struct-of-arrays batch of slot-form ghost entries.
+
+    Parallel lists: ``v_index``/``v_value``/``v_version`` for vertex
+    data, ``e_slot``/``e_value``/``e_version`` for edge data. Batches
+    merge with :meth:`extend` (the coordinator routes several workers'
+    output into one destination inbox per round).
+    """
+
+    __slots__ = (
+        "v_index", "v_value", "v_version", "e_slot", "e_value", "e_version"
+    )
+
+    def __init__(self) -> None:
+        self.v_index: List[int] = []
+        self.v_value: List[Any] = []
+        self.v_version: List[int] = []
+        self.e_slot: List[int] = []
+        self.e_value: List[Any] = []
+        self.e_version: List[int] = []
+
+    def extend(self, other: "FlatEntries") -> None:
+        self.v_index.extend(other.v_index)
+        self.v_value.extend(other.v_value)
+        self.v_version.extend(other.v_version)
+        self.e_slot.extend(other.e_slot)
+        self.e_value.extend(other.e_value)
+        self.e_version.extend(other.e_version)
+
+    def __len__(self) -> int:
+        return len(self.v_index) + len(self.e_slot)
+
+    def __getstate__(self) -> Tuple:
+        return (
+            self.v_index, self.v_value, self.v_version,
+            self.e_slot, self.e_value, self.e_version,
+        )
+
+    def __setstate__(self, state: Tuple) -> None:
+        (
+            self.v_index, self.v_value, self.v_version,
+            self.e_slot, self.e_value, self.e_version,
+        ) = state
+
+
+class CSRShardStore:
+    """One worker's slice of the graph, slot-addressed end to end."""
+
+    __slots__ = (
+        "machine_id",
+        "graph",
+        "owner",
+        "sizes",
+        "owned_vertices",
+        "ghost_vertices",
+        "mirrors",
+        "vdata_flat",
+        "edata_flat",
+        "_csr",
+        "_index_of",
+        "_edge_slot",
+        "_vversion",
+        "_eversion",
+        "_dirty_v",
+        "_dirty_e",
+        "_held_v",
+        "_held_e",
+        "_owned_v",
+        "_vtargets",
+        "_etargets",
+    )
+
+    def __init__(
+        self,
+        machine_id: int,
+        graph: DataGraph,
+        owner: Mapping[VertexId, int],
+        sizes: DataSizeModel = DataSizeModel(),
+    ) -> None:
+        graph.require_finalized()
+        csr = graph.compiled
+        self.machine_id = machine_id
+        self.graph = graph
+        self.owner = owner
+        self.sizes = sizes
+        self._csr = csr
+        self._index_of = csr.index_of
+        self._edge_slot = csr.edge_slot
+        # Full-length clones of the flat data lists: owned and ghost
+        # slots are live, the rest keep their load-time values (never
+        # read through a scope, never shipped).
+        self.vdata_flat: List[Any] = list(csr.vdata)
+        self.edata_flat: List[Any] = list(csr.edata)
+        self._vversion: List[int] = [0] * len(csr.vertex_ids)
+        self._eversion: List[int] = [0] * len(csr.edge_keys)
+        self._dirty_v: Set[int] = set()
+        self._dirty_e: Set[int] = set()
+
+        index_of = csr.index_of
+        owned = [v for v in csr.vertex_ids if owner[v] == machine_id]
+        self.owned_vertices: List[VertexId] = owned
+        held_v: Set[int] = {index_of[v] for v in owned}
+        ghosts: Set[VertexId] = set()
+        mirrors: Dict[VertexId, FrozenSet[int]] = {}
+        for v in owned:
+            mirror_set = set()
+            for u in csr.nbr_ids[index_of[v]]:
+                own_u = owner[u]
+                if own_u != machine_id:
+                    mirror_set.add(own_u)
+                    ghosts.add(u)
+            if mirror_set:
+                mirrors[v] = frozenset(mirror_set)
+        self.ghost_vertices: FrozenSet[VertexId] = frozenset(ghosts)
+        self.mirrors = mirrors
+        self._owned_v: FrozenSet[int] = frozenset(held_v)
+        held_v.update(index_of[u] for u in ghosts)
+        self._held_v = held_v
+        #: vertex index -> remote machines holding a copy. Seeded from
+        #: ``mirrors`` for owned boundary vertices; targets for *ghosts*
+        #: (writable only under FULL consistency via ``set_neighbor``)
+        #: are computed lazily on first dirty and memoized here — their
+        #: holders (owner plus other mirror machines) are computable
+        #: locally because structure and the owner map are replicated.
+        self._vtargets: Dict[int, Tuple[int, ...]] = {
+            index_of[v]: tuple(sorted(machines))
+            for v, machines in mirrors.items()
+        }
+
+        #: edge slot -> remote endpoint owners (held edges only)
+        etargets: Dict[int, Tuple[int, ...]] = {}
+        held_e: Set[int] = set()
+        edge_slot = csr.edge_slot
+        for v in owned:
+            for (a, b) in csr.adj_edges[index_of[v]]:
+                slot = edge_slot[(a, b)]
+                if slot in held_e:
+                    continue
+                held_e.add(slot)
+                targets = sorted(
+                    {
+                        owner[endpoint]
+                        for endpoint in (a, b)
+                        if owner[endpoint] != machine_id
+                    }
+                )
+                if targets:
+                    etargets[slot] = tuple(targets)
+        self._held_e = held_e
+        self._etargets = etargets
+
+    # ------------------------------------------------------------------
+    # Scope data-provider protocol (+ the flat fast path Scope uses).
+    # ------------------------------------------------------------------
+    def vertex_data(self, vid: VertexId) -> Any:
+        try:
+            return self.vdata_flat[self._index_of[vid]]
+        except KeyError:
+            raise GraphStructureError(f"unknown vertex {vid!r}") from None
+
+    def set_vertex_data(self, vid: VertexId, value: Any) -> None:
+        try:
+            index = self._index_of[vid]
+        except KeyError:
+            raise GraphStructureError(f"unknown vertex {vid!r}") from None
+        self.vdata_flat[index] = value
+        self._vversion[index] += 1
+        self._dirty_v.add(index)
+
+    def edge_data(self, src: VertexId, dst: VertexId) -> Any:
+        try:
+            return self.edata_flat[self._edge_slot[(src, dst)]]
+        except KeyError:
+            raise GraphStructureError(
+                f"unknown edge {src!r} -> {dst!r}"
+            ) from None
+
+    def set_edge_data(self, src: VertexId, dst: VertexId, value: Any) -> None:
+        try:
+            slot = self._edge_slot[(src, dst)]
+        except KeyError:
+            raise GraphStructureError(
+                f"unknown edge {src!r} -> {dst!r}"
+            ) from None
+        self.edata_flat[slot] = value
+        self._eversion[slot] += 1
+        self._dirty_e.add(slot)
+
+    def gather_in(self, vertex: VertexId) -> List[Tuple[VertexId, Any, Any]]:
+        """Bulk ``[(u, D_{u->v}, D_u)]`` through the compiled gather plan.
+
+        Same speed as the reference engine's direct-CSR path: the
+        finalize-time ``in_gather`` triples index straight into the flat
+        shard lists.
+        """
+        vdata = self.vdata_flat
+        edata = self.edata_flat
+        return [
+            (u, edata[slot], vdata[ui])
+            for (u, slot, ui) in self._csr.in_gather[self._index_of[vertex]]
+        ]
+
+    def has_vertex(self, vid: VertexId) -> bool:
+        """Whether this shard holds (a copy of) ``vid``."""
+        index = self._index_of.get(vid)
+        return index is not None and index in self._held_v
+
+    # ------------------------------------------------------------------
+    # Coherence protocol (wire-compatible with LocalGraphStore).
+    # ------------------------------------------------------------------
+    def version(self, key: DataKey) -> int:
+        """Current version of a held datum (-1 if not held)."""
+        if key[0] == "v":
+            index = self._index_of.get(key[1])
+            if index is None or index not in self._held_v:
+                return -1
+            return self._vversion[index]
+        slot = self._edge_slot.get((key[1], key[2]))
+        if slot is None or slot not in self._held_e:
+            return -1
+        return self._eversion[slot]
+
+    def key_bytes(self, key: DataKey) -> float:
+        """Wire size of a datum plus its version tag."""
+        if key[0] == "v":
+            return self.sizes.vbytes(key[1]) + VERSION_BYTES
+        return self.sizes.ebytes(key[1], key[2]) + VERSION_BYTES
+
+    def apply_remote(self, key: DataKey, value: Any, version: int) -> bool:
+        """Apply a pushed datum if held and newer; idempotent."""
+        if key[0] == "v":
+            index = self._index_of.get(key[1])
+            if index is None or index not in self._held_v:
+                return False
+            if version <= self._vversion[index]:
+                return False
+            self._vversion[index] = version
+            self.vdata_flat[index] = value
+            return True
+        slot = self._edge_slot.get((key[1], key[2]))
+        if slot is None or slot not in self._held_e:
+            return False
+        if version <= self._eversion[slot]:
+            return False
+        self._eversion[slot] = version
+        self.edata_flat[slot] = value
+        return True
+
+    def collect_dirty_flat(self) -> Dict[int, "FlatEntries"]:
+        """Drain dirty data in slot form, batched per destination.
+
+        The runtime hot path: indices are canonical across processes
+        (every worker shares the compiled numbering), so entries skip
+        the id-keyed ``DataKey`` envelope entirely, and each batch is
+        struct-of-arrays — six parallel flat lists (vertex
+        indices/values/versions, edge slots/values/versions) — which
+        pickles far cheaper than per-entry tuples. Same routing
+        semantics as :meth:`collect_dirty`; versions still ride along,
+        so :meth:`apply_flat` keeps the idempotent stale-drop filter.
+        """
+        out: Dict[int, FlatEntries] = {}
+        if self._dirty_v:
+            vtargets = self._vtargets
+            owned = self._owned_v
+            for index in sorted(self._dirty_v):
+                targets = vtargets.get(index)
+                if targets is None:
+                    if index in owned:
+                        continue  # interior owned vertex: no remote copy
+                    targets = self._ghost_targets_of(index)
+                value = self.vdata_flat[index]
+                version = self._vversion[index]
+                for target in targets:
+                    batch = out.get(target)
+                    if batch is None:
+                        batch = out[target] = FlatEntries()
+                    batch.v_index.append(index)
+                    batch.v_value.append(value)
+                    batch.v_version.append(version)
+            self._dirty_v.clear()
+        if self._dirty_e:
+            etargets = self._etargets
+            for slot in sorted(self._dirty_e):
+                targets = etargets.get(slot)
+                if not targets:
+                    continue
+                value = self.edata_flat[slot]
+                version = self._eversion[slot]
+                for target in targets:
+                    batch = out.get(target)
+                    if batch is None:
+                        batch = out[target] = FlatEntries()
+                    batch.e_slot.append(slot)
+                    batch.e_value.append(value)
+                    batch.e_version.append(version)
+            self._dirty_e.clear()
+        return out
+
+    def _ghost_targets_of(self, index: int) -> Tuple[int, ...]:
+        """Remote holders of a dirty ghost (memoized into vtargets);
+        the rule itself is shared with ``LocalGraphStore``."""
+        vid = self._csr.vertex_ids[index]
+        targets = self._vtargets[index] = tuple(
+            sorted(
+                ghost_write_targets(
+                    self.graph, self.owner, self.machine_id, vid
+                )
+            )
+        )
+        return targets
+
+    def apply_flat(self, batch: "FlatEntries") -> None:
+        """Apply a routed slot-form batch (version-filtered, idempotent)."""
+        if batch.v_index:
+            held = self._held_v
+            versions = self._vversion
+            vdata = self.vdata_flat
+            for index, value, version in zip(
+                batch.v_index, batch.v_value, batch.v_version
+            ):
+                if index in held and version > versions[index]:
+                    versions[index] = version
+                    vdata[index] = value
+        if batch.e_slot:
+            held_e = self._held_e
+            eversions = self._eversion
+            edata = self.edata_flat
+            for slot, value, version in zip(
+                batch.e_slot, batch.e_value, batch.e_version
+            ):
+                if slot in held_e and version > eversions[slot]:
+                    eversions[slot] = version
+                    edata[slot] = value
+
+    def collect_dirty(self) -> Dict[int, List[Tuple[DataKey, Any, int, float]]]:
+        """Drain dirty data in ``LocalGraphStore.collect_dirty``'s format.
+
+        A thin envelope over :meth:`collect_dirty_flat` (single source of
+        the routing rules): slot indices become ``DataKey`` tuples and
+        entries regain the modeled byte size, for consumers written
+        against the simulated stores' entry format.
+        """
+        out: Dict[int, List[Tuple[DataKey, Any, int, float]]] = {}
+        vertex_ids = self._csr.vertex_ids
+        edge_keys = self._csr.edge_keys
+        for dst, batch in self.collect_dirty_flat().items():
+            entries = out.setdefault(dst, [])
+            for index, value, version in zip(
+                batch.v_index, batch.v_value, batch.v_version
+            ):
+                vid = vertex_ids[index]
+                entries.append(
+                    (
+                        vertex_key(vid),
+                        value,
+                        version,
+                        self.sizes.vbytes(vid) + VERSION_BYTES,
+                    )
+                )
+            for slot, value, version in zip(
+                batch.e_slot, batch.e_value, batch.e_version
+            ):
+                (a, b) = edge_keys[slot]
+                entries.append(
+                    (
+                        edge_key(a, b),
+                        value,
+                        version,
+                        self.sizes.ebytes(a, b) + VERSION_BYTES,
+                    )
+                )
+        return out
+
+    @property
+    def dirty_count(self) -> int:
+        """Slots changed since the last :meth:`collect_dirty`."""
+        return len(self._dirty_v) + len(self._dirty_e)
+
+    def checkpoint_payload(self) -> Dict[str, Any]:
+        """All owned data: same shape as ``LocalGraphStore``'s."""
+        payload: Dict[str, Any] = {"vdata": {}, "edata": {}, "versions": {}}
+        index_of = self._index_of
+        for v in self.owned_vertices:
+            index = index_of[v]
+            payload["vdata"][v] = self.vdata_flat[index]
+            payload["versions"][vertex_key(v)] = self._vversion[index]
+        edge_keys = self._csr.edge_keys
+        machine_id = self.machine_id
+        owner = self.owner
+        for slot in sorted(self._held_e):
+            (a, b) = edge_keys[slot]
+            if owner[a] == machine_id:
+                payload["edata"][(a, b)] = self.edata_flat[slot]
+                payload["versions"][edge_key(a, b)] = self._eversion[slot]
+        return payload
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CSRShardStore(machine={self.machine_id}, "
+            f"owned={len(self.owned_vertices)}, "
+            f"ghosts={len(self.ghost_vertices)})"
+        )

@@ -1,0 +1,282 @@
+"""Transports: how the coordinator reaches its workers.
+
+The runtime engine is written against one tiny contract — launch N
+workers from pickled init payloads, then exchange full *rounds* (send a
+command to every worker, collect every reply). Two implementations:
+
+* :class:`InprocTransport` — workers are plain objects driven
+  synchronously in worker-id order inside the calling process. Every
+  payload still takes a ``pickle`` round-trip, so the serialization
+  behavior is identical to the real thing, but execution is single-
+  threaded and fully deterministic: the backend the property tests
+  compare bit-for-bit against the reference engines.
+* :class:`MpTransport` — one OS process per worker over
+  ``multiprocessing`` pipes. The send-all-then-receive-all round *is*
+  the chromatic engine's full communication barrier, and between the
+  sends and the receives all workers compute concurrently on real
+  cores — the paper's claim that the abstraction carries unchanged from
+  shared memory to distributed execution, cashed in (Sec. 4).
+
+A transport is single-use: ``launch`` once, ``round`` many times,
+``shutdown`` once (idempotent).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import time
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import EngineError
+from repro.runtime.worker import RuntimeWorker, serve
+
+Message = Tuple[str, Any]
+
+
+class WorkerFailure(EngineError):
+    """A worker process (or in-process worker) raised; carries its
+    traceback text and the failing worker id."""
+
+    def __init__(self, worker_id: int, detail: str) -> None:
+        super().__init__(f"worker {worker_id} failed:\n{detail}")
+        self.worker_id = worker_id
+        self.detail = detail
+
+
+class Transport:
+    """Contract shared by every backend."""
+
+    name: str = "abstract"
+
+    def __init__(self, num_workers: int) -> None:
+        if num_workers < 1:
+            raise EngineError("need at least one worker")
+        self.num_workers = num_workers
+        self._launched = False
+        self._closed = False
+
+    def launch(self, init_payloads: Iterable[bytes]) -> List[Any]:
+        """Start every worker from its pickled init; returns ready acks.
+
+        ``init_payloads`` may be a lazy iterable: each blob (which
+        embeds a full pickled graph) is consumed and handed to its
+        worker before the next is produced, so the coordinator never
+        holds more than one serialized copy at a time. Exactly
+        ``num_workers`` payloads must be yielded.
+        """
+        if self._launched:
+            raise EngineError("transport already launched (single-use)")
+        self._launched = True
+        return self._launch(init_payloads)
+
+    def _check_payload_count(self, count: int) -> None:
+        if count != self.num_workers:
+            raise EngineError(
+                f"expected {self.num_workers} init payloads, got {count}"
+            )
+
+    def round(self, messages: Sequence[Message]) -> List[Any]:
+        """Send one command per worker; block until every reply arrives.
+
+        This is the full communication barrier between color-steps: no
+        caller proceeds until all workers have answered. Raises
+        :class:`WorkerFailure` if any worker errored.
+        """
+        if not self._launched or self._closed:
+            raise EngineError("transport is not running")
+        if len(messages) != self.num_workers:
+            raise EngineError(
+                f"round needs {self.num_workers} messages, "
+                f"got {len(messages)}"
+            )
+        return self._round(messages)
+
+    def shutdown(self) -> None:
+        """Stop workers and release resources (idempotent)."""
+        if self._closed or not self._launched:
+            self._closed = True
+            return
+        self._closed = True
+        self._shutdown()
+
+    # Subclass hooks -----------------------------------------------------
+    def _launch(self, init_payloads: Iterable[bytes]) -> List[Any]:
+        raise NotImplementedError
+
+    def _round(self, messages: Sequence[Message]) -> List[Any]:
+        raise NotImplementedError
+
+    def _shutdown(self) -> None:
+        raise NotImplementedError
+
+
+class InprocTransport(Transport):
+    """Deterministic single-process backend (workers driven in order).
+
+    Every init payload and every round message/reply crosses a real
+    ``pickle`` boundary so anything that would fail on the wire fails
+    here too — in tier-1 tests, without spawning a process.
+    """
+
+    name = "inproc"
+
+    def __init__(self, num_workers: int) -> None:
+        super().__init__(num_workers)
+        self._workers: List[RuntimeWorker] = []
+
+    def _launch(self, init_payloads: Iterable[bytes]) -> List[Any]:
+        acks = []
+        for blob in init_payloads:
+            worker = RuntimeWorker.from_bytes(blob)
+            self._workers.append(worker)
+            acks.append(
+                {
+                    "worker": worker.worker_id,
+                    "owned": len(worker.store.owned_vertices),
+                }
+            )
+        self._check_payload_count(len(acks))
+        return acks
+
+    def _round(self, messages: Sequence[Message]) -> List[Any]:
+        replies = []
+        for worker, (tag, payload) in zip(self._workers, messages):
+            # Same wire discipline as MpTransport: commands and replies
+            # are serialized copies, never shared objects.
+            tag, payload = pickle.loads(pickle.dumps((tag, payload)))
+            try:
+                reply = worker.handle(tag, payload)
+            except Exception as exc:
+                raise WorkerFailure(worker.worker_id, repr(exc)) from exc
+            replies.append(pickle.loads(pickle.dumps(reply)))
+        return replies
+
+    def _shutdown(self) -> None:
+        self._workers = []
+
+
+class MpTransport(Transport):
+    """One OS process per worker, one duplex pipe each.
+
+    ``start_method`` defaults to ``fork`` where available (cheap launch;
+    the init payload still ships pickled so the code path is identical)
+    and falls back to ``spawn``. ``reply_timeout`` bounds how long a
+    round waits on a silent worker before declaring it dead.
+    """
+
+    name = "mp"
+
+    def __init__(
+        self,
+        num_workers: int,
+        start_method: Optional[str] = None,
+        reply_timeout: float = 120.0,
+    ) -> None:
+        super().__init__(num_workers)
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(start_method)
+        self.start_method = start_method
+        self.reply_timeout = float(reply_timeout)
+        self._procs: List[Any] = []
+        self._conns: List[Any] = []
+
+    def _launch(self, init_payloads: Iterable[bytes]) -> List[Any]:
+        count = 0
+        for worker_id, blob in enumerate(init_payloads):
+            parent, child = self._ctx.Pipe()
+            proc = self._ctx.Process(
+                target=serve,
+                args=(child, blob),
+                name=f"graphlab-runtime-w{worker_id}",
+                daemon=True,
+            )
+            proc.start()
+            child.close()
+            self._procs.append(proc)
+            self._conns.append(parent)
+            count += 1
+        self._check_payload_count(count)
+        return [self._recv(w) for w in range(self.num_workers)]
+
+    def _round(self, messages: Sequence[Message]) -> List[Any]:
+        for conn, message in zip(self._conns, messages):
+            conn.send(message)
+        # All workers now compute concurrently; collecting every reply
+        # is the barrier.
+        return [self._recv(w) for w in range(self.num_workers)]
+
+    def _recv(self, worker_id: int) -> Any:
+        conn = self._conns[worker_id]
+        proc = self._procs[worker_id]
+        deadline = time.monotonic() + self.reply_timeout
+        while not conn.poll(0.05):
+            if not proc.is_alive():
+                raise WorkerFailure(
+                    worker_id,
+                    f"process exited with code {proc.exitcode} before "
+                    "replying",
+                )
+            if time.monotonic() > deadline:
+                raise WorkerFailure(
+                    worker_id,
+                    f"no reply within {self.reply_timeout}s",
+                )
+        try:
+            tag, payload = conn.recv()
+        except EOFError:
+            raise WorkerFailure(worker_id, "pipe closed mid-reply") from None
+        if tag == "error":
+            raise WorkerFailure(worker_id, payload)
+        return payload
+
+    def _shutdown(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(("stop", {}))
+            except (OSError, ValueError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._procs = []
+        self._conns = []
+
+
+def make_transport(
+    backend: Any,
+    num_workers: int,
+    reply_timeout: Optional[float] = None,
+) -> Transport:
+    """``"mp"`` / ``"inproc"`` / an unlaunched :class:`Transport`.
+
+    ``reply_timeout`` overrides :class:`MpTransport`'s dead-worker
+    deadline (long color-steps on big graphs legitimately exceed the
+    default); it is ignored by backends without one.
+    """
+    if isinstance(backend, Transport):
+        if backend.num_workers != num_workers:
+            raise EngineError(
+                f"transport has {backend.num_workers} workers, engine "
+                f"needs {num_workers}"
+            )
+        return backend
+    if backend == "mp":
+        if reply_timeout is not None:
+            return MpTransport(num_workers, reply_timeout=reply_timeout)
+        return MpTransport(num_workers)
+    if backend == "inproc":
+        return InprocTransport(num_workers)
+    raise EngineError(
+        f"unknown transport {backend!r}; expected 'mp', 'inproc', or a "
+        "Transport instance"
+    )

@@ -1,0 +1,295 @@
+"""Worker-side execution for the real-process runtime backend.
+
+Each worker owns one vertex partition of the graph, held in a
+:class:`~repro.runtime.shard.CSRShardStore` — the slot-addressed
+implementation of the simulated engines' ghost/version coherence
+protocol: primaries for owned vertices, version-tagged ghosts for the
+boundary. Structure arrives exactly once, as a pickled finalized
+:class:`~repro.core.graph.DataGraph` inside the :class:`WorkerInit`
+payload (the CSR arrays ship; the structure memo caches are rebuilt
+lazily per process — see ``CSRGraph.__getstate__``); after that only
+flat data shards move: dirty ``(key, value, version)`` entries batched
+per destination, scheduling requests, and published global values.
+
+The message protocol is a tagged request/reply pair per phase:
+
+* ``("step", {color, inbox})`` — apply the inbox (version-filtered ghost
+  entries, remote scheduling requests, new globals), execute the
+  worker's share of one color-step, reply with dirty data and remote
+  scheduling requests grouped by destination worker;
+* ``("sync_count", {inbox})`` — apply the inbox, evaluate each sync's
+  partial over owned vertices (Eq. 2), reply with the partials and the
+  per-color task-set census (the master's termination probe);
+* ``("collect", {})`` — reply with all owned data and update counts;
+* ``("stop", {})`` — acknowledge and exit the serve loop.
+
+A worker never talks to its peers directly: the coordinator routes all
+exchange, so one duplex pipe per worker is the whole fabric and the
+inter-color communication barrier of the chromatic engine (Sec. 4.2.1)
+is simply "every reply received".
+"""
+
+from __future__ import annotations
+
+import pickle
+import traceback
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.core.consistency import Consistency
+from repro.core.graph import DataGraph, VertexId
+from repro.core.scope import Scope
+from repro.core.sync import GlobalValues, SyncOperation
+from repro.core.update import normalize_schedule
+from repro.errors import EngineError
+from repro.runtime.shard import CSRShardStore
+
+#: Inbox entry lists, keyed like the wire payloads.
+Inbox = Dict[str, Any]
+
+
+def empty_inbox() -> Inbox:
+    """A fresh routing inbox.
+
+    ``data`` is a slot-form ghost-entry batch (``None`` until routed;
+    see :class:`~repro.runtime.shard.FlatEntries`), ``sched`` bare
+    vertex ids (the chromatic engine ignores priorities, per the paper —
+    so they never ship), ``globals`` newly published ``(key, value)``
+    pairs.
+    """
+    return {"data": None, "sched": [], "globals": []}
+
+
+@dataclass
+class WorkerInit:
+    """Everything one worker needs, pickled once at launch.
+
+    ``classes`` is the *global* color-class list (fixed order); each
+    worker filters it down to its owned vertices, reproducing exactly
+    the ``local_by_color`` ordering of the simulated
+    :class:`~repro.distributed.chromatic.ChromaticEngine`.
+    """
+
+    worker_id: int
+    num_workers: int
+    graph: DataGraph
+    owner: Dict[VertexId, int]
+    classes: List[List[VertexId]]
+    consistency: Consistency
+    program: Any
+    syncs: Tuple[SyncOperation, ...] = ()
+    initial_globals: Optional[Dict[str, Any]] = None
+
+    def encode(self) -> bytes:
+        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+class RuntimeWorker:
+    """One worker's state machine (transport-agnostic, synchronous)."""
+
+    def __init__(self, init: WorkerInit) -> None:
+        from repro.runtime.program import resolve_program
+
+        self.worker_id = init.worker_id
+        self.num_workers = init.num_workers
+        self.graph = init.graph
+        self.owner = init.owner
+        self.consistency = init.consistency
+        self.store = CSRShardStore(init.worker_id, init.graph, init.owner)
+        self.update_fn = resolve_program(init.program)
+        self.syncs = tuple(init.syncs)
+        self.globals = GlobalValues(init.initial_globals)
+        #: This worker's share of each color class, in global class order.
+        self.by_color: List[List[VertexId]] = [
+            [v for v in members if init.owner[v] == init.worker_id]
+            for members in init.classes
+        ]
+        #: Color of each owned vertex (for the per-color T_w census).
+        self._color_of: Dict[VertexId, int] = {
+            v: color
+            for color, members in enumerate(self.by_color)
+            for v in members
+        }
+        #: The local task set T_w, plus its per-color census. The census
+        #: rides on every reply so the coordinator can skip color-steps
+        #: nobody has work for (and, with no syncs registered, detect
+        #: termination without a dedicated probe round).
+        self.scheduled: Set[VertexId] = set()
+        self.sched_by_color: List[int] = [0] * len(self.by_color)
+        self.counts: Dict[VertexId, int] = {}
+        # One pooled scope, rebound per vertex — the zero-allocation hot
+        # path contract of ROADMAP's storage-layout section, now applied
+        # per OS process instead of per simulated machine.
+        self._scope = Scope(
+            init.graph,
+            None,
+            model=init.consistency,
+            store=self.store,
+            globals_view=self.globals.view(),
+        )
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "RuntimeWorker":
+        return cls(pickle.loads(blob))
+
+    # ------------------------------------------------------------------
+    # Message dispatch.
+    # ------------------------------------------------------------------
+    def handle(self, tag: str, payload: Mapping[str, Any]) -> Dict[str, Any]:
+        if tag == "step":
+            return self._step(payload["color"], payload.get("inbox"))
+        if tag == "sync_count":
+            return self._sync_count(payload.get("inbox"))
+        if tag == "collect":
+            return self._collect(payload.get("inbox"))
+        raise EngineError(f"worker {self.worker_id}: unknown command {tag!r}")
+
+    # ------------------------------------------------------------------
+    def _apply_inbox(self, inbox: Optional[Inbox]) -> None:
+        """Apply routed state before any local work of the phase runs.
+
+        Ghost entries go through the store's version filter (stale and
+        duplicate deliveries are dropped — the idempotence the version
+        scheme exists for); remote scheduling requests join the local
+        task set; newly published globals become visible to scopes.
+        """
+        if not inbox:
+            return
+        data = inbox.get("data")
+        if data is not None:
+            self.store.apply_flat(data)
+        for u in inbox.get("sched", ()):
+            self._schedule(u)
+        for key, value in inbox.get("globals", ()):
+            self.globals.publish(key, value)
+
+    def _schedule(self, vertex: VertexId) -> None:
+        scheduled = self.scheduled
+        if vertex not in scheduled:
+            scheduled.add(vertex)
+            self.sched_by_color[self._color_of[vertex]] += 1
+
+    def _step(self, color: int, inbox: Optional[Inbox]) -> Dict[str, Any]:
+        """One color-step: snapshot the work list, run updates, route.
+
+        The work list is fixed before the first update runs (vertices of
+        this color scheduled *during* the step wait for the next sweep),
+        matching the simulated chromatic engine and making the step's
+        result independent of intra-color execution order — the property
+        the coloring guarantees (Sec. 4.2.1).
+        """
+        self._apply_inbox(inbox)
+        scheduled = self.scheduled
+        work = [v for v in self.by_color[color] if v in scheduled]
+        if work:
+            scheduled.difference_update(work)
+            self.sched_by_color[color] -= len(work)
+        owner = self.owner
+        me = self.worker_id
+        graph = self.graph
+        update_fn = self.update_fn
+        schedule = self._schedule
+        scope = self._scope
+        rebind = scope.rebind
+        drain = scope.drain_scheduled
+        counts = self.counts
+        counts_get = counts.get
+        #: dst -> deduplicated remote scheduling requests, send order.
+        sched_out: Dict[int, List[VertexId]] = {}
+        sched_seen: Dict[int, Set[VertexId]] = {}
+        for vertex in work:
+            rebind(vertex)
+            returned = update_fn(scope)
+            pairs = drain()
+            if returned is not None:
+                pairs.extend(normalize_schedule(returned, graph=graph))
+            for (u, _prio) in pairs:
+                target = owner[u]
+                if target == me:
+                    schedule(u)
+                else:
+                    seen = sched_seen.get(target)
+                    if seen is None:
+                        seen = sched_seen[target] = set()
+                        sched_out[target] = []
+                    if u not in seen:
+                        seen.add(u)
+                        sched_out[target].append(u)
+            counts[vertex] = counts_get(vertex, 0) + 1
+        dirty = self.store.collect_dirty_flat()
+        return {
+            "dirty": dirty,
+            "sched": sched_out,
+            "updates": len(work),
+            "sched_by_color": list(self.sched_by_color),
+        }
+
+    def _sync_count(self, inbox: Optional[Inbox]) -> Dict[str, Any]:
+        self._apply_inbox(inbox)
+        partials = [
+            sync.partial(self.graph, self.store.owned_vertices, store=self.store)
+            for sync in self.syncs
+        ]
+        return {
+            "partials": partials,
+            "sched_by_color": list(self.sched_by_color),
+        }
+
+    def _collect(self, inbox: Optional[Inbox]) -> Dict[str, Any]:
+        """Owned data + update counts (the run's final answer shard).
+
+        Applies a final inbox first: the coordinator flushes any ghost
+        entries still in flight from the last color-step, so edges held
+        by two workers read back their freshest version no matter which
+        endpoint's owner is collected.
+        """
+        self._apply_inbox(inbox)
+        store = self.store
+        payload = store.checkpoint_payload()
+        return {
+            "vdata": payload["vdata"],
+            "edata": payload["edata"],
+            "counts": dict(self.counts),
+        }
+
+
+def serve(conn: Any, init_blob: bytes) -> None:
+    """Request/reply loop for a pipe-connected worker process.
+
+    Module-level so ``multiprocessing`` can target it under every start
+    method. The first message on the pipe is the ready ack (or the init
+    error); afterwards each received command yields exactly one
+    ``("ok", payload)`` or ``("error", traceback)`` reply, so the
+    coordinator's send-all-then-receive-all round is a true barrier.
+    """
+    try:
+        worker = RuntimeWorker.from_bytes(init_blob)
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        finally:
+            conn.close()
+        return
+    conn.send(
+        ("ok", {
+            "worker": worker.worker_id,
+            "owned": len(worker.store.owned_vertices),
+        })
+    )
+    try:
+        while True:
+            try:
+                tag, payload = conn.recv()
+            except EOFError:
+                break
+            if tag == "stop":
+                conn.send(("ok", {}))
+                break
+            try:
+                reply = worker.handle(tag, payload)
+            except BaseException:
+                conn.send(("error", traceback.format_exc()))
+            else:
+                conn.send(("ok", reply))
+    finally:
+        conn.close()
