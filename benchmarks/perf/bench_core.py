@@ -13,7 +13,18 @@ throughput on three fronts:
   (4 GIL-bound threads — the old parallel ceiling) versus
   ``RuntimeChromaticEngine`` over ``MpTransport`` at 1/2/4 worker OS
   processes, with the results checked bit-identical against the
-  ``ColorSweepScheduler``-driven sequential oracle.
+  ``ColorSweepScheduler``-driven sequential oracle. Since PR 3 the
+  graph carries typed float64 columns, so the workers execute
+  color-steps through the PageRank batch kernel and ghost rounds ship
+  array buffers;
+* **Batch kernels** (PR 3): whole color-sweeps as numpy passes
+  (``repro.core.kernels``) versus the scalar interpreter on identical
+  typed-column workloads — PageRank on a seeded random digraph and
+  loopy BP on a grid MRF — recorded with ``speedup_vs_scalar`` and a
+  bit-identity flag (the kernel contract, not an approximation);
+* **Real-runtime LBP** (PR 3): the typed-column grid MRF on worker OS
+  processes at 1/2/4 workers, so the vector-message wire format's win
+  is measured, not asserted.
 
 Results are written to ``BENCH_core.json`` at the repo root together
 with the pre-refactor baseline (measured with this same harness on the
@@ -42,11 +53,17 @@ import time
 from pathlib import Path
 from typing import Callable, Dict
 
-from repro.apps.lbp import init_lbp_data, make_lbp_update, potts_potential
+from repro.apps.lbp import (
+    init_lbp_data,
+    make_lbp_update,
+    make_lbp_update_typed,
+    potts_potential,
+)
 from repro.apps.pagerank import make_pagerank_update
 from repro.core.coloring import greedy_coloring
 from repro.core.engine import SequentialEngine, ThreadedEngine
 from repro.core.graph import DataGraph
+from repro.datasets.mesh import grid_2d_typed
 from repro.datasets.webgraph import power_law_web_graph
 from repro.runtime import (
     ColorSweepScheduler,
@@ -79,10 +96,15 @@ PRE_REFACTOR_BASELINE: Dict[str, Dict[str, float]] = {
 # ----------------------------------------------------------------------
 # Workload builders (deterministic; structure identical across runs).
 # ----------------------------------------------------------------------
-def build_pagerank_workload(
-    n: int = 2000, out_degree: int = 8, seed: int = 7
-):
-    """Seeded random directed graph with 1/out-degree edge weights."""
+def _random_digraph(
+    n: int, out_degree: int, seed: int, typed: bool = False
+) -> DataGraph:
+    """Seeded random directed graph with 1/out-degree edge weights.
+
+    One recipe for both the scalar PageRank workload and the
+    batch-kernel section, so their speedup comparison really measures
+    the same graph family.
+    """
     rng = random.Random(seed)
     edges = set()
     for i in range(n):
@@ -98,7 +120,16 @@ def build_pagerank_workload(
         graph.add_vertex(i, data=1.0 / n)
     for (i, j) in sorted(edges):
         graph.add_edge(i, j, data=1.0 / out_count[i])
-    graph.finalize()
+    if typed:
+        return graph.finalize(vertex_dtype=float, edge_dtype=float)
+    return graph.finalize()
+
+
+def build_pagerank_workload(
+    n: int = 2000, out_degree: int = 8, seed: int = 7
+):
+    """Adaptive PageRank through the scalar fifo-driven engine."""
+    graph = _random_digraph(n, out_degree, seed)
 
     def run() -> int:
         for v in range(n):
@@ -167,8 +198,11 @@ from benchmarks.test_fig1a_pagerank_async import (  # noqa: E402
 
 
 def _fig1a_graph():
+    # Typed float64 columns (PR 3): identical values bit for bit, but
+    # runtime workers dispatch to the PageRank batch kernel and ghost
+    # rounds ship array buffers instead of pickled entry lists.
     return power_law_web_graph(
-        FIG1A_PAGES, out_degree=FIG1A_OUT_DEGREE, seed=FIG1A_SEED
+        FIG1A_PAGES, out_degree=FIG1A_OUT_DEGREE, seed=FIG1A_SEED, typed=True
     )
 
 
@@ -233,7 +267,11 @@ def build_runtime_fig1a_workload(num_workers: int):
 
 
 def fig1a_oracle_ranks() -> Dict[int, float]:
-    """Ground truth: the sequential engine in chromatic order."""
+    """Ground truth: the *scalar* sequential engine in chromatic order.
+
+    ``use_kernel=False`` pins the per-vertex interpreter — the oracle
+    the batch-kernel runs must match bit for bit.
+    """
     graph = _fig1a_graph()
     coloring = greedy_coloring(graph)
     engine = SequentialEngine(
@@ -241,6 +279,7 @@ def fig1a_oracle_ranks() -> Dict[int, float]:
         make_pagerank_update(schedule="self"),
         scheduler=ColorSweepScheduler(coloring),
         max_updates=FIG1A_SWEEPS * graph.num_vertices,
+        use_kernel=False,
     )
     engine.run(initial=graph.vertices())
     return {v: graph.vertex_data(v) for v in graph.vertices()}
@@ -268,24 +307,30 @@ def measure_runtime(run, repeats: int = 3) -> Dict[str, float]:
     (steady-state throughput; worker launch excluded, like the simulated
     engines' ``include_load_time=False``) and
     ``updates_per_sec_incl_launch`` over full wall time, so the one-time
-    structure-shipping cost is visible rather than hidden.
+    structure-shipping cost is visible rather than hidden. Each best is
+    tracked independently (launch and execution are disturbed by host
+    noise at different moments, so the repeat that wins on steady-state
+    throughput is not necessarily the one that wins wall-to-wall);
+    ``seconds``/``launch_seconds`` come from the best-execution repeat.
     """
     best: Dict[str, float] = {}
+    best_incl = 0.0
     for _ in range(repeats):
         result = run()
+        incl = (
+            result.num_updates / result.wall_seconds
+            if result.wall_seconds > 0
+            else 0.0
+        )
+        best_incl = max(best_incl, incl)
         if not best or result.updates_per_sec > best["updates_per_sec"]:
-            incl = (
-                result.num_updates / result.wall_seconds
-                if result.wall_seconds > 0
-                else 0.0
-            )
             best = {
                 "num_updates": result.num_updates,
                 "seconds": round(result.exec_seconds, 4),
                 "launch_seconds": round(result.launch_seconds, 4),
                 "updates_per_sec": round(result.updates_per_sec, 1),
-                "updates_per_sec_incl_launch": round(incl, 1),
             }
+    best["updates_per_sec_incl_launch"] = round(best_incl, 1)
     return best
 
 
@@ -325,6 +370,223 @@ def run_runtime_benchmarks(repeats: int = 3) -> Dict[str, Dict]:
             if threaded
             else 0.0
         )
+    results["bit_identical_to_sequential"] = bit_identical
+    return results
+
+
+# ----------------------------------------------------------------------
+# Batch kernels vs the scalar interpreter (PR 3).
+# ----------------------------------------------------------------------
+#: Round-robin sweeps per batch-benchmark run.
+BATCH_PR_VERTICES = 5000
+BATCH_PR_SWEEPS = 5
+BATCH_LBP_ROWS = BATCH_LBP_COLS = 30
+BATCH_LBP_LABELS = 5
+BATCH_LBP_UPDATES = 8000
+
+
+def _typed_batch_pagerank_graph():
+    """Seeded random digraph (same family as the scalar PageRank
+    workload, larger) with typed float64 columns."""
+    return _random_digraph(BATCH_PR_VERTICES, out_degree=8, seed=7, typed=True)
+
+
+def build_batch_pagerank_workload(use_kernel: bool):
+    """Fixed round-robin PageRank sweeps, scalar vs batch-kernel.
+
+    Identical graph, coloring, and update count either way; the only
+    difference is whether color-steps run through the interpreter or
+    the numpy kernel. ``run.last_graph`` keeps the mutated graph so the
+    recorder can check bit-identity of the two modes.
+    """
+    graph = _typed_batch_pagerank_graph()
+    coloring = greedy_coloring(graph)
+    cap = BATCH_PR_SWEEPS * graph.num_vertices
+
+    def run():
+        copy = graph.copy()
+        engine = SequentialEngine(
+            copy,
+            make_pagerank_update(schedule="self"),
+            scheduler=ColorSweepScheduler(coloring),
+            max_updates=cap,
+            use_kernel=use_kernel,
+        )
+        start = time.perf_counter()
+        result = engine.run(initial=copy.vertices())
+        elapsed = time.perf_counter() - start
+        run.last_graph = copy
+        return result.num_updates, elapsed
+
+    run.last_graph = None
+    return run
+
+
+def _typed_batch_lbp_graph():
+    graph, _psi = grid_2d_typed(
+        BATCH_LBP_ROWS, BATCH_LBP_COLS, BATCH_LBP_LABELS,
+        seed=3, smoothing=1.5,
+    )
+    return graph
+
+
+def build_batch_lbp_workload(use_kernel: bool):
+    """Residual BP on the typed grid MRF, scalar vs batch-kernel."""
+    graph = _typed_batch_lbp_graph()
+    coloring = greedy_coloring(graph)
+    psi = potts_potential(BATCH_LBP_LABELS, smoothing=1.5)
+
+    def run():
+        copy = graph.copy()
+        engine = SequentialEngine(
+            copy,
+            make_lbp_update_typed(psi, epsilon=1e-3),
+            scheduler=ColorSweepScheduler(coloring),
+            max_updates=BATCH_LBP_UPDATES,
+            use_kernel=use_kernel,
+        )
+        start = time.perf_counter()
+        result = engine.run(initial=copy.vertices())
+        elapsed = time.perf_counter() - start
+        run.last_graph = copy
+        return result.num_updates, elapsed
+
+    run.last_graph = None
+    return run
+
+
+def _graphs_identical(g1, g2) -> bool:
+    import numpy as np
+
+    return all(
+        np.array_equal(
+            np.asarray(g1.vertex_data(v)), np.asarray(g2.vertex_data(v))
+        )
+        for v in g1.vertices()
+    ) and all(
+        np.array_equal(
+            np.asarray(g1.edge_data(*key)), np.asarray(g2.edge_data(*key))
+        )
+        for key in g1.edges()
+    )
+
+
+def run_batch_benchmarks(repeats: int = 3) -> Dict[str, Dict]:
+    """Batch-kernel vs scalar-interpreter sweeps on typed columns.
+
+    The speedup claim only counts because the answers are the same:
+    each pair's final graphs are compared exactly and the flag is
+    recorded next to the numbers.
+    """
+    results: Dict[str, Dict] = {}
+    for name, builder in (
+        ("pagerank", build_batch_pagerank_workload),
+        ("lbp", build_batch_lbp_workload),
+    ):
+        scalar_run = builder(use_kernel=False)
+        batch_run = builder(use_kernel=True)
+        scalar = measure_timed(scalar_run, repeats=repeats)
+        batch = measure_timed(batch_run, repeats=repeats)
+        results[name] = {
+            "scalar": scalar,
+            "batch": batch,
+            "speedup_vs_scalar": (
+                round(
+                    batch["updates_per_sec"] / scalar["updates_per_sec"], 2
+                )
+                if scalar["updates_per_sec"]
+                else 0.0
+            ),
+            "bit_identical": _graphs_identical(
+                scalar_run.last_graph, batch_run.last_graph
+            ),
+        }
+    return results
+
+
+# ----------------------------------------------------------------------
+# Real-runtime LBP: the typed wire format under vector messages (PR 3).
+# ----------------------------------------------------------------------
+RUNTIME_LBP_ROWS = RUNTIME_LBP_COLS = 14
+RUNTIME_LBP_LABELS = 5
+
+
+def _runtime_lbp_graph():
+    graph, _psi = grid_2d_typed(
+        RUNTIME_LBP_ROWS, RUNTIME_LBP_COLS, RUNTIME_LBP_LABELS,
+        seed=5, smoothing=1.5,
+    )
+    return graph
+
+
+def build_runtime_lbp_workload(num_workers: int):
+    """Grid-MRF residual BP on real worker processes, to convergence.
+
+    Boundary messages are ``(2, L)`` float64 rows — the payload class
+    the array-buffer wire format exists for (a pickled Python tuple of
+    numpy vectors per entry before PR 3, one buffer per round now).
+    Residual scheduling makes the update count dynamic, so the run goes
+    to quiescence and the oracle must land on the identical count.
+    """
+    graph = _runtime_lbp_graph()
+    coloring = greedy_coloring(graph)
+    psi = potts_potential(RUNTIME_LBP_LABELS, smoothing=1.5)
+    program = UpdateProgram(
+        make_lbp_update_typed, args=(psi,), kwargs={"epsilon": 1e-3}
+    )
+
+    def run():
+        copy = graph.copy()
+        engine = RuntimeChromaticEngine(
+            copy,
+            program,
+            num_workers=num_workers,
+            transport="mp",
+            coloring=coloring,
+        )
+        result = engine.run(initial=copy.vertices())
+        run.last_graph = copy
+        return result
+
+    run.last_graph = None
+    return run
+
+
+def runtime_lbp_oracle():
+    """Scalar sequential oracle for the runtime LBP configuration."""
+    graph = _runtime_lbp_graph()
+    coloring = greedy_coloring(graph)
+    psi = potts_potential(RUNTIME_LBP_LABELS, smoothing=1.5)
+    engine = SequentialEngine(
+        graph,
+        make_lbp_update_typed(psi, epsilon=1e-3),
+        scheduler=ColorSweepScheduler(coloring),
+        use_kernel=False,
+    )
+    result = engine.run(initial=graph.vertices())
+    return graph, result
+
+
+def run_runtime_lbp_benchmarks(repeats: int = 3) -> Dict[str, Dict]:
+    """Runtime-backend LBP at workers=1/2/4 vs the sequential oracle."""
+    oracle_graph, oracle_result = runtime_lbp_oracle()
+    results: Dict[str, Dict] = {}
+    bit_identical = True
+    for workers in (1, 2, 4):
+        run = build_runtime_lbp_workload(workers)
+        results[f"mp_{workers}_workers"] = measure_runtime(
+            run, repeats=repeats
+        )
+        bit_identical = bit_identical and _graphs_identical(
+            oracle_graph, run.last_graph
+        )
+    base = results["mp_1_workers"]["updates_per_sec"]
+    for workers in (1, 2, 4):
+        row = results[f"mp_{workers}_workers"]
+        row["speedup_vs_mp_1"] = (
+            round(row["updates_per_sec"] / base, 2) if base else 0.0
+        )
+    results["num_updates_expected"] = oracle_result.num_updates
     results["bit_identical_to_sequential"] = bit_identical
     return results
 
@@ -407,12 +669,16 @@ def main(argv=None) -> int:
 
     results = run_benchmarks(repeats=args.repeats)
     runtime_results = run_runtime_benchmarks(repeats=args.repeats)
+    batch_results = run_batch_benchmarks(repeats=args.repeats)
+    runtime_lbp_results = run_runtime_lbp_benchmarks(repeats=args.repeats)
     payload = {
         "harness": "benchmarks.perf.bench_core",
         "python": platform.python_version(),
         "baseline": PRE_REFACTOR_BASELINE,
         "current": results,
         "runtime_pagerank": runtime_results,
+        "batch": batch_results,
+        "runtime_lbp": runtime_lbp_results,
         "speedup": {
             name: round(
                 results[name]["updates_per_sec"]
@@ -449,6 +715,23 @@ def main(argv=None) -> int:
     print(
         "  runtime/bit_identical_to_sequential: "
         f"{runtime_results['bit_identical_to_sequential']}"
+    )
+    for name, row in batch_results.items():
+        print(
+            f"  batch/{name}: {row['batch']['updates_per_sec']:.0f} "
+            f"updates/s ({row['speedup_vs_scalar']}x over scalar "
+            f"interpreter; bit_identical={row['bit_identical']})"
+        )
+    for workers in (1, 2, 4):
+        row = runtime_lbp_results[f"mp_{workers}_workers"]
+        print(
+            f"  runtime_lbp/mp_{workers}_workers: "
+            f"{row['updates_per_sec']:.0f} updates/s "
+            f"({row['speedup_vs_mp_1']}x over mp_1)"
+        )
+    print(
+        "  runtime_lbp/bit_identical_to_sequential: "
+        f"{runtime_lbp_results['bit_identical_to_sequential']}"
     )
     return 0
 

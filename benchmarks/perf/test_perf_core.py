@@ -94,3 +94,49 @@ def test_runtime_processes_beat_threaded_engine():
     assert (
         runtime["updates_per_sec"] > 1.3 * threaded["updates_per_sec"]
     ), (runtime, threaded)
+
+
+# ----------------------------------------------------------------------
+# Batch kernels (PR 3): correctness of the measured configurations and
+# the headline speedup, with CI slack.
+# ----------------------------------------------------------------------
+from benchmarks.perf.bench_core import (  # noqa: E402
+    _graphs_identical,
+    build_batch_pagerank_workload,
+    build_runtime_lbp_workload,
+    runtime_lbp_oracle,
+)
+
+
+def test_batch_pagerank_is_bit_identical_to_scalar():
+    """The recorded batch/scalar pair must agree bit for bit — the
+    speedup number is only meaningful under the kernel contract."""
+    scalar = build_batch_pagerank_workload(use_kernel=False)
+    batch = build_batch_pagerank_workload(use_kernel=True)
+    updates_scalar, _ = scalar()
+    updates_batch, _ = batch()
+    assert updates_scalar == updates_batch
+    assert _graphs_identical(scalar.last_graph, batch.last_graph)
+
+
+def test_batch_pagerank_beats_scalar_interpreter():
+    """Batch-kernel sweeps must decisively outrun the interpreter
+    (recorded target is >= 10x on the reference container; asserted
+    here with generous slack for shared CI runners)."""
+    scalar = measure_timed(build_batch_pagerank_workload(False), repeats=3)
+    batch = measure_timed(build_batch_pagerank_workload(True), repeats=3)
+    assert batch["updates_per_sec"] > 3.0 * scalar["updates_per_sec"], (
+        scalar,
+        batch,
+    )
+
+
+def test_runtime_lbp_matches_sequential_oracle():
+    """The runtime LBP configuration the bench measures must converge
+    to the oracle's exact messages/beliefs and update count."""
+    oracle_graph, oracle_result = runtime_lbp_oracle()
+    run = build_runtime_lbp_workload(num_workers=2)
+    result = run()
+    assert result.converged
+    assert result.num_updates == oracle_result.num_updates
+    assert _graphs_identical(oracle_graph, run.last_graph)

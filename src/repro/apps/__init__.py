@@ -24,14 +24,19 @@ from repro.apps.coseg import (
 )
 from repro.apps.gmm import GaussianMixture, gmm_sync, initialize_gmm
 from repro.apps.lbp import (
+    LBPKernel,
     init_lbp_data,
+    init_lbp_data_typed,
+    lbp_dtypes,
     make_lbp_update,
+    make_lbp_update_typed,
     map_labels,
     potts_potential,
     synchronous_lbp_sweep,
     total_residual,
 )
 from repro.apps.pagerank import (
+    PageRankKernel,
     exact_pagerank,
     initialize_ranks,
     jacobi_pagerank_sweep,
@@ -42,20 +47,25 @@ from repro.apps.pagerank import (
 
 __all__ = [
     "GaussianMixture",
+    "LBPKernel",
+    "PageRankKernel",
     "ascii_frame",
     "exact_pagerank",
     "gmm_sync",
     "init_lbp_data",
+    "init_lbp_data_typed",
     "initialize_factors",
     "initialize_gmm",
     "initialize_ranks",
     "jacobi_pagerank_sweep",
     "l1_error",
     "labeling_accuracy",
+    "lbp_dtypes",
     "make_als_update",
     "make_coem_update",
     "make_coseg_update",
     "make_lbp_update",
+    "make_lbp_update_typed",
     "make_pagerank_update",
     "map_labels",
     "pagerank_update",

@@ -26,6 +26,13 @@ from typing import Callable, Dict, Optional, Tuple
 import numpy as np
 
 from repro.core.graph import DataGraph, VertexId
+from repro.core.kernels import (
+    KernelResult,
+    UpdateKernel,
+    nbr_message_plan,
+    ordered_segment_mul,
+    segment_positions,
+)
 from repro.core.scope import Scope
 
 _FLOOR = 1e-12
@@ -34,6 +41,34 @@ _FLOOR = 1e-12
 def _normalize(array: np.ndarray) -> np.ndarray:
     array = np.maximum(array, _FLOOR)
     return array / array.sum()
+
+
+def _row_normalize(array: np.ndarray) -> np.ndarray:
+    """Sum-normalize along the trailing (label) axis.
+
+    Shared by the typed scalar update and the batch kernel so both
+    evaluate the identical expression: for a single ``(L,)`` message it
+    computes the same bits as :func:`_normalize` (the trailing-axis sum
+    of a 1-D array *is* ``array.sum()``), and for an ``(N, L)`` batch it
+    normalizes every row.
+    """
+    array = np.maximum(array, _FLOOR)
+    return array / array.sum(axis=-1, keepdims=True)
+
+
+def _msg_product(cavity: np.ndarray, psi: np.ndarray) -> np.ndarray:
+    """``cavity @ psi`` with an explicit label-ordered accumulation.
+
+    BLAS ``gemv`` (the 1-D case) and ``gemm`` (the batched case) may
+    order their dot products differently, which would break the
+    kernel/interpreter bit-identity contract — so both paths use this
+    fixed ``k``-ordered loop over the (small) label axis instead.
+    Accepts ``(L,)`` or ``(N, L)`` cavities.
+    """
+    out = cavity[..., 0, None] * psi[0]
+    for k in range(1, psi.shape[0]):
+        out = out + cavity[..., k, None] * psi[k]
+    return out
 
 
 def potts_potential(num_labels: int, smoothing: float = 2.0) -> np.ndarray:
@@ -136,6 +171,171 @@ def init_lbp_data(graph: DataGraph, unaries: Dict[VertexId, np.ndarray]) -> int:
     for (u, w) in graph.edges():
         graph.set_edge_data(u, w, (uniform.copy(), uniform.copy()))
     return num_labels
+
+
+# ----------------------------------------------------------------------
+# Typed-column LBP: the same sum-product on (2, L) array rows.
+# ----------------------------------------------------------------------
+# Vertex row: [unary, belief]; edge row: [msg_src->dst, msg_dst->src].
+# Declare the columns at finalize time with ``finalize(**lbp_dtypes(L))``
+# and fill them with :func:`init_lbp_data_typed`. The typed scalar
+# update (`make_lbp_update_typed`) computes the exact quantities of
+# :func:`make_lbp_update` on this layout, and carries :class:`LBPKernel`
+# as its batch twin — bit-identical by the kernel contract.
+
+#: Row indices into the (2, L) vertex column.
+UNARY, BELIEF = 0, 1
+
+
+def lbp_dtypes(num_labels: int) -> dict:
+    """``DataGraph.finalize`` keyword arguments for typed LBP columns."""
+    return {
+        "vertex_dtype": np.float64,
+        "vertex_shape": (2, num_labels),
+        "edge_dtype": np.float64,
+        "edge_shape": (2, num_labels),
+    }
+
+
+def init_lbp_data_typed(
+    graph: DataGraph, unaries: Dict[VertexId, np.ndarray]
+) -> int:
+    """Install unaries/uniform beliefs and uniform messages into the
+    typed columns (the :func:`init_lbp_data` twin). Returns ``L``."""
+    num_labels = len(next(iter(unaries.values())))
+    uniform = np.full(num_labels, 1.0 / num_labels)
+    for v in graph.vertices():
+        unary = _normalize(np.asarray(unaries[v], dtype=float))
+        graph.set_vertex_data(v, np.stack((unary, uniform)))
+    pair = np.stack((uniform, uniform))
+    for key in graph.edges():
+        graph.set_edge_data(*key, pair)
+    return num_labels
+
+
+class LBPKernel(UpdateKernel):
+    """Batch residual BP: one color-step as numpy passes over (2, L)
+    typed columns.
+
+    Gathers every active vertex's incoming messages through the
+    finalize-time :func:`~repro.core.kernels.nbr_message_plan`, forms
+    cavity products in exact neighbor order
+    (:func:`~repro.core.kernels.ordered_segment_mul`), and writes
+    beliefs plus all outgoing messages in one scatter. Residual-gated
+    rescheduling comes back as a boolean mask over the neighbor
+    positions, turned into a task set by the engine.
+    """
+
+    def __init__(
+        self, psi: np.ndarray, epsilon: float, damping: float
+    ) -> None:
+        self.psi = np.asarray(psi, dtype=np.float64)
+        self.epsilon = epsilon
+        self.damping = damping
+
+    def compatible(self, graph: DataGraph) -> bool:
+        csr = graph.compiled
+        if csr is None:
+            return False
+        num_labels = self.psi.shape[0]
+        expected = (2, num_labels)
+        vcol, ecol = csr.vertex_column, csr.edge_column
+        return (
+            vcol is not None
+            and vcol.dtype == np.float64
+            and vcol.shape[1:] == expected
+            and ecol is not None
+            and ecol.dtype == np.float64
+            and ecol.shape[1:] == expected
+        )
+
+    def bind(self, graph: DataGraph) -> None:
+        nbr_message_plan(graph.compiled)
+
+    def step(self, graph, active, vdata, edata, globals_view=None):
+        csr = graph.compiled
+        (
+            nbr_offsets, nbr_targets, in_slot, in_dir, out_slot, out_dir,
+        ) = nbr_message_plan(csr)
+        pos, counts, ends = segment_positions(nbr_offsets, active)
+        incoming = edata[in_slot[pos], in_dir[pos]]  # (P, L) copies
+        prod = vdata[active, UNARY]  # fancy indexing: already copies
+        ordered_segment_mul(prod, counts, ends, incoming)
+        vdata[active, BELIEF] = _row_normalize(prod)
+        seg = np.repeat(np.arange(active.size), counts)
+        cavity = _row_normalize(prod[seg] / np.maximum(incoming, _FLOOR))
+        new_message = _row_normalize(_msg_product(cavity, self.psi))
+        write_slot, write_dir = out_slot[pos], out_dir[pos]
+        old = edata[write_slot, write_dir]
+        if self.damping > 0.0:
+            new_message = _row_normalize(
+                self.damping * old + (1.0 - self.damping) * new_message
+            )
+        residual = np.abs(new_message - old).max(axis=-1)
+        edata[write_slot, write_dir] = new_message
+        scheduled = np.unique(nbr_targets[pos[residual > self.epsilon]])
+        return KernelResult(
+            scheduled=scheduled,
+            wrote_v=active,
+            wrote_e=np.unique(write_slot),
+        )
+
+
+def make_lbp_update_typed(
+    psi: np.ndarray, epsilon: float = 1e-3, damping: float = 0.0
+):
+    """Residual-BP update for the typed-column layout.
+
+    Same semantics as :func:`make_lbp_update` (without the CoSeg
+    ``unary_fn`` hook) on ``(2, L)`` array rows instead of dicts/tuples;
+    carries the batch :class:`LBPKernel` for engine dispatch.
+    """
+    psi = np.asarray(psi, dtype=np.float64)
+
+    def lbp_update(scope: Scope):
+        vertex = scope.vertex
+        row = scope.data
+        unary = row[UNARY]
+        neighbors = scope.neighbors
+        has_edge = scope.graph.has_edge
+        edge = scope.edge
+        incoming = []
+        for u in neighbors:
+            if has_edge(u, vertex):
+                incoming.append(edge(u, vertex)[0])
+            else:
+                incoming.append(edge(vertex, u)[1])
+        prod = unary.copy()
+        for message in incoming:
+            prod *= message
+        new_row = np.empty_like(row)
+        new_row[UNARY] = unary
+        new_row[BELIEF] = _row_normalize(prod)
+        scope.data = new_row
+        scheduled = []
+        for u, message in zip(neighbors, incoming):
+            cavity = _row_normalize(prod / np.maximum(message, _FLOOR))
+            new_message = _row_normalize(_msg_product(cavity, psi))
+            if has_edge(vertex, u):
+                a, b, direction = vertex, u, 0
+            else:
+                a, b, direction = u, vertex, 1
+            pair = edge(a, b)
+            old = pair[direction]
+            if damping > 0.0:
+                new_message = _row_normalize(
+                    damping * old + (1.0 - damping) * new_message
+                )
+            residual = float(np.abs(new_message - old).max())
+            new_pair = pair.copy()
+            new_pair[direction] = new_message
+            scope.set_edge(a, b, new_pair)
+            if residual > epsilon:
+                scheduled.append((u, residual))
+        return scheduled
+
+    lbp_update.kernel = LBPKernel(psi, epsilon=epsilon, damping=damping)
+    return lbp_update
 
 
 def total_residual(graph: DataGraph, psi: np.ndarray) -> float:

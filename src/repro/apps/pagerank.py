@@ -19,7 +19,81 @@ from typing import Dict, Iterable, List, Optional
 import numpy as np
 
 from repro.core.graph import DataGraph, VertexId
+from repro.core.kernels import (
+    KernelResult,
+    UpdateKernel,
+    in_edge_plan,
+    ordered_segment_add,
+    segment_positions,
+    undirected_plan,
+)
 from repro.core.scope import Scope
+
+
+class PageRankKernel(UpdateKernel):
+    """Batch form of Alg. 1: one color-step as four numpy passes.
+
+    Requires scalar float64 typed columns (rank per vertex, weight per
+    edge — declare them with ``finalize(vertex_dtype=float,
+    edge_dtype=float)``). Bit-identity with the scalar closure is kept
+    by construction: per-edge contributions are computed with the same
+    association order (``(damp * weight) * rank``) and accumulated onto
+    the ``alpha/n`` seed in exact in-neighbor order via
+    :func:`~repro.core.kernels.ordered_segment_add`.
+    """
+
+    def __init__(
+        self, alpha: float, epsilon: float, schedule: str
+    ) -> None:
+        self.alpha = alpha
+        self.epsilon = epsilon
+        self.schedule = schedule
+        self.damp = 1.0 - alpha
+
+    def compatible(self, graph: DataGraph) -> bool:
+        csr = graph.compiled
+        if csr is None:
+            return False
+        vcol, ecol = csr.vertex_column, csr.edge_column
+        return (
+            vcol is not None
+            and vcol.ndim == 1
+            and vcol.dtype == np.float64
+            and ecol is not None
+            and ecol.ndim == 1
+            and ecol.dtype == np.float64
+        )
+
+    def bind(self, graph: DataGraph) -> None:
+        in_edge_plan(graph.compiled)
+        if self.schedule == "all":
+            undirected_plan(graph.compiled)
+
+    def step(self, graph, active, vdata, edata, globals_view=None):
+        csr = graph.compiled
+        in_slots = in_edge_plan(csr)
+        pos, counts, ends = segment_positions(csr.in_offsets, active)
+        contrib = (self.damp * edata[in_slots[pos]]) * (
+            vdata[csr.in_sources[pos]]
+        )
+        old = vdata[active]  # fancy indexing: already a copy
+        rank = np.full(active.size, self.alpha / len(csr.vertex_ids))
+        ordered_segment_add(rank, counts, ends, contrib)
+        vdata[active] = rank
+        schedule = self.schedule
+        if schedule == "self":
+            scheduled = active
+        elif schedule == "none":
+            scheduled = None
+        else:
+            movers = active[np.abs(rank - old) > self.epsilon]
+            if schedule == "out":
+                offsets, targets = csr.out_offsets, csr.out_targets
+            else:  # "all": the full undirected N[v], canonical-derived
+                offsets, targets = undirected_plan(csr)
+            tpos, _tc, _te = segment_positions(offsets, movers)
+            scheduled = np.unique(targets[tpos])
+        return KernelResult(scheduled=scheduled, wrote_v=active)
 
 
 def make_pagerank_update(
@@ -60,6 +134,11 @@ def make_pagerank_update(
             return [(u, change) for u in targets]
         return None
 
+    # Batch twin of the closure above: engines dispatch to it for whole
+    # color-steps on typed-column graphs (bit-identical by contract).
+    pagerank_update.kernel = PageRankKernel(
+        alpha=alpha, epsilon=epsilon, schedule=schedule
+    )
     return pagerank_update
 
 

@@ -31,6 +31,12 @@ from repro.core.engine import (
     run_to_convergence,
 )
 from repro.core.graph import DataGraph
+from repro.core.kernels import (
+    KernelResult,
+    UpdateKernel,
+    kernel_of,
+    run_color_sweeps,
+)
 from repro.core.scheduler import (
     FIFOScheduler,
     PriorityScheduler,
@@ -55,6 +61,7 @@ __all__ = [
     "EngineResult",
     "FIFOScheduler",
     "GlobalValues",
+    "KernelResult",
     "LockKind",
     "PriorityScheduler",
     "Scheduler",
@@ -66,6 +73,7 @@ __all__ = [
     "ThreadedEngine",
     "Trace",
     "UpdateFunction",
+    "UpdateKernel",
     "UpdateResult",
     "bipartite_coloring",
     "color_classes",
@@ -73,11 +81,13 @@ __all__ = [
     "constant_coloring",
     "edge_key",
     "greedy_coloring",
+    "kernel_of",
     "lock_plan",
     "make_scheduler",
     "normalize_schedule",
     "num_colors",
     "read_set",
+    "run_color_sweeps",
     "run_to_convergence",
     "run_update",
     "scope_keys",

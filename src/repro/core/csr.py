@@ -15,7 +15,15 @@ frozen — not per update. This module is the Python equivalent: at
   the interpreter hot path answers structure queries with a single
   index — no per-call tuple allocation, no linear membership scans;
 * flat, slot-addressed vertex/edge data lists (``vdata`` / ``edata``)
-  with an O(1) ``(src, dst) -> slot`` lookup (``edge_slot``).
+  with an O(1) ``(src, dst) -> slot`` lookup (``edge_slot``);
+* optionally **typed data columns**: apps may declare vertex/edge dtypes
+  (and per-item shapes) at ``finalize()``, in which case ``vdata`` /
+  ``edata`` are numpy arrays instead of object lists. Slot addressing is
+  unchanged — ``vdata[index]`` reads/writes still work — but whole-sweep
+  consumers (:mod:`repro.core.kernels`) can run vectorized passes over
+  the columns, and the wire format becomes raw array buffers (the
+  runtime backend ships one buffer per column instead of pickling a
+  Python object per entry).
 
 The compiled **structure is immutable and shared** — ``DataGraph.copy()``
 clones only the data lists (see :meth:`CSRGraph.clone_with_data`) — while
@@ -42,6 +50,37 @@ VertexId = Any
 EdgeKey = Tuple[Any, Any]
 
 
+def _typed_column(
+    values: List[Any], dtype: Any, shape: Tuple[int, ...], kind: str
+) -> np.ndarray:
+    """Compile per-item data values into one typed numpy column.
+
+    ``shape`` is the per-item shape (``()`` for scalar columns). ``None``
+    values become zeros — apps that install data post-finalize (LBP's
+    ``init_lbp_data_typed``) add structure first and fill the column
+    later. A value that cannot be coerced to the declared dtype/shape
+    fails loudly at finalize time, not mid-run.
+    """
+    column = np.zeros((len(values),) + tuple(shape), dtype=dtype)
+    try:
+        for i, value in enumerate(values):
+            if value is not None:
+                column[i] = value
+    except (TypeError, ValueError) as exc:
+        raise GraphStructureError(
+            f"{kind} data cannot be compiled into a "
+            f"dtype={np.dtype(dtype)!r} shape={tuple(shape)} column ({exc})"
+        ) from exc
+    return column
+
+
+def _clone_column(column: Any) -> Any:
+    """Fresh data column sharing no buffer: list copy or array copy."""
+    if isinstance(column, np.ndarray):
+        return column.copy()
+    return list(column)
+
+
 def _csr_arrays(
     per_vertex: List[Tuple], index_of: Dict
 ) -> Tuple[np.ndarray, np.ndarray]:
@@ -56,6 +95,36 @@ def _csr_arrays(
     return offsets, values
 
 
+class _Views:
+    """Interpreter-facing views, built lazily and shared by copies.
+
+    The pre-materialized Python tuples (neighbor lists, gather plans,
+    frozensets) cost tens of milliseconds to build on non-trivial
+    graphs — the dominant share of a runtime worker's launch before
+    they went lazy. Batch-kernel workers never touch them (they run on
+    the canonical numpy arrays alone), so the holder starts empty and
+    the first access to any view attribute materializes the whole
+    group. One holder object is shared by every ``clone_with_data``
+    copy, preserving the views-are-shared contract regardless of which
+    copy triggers the build.
+    """
+
+    __slots__ = (
+        "built",
+        "out_ids",
+        "in_ids",
+        "nbr_ids",
+        "nbr_sets",
+        "adj_edges",
+        "in_gather",
+        "nbr_offsets",
+        "nbr_targets",
+    )
+
+    def __init__(self) -> None:
+        self.built = False
+
+
 class CSRGraph:
     """Compiled graph: immutable CSR structure + mutable flat data."""
 
@@ -68,20 +137,13 @@ class CSRGraph:
         "out_targets",
         "in_offsets",
         "in_sources",
-        "nbr_offsets",
-        "nbr_targets",
         # edge slots
         "edge_keys",
         "edge_slot",
         "edge_src_index",
         "edge_dst_index",
-        # pre-materialized Python-level views (index -> tuple)
-        "out_ids",
-        "in_ids",
-        "nbr_ids",
-        "nbr_sets",
-        "adj_edges",
-        "in_gather",
+        # lazily-built view holder (see _Views); accessed via properties
+        "_views",
         # flat mutable data
         "vdata",
         "edata",
@@ -89,6 +151,7 @@ class CSRGraph:
         "write_set_cache",
         "scope_key_cache",
         "bind_cache",
+        "plan_cache",
     )
 
     #: The canonical wire form: everything else is derived from these by
@@ -113,17 +176,37 @@ class CSRGraph:
         edata: Dict[EdgeKey, Any],
         out: Dict[VertexId, List[VertexId]],
         in_: Dict[VertexId, List[VertexId]],
+        vertex_dtype: Any = None,
+        edge_dtype: Any = None,
+        vertex_shape: Tuple[int, ...] = (),
+        edge_shape: Tuple[int, ...] = (),
     ) -> "CSRGraph":
-        """Compile the builder dictionaries (insertion orders preserved)."""
+        """Compile the builder dictionaries (insertion orders preserved).
+
+        ``vertex_dtype`` / ``edge_dtype`` (with optional per-item
+        ``*_shape``) declare typed data columns: the flat data becomes a
+        numpy array of shape ``(count, *shape)`` instead of an object
+        list. ``None`` keeps the object-list representation.
+        """
         obj = cls.__new__(cls)
         vertex_ids = tuple(vdata)
         index_of = {v: i for i, v in enumerate(vertex_ids)}
         obj.vertex_ids = vertex_ids
-        obj.vdata = [vdata[v] for v in vertex_ids]
+        vvalues = [vdata[v] for v in vertex_ids]
+        obj.vdata = (
+            vvalues
+            if vertex_dtype is None
+            else _typed_column(vvalues, vertex_dtype, vertex_shape, "vertex")
+        )
 
         edge_keys = tuple(edata)
         obj.edge_keys = edge_keys
-        obj.edata = [edata[key] for key in edge_keys]
+        evalues = [edata[key] for key in edge_keys]
+        obj.edata = (
+            evalues
+            if edge_dtype is None
+            else _typed_column(evalues, edge_dtype, edge_shape, "edge")
+        )
         obj.edge_src_index = np.fromiter(
             (index_of[s] for (s, _d) in edge_keys),
             dtype=np.int64,
@@ -144,25 +227,46 @@ class CSRGraph:
         return obj
 
     def _derive_views(self, index_of: Optional[Dict] = None) -> None:
-        """Materialize the interpreter-facing views from the canonical
-        arrays, and reset the memo caches.
+        """Resolve the slot maps and reset memo caches + the lazy views.
 
         Runs at compile time *and* after unpickling: the wire format is
         just the canonical numpy/flat form, so structure ships compactly
-        (the runtime backend sends one copy per worker process) and the
-        pre-materialized tuples, frozensets, gather plans, and slot maps
-        are rebuilt identically on arrival. Orderings reproduce the
-        builder-dict insertion orders the arrays were compiled from.
-        ``index_of`` may be passed when the caller already built it
-        (:meth:`build` does); the unpickle path recomputes it.
+        (the runtime backend sends one copy per worker process). Only
+        the O(1)-lookup maps (``index_of``, ``edge_slot``) build
+        eagerly; the pre-materialized interpreter views (tuples,
+        frozensets, gather plans) are *lazy* — batch-kernel consumers
+        run entirely on the canonical arrays and never pay for them
+        (see :class:`_Views` and :meth:`_build_views`). ``index_of``
+        may be passed when the caller already built it (:meth:`build`
+        does); the unpickle path recomputes it.
         """
         vertex_ids = self.vertex_ids
         if index_of is None:
             index_of = {v: i for i, v in enumerate(vertex_ids)}
         self.index_of = index_of
-        edge_slot = {key: slot for slot, key in enumerate(self.edge_keys)}
-        self.edge_slot = edge_slot
+        self.edge_slot = {
+            key: slot for slot, key in enumerate(self.edge_keys)
+        }
+        self._views = _Views()
+        self.write_set_cache = {}
+        self.scope_key_cache = {}
+        self.bind_cache = {}
+        #: Structure-only plans for the batch kernels (in-edge slot
+        #: arrays, message direction plans — see repro.core.kernels),
+        #: memoized here so every copy/machine shares them.
+        self.plan_cache = {}
 
+    def _build_views(self) -> "_Views":
+        """Materialize every interpreter view (first access, then memo).
+
+        Orderings reproduce the builder-dict insertion orders the
+        canonical arrays were compiled from, exactly as when the views
+        were built eagerly.
+        """
+        views = self._views
+        vertex_ids = self.vertex_ids
+        index_of = self.index_of
+        edge_slot = self.edge_slot
         out_off, out_tgt = self.out_offsets, self.out_targets
         in_off, in_src = self.in_offsets, self.in_sources
         out_ids: List[Tuple] = []
@@ -193,17 +297,54 @@ class CSRGraph:
             in_gather.append(
                 tuple((u, edge_slot[(u, v)], index_of[u]) for u in ins)
             )
-        self.out_ids = tuple(out_ids)
-        self.in_ids = tuple(in_ids)
-        self.nbr_ids = tuple(nbr_ids)
-        self.nbr_sets = tuple(nbr_sets)
-        self.adj_edges = tuple(adj_edges)
-        self.in_gather = tuple(in_gather)
-        self.nbr_offsets, self.nbr_targets = _csr_arrays(nbr_ids, index_of)
+        views.out_ids = tuple(out_ids)
+        views.in_ids = tuple(in_ids)
+        views.nbr_ids = tuple(nbr_ids)
+        views.nbr_sets = tuple(nbr_sets)
+        views.adj_edges = tuple(adj_edges)
+        views.in_gather = tuple(in_gather)
+        views.nbr_offsets, views.nbr_targets = _csr_arrays(
+            nbr_ids, index_of
+        )
+        views.built = True
+        return views
 
-        self.write_set_cache = {}
-        self.scope_key_cache = {}
-        self.bind_cache = {}
+    def _view(self) -> "_Views":
+        views = self._views
+        return views if views.built else self._build_views()
+
+    # Lazy view accessors (one shared holder per structure; see _Views).
+    @property
+    def out_ids(self) -> Tuple[Tuple, ...]:
+        return self._view().out_ids
+
+    @property
+    def in_ids(self) -> Tuple[Tuple, ...]:
+        return self._view().in_ids
+
+    @property
+    def nbr_ids(self) -> Tuple[Tuple, ...]:
+        return self._view().nbr_ids
+
+    @property
+    def nbr_sets(self) -> Tuple[FrozenSet, ...]:
+        return self._view().nbr_sets
+
+    @property
+    def adj_edges(self) -> Tuple[Tuple[EdgeKey, ...], ...]:
+        return self._view().adj_edges
+
+    @property
+    def in_gather(self) -> Tuple[Tuple, ...]:
+        return self._view().in_gather
+
+    @property
+    def nbr_offsets(self) -> np.ndarray:
+        return self._view().nbr_offsets
+
+    @property
+    def nbr_targets(self) -> np.ndarray:
+        return self._view().nbr_targets
 
     # ------------------------------------------------------------------
     # Pickling: canonical structure + data ship; views and memo caches
@@ -253,9 +394,24 @@ class CSRGraph:
         other = CSRGraph.__new__(CSRGraph)
         for name in CSRGraph.__slots__:
             setattr(other, name, getattr(self, name))
-        other.vdata = list(self.vdata)
-        other.edata = list(self.edata)
+        other.vdata = _clone_column(self.vdata)
+        other.edata = _clone_column(self.edata)
         return other
+
+    # ------------------------------------------------------------------
+    # Typed-column introspection.
+    # ------------------------------------------------------------------
+    @property
+    def vertex_column(self) -> Optional[np.ndarray]:
+        """The typed vertex column, or ``None`` on the object fallback."""
+        vdata = self.vdata
+        return vdata if isinstance(vdata, np.ndarray) else None
+
+    @property
+    def edge_column(self) -> Optional[np.ndarray]:
+        """The typed edge column, or ``None`` on the object fallback."""
+        edata = self.edata
+        return edata if isinstance(edata, np.ndarray) else None
 
     # ------------------------------------------------------------------
     # Structure queries (index-based fast path lives in DataGraph/Scope).

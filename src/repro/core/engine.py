@@ -28,6 +28,11 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from repro.core.consistency import Consistency, LockKind, lock_plan
 from repro.core.graph import DataGraph, VertexId
+from repro.core.kernels import (
+    independent_classes,
+    kernel_of,
+    run_color_sweeps,
+)
 from repro.core.scheduler import Scheduler, make_scheduler
 from repro.core.scope import Scope
 from repro.core.sync import GlobalValues, SyncOperation
@@ -74,10 +79,13 @@ class _EngineBase:
         initial_globals: Optional[Mapping[str, object]] = None,
         max_updates: Optional[int] = None,
         trace: bool = False,
+        use_kernel: bool = True,
     ) -> None:
         graph.require_finalized()
         self.graph = graph
         self.update_fn = update_fn
+        #: Batch-kernel dispatch opt-out (tests pin the scalar oracle).
+        self.use_kernel = use_kernel
         self.consistency = consistency
         if isinstance(scheduler, str):
             order = list(graph.vertices()) if scheduler == "sweep" else None
@@ -145,7 +153,19 @@ class SequentialEngine(_EngineBase):
     def run(
         self, initial: Iterable[Union[VertexId, tuple]] = ()
     ) -> EngineResult:
-        """Execute until quiescence. ``initial`` seeds the task set."""
+        """Execute until quiescence. ``initial`` seeds the task set.
+
+        When the update program carries a batch kernel, the graph has
+        the typed columns it needs, and the scheduler is a color-sweep
+        drive (an independent-frontier order), whole color-steps run as
+        numpy passes instead of per-vertex interpretation — bit-identical
+        by the kernel contract, ~10x+ faster. Everything else (tracing,
+        syncs, other schedulers, ``use_kernel=False``) takes the scalar
+        loop below, which remains the oracle.
+        """
+        kernel = self._batch_kernel()
+        if kernel is not None:
+            return self._run_batch(kernel, initial)
         scheduler = self.scheduler
         graph = self.graph
         update_fn = self.update_fn
@@ -194,6 +214,58 @@ class SequentialEngine(_EngineBase):
                 tick_syncs(updates)
         self._run_all_syncs()
         return self._result(counts, converged=True)
+
+    # ------------------------------------------------------------------
+    # Batch-kernel dispatch (the "Batch kernel contract" in ROADMAP.md).
+    # ------------------------------------------------------------------
+    def _batch_kernel(self):
+        """The kernel to dispatch to, or ``None`` for the scalar loop."""
+        if not self.use_kernel or self._trace is not None or self.syncs:
+            # Tracing needs per-update read/write sets; syncs tick on a
+            # per-update cadence the batch path cannot reproduce.
+            return None
+        kernel = kernel_of(self.update_fn)
+        if kernel is None:
+            return None
+        classes = getattr(self.scheduler, "color_classes", None)
+        if classes is None or len(self.scheduler):
+            # Only independent-frontier schedulers batch; a pre-seeded
+            # scheduler would be bypassed by the mask loop.
+            return None
+        if not kernel.compatible(self.graph):
+            return None
+        if not independent_classes(self.graph, classes):
+            # Batch steps are Jacobi within a class; only independent
+            # sets make that equal to the scalar in-order execution.
+            return None
+        return kernel
+
+    def _run_batch(
+        self, kernel, initial: Iterable[Union[VertexId, tuple]]
+    ) -> EngineResult:
+        graph = self.graph
+        self._run_all_syncs()
+        counts_vec, updates, converged = run_color_sweeps(
+            graph,
+            kernel,
+            self.scheduler.color_classes,
+            normalize_schedule(initial, graph=graph),
+            max_updates=self.max_updates,
+            globals_view=self.globals.view(),
+        )
+        self._run_all_syncs()
+        vertex_ids = graph.compiled.vertex_ids
+        counts = {
+            vertex_ids[i]: int(counts_vec[i])
+            for i in counts_vec.nonzero()[0]
+        }
+        return EngineResult(
+            num_updates=updates,
+            updates_per_vertex=counts,
+            converged=converged,
+            globals=self.globals.snapshot(),
+            trace=None,
+        )
 
 
 class _ReadWriteLock:
@@ -369,6 +441,7 @@ def run_to_convergence(
     initial_globals: Optional[Mapping[str, object]] = None,
     max_updates: Optional[int] = None,
     trace: bool = False,
+    use_kernel: bool = True,
 ) -> EngineResult:
     """One-call convenience wrapper around :class:`SequentialEngine`."""
     engine = SequentialEngine(
@@ -380,5 +453,6 @@ def run_to_convergence(
         initial_globals=initial_globals,
         max_updates=max_updates,
         trace=trace,
+        use_kernel=use_kernel,
     )
     return engine.run(initial)

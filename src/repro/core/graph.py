@@ -118,7 +118,13 @@ class DataGraph:
         self._out[src].append(dst)
         self._in[dst].append(src)
 
-    def finalize(self) -> "DataGraph":
+    def finalize(
+        self,
+        vertex_dtype: Any = None,
+        edge_dtype: Any = None,
+        vertex_shape: Tuple[int, ...] = (),
+        edge_shape: Tuple[int, ...] = (),
+    ) -> "DataGraph":
         """Freeze the structure and compile it to CSR form.
 
         After this call the structure is immutable (data stays mutable),
@@ -126,11 +132,31 @@ class DataGraph:
         mapped to dense indices, adjacency becomes CSR index/offset
         arrays plus pre-materialized neighborhood tuples, and data moves
         into flat slot-addressed lists (:class:`repro.core.csr.CSRGraph`).
-        Idempotent. Returns ``self`` for chaining.
+
+        ``vertex_dtype`` / ``edge_dtype`` (with optional per-item
+        ``vertex_shape`` / ``edge_shape``) declare **typed data
+        columns**: the flat data compiles into numpy arrays of shape
+        ``(count, *shape)`` instead of object lists. ``None`` builder
+        values become zeros (apps may fill the column post-finalize).
+        Typed columns unlock the batch kernels
+        (:mod:`repro.core.kernels`) and the runtime backend's
+        array-buffer wire format; the public data API is unchanged.
+
+        Idempotent (repeat calls ignore the dtype arguments). Returns
+        ``self`` for chaining.
         """
         if self._finalized:
             return self
-        self._csr = CSRGraph.build(self._vdata, self._edata, self._out, self._in)
+        self._csr = CSRGraph.build(
+            self._vdata,
+            self._edata,
+            self._out,
+            self._in,
+            vertex_dtype=vertex_dtype,
+            edge_dtype=edge_dtype,
+            vertex_shape=vertex_shape,
+            edge_shape=edge_shape,
+        )
         # Builder dicts are dropped: the compiled form is the single
         # source of truth, so stale reads fail loudly.
         self._vdata = self._edata = self._out = self._in = None

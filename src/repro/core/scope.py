@@ -84,6 +84,7 @@ class Scope:
         "_record",
         "_bind_cache",
         "_csr_direct",
+        "_csr_gather",
         "_flat_store",
         "_store_gather",
         "_vidx",
@@ -114,6 +115,12 @@ class Scope:
         self._csr_direct = (
             csr if (csr is not None and self._store is graph and not record)
             else None
+        )
+        # The bulk in-gather fast path is legal even when tracing: the
+        # compiled gather plan enumerates exactly the keys the slow path
+        # reads, so recording is a guarded branch, not a different path.
+        self._csr_gather = (
+            csr if (csr is not None and self._store is graph) else None
         )
         # Slot-addressed distributed shards (repro.runtime.shard) expose
         # the compiled layout directly: flat data lists aligned to the
@@ -277,13 +284,21 @@ class Scope:
         vertex = self.vertex
         store = self._store
         graph = self.graph
-        csr = self._csr_direct
+        csr = self._csr_gather
         if csr is not None:
+            plan = csr.in_gather[self._vidx]
+            if self._record:
+                # Tracing-enabled runs must observe the same read set as
+                # the slow path: one edge key and one vertex key per
+                # in-neighbor.
+                reads = self.reads
+                for (u, _slot, _ui) in plan:
+                    reads.add(edge_key(u, vertex))
+                    reads.add(vertex_key(u))
             vdata = csr.vdata
             edata = csr.edata
             return [
-                (u, edata[slot], vdata[ui])
-                for (u, slot, ui) in csr.in_gather[self._vidx]
+                (u, edata[slot], vdata[ui]) for (u, slot, ui) in plan
             ]
         bulk = self._store_gather
         if bulk is not None:

@@ -1,6 +1,6 @@
 """Synthetic workload generators matching the paper's inputs (Table 2)."""
 
-from repro.datasets.mesh import grid_2d, mesh_3d
+from repro.datasets.mesh import grid_2d, grid_2d_typed, mesh_3d
 from repro.datasets.netflix import NetflixData, synthetic_netflix
 from repro.datasets.ner import NERData, TYPE_VOCABULARY, synthetic_ner
 from repro.datasets.video import NUM_FEATURES, VideoData, synthetic_video
@@ -13,6 +13,7 @@ __all__ = [
     "TYPE_VOCABULARY",
     "VideoData",
     "grid_2d",
+    "grid_2d_typed",
     "mesh_3d",
     "power_law_web_graph",
     "synthetic_ner",

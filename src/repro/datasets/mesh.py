@@ -16,7 +16,12 @@ from typing import Dict, Tuple
 
 import numpy as np
 
-from repro.apps.lbp import init_lbp_data, potts_potential
+from repro.apps.lbp import (
+    init_lbp_data,
+    init_lbp_data_typed,
+    lbp_dtypes,
+    potts_potential,
+)
 from repro.core.graph import DataGraph, VertexId
 
 
@@ -68,18 +73,8 @@ def mesh_3d(
     return graph, psi
 
 
-def grid_2d(
-    rows: int,
-    cols: int,
-    num_labels: int = 2,
-    seed: int = 0,
-    unary_strength: float = 1.0,
-    smoothing: float = 1.0,
-) -> Tuple[DataGraph, np.ndarray]:
-    """4-connected 2-D grid MRF (the web-spam-like workload of Fig. 1c).
-
-    Vertex ids are ``(row, col)``; returns ``(graph, psi)``.
-    """
+def _grid_structure(rows: int, cols: int) -> DataGraph:
+    """Unfinalized 4-connected grid skeleton shared by the MRF builders."""
     if rows < 1 or cols < 1:
         raise ValueError("grid must be non-empty")
     graph = DataGraph()
@@ -92,7 +87,22 @@ def grid_2d(
                 graph.add_edge((r, c), (r + 1, c), data=None)
             if c + 1 < cols:
                 graph.add_edge((r, c), (r, c + 1), data=None)
-    graph.finalize()
+    return graph
+
+
+def grid_2d(
+    rows: int,
+    cols: int,
+    num_labels: int = 2,
+    seed: int = 0,
+    unary_strength: float = 1.0,
+    smoothing: float = 1.0,
+) -> Tuple[DataGraph, np.ndarray]:
+    """4-connected 2-D grid MRF (the web-spam-like workload of Fig. 1c).
+
+    Vertex ids are ``(row, col)``; returns ``(graph, psi)``.
+    """
+    graph = _grid_structure(rows, cols).finalize()
 
     rng = np.random.default_rng(seed)
     unaries: Dict[VertexId, np.ndarray] = {}
@@ -102,3 +112,30 @@ def grid_2d(
     init_lbp_data(graph, unaries)
     psi = potts_potential(num_labels, smoothing=smoothing)
     return graph, psi
+
+
+def grid_2d_typed(
+    rows: int,
+    cols: int,
+    num_labels: int = 3,
+    seed: int = 0,
+    smoothing: float = 1.5,
+) -> Tuple[DataGraph, np.ndarray]:
+    """4-connected grid MRF on **typed data columns** (PR 3).
+
+    The :func:`grid_2d` structure finalized with ``(2, L)`` float64
+    vertex/edge columns (``lbp_dtypes``) and seeded uniform-ish random
+    unaries — the workload the batch LBP kernel, its property tests,
+    and the perf benchmarks all share. Vertex ids are ``(row, col)``;
+    returns ``(graph, psi)``.
+    """
+    graph = _grid_structure(rows, cols).finalize(**lbp_dtypes(num_labels))
+    rng = random.Random(seed)
+    init_lbp_data_typed(
+        graph,
+        {
+            v: [rng.random() + 0.1 for _ in range(num_labels)]
+            for v in graph.vertices()
+        },
+    )
+    return graph, potts_potential(num_labels, smoothing=smoothing)

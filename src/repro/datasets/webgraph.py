@@ -20,12 +20,17 @@ def power_law_web_graph(
     num_vertices: int,
     out_degree: int = 4,
     seed: int = 0,
+    typed: bool = False,
 ) -> DataGraph:
     """Directed power-law web graph with PageRank-ready data.
 
     Deterministic for a fixed ``seed``. Vertices ``0..n-1`` carry the
     uniform initial rank; each edge ``u -> v`` carries
-    ``1/out_degree(u)``.
+    ``1/out_degree(u)``. ``typed=True`` finalizes with float64 typed
+    data columns — same values bit for bit (ranks and weights are
+    float64 either way), but engines can then dispatch to the PageRank
+    batch kernel and the runtime backend ships array-buffer wire
+    payloads.
     """
     if num_vertices < 2:
         raise ValueError("need at least two pages")
@@ -63,6 +68,8 @@ def power_law_web_graph(
         out_counts[u] += 1
     for (u, v) in sorted(edges):
         graph.add_edge(u, v, data=1.0 / out_counts[u])
+    if typed:
+        return graph.finalize(vertex_dtype=float, edge_dtype=float)
     return graph.finalize()
 
 

@@ -21,8 +21,11 @@ from __future__ import annotations
 
 from typing import Dict, Generator, Iterable, List, Optional, Set, Tuple
 
+import numpy as np
+
 from repro.core.coloring import Coloring, color_classes, validate_coloring
 from repro.core.graph import VertexId
+from repro.core.kernels import independent_classes, kernel_of
 from repro.core.update import normalize_schedule
 from repro.distributed.base import (
     DistributedEngineBase,
@@ -52,6 +55,16 @@ class ChromaticEngine(DistributedEngineBase):
     snapshot_every_updates / dfs:
         Enable synchronous snapshots at sweep boundaries once this many
         updates have run since the last one.
+    use_kernel:
+        Dispatch each machine's share of a color-step to the update
+        program's batch kernel (:mod:`repro.core.kernels`) when one is
+        attached, the graph has compatible typed columns, and the
+        machine stores are slot-addressed
+        (:class:`~repro.runtime.shard.CSRShardStore` — pass such stores
+        instead of the default ``LocalGraphStore``). Values stay
+        bit-identical; modeled cycle costs are still charged per
+        update, but dirty ghosts flush once at step end instead of on
+        the mid-step ``flush_batch`` cadence.
     """
 
     def __init__(
@@ -62,6 +75,7 @@ class ChromaticEngine(DistributedEngineBase):
         max_sweeps: Optional[int] = None,
         snapshot_every_updates: Optional[int] = None,
         dfs: Optional[DistributedFileSystem] = None,
+        use_kernel: bool = True,
         **kwargs,
     ) -> None:
         super().__init__(*args, **kwargs)
@@ -87,6 +101,26 @@ class ChromaticEngine(DistributedEngineBase):
             m: set() for m in self.stores
         }
         self._updates_at_last_snapshot = 0
+        # Batch-kernel dispatch needs flat numpy columns on every store
+        # (the runtime shard layout); dict-backed LocalGraphStores fall
+        # back to the scalar interpreter silently.
+        kernel = kernel_of(self.update_fn) if use_kernel else None
+        self._batch_kernel = (
+            kernel
+            if (
+                kernel is not None
+                and kernel.compatible(self.graph)
+                and independent_classes(self.graph, classes)
+                and all(
+                    isinstance(getattr(s, "vdata_flat", None), np.ndarray)
+                    and hasattr(s, "apply_kernel_result")
+                    for s in self.stores.values()
+                )
+            )
+            else None
+        )
+        if self._batch_kernel is not None:
+            self._batch_kernel.bind(self.graph)
         self._register_rpc()
 
     def _register_rpc(self) -> None:
@@ -205,12 +239,63 @@ class ChromaticEngine(DistributedEngineBase):
                     if len(outbox[dst]) >= flush_batch:
                         flush(dst)
 
+        def cost_lane(cycles: float) -> Generator:
+            """One core's share of the batch step's modeled cycles.
+
+            Batch mode still charges the per-update cycle model, split
+            round-robin over the same worker count the scalar path
+            spawns, so the cores execute concurrently and simulated
+            time matches the scalar interleaving.
+            """
+            yield from self.cluster.machine(machine_id).execute(cycles)
+
+        def run_batch_step() -> None:
+            """The batched data computation (after the cost barrier)."""
+            csr = self.graph.compiled
+            index_of = csr.index_of
+            indices = np.fromiter(
+                (index_of[v] for v in work), dtype=np.int64, count=len(work)
+            )
+            result = self._batch_kernel.step(
+                self.graph,
+                indices,
+                store.vdata_flat,
+                store.edata_flat,
+                self.globals[machine_id].view(),
+            )
+            store.apply_kernel_result(result)
+            self.updates_per_machine[machine_id] += len(work)
+            vertex_ids = csr.vertex_ids
+            for i in result.scheduled:
+                u = vertex_ids[i]
+                target = owner[u]
+                if target == machine_id:
+                    local_scheduled.add(u)
+                else:
+                    remote_sched.setdefault(target, []).append((u, 0.0))
+            for dst, entries in collect_dirty().items():
+                outbox.setdefault(dst, []).extend(entries)
+
         cores = self.cluster.machine(machine_id).num_cores
-        workers = [
-            self.kernel.spawn(worker(), name=f"worker{w}@{machine_id}")
-            for w in range(min(cores, max(1, len(work))))
-        ]
+        batching = self._batch_kernel is not None and bool(work)
+        if batching:
+            cycles = [self.cost_model.cycles(self.graph, v) for v in work]
+            lanes = min(cores, len(work))
+            workers = [
+                self.kernel.spawn(
+                    cost_lane(sum(cycles[lane::lanes])),
+                    name=f"batchstep-{color}.{lane}@{machine_id}",
+                )
+                for lane in range(lanes)
+            ]
+        else:
+            workers = [
+                self.kernel.spawn(worker(), name=f"worker{w}@{machine_id}")
+                for w in range(min(cores, max(1, len(work))))
+            ]
         yield workers
+        if batching:
+            run_batch_step()
         for dst in list(outbox):
             flush(dst)
         for dst, requests in remote_sched.items():

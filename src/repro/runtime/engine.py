@@ -134,6 +134,13 @@ class RuntimeChromaticEngine:
         before declaring it dead (default 120; raise it for color-steps
         that legitimately compute longer). Ignored by ``"inproc"`` and
         by pre-built transport instances.
+    use_kernel:
+        When true (the default) workers dispatch whole color-steps to
+        the program's batch kernel (:mod:`repro.core.kernels`) if it
+        has one and the graph carries compatible typed data columns —
+        bit-identical by the kernel contract, with ghost exchange
+        shipping raw array buffers. ``False`` pins the scalar
+        interpreter (the oracle the kernels are tested against).
     """
 
     def __init__(
@@ -152,6 +159,7 @@ class RuntimeChromaticEngine:
         max_sweeps: Optional[int] = None,
         max_updates: Optional[int] = None,
         reply_timeout: Optional[float] = None,
+        use_kernel: bool = True,
     ) -> None:
         graph.require_finalized()
         if num_workers < 1:
@@ -180,6 +188,7 @@ class RuntimeChromaticEngine:
         self._initial_globals = dict(initial_globals or {})
         self.max_sweeps = max_sweeps
         self.max_updates = max_updates
+        self.use_kernel = use_kernel
         self.updates_per_worker: Dict[int, int] = {
             w: 0 for w in range(num_workers)
         }
@@ -206,9 +215,10 @@ class RuntimeChromaticEngine:
         sweeps = 0
         total_updates = 0
         try:
-            # Lazily encoded: each init blob embeds a full pickled graph,
-            # and the transport consumes one at a time, so the
-            # coordinator never holds more than one serialized copy.
+            # The graph-bearing shared state is pickled exactly once;
+            # each worker's payload wraps its id around that one blob
+            # (see _encoded_inits), so launch serialization is
+            # O(structure), not O(workers x structure).
             self.transport.launch(self._encoded_inits())
             launch_seconds = time.perf_counter() - start
             published: List[Tuple[str, Any]] = []
@@ -276,16 +286,22 @@ class RuntimeChromaticEngine:
 
     # ------------------------------------------------------------------
     def _encoded_inits(self):
+        from repro.runtime.worker import encode_worker
+
+        # The worker-independent state — dominated by the pickled
+        # graph — is serialized exactly once and shared by every
+        # worker's payload; only the worker id differs.
+        try:
+            shared = self._worker_init(0).encode_shared()
+        except Exception as exc:
+            raise EngineError(
+                "worker init payload cannot be pickled — the update "
+                "program, sync map/combine/finalize functions, and "
+                "all graph data must be module-level / picklable to "
+                f"cross process boundaries ({exc})"
+            ) from exc
         for worker_id in range(self.num_workers):
-            try:
-                yield self._worker_init(worker_id).encode()
-            except Exception as exc:
-                raise EngineError(
-                    "worker init payload cannot be pickled — the update "
-                    "program, sync map/combine/finalize functions, and "
-                    "all graph data must be module-level / picklable to "
-                    f"cross process boundaries ({exc})"
-                ) from exc
+            yield encode_worker(worker_id, shared)
 
     def _worker_init(self, worker_id: int) -> WorkerInit:
         return WorkerInit(
@@ -298,6 +314,7 @@ class RuntimeChromaticEngine:
             program=self.program,
             syncs=self.syncs,
             initial_globals=self._initial_globals,
+            use_kernel=self.use_kernel,
         )
 
     def _absorb_census(self, replies: List[Dict]) -> None:

@@ -46,6 +46,18 @@ class ColorSweepScheduler(Scheduler):
         self._work_set: Set[VertexId] = set()
         self._next_color = 0
 
+    @property
+    def color_classes(self) -> List[List[VertexId]]:
+        """The color classes, in sweep order.
+
+        Public on purpose: its presence is how
+        :class:`~repro.core.engine.SequentialEngine` recognizes an
+        independent-frontier drive it may hand to a batch kernel
+        (:mod:`repro.core.kernels`) — color-steps are the unit a kernel
+        executes, and this list defines them.
+        """
+        return self._classes
+
     def add(self, vertex: VertexId, priority: float = 0.0) -> None:
         if vertex not in self._colored:
             raise SchedulerError(

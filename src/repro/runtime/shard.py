@@ -6,13 +6,15 @@ ghost/version coherence protocol — monotone versions, idempotent
 ``apply_remote``, ``collect_dirty`` batched per destination — but laid
 out on the finalize-time compiled form instead of id-keyed dicts. Every
 worker process unpickles the shared :class:`~repro.core.csr.CSRGraph`
-structure once; the shard then keeps its data in **flat lists aligned to
-the compiled slots** (``vdata_flat[index]`` / ``edata_flat[slot]``),
-versions in parallel flat lists, and dirty state as index/slot sets. The
+structure once; the shard then keeps its data in **flat columns aligned
+to the compiled slots** (``vdata_flat[index]`` / ``edata_flat[slot]`` —
+numpy arrays when the graph declared typed columns, lists otherwise),
+versions in parallel numpy arrays, and dirty state as boolean masks. The
 ROADMAP's storage contract ("per-machine stores … must treat graph
 structure queries as O(1) array hits") applied to data too: reads on the
-update hot path are a list index, not a dict probe, which is what lets a
-worker's inner loop run at reference-engine speed.
+update hot path are a flat index, not a dict probe, batch kernels
+(:mod:`repro.core.kernels`) execute directly on the columns, and dirty
+collection / remote application run as vectorized mask passes.
 
 Wire compatibility: entries still travel as ``(DataKey, value, version,
 bytes)`` with the same ``("v", vid)`` / ``("e", src, dst)`` keys and the
@@ -33,6 +35,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, FrozenSet, List, Mapping, Set, Tuple
 
+import numpy as np
+
 from repro.core.consistency import DataKey, edge_key, vertex_key
 from repro.core.graph import DataGraph, VertexId
 from repro.distributed.graph_store import ghost_write_targets
@@ -40,13 +44,35 @@ from repro.distributed.models import VERSION_BYTES, DataSizeModel
 from repro.errors import GraphStructureError
 
 
+def _concat_field(a: Any, b: Any) -> Any:
+    """Merge two parallel wire fields (lists and/or numpy arrays).
+
+    Typed-column batches carry numpy arrays; the object fallback carries
+    lists. A destination inbox can accumulate several batches per round
+    (and across elided rounds), so merging must handle either side being
+    empty or array-backed.
+    """
+    if len(a) == 0:
+        return b
+    if len(b) == 0:
+        return a
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.concatenate((np.asarray(a), np.asarray(b)))
+    a.extend(b)
+    return a
+
+
 class FlatEntries:
     """A struct-of-arrays batch of slot-form ghost entries.
 
-    Parallel lists: ``v_index``/``v_value``/``v_version`` for vertex
-    data, ``e_slot``/``e_value``/``e_version`` for edge data. Batches
-    merge with :meth:`extend` (the coordinator routes several workers'
-    output into one destination inbox per round).
+    Parallel fields: ``v_index``/``v_value``/``v_version`` for vertex
+    data, ``e_slot``/``e_value``/``e_version`` for edge data. On graphs
+    with typed data columns every field is a numpy array — the **wire
+    format is then raw array buffers** (one pickled buffer per field, no
+    per-entry Python objects); on the object fallback they are plain
+    parallel lists. Batches merge with :meth:`extend` (the coordinator
+    routes several workers' output into one destination inbox per
+    round).
     """
 
     __slots__ = (
@@ -54,20 +80,20 @@ class FlatEntries:
     )
 
     def __init__(self) -> None:
-        self.v_index: List[int] = []
-        self.v_value: List[Any] = []
-        self.v_version: List[int] = []
-        self.e_slot: List[int] = []
-        self.e_value: List[Any] = []
-        self.e_version: List[int] = []
+        self.v_index: Any = []
+        self.v_value: Any = []
+        self.v_version: Any = []
+        self.e_slot: Any = []
+        self.e_value: Any = []
+        self.e_version: Any = []
 
     def extend(self, other: "FlatEntries") -> None:
-        self.v_index.extend(other.v_index)
-        self.v_value.extend(other.v_value)
-        self.v_version.extend(other.v_version)
-        self.e_slot.extend(other.e_slot)
-        self.e_value.extend(other.e_value)
-        self.e_version.extend(other.e_version)
+        self.v_index = _concat_field(self.v_index, other.v_index)
+        self.v_value = _concat_field(self.v_value, other.v_value)
+        self.v_version = _concat_field(self.v_version, other.v_version)
+        self.e_slot = _concat_field(self.e_slot, other.e_slot)
+        self.e_value = _concat_field(self.e_value, other.e_value)
+        self.e_version = _concat_field(self.e_version, other.e_version)
 
     def __len__(self) -> int:
         return len(self.v_index) + len(self.e_slot)
@@ -105,11 +131,12 @@ class CSRShardStore:
         "_eversion",
         "_dirty_v",
         "_dirty_e",
-        "_held_v",
-        "_held_e",
-        "_owned_v",
+        "_held_v_mask",
+        "_held_e_mask",
+        "_owned_mask",
         "_vtargets",
-        "_etargets",
+        "_route_v",
+        "_route_e",
     )
 
     def __init__(
@@ -128,68 +155,105 @@ class CSRShardStore:
         self._csr = csr
         self._index_of = csr.index_of
         self._edge_slot = csr.edge_slot
-        # Full-length clones of the flat data lists: owned and ghost
+        # Full-length clones of the flat data columns: owned and ghost
         # slots are live, the rest keep their load-time values (never
-        # read through a scope, never shipped).
-        self.vdata_flat: List[Any] = list(csr.vdata)
-        self.edata_flat: List[Any] = list(csr.edata)
-        self._vversion: List[int] = [0] * len(csr.vertex_ids)
-        self._eversion: List[int] = [0] * len(csr.edge_keys)
-        self._dirty_v: Set[int] = set()
-        self._dirty_e: Set[int] = set()
+        # read through a scope, never shipped). Typed columns clone as
+        # numpy arrays, so kernels run directly on the shard and dirty
+        # values ship as array buffers.
+        self.vdata_flat = (
+            csr.vdata.copy()
+            if isinstance(csr.vdata, np.ndarray)
+            else list(csr.vdata)
+        )
+        self.edata_flat = (
+            csr.edata.copy()
+            if isinstance(csr.edata, np.ndarray)
+            else list(csr.edata)
+        )
+        num_vertices = len(csr.vertex_ids)
+        num_edges = len(csr.edge_keys)
+        self._vversion = np.zeros(num_vertices, dtype=np.int64)
+        self._eversion = np.zeros(num_edges, dtype=np.int64)
+        self._dirty_v = np.zeros(num_vertices, dtype=bool)
+        self._dirty_e = np.zeros(num_edges, dtype=bool)
 
-        index_of = csr.index_of
-        owned = [v for v in csr.vertex_ids if owner[v] == machine_id]
-        self.owned_vertices: List[VertexId] = owned
-        held_v: Set[int] = {index_of[v] for v in owned}
-        ghosts: Set[VertexId] = set()
+        # Partition geometry, resolved in vectorized passes over the
+        # canonical endpoint arrays — no Python-level neighbor views
+        # (kernel-mode workers never build them, and eager views were
+        # the dominant share of worker launch time).
+        vertex_ids = csr.vertex_ids
+        owner_idx = np.fromiter(
+            (owner[v] for v in vertex_ids),
+            dtype=np.int64,
+            count=num_vertices,
+        )
+        owned_mask = owner_idx == machine_id
+        self._owned_mask = owned_mask
+        self.owned_vertices: List[VertexId] = [
+            vertex_ids[i] for i in np.nonzero(owned_mask)[0]
+        ]
+        src, dst = csr.edge_src_index, csr.edge_dst_index
+        held_e_mask = owned_mask[src] | owned_mask[dst]
+        self._held_e_mask = held_e_mask
+        held_v_mask = owned_mask.copy()
+        held_v_mask[src[held_e_mask]] = True
+        held_v_mask[dst[held_e_mask]] = True
+        self._held_v_mask = held_v_mask
+        self.ghost_vertices: FrozenSet[VertexId] = frozenset(
+            vertex_ids[i]
+            for i in np.nonzero(held_v_mask & ~owned_mask)[0]
+        )
+        # Mirror pairs (owned boundary vertex index, remote holder):
+        # every held edge contributes its owned endpoint(s) paired with
+        # the other endpoint's owner when remote.
+        pair_v: List[np.ndarray] = []
+        pair_m: List[np.ndarray] = []
+        he_src, he_dst = src[held_e_mask], dst[held_e_mask]
+        for mine, other in ((he_src, he_dst), (he_dst, he_src)):
+            remote = owned_mask[mine] & (owner_idx[other] != machine_id)
+            pair_v.append(mine[remote])
+            pair_m.append(owner_idx[other][remote])
+        pairs = np.unique(
+            np.stack((np.concatenate(pair_v), np.concatenate(pair_m))),
+            axis=1,
+        )
         mirrors: Dict[VertexId, FrozenSet[int]] = {}
-        for v in owned:
-            mirror_set = set()
-            for u in csr.nbr_ids[index_of[v]]:
-                own_u = owner[u]
-                if own_u != machine_id:
-                    mirror_set.add(own_u)
-                    ghosts.add(u)
-            if mirror_set:
-                mirrors[v] = frozenset(mirror_set)
-        self.ghost_vertices: FrozenSet[VertexId] = frozenset(ghosts)
-        self.mirrors = mirrors
-        self._owned_v: FrozenSet[int] = frozenset(held_v)
-        held_v.update(index_of[u] for u in ghosts)
-        self._held_v = held_v
         #: vertex index -> remote machines holding a copy. Seeded from
-        #: ``mirrors`` for owned boundary vertices; targets for *ghosts*
-        #: (writable only under FULL consistency via ``set_neighbor``)
-        #: are computed lazily on first dirty and memoized here — their
-        #: holders (owner plus other mirror machines) are computable
-        #: locally because structure and the owner map are replicated.
-        self._vtargets: Dict[int, Tuple[int, ...]] = {
-            index_of[v]: tuple(sorted(machines))
-            for v, machines in mirrors.items()
+        #: the mirror pairs for owned boundary vertices; targets for
+        #: *ghosts* (writable only under FULL consistency via
+        #: ``set_neighbor``) are computed lazily on first dirty and
+        #: memoized here — their holders are computable locally because
+        #: structure and the owner map are replicated.
+        vtargets: Dict[int, List[int]] = {}
+        #: Static per-destination routing arrays (ascending order), so
+        #: draining dirty state is a handful of mask/gather passes.
+        route_v: Dict[int, List[int]] = {}
+        for index, holder in zip(
+            pairs[0].tolist(), pairs[1].tolist()
+        ):
+            vtargets.setdefault(index, []).append(holder)
+            route_v.setdefault(holder, []).append(index)
+        self.mirrors = {
+            vertex_ids[index]: frozenset(holders)
+            for index, holders in vtargets.items()
         }
-
-        #: edge slot -> remote endpoint owners (held edges only)
-        etargets: Dict[int, Tuple[int, ...]] = {}
-        held_e: Set[int] = set()
-        edge_slot = csr.edge_slot
-        for v in owned:
-            for (a, b) in csr.adj_edges[index_of[v]]:
-                slot = edge_slot[(a, b)]
-                if slot in held_e:
-                    continue
-                held_e.add(slot)
-                targets = sorted(
-                    {
-                        owner[endpoint]
-                        for endpoint in (a, b)
-                        if owner[endpoint] != machine_id
-                    }
-                )
-                if targets:
-                    etargets[slot] = tuple(targets)
-        self._held_e = held_e
-        self._etargets = etargets
+        self._vtargets: Dict[int, Tuple[int, ...]] = {
+            index: tuple(holders) for index, holders in vtargets.items()
+        }
+        self._route_v = {
+            holder: np.array(sorted(members), dtype=np.int64)
+            for holder, members in route_v.items()
+        }
+        self._route_e: Dict[int, np.ndarray] = {}
+        for holder in np.unique(owner_idx).tolist():
+            if holder == machine_id:
+                continue
+            routed = held_e_mask & (
+                (owner_idx[src] == holder) | (owner_idx[dst] == holder)
+            )
+            slots = np.nonzero(routed)[0]
+            if slots.size:
+                self._route_e[holder] = slots
 
     # ------------------------------------------------------------------
     # Scope data-provider protocol (+ the flat fast path Scope uses).
@@ -207,7 +271,7 @@ class CSRShardStore:
             raise GraphStructureError(f"unknown vertex {vid!r}") from None
         self.vdata_flat[index] = value
         self._vversion[index] += 1
-        self._dirty_v.add(index)
+        self._dirty_v[index] = True
 
     def edge_data(self, src: VertexId, dst: VertexId) -> Any:
         try:
@@ -226,7 +290,7 @@ class CSRShardStore:
             ) from None
         self.edata_flat[slot] = value
         self._eversion[slot] += 1
-        self._dirty_e.add(slot)
+        self._dirty_e[slot] = True
 
     def gather_in(self, vertex: VertexId) -> List[Tuple[VertexId, Any, Any]]:
         """Bulk ``[(u, D_{u->v}, D_u)]`` through the compiled gather plan.
@@ -245,7 +309,7 @@ class CSRShardStore:
     def has_vertex(self, vid: VertexId) -> bool:
         """Whether this shard holds (a copy of) ``vid``."""
         index = self._index_of.get(vid)
-        return index is not None and index in self._held_v
+        return index is not None and bool(self._held_v_mask[index])
 
     # ------------------------------------------------------------------
     # Coherence protocol (wire-compatible with LocalGraphStore).
@@ -254,13 +318,13 @@ class CSRShardStore:
         """Current version of a held datum (-1 if not held)."""
         if key[0] == "v":
             index = self._index_of.get(key[1])
-            if index is None or index not in self._held_v:
+            if index is None or not self._held_v_mask[index]:
                 return -1
-            return self._vversion[index]
+            return int(self._vversion[index])
         slot = self._edge_slot.get((key[1], key[2]))
-        if slot is None or slot not in self._held_e:
+        if slot is None or not self._held_e_mask[slot]:
             return -1
-        return self._eversion[slot]
+        return int(self._eversion[slot])
 
     def key_bytes(self, key: DataKey) -> float:
         """Wire size of a datum plus its version tag."""
@@ -272,7 +336,7 @@ class CSRShardStore:
         """Apply a pushed datum if held and newer; idempotent."""
         if key[0] == "v":
             index = self._index_of.get(key[1])
-            if index is None or index not in self._held_v:
+            if index is None or not self._held_v_mask[index]:
                 return False
             if version <= self._vversion[index]:
                 return False
@@ -280,7 +344,7 @@ class CSRShardStore:
             self.vdata_flat[index] = value
             return True
         slot = self._edge_slot.get((key[1], key[2]))
-        if slot is None or slot not in self._held_e:
+        if slot is None or not self._held_e_mask[slot]:
             return False
         if version <= self._eversion[slot]:
             return False
@@ -294,48 +358,82 @@ class CSRShardStore:
         The runtime hot path: indices are canonical across processes
         (every worker shares the compiled numbering), so entries skip
         the id-keyed ``DataKey`` envelope entirely, and each batch is
-        struct-of-arrays — six parallel flat lists (vertex
-        indices/values/versions, edge slots/values/versions) — which
-        pickles far cheaper than per-entry tuples. Same routing
-        semantics as :meth:`collect_dirty`; versions still ride along,
-        so :meth:`apply_flat` keeps the idempotent stale-drop filter.
+        struct-of-arrays. Routing is a few mask/gather passes over the
+        static per-destination routing arrays; on typed data columns the
+        gathered fields are numpy arrays, so a whole batch pickles as
+        six raw buffers — no per-entry Python objects on the wire. Same
+        routing semantics as :meth:`collect_dirty`; versions still ride
+        along, so :meth:`apply_flat` keeps the idempotent stale-drop
+        filter.
         """
         out: Dict[int, FlatEntries] = {}
-        if self._dirty_v:
-            vtargets = self._vtargets
-            owned = self._owned_v
-            for index in sorted(self._dirty_v):
-                targets = vtargets.get(index)
-                if targets is None:
-                    if index in owned:
-                        continue  # interior owned vertex: no remote copy
-                    targets = self._ghost_targets_of(index)
-                value = self.vdata_flat[index]
-                version = self._vversion[index]
-                for target in targets:
-                    batch = out.get(target)
-                    if batch is None:
-                        batch = out[target] = FlatEntries()
-                    batch.v_index.append(index)
-                    batch.v_value.append(value)
-                    batch.v_version.append(version)
-            self._dirty_v.clear()
-        if self._dirty_e:
-            etargets = self._etargets
-            for slot in sorted(self._dirty_e):
-                targets = etargets.get(slot)
-                if not targets:
+        dirty_v = self._dirty_v
+        if dirty_v.any():
+            vdata = self.vdata_flat
+            typed = isinstance(vdata, np.ndarray)
+            for dst, route in self._route_v.items():
+                sel = route[dirty_v[route]]
+                if not sel.size:
                     continue
-                value = self.edata_flat[slot]
-                version = self._eversion[slot]
+                batch = out.get(dst)
+                if batch is None:
+                    batch = out[dst] = FlatEntries()
+                if typed:
+                    # int32 wire fields: entry indices and versions both
+                    # fit comfortably (graphs < 2^31 vertices, one
+                    # version bump per write), and the narrower dtype
+                    # halves the non-payload wire bytes per entry.
+                    batch.v_index = sel.astype(np.int32)
+                    batch.v_value = vdata[sel]
+                    batch.v_version = self._vversion[sel].astype(np.int32)
+                else:
+                    indices = sel.tolist()
+                    batch.v_index = indices
+                    batch.v_value = [vdata[i] for i in indices]
+                    batch.v_version = self._vversion[sel].tolist()
+            # Dirty non-owned copies: ghost writes (FULL consistency
+            # only). Their holder sets are resolved lazily and shipped
+            # through the scalar path — they are rare by construction.
+            ghost_dirty = np.nonzero(dirty_v & ~self._owned_mask)[0]
+            for index in ghost_dirty.tolist():
+                targets = self._vtargets.get(index)
+                if targets is None:
+                    targets = self._ghost_targets_of(index)
                 for target in targets:
                     batch = out.get(target)
                     if batch is None:
                         batch = out[target] = FlatEntries()
-                    batch.e_slot.append(slot)
-                    batch.e_value.append(value)
-                    batch.e_version.append(version)
-            self._dirty_e.clear()
+                    # A fresh single-entry batch per destination:
+                    # extend() adopts an incoming list uncopied when the
+                    # field was empty, so sharing one batch across
+                    # targets would alias their entry lists.
+                    extra = FlatEntries()
+                    extra.v_index = [index]
+                    extra.v_value = [vdata[index]]
+                    extra.v_version = [int(self._vversion[index])]
+                    batch.extend(extra)
+            dirty_v[:] = False
+        dirty_e = self._dirty_e
+        if dirty_e.any():
+            edata = self.edata_flat
+            typed = isinstance(edata, np.ndarray)
+            for dst, route in self._route_e.items():
+                sel = route[dirty_e[route]]
+                if not sel.size:
+                    continue
+                batch = out.get(dst)
+                if batch is None:
+                    batch = out[dst] = FlatEntries()
+                if typed:
+                    batch.e_slot = sel.astype(np.int32)
+                    batch.e_value = edata[sel]
+                    batch.e_version = self._eversion[sel].astype(np.int32)
+                else:
+                    slots = sel.tolist()
+                    batch.e_slot = slots
+                    batch.e_value = [edata[s] for s in slots]
+                    batch.e_version = self._eversion[sel].tolist()
+            dirty_e[:] = False
         return out
 
     def _ghost_targets_of(self, index: int) -> Tuple[int, ...]:
@@ -352,27 +450,105 @@ class CSRShardStore:
         return targets
 
     def apply_flat(self, batch: "FlatEntries") -> None:
-        """Apply a routed slot-form batch (version-filtered, idempotent)."""
-        if batch.v_index:
-            held = self._held_v
+        """Apply a routed slot-form batch (version-filtered, idempotent).
+
+        Array-backed batches (typed columns) apply in a few vectorized
+        passes; list-backed batches keep the scalar loop. Either way the
+        semantics match: unheld slots are dropped, stale versions are
+        dropped, and when an inbox accumulated several rounds' entries
+        for one slot (elided color-steps) the chronologically last —
+        highest-version — entry wins.
+        """
+        if isinstance(batch.v_value, np.ndarray):
+            self._apply_flat_typed(
+                batch.v_index, batch.v_value, batch.v_version,
+                self._held_v_mask, self._vversion, self.vdata_flat,
+            )
+        elif len(batch.v_index):
+            held = self._held_v_mask
             versions = self._vversion
             vdata = self.vdata_flat
             for index, value, version in zip(
                 batch.v_index, batch.v_value, batch.v_version
             ):
-                if index in held and version > versions[index]:
+                if held[index] and version > versions[index]:
                     versions[index] = version
                     vdata[index] = value
-        if batch.e_slot:
-            held_e = self._held_e
+        if isinstance(batch.e_value, np.ndarray):
+            self._apply_flat_typed(
+                batch.e_slot, batch.e_value, batch.e_version,
+                self._held_e_mask, self._eversion, self.edata_flat,
+            )
+        elif len(batch.e_slot):
+            held_e = self._held_e_mask
             eversions = self._eversion
             edata = self.edata_flat
             for slot, value, version in zip(
                 batch.e_slot, batch.e_value, batch.e_version
             ):
-                if slot in held_e and version > eversions[slot]:
+                if held_e[slot] and version > eversions[slot]:
                     eversions[slot] = version
                     edata[slot] = value
+
+    @staticmethod
+    def _apply_flat_typed(
+        indices: Any,
+        values: np.ndarray,
+        versions: Any,
+        held_mask: np.ndarray,
+        stored_versions: np.ndarray,
+        column: np.ndarray,
+    ) -> None:
+        indices = np.asarray(indices, dtype=np.int64)
+        versions = np.asarray(versions, dtype=np.int64)
+        # Duplicate slots appear only when an inbox accumulated several
+        # rounds (elided color-steps); the common case — one worker's
+        # routed batch — is strictly ascending and needs no dedup pass.
+        if indices.size > 1 and not (indices[1:] > indices[:-1]).all():
+            # Keep, per slot, the entry the scalar per-entry filter
+            # would leave standing: the highest version, and the
+            # *earliest* occurrence among version ties (the scalar loop
+            # drops later entries whose version is not strictly newer).
+            # Version counters of different source machines are not
+            # comparable across rounds, so positional "newest" is not
+            # enough. Sort ascending by version with position
+            # descending as tiebreak; the last occurrence per slot in
+            # that order is exactly (max version, first position).
+            size = indices.size
+            order = np.lexsort(
+                (np.arange(size - 1, -1, -1, dtype=np.int64), versions)
+            )
+            indices, versions, values = (
+                indices[order], versions[order], values[order]
+            )
+            _uniq, rev_first = np.unique(indices[::-1], return_index=True)
+            keep = size - 1 - rev_first
+            indices, versions, values = (
+                indices[keep], versions[keep], values[keep]
+            )
+        ok = held_mask[indices] & (versions > stored_versions[indices])
+        if ok.any():
+            sel = indices[ok]
+            stored_versions[sel] = versions[ok]
+            column[sel] = values[ok]
+
+    def apply_kernel_result(self, result: Any) -> None:
+        """Version/dirty bookkeeping for a batch kernel's writes.
+
+        The vectorized twin of the per-write accounting in
+        :meth:`set_vertex_data` / :meth:`set_edge_data`: one version
+        bump and one dirty mark per written slot
+        (:class:`~repro.core.kernels.KernelResult` indices are unique
+        per step, so the fancy ``+= 1`` is exact).
+        """
+        wrote_v = result.wrote_v
+        if wrote_v.size:
+            self._vversion[wrote_v] += 1
+            self._dirty_v[wrote_v] = True
+        wrote_e = result.wrote_e
+        if wrote_e.size:
+            self._eversion[wrote_e] += 1
+            self._dirty_e[wrote_e] = True
 
     def collect_dirty(self) -> Dict[int, List[Tuple[DataKey, Any, int, float]]]:
         """Drain dirty data in ``LocalGraphStore.collect_dirty``'s format.
@@ -416,7 +592,7 @@ class CSRShardStore:
     @property
     def dirty_count(self) -> int:
         """Slots changed since the last :meth:`collect_dirty`."""
-        return len(self._dirty_v) + len(self._dirty_e)
+        return int(self._dirty_v.sum()) + int(self._dirty_e.sum())
 
     def checkpoint_payload(self) -> Dict[str, Any]:
         """All owned data: same shape as ``LocalGraphStore``'s."""
@@ -429,7 +605,7 @@ class CSRShardStore:
         edge_keys = self._csr.edge_keys
         machine_id = self.machine_id
         owner = self.owner
-        for slot in sorted(self._held_e):
+        for slot in np.nonzero(self._held_e_mask)[0].tolist():
             (a, b) = edge_keys[slot]
             if owner[a] == machine_id:
                 payload["edata"][(a, b)] = self.edata_flat[slot]

@@ -36,8 +36,11 @@ import traceback
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Set, Tuple
 
+import numpy as np
+
 from repro.core.consistency import Consistency
 from repro.core.graph import DataGraph, VertexId
+from repro.core.kernels import independent_classes, kernel_of
 from repro.core.scope import Scope
 from repro.core.sync import GlobalValues, SyncOperation
 from repro.core.update import normalize_schedule
@@ -79,9 +82,36 @@ class WorkerInit:
     program: Any
     syncs: Tuple[SyncOperation, ...] = ()
     initial_globals: Optional[Dict[str, Any]] = None
+    #: Dispatch color-steps to the program's batch kernel when it has
+    #: one and the graph's typed columns are compatible (the engine's
+    #: ``use_kernel`` knob, shipped so every worker decides identically).
+    use_kernel: bool = True
 
     def encode(self) -> bytes:
         return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def encode_shared(self) -> bytes:
+        """Serialize the worker-independent state once.
+
+        Everything except ``worker_id`` is identical across workers —
+        most of it one large pickled graph — so the coordinator encodes
+        it a single time and wraps each worker's id around the shared
+        blob (:func:`encode_worker`), cutting launch serialization from
+        O(workers × graph) to O(graph).
+        """
+        state = {name: getattr(self, name) for name in (
+            "num_workers", "graph", "owner", "classes", "consistency",
+            "program", "syncs", "initial_globals", "use_kernel",
+        )}
+        return pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def encode_worker(worker_id: int, shared_blob: bytes) -> bytes:
+    """Per-worker init payload: the id plus the shared state blob."""
+    return pickle.dumps(
+        ("shared-init", worker_id, shared_blob),
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
 
 
 class RuntimeWorker:
@@ -115,7 +145,7 @@ class RuntimeWorker:
         #: nobody has work for (and, with no syncs registered, detect
         #: termination without a dedicated probe round).
         self.scheduled: Set[VertexId] = set()
-        self.sched_by_color: List[int] = [0] * len(self.by_color)
+        self.sched_by_color = np.zeros(len(self.by_color), dtype=np.int64)
         self.counts: Dict[VertexId, int] = {}
         # One pooled scope, rebound per vertex — the zero-allocation hot
         # path contract of ROADMAP's storage-layout section, now applied
@@ -127,10 +157,58 @@ class RuntimeWorker:
             store=self.store,
             globals_view=self.globals.view(),
         )
+        # Batch-kernel mode: when the program advertises a compatible
+        # kernel, color-steps execute as numpy passes over the shard's
+        # typed columns and the task set becomes a boolean mask in dense
+        # index space (scheduling, census, and counts all vectorize).
+        # The scalar interpreter above remains the fallback — and the
+        # oracle the kernel is property-tested against.
+        kernel = kernel_of(self.update_fn) if init.use_kernel else None
+        if (
+            kernel is not None
+            and kernel.compatible(init.graph)
+            and independent_classes(init.graph, init.classes)
+        ):
+            kernel.bind(init.graph)
+            self.kernel = kernel
+            csr = init.graph.compiled
+            index_of = csr.index_of
+            num_vertices = len(csr.vertex_ids)
+            self._vertex_ids = csr.vertex_ids
+            self._index_of = index_of
+            self._sched_mask = np.zeros(num_vertices, dtype=bool)
+            self._counts_vec = np.zeros(num_vertices, dtype=np.int64)
+            self._owner_idx = np.fromiter(
+                (init.owner[v] for v in csr.vertex_ids),
+                dtype=np.int64,
+                count=num_vertices,
+            )
+            self._by_color_idx = [
+                np.fromiter(
+                    (index_of[v] for v in members),
+                    dtype=np.int64,
+                    count=len(members),
+                )
+                for members in self.by_color
+            ]
+            self._color_of_idx = np.zeros(num_vertices, dtype=np.int64)
+            for color, members in enumerate(self._by_color_idx):
+                self._color_of_idx[members] = color
+        else:
+            self.kernel = None
 
     @classmethod
     def from_bytes(cls, blob: bytes) -> "RuntimeWorker":
-        return cls(pickle.loads(blob))
+        payload = pickle.loads(blob)
+        if (
+            isinstance(payload, tuple)
+            and len(payload) == 3
+            and payload[0] == "shared-init"
+        ):
+            _tag, worker_id, shared_blob = payload
+            init = WorkerInit(worker_id=worker_id, **pickle.loads(shared_blob))
+            return cls(init)
+        return cls(payload)
 
     # ------------------------------------------------------------------
     # Message dispatch.
@@ -158,8 +236,19 @@ class RuntimeWorker:
         data = inbox.get("data")
         if data is not None:
             self.store.apply_flat(data)
-        for u in inbox.get("sched", ()):
-            self._schedule(u)
+        sched = inbox.get("sched", ())
+        if sched:
+            if self.kernel is not None:
+                self._schedule_idx(
+                    np.fromiter(
+                        (self._index_of[u] for u in sched),
+                        dtype=np.int64,
+                        count=len(sched),
+                    )
+                )
+            else:
+                for u in sched:
+                    self._schedule(u)
         for key, value in inbox.get("globals", ()):
             self.globals.publish(key, value)
 
@@ -168,6 +257,19 @@ class RuntimeWorker:
         if vertex not in scheduled:
             scheduled.add(vertex)
             self.sched_by_color[self._color_of[vertex]] += 1
+
+    def _schedule_idx(self, indices: np.ndarray) -> None:
+        """Kernel-mode scheduling: merge dense indices into the task
+        mask (set semantics; the census counts only newly added)."""
+        indices = np.unique(indices)
+        mask = self._sched_mask
+        fresh = indices[~mask[indices]]
+        if fresh.size:
+            mask[fresh] = True
+            np.add.at(self.sched_by_color, self._color_of_idx[fresh], 1)
+
+    def _census(self) -> List[int]:
+        return [int(n) for n in self.sched_by_color]
 
     def _step(self, color: int, inbox: Optional[Inbox]) -> Dict[str, Any]:
         """One color-step: snapshot the work list, run updates, route.
@@ -179,6 +281,8 @@ class RuntimeWorker:
         the coloring guarantees (Sec. 4.2.1).
         """
         self._apply_inbox(inbox)
+        if self.kernel is not None:
+            return self._step_kernel(color)
         scheduled = self.scheduled
         work = [v for v in self.by_color[color] if v in scheduled]
         if work:
@@ -221,7 +325,58 @@ class RuntimeWorker:
             "dirty": dirty,
             "sched": sched_out,
             "updates": len(work),
-            "sched_by_color": list(self.sched_by_color),
+            "sched_by_color": self._census(),
+        }
+
+    def _step_kernel(self, color: int) -> Dict[str, Any]:
+        """Kernel-mode color-step: the whole work list as numpy passes.
+
+        Same semantics as the scalar loop above — snapshot the scheduled
+        members of this color, execute, route scheduling by owner — but
+        the snapshot is a mask gather, the updates are one
+        :meth:`~repro.core.kernels.UpdateKernel.step` call over the
+        shard's typed columns, and version/dirty bookkeeping is applied
+        in bulk (:meth:`~repro.runtime.shard.CSRShardStore.
+        apply_kernel_result`).
+        """
+        members = self._by_color_idx[color]
+        mask = self._sched_mask
+        work = members[mask[members]]
+        sched_out: Dict[int, List[VertexId]] = {}
+        if work.size:
+            mask[work] = False
+            self.sched_by_color[color] -= work.size
+            store = self.store
+            result = self.kernel.step(
+                self.graph,
+                work,
+                store.vdata_flat,
+                store.edata_flat,
+                self.globals.view(),
+            )
+            store.apply_kernel_result(result)
+            self._counts_vec[work] += 1
+            requested = result.scheduled
+            if requested.size:
+                owners = self._owner_idx[requested]
+                me = self.worker_id
+                local = requested[owners == me]
+                if local.size:
+                    self._schedule_idx(local)
+                remote = requested[owners != me]
+                if remote.size:
+                    vertex_ids = self._vertex_ids
+                    remote_owners = owners[owners != me]
+                    for dst in np.unique(remote_owners):
+                        sched_out[int(dst)] = [
+                            vertex_ids[i]
+                            for i in remote[remote_owners == dst]
+                        ]
+        return {
+            "dirty": self.store.collect_dirty_flat(),
+            "sched": sched_out,
+            "updates": int(work.size),
+            "sched_by_color": self._census(),
         }
 
     def _sync_count(self, inbox: Optional[Inbox]) -> Dict[str, Any]:
@@ -232,7 +387,7 @@ class RuntimeWorker:
         ]
         return {
             "partials": partials,
-            "sched_by_color": list(self.sched_by_color),
+            "sched_by_color": self._census(),
         }
 
     def _collect(self, inbox: Optional[Inbox]) -> Dict[str, Any]:
@@ -246,10 +401,16 @@ class RuntimeWorker:
         self._apply_inbox(inbox)
         store = self.store
         payload = store.checkpoint_payload()
+        counts = dict(self.counts)
+        if self.kernel is not None:
+            vertex_ids = self._vertex_ids
+            counts_vec = self._counts_vec
+            for i in counts_vec.nonzero()[0]:
+                counts[vertex_ids[i]] = int(counts_vec[i])
         return {
             "vdata": payload["vdata"],
             "edata": payload["edata"],
-            "counts": dict(self.counts),
+            "counts": counts,
         }
 
 

@@ -141,3 +141,63 @@ def test_violations_match_bruteforce(entries):
             if a.overlaps(b) and a.conflicts_with(b):
                 brute += 1
     assert len(t.violations()) == brute
+
+
+class TestGatherInRecording:
+    """Regression (ISSUE 3 satellite): ``Scope.gather_in`` takes the
+    compiled-CSR fast path even when tracing, and must record exactly
+    the read set the slow per-call path records — one edge key and one
+    vertex key per in-neighbor."""
+
+    def _graph(self):
+        from repro.core import DataGraph
+
+        g = DataGraph()
+        for i in range(4):
+            g.add_vertex(i, data=float(i))
+        g.add_edge(1, 0, data=0.5)
+        g.add_edge(2, 0, data=0.25)
+        g.add_edge(0, 3, data=0.125)
+        return g.finalize()
+
+    def test_traced_gather_records_slow_path_read_set(self):
+        from repro.core import Consistency, Scope
+
+        g = self._graph()
+        scope = Scope(g, 0, model=Consistency.EDGE, record=True)
+        gathered = scope.gather_in()
+        assert [(u, e, d) for (u, e, d) in gathered] == [
+            (1, 0.5, 1.0),
+            (2, 0.25, 2.0),
+        ]
+        expected = {
+            edge_key(1, 0),
+            edge_key(2, 0),
+            vertex_key(1),
+            vertex_key(2),
+        }
+        assert scope.reads == expected
+        # An untraced scope records nothing (single falsy check).
+        silent = Scope(g, 0, model=Consistency.EDGE)
+        silent.gather_in()
+        assert silent.reads == set()
+
+    def test_traced_engine_run_serializability_still_checks(self):
+        """End to end: a traced SequentialEngine run over a gather_in
+        update produces a serializable trace with non-empty read sets."""
+        from repro.core import SequentialEngine
+
+        def gather_update(scope):
+            total = scope.data
+            for _u, weight, value in scope.gather_in():
+                total += weight * value
+            scope.data = total
+
+        g = self._graph()
+        result = SequentialEngine(
+            g, gather_update, scheduler="fifo", trace=True
+        ).run(initial=g.vertices())
+        assert result.trace is not None
+        recorded = [e for e in result.trace.executions if e.reads]
+        assert recorded, "gather_in reads must appear in the trace"
+        assert result.trace.violations() == []

@@ -31,6 +31,7 @@ SMOKE_ARGS = {
     },
     "video_segmentation": {"frames": 3, "rows": 4, "cols": 6},
     "multicore_pagerank": {"num_vertices": 80, "max_workers": 2},
+    "batch_pagerank": {"num_vertices": 120, "sweeps": 3},
 }
 
 
