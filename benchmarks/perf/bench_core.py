@@ -24,7 +24,17 @@ throughput on three fronts:
   bit-identity flag (the kernel contract, not an approximation);
 * **Real-runtime LBP** (PR 3): the typed-column grid MRF on worker OS
   processes at 1/2/4 workers, so the vector-message wire format's win
-  is measured, not asserted.
+  is measured, not asserted. Since PR 4 it mirrors the PageRank
+  section's shape (``ThreadedEngine`` baseline + ``speedup_vs_threaded``
+  fields).
+
+Since PR 4 both runtime sections also record the communication
+counters the shared-memory data plane and color-merged rounds exist to
+shrink: ``rounds_per_sweep`` (transport barriers actually paid, next to
+the ``_unmerged`` count a barrier-per-color schedule would have paid),
+``bytes_on_pipe`` (pickled bytes crossing coordinator pipes — ghost
+data moves through shared memory instead), and the active
+``data_plane`` flavor.
 
 Results are written to ``BENCH_core.json`` at the repo root together
 with the pre-refactor baseline (measured with this same harness on the
@@ -312,6 +322,15 @@ def measure_runtime(run, repeats: int = 3) -> Dict[str, float]:
     noise at different moments, so the repeat that wins on steady-state
     throughput is not necessarily the one that wins wall-to-wall);
     ``seconds``/``launch_seconds`` come from the best-execution repeat.
+
+    The communication counters the PR 4 data plane and color-merged
+    rounds exist to shrink ride along (they are deterministic per
+    configuration, not noise-affected): ``rounds_per_sweep`` — transport
+    barriers per sweep actually paid — next to
+    ``rounds_per_sweep_unmerged`` — what the same run would have paid
+    with one barrier per nonempty color (``rounds + rounds_saved``) —
+    plus ``bytes_on_pipe`` (total pickled bytes over coordinator pipes,
+    both directions) and the active ``data_plane`` flavor.
     """
     best: Dict[str, float] = {}
     best_incl = 0.0
@@ -324,11 +343,18 @@ def measure_runtime(run, repeats: int = 3) -> Dict[str, float]:
         )
         best_incl = max(best_incl, incl)
         if not best or result.updates_per_sec > best["updates_per_sec"]:
+            sweeps = max(result.sweeps, 1)
             best = {
                 "num_updates": result.num_updates,
                 "seconds": round(result.exec_seconds, 4),
                 "launch_seconds": round(result.launch_seconds, 4),
                 "updates_per_sec": round(result.updates_per_sec, 1),
+                "rounds_per_sweep": round(result.rounds_per_sweep, 2),
+                "rounds_per_sweep_unmerged": round(
+                    (result.rounds + result.rounds_saved) / sweeps, 2
+                ),
+                "bytes_on_pipe": int(result.bytes_on_pipe),
+                "data_plane": result.data_plane,
             }
     best["updates_per_sec_incl_launch"] = round(best_incl, 1)
     return best
@@ -552,6 +578,32 @@ def build_runtime_lbp_workload(num_workers: int):
     return run
 
 
+def build_threaded_lbp_workload(num_workers: int = 4):
+    """Grid-MRF residual BP through ``ThreadedEngine`` (the pre-runtime
+    parallel ceiling, mirroring ``build_threaded_fig1a_workload``).
+
+    Thread interleavings are real, so the residual run's update count
+    varies slightly run to run — fine for a throughput baseline (the
+    correctness story belongs to the chromatic backends, which are
+    bit-identical to the oracle).
+    """
+    graph = _runtime_lbp_graph()
+    psi = potts_potential(RUNTIME_LBP_LABELS, smoothing=1.5)
+
+    def run():
+        copy = graph.copy()
+        engine = ThreadedEngine(
+            copy,
+            make_lbp_update_typed(psi, epsilon=1e-3),
+            num_workers=num_workers,
+        )
+        start = time.perf_counter()
+        result = engine.run(initial=copy.vertices())
+        return result.num_updates, time.perf_counter() - start
+
+    return run
+
+
 def runtime_lbp_oracle():
     """Scalar sequential oracle for the runtime LBP configuration."""
     graph = _runtime_lbp_graph()
@@ -568,9 +620,20 @@ def runtime_lbp_oracle():
 
 
 def run_runtime_lbp_benchmarks(repeats: int = 3) -> Dict[str, Dict]:
-    """Runtime-backend LBP at workers=1/2/4 vs the sequential oracle."""
+    """Runtime-backend LBP at workers=1/2/4 vs the sequential oracle.
+
+    Same shape as the ``runtime_pagerank`` section: a
+    ``threaded_4_workers`` GIL-bound baseline plus
+    ``speedup_vs_threaded`` / ``_incl_launch`` per worker count (and
+    the ``speedup_vs_mp_1`` trajectory the single-core container makes
+    meaningful).
+    """
     oracle_graph, oracle_result = runtime_lbp_oracle()
-    results: Dict[str, Dict] = {}
+    results: Dict[str, Dict] = {
+        "threaded_4_workers": measure_timed(
+            build_threaded_lbp_workload(), repeats=repeats
+        )
+    }
     bit_identical = True
     for workers in (1, 2, 4):
         run = build_runtime_lbp_workload(workers)
@@ -581,10 +644,19 @@ def run_runtime_lbp_benchmarks(repeats: int = 3) -> Dict[str, Dict]:
             oracle_graph, run.last_graph
         )
     base = results["mp_1_workers"]["updates_per_sec"]
+    threaded = results["threaded_4_workers"]["updates_per_sec"]
     for workers in (1, 2, 4):
         row = results[f"mp_{workers}_workers"]
         row["speedup_vs_mp_1"] = (
             round(row["updates_per_sec"] / base, 2) if base else 0.0
+        )
+        row["speedup_vs_threaded"] = (
+            round(row["updates_per_sec"] / threaded, 2) if threaded else 0.0
+        )
+        row["speedup_vs_threaded_incl_launch"] = (
+            round(row["updates_per_sec_incl_launch"] / threaded, 2)
+            if threaded
+            else 0.0
         )
     results["num_updates_expected"] = oracle_result.num_updates
     results["bit_identical_to_sequential"] = bit_identical
@@ -727,7 +799,10 @@ def main(argv=None) -> int:
         print(
             f"  runtime_lbp/mp_{workers}_workers: "
             f"{row['updates_per_sec']:.0f} updates/s "
-            f"({row['speedup_vs_mp_1']}x over mp_1)"
+            f"({row['speedup_vs_threaded']}x over threaded; "
+            f"{row['speedup_vs_mp_1']}x over mp_1; "
+            f"{row['rounds_per_sweep']} rounds/sweep vs "
+            f"{row['rounds_per_sweep_unmerged']} unmerged)"
         )
     print(
         "  runtime_lbp/bit_identical_to_sequential: "

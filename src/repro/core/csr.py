@@ -432,6 +432,21 @@ class CSRGraph:
             np.diff(self.nbr_offsets),
         )
 
+    def dense_map(self, mapping: Any, dtype: Any = np.int64) -> np.ndarray:
+        """Per-vertex values of an id-keyed mapping, in dense index order.
+
+        The standard bridge from id-keyed coordination state (ownership
+        maps, colorings) into index space: runtime shards, workers, and
+        the engine all resolve ``mapping[vertex_ids[i]]`` into one flat
+        array once and use vectorized index arithmetic afterwards.
+        """
+        vertex_ids = self.vertex_ids
+        return np.fromiter(
+            (mapping[v] for v in vertex_ids),
+            dtype=dtype,
+            count=len(vertex_ids),
+        )
+
     # ------------------------------------------------------------------
     # Flat data access by id (slot addressing for the common case).
     # ------------------------------------------------------------------

@@ -19,6 +19,13 @@ scale; this backend is where throughput is real.
 
 from repro.runtime.engine import RuntimeChromaticEngine, RuntimeRunResult
 from repro.runtime.oracle import ColorSweepScheduler
+from repro.runtime.plane import (
+    DataPlane,
+    LocalDataPlane,
+    PlaneSpec,
+    ShmDataPlane,
+    shm_available,
+)
 from repro.runtime.program import UpdateProgram, resolve_program
 from repro.runtime.shard import CSRShardStore
 from repro.runtime.transport import (
@@ -33,15 +40,20 @@ from repro.runtime.worker import RuntimeWorker, WorkerInit
 __all__ = [
     "CSRShardStore",
     "ColorSweepScheduler",
+    "DataPlane",
     "InprocTransport",
+    "LocalDataPlane",
     "MpTransport",
+    "PlaneSpec",
     "RuntimeChromaticEngine",
     "RuntimeRunResult",
     "RuntimeWorker",
+    "ShmDataPlane",
     "Transport",
     "UpdateProgram",
     "WorkerFailure",
     "WorkerInit",
     "make_transport",
     "resolve_program",
+    "shm_available",
 ]

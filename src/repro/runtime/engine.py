@@ -14,16 +14,42 @@ broadcast). What changes is only *where* updates run: on worker OS
 processes via a :class:`~repro.runtime.transport.Transport`, instead of
 simulated machines on a discrete-event kernel.
 
-Execution per sweep costs ``num_colors + 1`` message rounds:
+Two mechanisms keep the communication cost near zero (the intra-node
+story of Sec. 4.2.1, where ghost propagation is a memory write, not a
+message):
 
-1. one ``sync_count`` round — workers evaluate sync partials over their
-   owned vertices and report ``|T_w|``; the coordinator combines
-   partials, publishes globals, and terminates when ``sum |T_w| == 0``;
-2. one ``step`` round per color — the coordinator routes the previous
-   round's dirty ghost entries and remote scheduling requests into each
-   destination worker's inbox (batched per destination, version-tagged),
-   every worker executes its share of the color, and collecting the
-   replies is the barrier.
+* **Shared-memory data plane** (:mod:`repro.runtime.plane`). On
+  typed-column graphs each worker's data columns live in a shared
+  segment with a double-buffered dirty-entry ring; ghost exchange is a
+  ring write on one side and a version-filtered slice application on
+  the other, and the pipes carry only control messages — descriptors,
+  scheduling indices, counts, sync partials. ``InprocTransport``
+  emulates the plane with in-process arrays over the identical code
+  path; untyped graphs (and ``REPRO_NO_SHM=1``) keep the pickled wire.
+* **Color-merged rounds.** The coordinator maintains the *exact* global
+  task set as a dense mask (it routes every scheduling request and
+  workers report fresh local schedules as index arrays), so before each
+  barrier it can merge the scheduled frontiers of consecutive colors
+  whose members are mutually independent under the active consistency
+  model — distance-2 for full consistency — into one round.
+  Statically compatible class pairs (precomputed at deploy time over
+  the compiled CSR endpoint arrays —
+  :func:`~repro.core.coloring.merge_compatible_matrix`) skip the
+  per-sweep frontier check. Because an update may *schedule* mid-round
+  work that the sequential chromatic order would have executed between
+  the merged colors, every color after a group's first executes
+  **speculatively**: workers keep undo logs, and after the barrier the
+  coordinator inspects the round's fresh schedules and commits the
+  longest prefix of the group the oracle would have executed
+  identically, rolling the rest back (the verdict rides the next
+  round's inbox, so aborts cost no extra barrier). Bit-identity to the
+  :class:`~repro.runtime.oracle.ColorSweepScheduler` oracle therefore
+  holds **by construction**, for arbitrary update functions.
+
+Execution per sweep costs ``merged_rounds + 1`` message rounds, where
+``merged_rounds <= num_nonempty_colors`` — on high-color graphs with
+sparse frontiers the per-color barrier collapses toward one round per
+sweep.
 
 Determinism: with a coloring proper for the consistency model, scopes
 of same-color vertices never read each other's writes, so a color-step's
@@ -40,10 +66,15 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
+import numpy as np
+
 from repro.core.coloring import (
     Coloring,
     color_classes,
     coloring_for,
+    frontiers_independent,
+    merge_compatible_matrix,
+    model_distance,
 )
 from repro.core.consistency import Consistency
 from repro.core.graph import DataGraph, VertexId
@@ -51,9 +82,15 @@ from repro.core.sync import GlobalValues, SyncOperation
 from repro.core.update import normalize_schedule
 from repro.distributed.deploy import OwnershipPlan, plan_ownership
 from repro.errors import EngineError
+from repro.runtime.plane import plane_spec_for
 from repro.runtime.program import check_picklable
 from repro.runtime.transport import Transport, make_transport
 from repro.runtime.worker import WorkerInit, empty_inbox
+
+#: Ceiling on how many colors one merged round may span. Groups larger
+#: than this see diminishing returns (one barrier already amortized) and
+#: raise the cost of an abort.
+_MAX_MERGE_GROUP = 8
 
 
 @dataclass
@@ -62,7 +99,11 @@ class RuntimeRunResult:
 
     Mirrors :class:`~repro.core.engine.EngineResult` (same first four
     fields, so assertions port over) plus wall-clock and per-worker
-    accounting — real seconds here, not simulated ones.
+    accounting — real seconds here, not simulated ones — and the
+    communication counters the data plane and color-merged rounds exist
+    to shrink: ``rounds`` (transport barriers), ``rounds_saved``
+    (barriers elided by committed merges), ``bytes_on_pipe`` (pickled
+    bytes crossing coordinator pipes, both directions).
     """
 
     num_updates: int
@@ -75,6 +116,10 @@ class RuntimeRunResult:
     num_workers: int = 1
     backend: str = "inproc"
     updates_per_worker: Dict[int, int] = field(default_factory=dict)
+    rounds: int = 0
+    rounds_saved: int = 0
+    bytes_on_pipe: int = 0
+    data_plane: Optional[str] = None
 
     @property
     def exec_seconds(self) -> float:
@@ -94,6 +139,13 @@ class RuntimeRunResult:
         if exec_seconds <= 0.0:
             return 0.0
         return self.num_updates / exec_seconds
+
+    @property
+    def rounds_per_sweep(self) -> float:
+        """Average transport barriers per executed sweep."""
+        if not self.sweeps:
+            return 0.0
+        return self.rounds / self.sweeps
 
 
 class RuntimeChromaticEngine:
@@ -138,9 +190,20 @@ class RuntimeChromaticEngine:
         When true (the default) workers dispatch whole color-steps to
         the program's batch kernel (:mod:`repro.core.kernels`) if it
         has one and the graph carries compatible typed data columns —
-        bit-identical by the kernel contract, with ghost exchange
-        shipping raw array buffers. ``False`` pins the scalar
+        bit-identical by the kernel contract. ``False`` pins the scalar
         interpreter (the oracle the kernels are tested against).
+    merge_rounds:
+        When true (the default) consecutive mutually-independent
+        scheduled frontiers execute in one merged round (speculative
+        tail, commit/abort validated — see the module docstring).
+        ``False`` pins one barrier per nonempty color.
+    use_plane:
+        When true (the default) typed-column graphs get the
+        shared-memory data plane (or its in-process emulation);
+        ``False`` — like ``REPRO_NO_SHM=1`` — pins the pickled wire.
+    plane_ring_cap:
+        Override for the dirty-ring capacity (entries per column per
+        half); small values exercise the overflow-to-pipe contract.
     """
 
     def __init__(
@@ -160,6 +223,9 @@ class RuntimeChromaticEngine:
         max_updates: Optional[int] = None,
         reply_timeout: Optional[float] = None,
         use_kernel: bool = True,
+        merge_rounds: bool = True,
+        use_plane: bool = True,
+        plane_ring_cap: Optional[int] = None,
     ) -> None:
         graph.require_finalized()
         if num_workers < 1:
@@ -189,9 +255,53 @@ class RuntimeChromaticEngine:
         self.max_sweeps = max_sweeps
         self.max_updates = max_updates
         self.use_kernel = use_kernel
+        self.merge_rounds = merge_rounds
+        self.use_plane = use_plane
+        self._plane_ring_cap = plane_ring_cap
         self.updates_per_worker: Dict[int, int] = {
             w: 0 for w in range(num_workers)
         }
+        # Coordinator-side index geometry: the compiled numbering is
+        # canonical across processes, so scheduling state, ownership,
+        # and color membership all resolve to flat arrays once.
+        csr = graph.compiled
+        self._csr = csr
+        self._num_vertices = len(csr.vertex_ids)
+        self._owner_idx = csr.dense_map(self.owner)
+        index_of = csr.index_of
+        self._class_idx = [
+            np.fromiter(
+                (index_of[v] for v in members),
+                dtype=np.int64,
+                count=len(members),
+            )
+            for members in self.classes
+        ]
+        self._color_of_idx = np.zeros(self._num_vertices, dtype=np.int64)
+        for color, members in enumerate(self._class_idx):
+            self._color_of_idx[members] = color
+        # Deploy-time merge precompute: class pairs that can never touch
+        # under the model skip the per-sweep frontier independence
+        # check, and the cross-worker edge mask restricts the dynamic
+        # check to edges whose endpoints execute on different workers
+        # (same-worker merged colors run in color order with late
+        # snapshots — literally the oracle's order — so only remote
+        # adjacency can diverge; distance-1 models only).
+        self._distance = model_distance(consistency)
+        self._merge_static = (
+            merge_compatible_matrix(graph, self.classes, consistency)
+            if merge_rounds and self.num_colors > 1
+            else None
+        )
+        self._cross_edge = (
+            self._owner_idx[csr.edge_src_index]
+            != self._owner_idx[csr.edge_dst_index]
+        )
+        self._plane = None
+        #: Pending speculation verdict (count of committed parts of the
+        #: last merged round), attached to every worker's next inbox.
+        self._pending_spec: Optional[int] = None
+        self.rounds_saved = 0
         self._ran = False
 
     # ------------------------------------------------------------------
@@ -204,17 +314,29 @@ class RuntimeChromaticEngine:
             )
         self._ran = True
         start = time.perf_counter()
-        inboxes = [empty_inbox() for _ in range(self.num_workers)]
+        num_workers = self.num_workers
+        inboxes = [empty_inbox() for _ in range(num_workers)]
+        #: The exact global task set T in dense index space — the
+        #: coordinator routes every scheduling request and absorbs every
+        #: worker's fresh-schedule report, so this mask always equals
+        #: the union of worker task sets plus in-flight requests.
+        mask = np.zeros(self._num_vertices, dtype=bool)
+        index_of = self._csr.index_of
+        owner_idx = self._owner_idx
+        init_by_worker: List[List[int]] = [[] for _ in range(num_workers)]
         for vertex, _prio in normalize_schedule(initial, graph=self.graph):
-            inboxes[self.owner[vertex]]["sched"].append(vertex)
-        #: Latest per-color |T_w| census from each worker.
-        self._vectors = [
-            [0] * self.num_colors for _ in range(self.num_workers)
-        ]
+            idx = index_of[vertex]
+            if not mask[idx]:
+                mask[idx] = True
+                init_by_worker[owner_idx[idx]].append(idx)
+        for w, indices in enumerate(init_by_worker):
+            if indices:
+                inboxes[w]["sched"].append(np.asarray(indices, dtype=np.int32))
         converged = False
         sweeps = 0
         total_updates = 0
         try:
+            self._provision_plane()
             # The graph-bearing shared state is pickled exactly once;
             # each worker's payload wraps its id around that one blob
             # (see _encoded_inits), so launch serialization is
@@ -225,17 +347,11 @@ class RuntimeChromaticEngine:
             while True:
                 if self.syncs:
                     # Sweep preamble: distributed sync evaluation. The
-                    # reply doubles as the master's termination probe.
-                    replies = self.transport.round(
-                        [("sync_count", {"inbox": inbox}) for inbox in inboxes]
-                    )
-                    inboxes = [empty_inbox() for _ in range(self.num_workers)]
-                    self._absorb_census(replies)
+                    # round doubles as the master's delivery flush.
+                    replies = self._send_round("sync_count", {}, inboxes)
+                    inboxes = [empty_inbox() for _ in range(num_workers)]
                     published = self._combine_syncs(replies)
-                # Scheduled work per color: worker censuses plus requests
-                # still in flight in the coordinator's routing inboxes.
-                totals = self._color_totals(inboxes)
-                if sum(totals) == 0:
+                if not mask.any():
                     converged = True
                     break
                 if self.max_sweeps is not None and sweeps >= self.max_sweeps:
@@ -245,32 +361,48 @@ class RuntimeChromaticEngine:
                     and total_updates >= self.max_updates
                 ):
                     break
-                for color in range(self.num_colors):
-                    if totals[color] == 0:
+                merge_enabled = self.merge_rounds and self.num_colors > 1
+                pos = 0
+                while pos < self.num_colors:
+                    frontier = self._frontier(pos, mask)
+                    if frontier.size == 0:
                         # Nobody holds (or is being sent) work of this
                         # color: the step would be a global no-op, so it
                         # is elided. Undelivered inbox entries persist to
                         # the next executed round.
+                        pos += 1
                         continue
+                    group = self._plan_group(pos, frontier, mask, merge_enabled)
                     if published:
                         for inbox in inboxes:
                             inbox["globals"] = published
                         published = []  # globals ship once per sweep
-                    replies = self.transport.round(
-                        [
-                            ("step", {"color": color, "inbox": inbox})
-                            for inbox in inboxes
-                        ]
+                    colors = [color for color, _frontier in group]
+                    replies = self._send_round(
+                        "step", {"colors": colors}, inboxes
                     )
-                    inboxes = [empty_inbox() for _ in range(self.num_workers)]
-                    self._absorb_census(replies)
-                    total_updates += self._route(replies, inboxes)
-                    totals = self._color_totals(inboxes)
+                    inboxes = [empty_inbox() for _ in range(num_workers)]
+                    committed, aborted = self._process_replies(
+                        replies, group, mask, inboxes
+                    )
+                    total_updates += committed
+                    if aborted:
+                        # The oracle would have run freshly scheduled
+                        # intervening work inside the span: resume the
+                        # scan right after the group's first color, with
+                        # the rolled-back frontiers still scheduled.
+                        # (An abort costs no extra barrier — the
+                        # rolled-back colors run in the rounds the
+                        # unmerged schedule would have used anyway.)
+                        pos = group[0][0] + 1
+                    else:
+                        pos = group[-1][0] + 1
                 sweeps += 1
             counts = self._collect_and_write_back(inboxes)
         finally:
             self.transport.shutdown()
         wall = time.perf_counter() - start
+        transport = self.transport
         return RuntimeRunResult(
             num_updates=total_updates,
             updates_per_vertex=counts,
@@ -280,11 +412,273 @@ class RuntimeChromaticEngine:
             wall_seconds=wall,
             launch_seconds=launch_seconds,
             num_workers=self.num_workers,
-            backend=self.transport.name,
+            backend=transport.name,
             updates_per_worker=dict(self.updates_per_worker),
+            rounds=transport.rounds_completed,
+            rounds_saved=self.rounds_saved,
+            bytes_on_pipe=transport.bytes_sent + transport.bytes_received,
+            data_plane=self._plane.spec.kind if self._plane else None,
         )
 
     # ------------------------------------------------------------------
+    # Rounds.
+    # ------------------------------------------------------------------
+    def _send_round(
+        self, tag: str, extra: Dict[str, Any], inboxes: List[Dict]
+    ) -> List[Any]:
+        """One full barrier: attach the pending speculation verdict,
+        send every worker its inbox, collect every reply."""
+        if self._pending_spec is not None:
+            for inbox in inboxes:
+                inbox["spec"] = self._pending_spec
+            self._pending_spec = None
+        messages = []
+        for inbox in inboxes:
+            # Empty inbox fields are stripped from the wire (the
+            # common case is an all-control round; workers .get() every
+            # key). The speculation verdict is >= 1, so it survives.
+            payload = dict(extra)
+            payload["inbox"] = {
+                key: value for key, value in inbox.items() if value
+            }
+            messages.append((tag, payload))
+        return self.transport.round(messages)
+
+    def _frontier(self, color: int, mask: np.ndarray) -> np.ndarray:
+        members = self._class_idx[color]
+        return members[mask[members]]
+
+    def _plan_group(
+        self,
+        pos: int,
+        frontier: np.ndarray,
+        mask: np.ndarray,
+        merge_enabled: bool,
+    ) -> List[Tuple[int, np.ndarray]]:
+        """Greedily extend one round across merge-compatible colors.
+
+        A later color joins the group when its scheduled frontier is
+        :func:`~repro.core.coloring.frontiers_independent` of the
+        group's union under the model distance (statically compatible
+        class pairs skip the check). The scan stops at the first
+        incompatible nonempty color — it must get its own barrier.
+        """
+        group = [(pos, frontier)]
+        if not merge_enabled:
+            return group
+        csr = self._csr
+        static = self._merge_static
+        distance = self._distance
+        cross = self._cross_edge if distance == 1 else None
+        union = np.zeros(self._num_vertices, dtype=bool)
+        union[frontier] = True
+        color = pos + 1
+        while color < self.num_colors and len(group) < _MAX_MERGE_GROUP:
+            nxt = self._frontier(color, mask)
+            if nxt.size == 0:
+                color += 1
+                continue
+            if all(static[c, color] for c, _f in group):
+                ok = True
+            else:
+                fmask = np.zeros(self._num_vertices, dtype=bool)
+                fmask[nxt] = True
+                ok = frontiers_independent(
+                    csr, union, fmask, distance, edge_mask=cross
+                )
+            if not ok:
+                break
+            group.append((color, nxt))
+            union[nxt] = True
+            color += 1
+        return group
+
+    def _process_replies(
+        self,
+        replies: List[Dict],
+        group: List[Tuple[int, np.ndarray]],
+        mask: np.ndarray,
+        inboxes: List[Dict],
+    ) -> Tuple[int, bool]:
+        """Validate speculation, commit the safe prefix, route exchange.
+
+        Returns ``(committed_updates, aborted)``. Acceptance follows the
+        oracle's order exactly: a fresh schedule (not in the pre-round
+        task set) with a color inside the group's remaining span would,
+        in chromatic order, have executed before — or joined the
+        snapshot of — a later merged color, so the first part the oracle
+        would have diverged at (and everything after it) is rolled back;
+        the verdict (count of committed parts) rides the next round's
+        inboxes. Exception, under distance-1 models: a *local* fresh
+        schedule targeting a later merged color is executed by its own
+        worker at exactly that part (late snapshots, color order — the
+        oracle's interleaving), so it aborts nothing; instead the
+        post-round conflict scan checks that no cross-worker edge joins
+        vertices executed in different parts (each side would have
+        missed the other's intra-round writes), aborting from the later
+        conflicting part on.
+
+        Routing of a committed part: dirty ring descriptors and pickled
+        overflow batches to their destination inboxes, remote schedule
+        requests to their owners, fresh schedules into the global mask
+        (after clearing the part's executed frontier — including fresh
+        vertices a committed earlier part locally scheduled into it).
+        Within one round at most one worker writes any given slot (the
+        merged frontiers are mutually independent where it matters), so
+        merge order cannot change outcomes.
+        """
+        k = len(group)
+        colors = [color for color, _f in group]
+        committed = k
+        #: part index -> fresh locally-scheduled vertices that executed
+        #: there (cleared from the mask when the part commits).
+        exec_at: Dict[int, List[np.ndarray]] = {}
+        if k > 1:
+            colors_arr = np.asarray(colors, dtype=np.int64)
+            color_of = self._color_of_idx
+            dk = colors[-1]
+            cross_mode = self._distance == 1
+            for i in range(k):
+                di = colors[i]
+                for reply in replies:
+                    part = reply[1][i]
+                    _n, _dirty, _plane, local, remote = part
+                    arrays = [] if local is None else [(local, True)]
+                    if remote is not None:
+                        arrays.extend(
+                            (arr, False) for arr in remote.values()
+                        )
+                    for arr, is_local in arrays:
+                        arr = np.asarray(arr, dtype=np.int64)
+                        fresh = arr[~mask[arr]]
+                        if not fresh.size:
+                            continue
+                        cols = color_of[fresh]
+                        window = (cols > di) & (cols <= dk)
+                        if not window.any():
+                            continue
+                        if is_local and cross_mode:
+                            # Locals into later merged colors execute
+                            # at that part on their own worker — record
+                            # for mask clearing, exempt from abort.
+                            in_group = window & np.isin(cols, colors_arr)
+                            for c in np.unique(cols[in_group]):
+                                m = int(np.searchsorted(colors_arr, c))
+                                exec_at.setdefault(m, []).append(
+                                    fresh[in_group & (cols == c)]
+                                )
+                            window = window & ~in_group
+                            if not window.any():
+                                continue
+                        first = int(
+                            np.searchsorted(
+                                colors_arr, cols[window], side="left"
+                            ).min()
+                        )
+                        committed = min(committed, max(first, 1))
+            if cross_mode and committed > 1:
+                committed = min(
+                    committed, self._conflict_point(group, exec_at)
+                )
+        updates = 0
+        for i in range(committed):
+            _color, frontier = group[i]
+            mask[frontier] = False
+            for executed in exec_at.pop(i, ()):
+                mask[executed] = False
+            for w, reply in enumerate(replies):
+                half, parts = reply
+                n, dirty, plane, local, remote = parts[i]
+                if local is not None:
+                    mask[local] = True
+                if remote is not None:
+                    for dst, arr in remote.items():
+                        mask[arr] = True
+                        inboxes[dst]["sched"].append(arr)
+                if plane is not None:
+                    for dst, run in plane.items():
+                        inboxes[dst]["plane"].append(
+                            (w, half, run[0], run[1], run[2], run[3])
+                        )
+                if dirty is not None:
+                    for dst, batch in dirty.items():
+                        inbox = inboxes[dst]
+                        if inbox["data"] is None:
+                            inbox["data"] = batch
+                        else:
+                            inbox["data"].extend(batch)
+                if n:
+                    updates += n
+                    self.updates_per_worker[w] += n
+        if k > 1:
+            self._pending_spec = committed
+            # Every committed part beyond the first is a barrier the
+            # unmerged schedule would have paid — counted even when the
+            # tail aborted (a partial commit still elided barriers).
+            self.rounds_saved += committed - 1
+        return updates, committed < k
+
+    def _conflict_point(
+        self,
+        group: List[Tuple[int, np.ndarray]],
+        exec_at: Dict[int, List[np.ndarray]],
+    ) -> int:
+        """First part invalidated by a cross-worker execution conflict.
+
+        Builds the round's actual per-vertex execution map — planned
+        frontiers plus fresh locals executed at later parts — and scans
+        the endpoint arrays once: an edge whose ends executed in
+        *different* parts on *different* workers means the later end
+        missed the earlier end's intra-round writes (or the earlier end
+        missed serving the later one), which the oracle would have
+        delivered; the later part (and everything after) must roll
+        back. Planned frontiers were vetted at planning time, so real
+        conflicts always involve a fresh locally-scheduled vertex.
+        """
+        exec_part = np.full(self._num_vertices, -1, dtype=np.int64)
+        for i, (_color, frontier) in enumerate(group):
+            exec_part[frontier] = i
+        for part, arrays in exec_at.items():
+            for arr in arrays:
+                exec_part[arr] = part
+        csr = self._csr
+        src_part = exec_part[csr.edge_src_index]
+        dst_part = exec_part[csr.edge_dst_index]
+        conflicts = (
+            (src_part >= 0)
+            & (dst_part >= 0)
+            & (src_part != dst_part)
+            & self._cross_edge
+        )
+        if not conflicts.any():
+            return len(group)
+        return int(
+            np.maximum(src_part[conflicts], dst_part[conflicts]).min()
+        )
+
+    # ------------------------------------------------------------------
+    # Launch plumbing.
+    # ------------------------------------------------------------------
+    def _provision_plane(self) -> None:
+        """Allocate the data plane through the transport (lifecycle is
+        the transport's: torn down with shutdown on every exit path)."""
+        if not self.use_plane:
+            return
+        kind = self.transport.plane_kind()
+        if kind is None:
+            return
+        csr = self._csr
+        spec = plane_spec_for(
+            self.graph,
+            self.num_workers,
+            max_routable_v=self._num_vertices * max(self.num_workers - 1, 1),
+            max_routable_e=2 * len(csr.edge_keys),
+            kind=kind,
+            ring_cap=self._plane_ring_cap,
+        )
+        if spec is not None:
+            self._plane = self.transport.provision_plane(spec)
+
     def _encoded_inits(self):
         from repro.runtime.worker import encode_worker
 
@@ -315,52 +709,8 @@ class RuntimeChromaticEngine:
             syncs=self.syncs,
             initial_globals=self._initial_globals,
             use_kernel=self.use_kernel,
+            plane=self._plane.spec if self._plane is not None else None,
         )
-
-    def _absorb_census(self, replies: List[Dict]) -> None:
-        """Record each worker's latest per-color task-set census."""
-        for worker_id, reply in enumerate(replies):
-            self._vectors[worker_id] = reply["sched_by_color"]
-
-    def _color_totals(self, inboxes: List[Dict]) -> List[int]:
-        """Global scheduled-work count per color.
-
-        Worker censuses cover each local ``T_w``; scheduling requests
-        still sitting in the coordinator's routing inboxes (not yet
-        delivered to their owner) are counted from the coloring so work
-        in flight can neither be skipped nor leak past termination.
-        """
-        totals = [
-            sum(vector[color] for vector in self._vectors)
-            for color in range(self.num_colors)
-        ]
-        coloring = self.coloring
-        for inbox in inboxes:
-            for vertex in inbox["sched"]:
-                totals[coloring[vertex]] += 1
-        return totals
-
-    def _route(self, replies: List[Dict], inboxes: List[Dict]) -> int:
-        """Merge step replies into the next round's inboxes.
-
-        Dirty ghost entries and remote scheduling requests are already
-        grouped by destination worker (``collect_dirty`` semantics);
-        within one round at most one worker writes any given key (the
-        coloring guarantee), so merge order cannot change outcomes.
-        """
-        updates = 0
-        for worker_id, reply in enumerate(replies):
-            for dst, batch in reply["dirty"].items():
-                inbox = inboxes[dst]
-                if inbox["data"] is None:
-                    inbox["data"] = batch
-                else:
-                    inbox["data"].extend(batch)
-            for dst, vertices in reply["sched"].items():
-                inboxes[dst]["sched"].extend(vertices)
-            updates += reply["updates"]
-            self.updates_per_worker[worker_id] += reply["updates"]
-        return updates
 
     def _combine_syncs(self, replies: List[Dict]) -> List[Tuple[str, Any]]:
         """Master side of Eq. 2: combine partials, publish, broadcast."""
@@ -382,19 +732,34 @@ class RuntimeChromaticEngine:
         ghost entries from the last executed color-step land before the
         shard is read — an edge held by two workers reads back its
         freshest version regardless of which endpoint owner reports it.
+        Columns on the data plane are read straight out of each worker's
+        shared segment (owned slots are authoritative at their owner
+        after the final inbox applies); only plane-less columns travel
+        pickled.
         """
-        replies = self.transport.round(
-            [
-                ("collect", {"inbox": inbox})
-                for inbox in inboxes
-            ]
-        )
+        replies = self._send_round("collect", {}, inboxes)
         graph = self.graph
+        plane = self._plane
+        if plane is not None:
+            csr = self._csr
+            spec = plane.spec
+            owner_idx = self._owner_idx
+            edge_owner = owner_idx[csr.edge_src_index]
+            for w in range(self.num_workers):
+                segment = plane.segments[w]
+                if spec.has_v:
+                    owned = np.nonzero(owner_idx == w)[0]
+                    if owned.size:
+                        csr.vdata[owned] = segment.vdata[owned]
+                if spec.has_e:
+                    slots = np.nonzero(edge_owner == w)[0]
+                    if slots.size:
+                        csr.edata[slots] = segment.edata[slots]
         counts: Dict[VertexId, int] = {}
         for reply in replies:
-            for v, value in reply["vdata"].items():
+            for v, value in reply.get("vdata", {}).items():
                 graph.set_vertex_data(v, value)
-            for (a, b), value in reply["edata"].items():
+            for (a, b), value in reply.get("edata", {}).items():
                 graph.set_edge_data(a, b, value)
             counts.update(reply["counts"])
         return counts

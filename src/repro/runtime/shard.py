@@ -111,6 +111,30 @@ class FlatEntries:
         ) = state
 
 
+class UndoLog:
+    """Snapshot of a conservative write set, for speculative steps.
+
+    Color-merged rounds execute later colors *speculatively*
+    (:mod:`repro.runtime.engine`); if the coordinator aborts, the store
+    must return to its pre-step state exactly — values, versions, dirty
+    bits. The captured set is the union of the frontier's consistency
+    write sets (own vertex data — plus neighbor data under FULL
+    consistency, where ``set_neighbor`` is legal — and all adjacent edge
+    slots), which :class:`~repro.core.scope.Scope` enforces as the only
+    writable keys and which bounds every kernel's writes too.
+    """
+
+    __slots__ = ("v_idx", "v_vals", "v_vers", "e_slots", "e_vals", "e_vers")
+
+    def __init__(self, v_idx, v_vals, v_vers, e_slots, e_vals, e_vers):
+        self.v_idx = v_idx
+        self.v_vals = v_vals
+        self.v_vers = v_vers
+        self.e_slots = e_slots
+        self.e_vals = e_vals
+        self.e_vers = e_vers
+
+
 class CSRShardStore:
     """One worker's slice of the graph, slot-addressed end to end."""
 
@@ -256,6 +280,204 @@ class CSRShardStore:
                 self._route_e[holder] = slots
 
     # ------------------------------------------------------------------
+    # Data-plane integration.
+    # ------------------------------------------------------------------
+    def adopt_buffers(self, vbuf: Any, ebuf: Any) -> None:
+        """Move the typed data columns into caller-provided buffers.
+
+        The runtime data plane (:mod:`repro.runtime.plane`) allocates
+        each worker's columns in a shared-memory segment; the store
+        seeds the buffers with the current values and uses them as its
+        flat columns from then on, so every write lands directly in
+        shared memory and the coordinator can read owned slots without
+        any wire round-trip. ``None`` keeps the existing column.
+        """
+        if vbuf is not None:
+            vbuf[:] = self.vdata_flat
+            self.vdata_flat = vbuf
+        if ebuf is not None:
+            ebuf[:] = self.edata_flat
+            self.edata_flat = ebuf
+
+    def collect_dirty_plane(
+        self, writer: Any
+    ) -> Tuple[Dict[int, List[int]], Dict[int, "FlatEntries"]]:
+        """Drain dirty data into the shared ring; overflow to the pipe.
+
+        The plane twin of :meth:`collect_dirty_flat`: per-destination
+        runs of (slot, version, value) entries are written straight into
+        this worker's ring half (``writer`` —
+        :class:`~repro.runtime.plane.RingWriter`), and the returned
+        ``meta`` maps ``dst -> [v_start, v_count, e_start, e_count]``
+        descriptors for the coordinator to route as control data. A
+        batch that does not fit the ring half — or belongs to an
+        object-typed column, or is a lazily-resolved ghost write — falls
+        back to a pickled :class:`FlatEntries` batch in ``overflow``
+        (the fixed-capacity contract: correctness never depends on ring
+        size, only pipe bytes do).
+        """
+        meta: Dict[int, List[int]] = {}
+        overflow: Dict[int, FlatEntries] = {}
+        dirty_v = self._dirty_v
+        if dirty_v.any():
+            vdata = self.vdata_flat
+            typed = isinstance(vdata, np.ndarray) and writer.ring_v > 0
+            for dst, route in self._route_v.items():
+                sel = route[dirty_v[route]]
+                if not sel.size:
+                    continue
+                placed = None
+                if typed:
+                    # Ring columns are int32; assignment casts, so the
+                    # int64 gathers go in without intermediate copies.
+                    placed = writer.append_v(
+                        sel, self._vversion[sel], vdata[sel]
+                    )
+                if placed is not None:
+                    run = meta.setdefault(dst, [0, 0, 0, 0])
+                    run[0], run[1] = placed
+                else:
+                    batch = overflow.setdefault(dst, FlatEntries())
+                    if isinstance(vdata, np.ndarray):
+                        batch.v_index = sel.astype(np.int32)
+                        batch.v_value = vdata[sel]
+                        batch.v_version = self._vversion[sel].astype(np.int32)
+                    else:
+                        indices = sel.tolist()
+                        batch.v_index = indices
+                        batch.v_value = [vdata[i] for i in indices]
+                        batch.v_version = self._vversion[sel].tolist()
+            self._collect_ghost_dirty(overflow)
+            dirty_v[:] = False
+        dirty_e = self._dirty_e
+        if dirty_e.any():
+            edata = self.edata_flat
+            typed = isinstance(edata, np.ndarray) and writer.ring_e > 0
+            for dst, route in self._route_e.items():
+                sel = route[dirty_e[route]]
+                if not sel.size:
+                    continue
+                placed = None
+                if typed:
+                    placed = writer.append_e(
+                        sel, self._eversion[sel], edata[sel]
+                    )
+                if placed is not None:
+                    run = meta.setdefault(dst, [0, 0, 0, 0])
+                    run[2], run[3] = placed
+                else:
+                    batch = overflow.setdefault(dst, FlatEntries())
+                    if isinstance(edata, np.ndarray):
+                        batch.e_slot = sel.astype(np.int32)
+                        batch.e_value = edata[sel]
+                        batch.e_version = self._eversion[sel].astype(np.int32)
+                    else:
+                        slots = sel.tolist()
+                        batch.e_slot = slots
+                        batch.e_value = [edata[s] for s in slots]
+                        batch.e_version = self._eversion[sel].tolist()
+            dirty_e[:] = False
+        return meta, overflow
+
+    def apply_slices(
+        self,
+        v_index: Any,
+        v_value: Any,
+        v_version: Any,
+        e_slot: Any,
+        e_value: Any,
+        e_version: Any,
+    ) -> None:
+        """Apply one routed plane run (version-filtered, idempotent).
+
+        The slices come straight out of a *source worker's* ring half;
+        the same vectorized filter as :meth:`apply_flat` drops stale and
+        unheld entries, so plane delivery and pipe delivery are
+        semantically indistinguishable.
+        """
+        # A ring run is one (src, dst) batch gathered off the source's
+        # static route array for this destination — slot-unique, and
+        # every slot is held here by construction (routes are built
+        # from the mirror pairs), so only the stale-version filter
+        # remains of the full apply_flat semantics.
+        if v_index is not None and len(v_index):
+            stored = self._vversion
+            ok = v_version > stored[v_index]
+            sel = v_index[ok]
+            if sel.size:
+                stored[sel] = v_version[ok]
+                self.vdata_flat[sel] = v_value[ok]
+        if e_slot is not None and len(e_slot):
+            stored = self._eversion
+            ok = e_version > stored[e_slot]
+            sel = e_slot[ok]
+            if sel.size:
+                stored[sel] = e_version[ok]
+                self.edata_flat[sel] = e_value[ok]
+
+    # ------------------------------------------------------------------
+    # Speculative execution (color-merged rounds).
+    # ------------------------------------------------------------------
+    def capture_scope(
+        self, active: np.ndarray, include_neighbors: bool
+    ) -> UndoLog:
+        """Snapshot every slot a frontier's execution may write.
+
+        ``active`` are dense vertex indices; ``include_neighbors`` is
+        true under FULL consistency (whose write set covers neighbor
+        vertex data). The snapshot is conservative — restoring slots the
+        step never wrote is a no-op by value equality.
+        """
+        csr = self._csr
+        src, dst = csr.edge_src_index, csr.edge_dst_index
+        amask = np.zeros(len(csr.vertex_ids), dtype=bool)
+        amask[active] = True
+        emask = amask[src] | amask[dst]
+        e_slots = np.nonzero(emask)[0]
+        if include_neighbors:
+            vmask = amask
+            vmask[src[emask]] = True
+            vmask[dst[emask]] = True
+            v_idx = np.nonzero(vmask)[0]
+        else:
+            v_idx = np.unique(np.asarray(active, dtype=np.int64))
+        vdata = self.vdata_flat
+        edata = self.edata_flat
+        v_vals = (
+            vdata[v_idx]
+            if isinstance(vdata, np.ndarray)
+            else [vdata[i] for i in v_idx.tolist()]
+        )
+        e_vals = (
+            edata[e_slots]
+            if isinstance(edata, np.ndarray)
+            else [edata[s] for s in e_slots.tolist()]
+        )
+        return UndoLog(
+            v_idx, v_vals, self._vversion[v_idx].copy(),
+            e_slots, e_vals, self._eversion[e_slots].copy(),
+        )
+
+    def restore_scope(self, undo: UndoLog) -> None:
+        """Revert an aborted speculative step (values, versions, dirty)."""
+        vdata = self.vdata_flat
+        if isinstance(vdata, np.ndarray):
+            vdata[undo.v_idx] = undo.v_vals
+        else:
+            for i, value in zip(undo.v_idx.tolist(), undo.v_vals):
+                vdata[i] = value
+        self._vversion[undo.v_idx] = undo.v_vers
+        self._dirty_v[undo.v_idx] = False
+        edata = self.edata_flat
+        if isinstance(edata, np.ndarray):
+            edata[undo.e_slots] = undo.e_vals
+        else:
+            for s, value in zip(undo.e_slots.tolist(), undo.e_vals):
+                edata[s] = value
+        self._eversion[undo.e_slots] = undo.e_vers
+        self._dirty_e[undo.e_slots] = False
+
+    # ------------------------------------------------------------------
     # Scope data-provider protocol (+ the flat fast path Scope uses).
     # ------------------------------------------------------------------
     def vertex_data(self, vid: VertexId) -> Any:
@@ -391,27 +613,7 @@ class CSRShardStore:
                     batch.v_index = indices
                     batch.v_value = [vdata[i] for i in indices]
                     batch.v_version = self._vversion[sel].tolist()
-            # Dirty non-owned copies: ghost writes (FULL consistency
-            # only). Their holder sets are resolved lazily and shipped
-            # through the scalar path — they are rare by construction.
-            ghost_dirty = np.nonzero(dirty_v & ~self._owned_mask)[0]
-            for index in ghost_dirty.tolist():
-                targets = self._vtargets.get(index)
-                if targets is None:
-                    targets = self._ghost_targets_of(index)
-                for target in targets:
-                    batch = out.get(target)
-                    if batch is None:
-                        batch = out[target] = FlatEntries()
-                    # A fresh single-entry batch per destination:
-                    # extend() adopts an incoming list uncopied when the
-                    # field was empty, so sharing one batch across
-                    # targets would alias their entry lists.
-                    extra = FlatEntries()
-                    extra.v_index = [index]
-                    extra.v_value = [vdata[index]]
-                    extra.v_version = [int(self._vversion[index])]
-                    batch.extend(extra)
+            self._collect_ghost_dirty(out)
             dirty_v[:] = False
         dirty_e = self._dirty_e
         if dirty_e.any():
@@ -435,6 +637,31 @@ class CSRShardStore:
                     batch.e_version = self._eversion[sel].tolist()
             dirty_e[:] = False
         return out
+
+    def _collect_ghost_dirty(self, out: Dict[int, "FlatEntries"]) -> None:
+        """Route dirty non-owned copies: ghost writes (FULL consistency
+        only). Their holder sets are resolved lazily and they ship
+        through the pickled path even under the data plane — they are
+        rare by construction."""
+        ghost_dirty = np.nonzero(self._dirty_v & ~self._owned_mask)[0]
+        vdata = self.vdata_flat
+        for index in ghost_dirty.tolist():
+            targets = self._vtargets.get(index)
+            if targets is None:
+                targets = self._ghost_targets_of(index)
+            for target in targets:
+                batch = out.get(target)
+                if batch is None:
+                    batch = out[target] = FlatEntries()
+                # A fresh single-entry batch per destination:
+                # extend() adopts an incoming list uncopied when the
+                # field was empty, so sharing one batch across
+                # targets would alias their entry lists.
+                extra = FlatEntries()
+                extra.v_index = [index]
+                extra.v_value = [vdata[index]]
+                extra.v_version = [int(self._vversion[index])]
+                batch.extend(extra)
 
     def _ghost_targets_of(self, index: int) -> Tuple[int, ...]:
         """Remote holders of a dirty ghost (memoized into vtargets);
@@ -499,12 +726,14 @@ class CSRShardStore:
         stored_versions: np.ndarray,
         column: np.ndarray,
     ) -> None:
-        indices = np.asarray(indices, dtype=np.int64)
-        versions = np.asarray(versions, dtype=np.int64)
+        indices = np.asarray(indices)
+        versions = np.asarray(versions)
         # Duplicate slots appear only when an inbox accumulated several
         # rounds (elided color-steps); the common case — one worker's
         # routed batch — is strictly ascending and needs no dedup pass.
         if indices.size > 1 and not (indices[1:] > indices[:-1]).all():
+            indices = indices.astype(np.int64)
+            versions = versions.astype(np.int64)
             # Keep, per slot, the entry the scalar per-entry filter
             # would leave standing: the highest version, and the
             # *earliest* occurrence among version ties (the scalar loop

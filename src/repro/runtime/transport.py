@@ -17,18 +17,40 @@ command to every worker, collect every reply). Two implementations:
   cores — the paper's claim that the abstraction carries unchanged from
   shared memory to distributed execution, cashed in (Sec. 4).
 
+Transports also own the **data plane** lifecycle
+(:mod:`repro.runtime.plane`): the engine asks for the backend's plane
+flavor (``plane_kind``), the transport provisions it before launch
+(POSIX shared memory for ``mp`` — unless ``REPRO_NO_SHM`` is set — and
+plain in-process arrays for ``inproc``), and tears it down with
+``shutdown`` on every exit path, so ``/dev/shm`` never leaks even when
+a worker dies or launch itself raises.
+
+Every command and reply crosses the wire as an explicit pickled byte
+blob, and both transports account the volume (``bytes_sent`` /
+``bytes_received`` / ``rounds_completed``) — the counters
+``BENCH_core.json`` records as ``bytes_on_pipe`` and
+``rounds_per_sweep``.
+
 A transport is single-use: ``launch`` once, ``round`` many times,
 ``shutdown`` once (idempotent).
 """
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import pickle
 import time
 from typing import Any, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import EngineError
+from repro.runtime.plane import (
+    DataPlane,
+    LocalDataPlane,
+    PlaneSpec,
+    ShmDataPlane,
+    shm_available,
+)
 from repro.runtime.worker import RuntimeWorker, serve
 
 Message = Tuple[str, Any]
@@ -55,7 +77,28 @@ class Transport:
         self.num_workers = num_workers
         self._launched = False
         self._closed = False
+        self.data_plane: Optional[DataPlane] = None
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.rounds_completed = 0
 
+    # Data-plane lifecycle -----------------------------------------------
+    def plane_kind(self) -> Optional[str]:
+        """The plane flavor this backend supports (``None``: pipe only)."""
+        return None
+
+    def provision_plane(self, spec: PlaneSpec) -> DataPlane:
+        """Allocate the plane; owned by the transport until shutdown."""
+        raise EngineError(f"{self.name!r} transport has no data plane")
+
+    def _release_plane(self) -> None:
+        plane = self.data_plane
+        if plane is not None:
+            self.data_plane = None
+            plane.unlink()
+            plane.close()
+
+    # Rounds --------------------------------------------------------------
     def launch(self, init_payloads: Iterable[bytes]) -> List[Any]:
         """Start every worker from its pickled init; returns ready acks.
 
@@ -90,15 +133,26 @@ class Transport:
                 f"round needs {self.num_workers} messages, "
                 f"got {len(messages)}"
             )
-        return self._round(messages)
+        replies = self._round(messages)
+        self.rounds_completed += 1
+        return replies
 
     def shutdown(self) -> None:
-        """Stop workers and release resources (idempotent)."""
-        if self._closed or not self._launched:
-            self._closed = True
+        """Stop workers and release resources (idempotent).
+
+        The data plane is released on *every* path — including "never
+        launched" and "launch raised" — so shared-memory segments are
+        unlinked no matter how the run ended.
+        """
+        if self._closed:
             return
+        launched = self._launched
         self._closed = True
-        self._shutdown()
+        try:
+            if launched:
+                self._shutdown()
+        finally:
+            self._release_plane()
 
     # Subclass hooks -----------------------------------------------------
     def _launch(self, init_payloads: Iterable[bytes]) -> List[Any]:
@@ -116,7 +170,10 @@ class InprocTransport(Transport):
 
     Every init payload and every round message/reply crosses a real
     ``pickle`` boundary so anything that would fail on the wire fails
-    here too — in tier-1 tests, without spawning a process.
+    here too — in tier-1 tests, without spawning a process. The data
+    plane is emulated with plain in-process arrays
+    (:class:`~repro.runtime.plane.LocalDataPlane`) injected into each
+    worker after construction, driving the identical plane code path.
     """
 
     name = "inproc"
@@ -125,10 +182,22 @@ class InprocTransport(Transport):
         super().__init__(num_workers)
         self._workers: List[RuntimeWorker] = []
 
+    def plane_kind(self) -> Optional[str]:
+        return "local"
+
+    def provision_plane(self, spec: PlaneSpec) -> DataPlane:
+        self.data_plane = LocalDataPlane(spec)
+        return self.data_plane
+
     def _launch(self, init_payloads: Iterable[bytes]) -> List[Any]:
         acks = []
         for blob in init_payloads:
             worker = RuntimeWorker.from_bytes(blob)
+            if self.data_plane is not None:
+                # The local plane's arrays cannot ride the pickled init
+                # payload; hand them over here — same attach call the
+                # shm worker performs from its spec.
+                worker.attach_plane(self.data_plane)
             self._workers.append(worker)
             acks.append(
                 {
@@ -141,15 +210,21 @@ class InprocTransport(Transport):
 
     def _round(self, messages: Sequence[Message]) -> List[Any]:
         replies = []
-        for worker, (tag, payload) in zip(self._workers, messages):
+        for worker, message in zip(self._workers, messages):
             # Same wire discipline as MpTransport: commands and replies
             # are serialized copies, never shared objects.
-            tag, payload = pickle.loads(pickle.dumps((tag, payload)))
+            blob = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+            self.bytes_sent += len(blob)
+            tag, payload = pickle.loads(blob)
             try:
                 reply = worker.handle(tag, payload)
             except Exception as exc:
                 raise WorkerFailure(worker.worker_id, repr(exc)) from exc
-            replies.append(pickle.loads(pickle.dumps(reply)))
+            reply_blob = pickle.dumps(
+                reply, protocol=pickle.HIGHEST_PROTOCOL
+            )
+            self.bytes_received += len(reply_blob)
+            replies.append(pickle.loads(reply_blob))
         return replies
 
     def _shutdown(self) -> None:
@@ -162,7 +237,10 @@ class MpTransport(Transport):
     ``start_method`` defaults to ``fork`` where available (cheap launch;
     the init payload still ships pickled so the code path is identical)
     and falls back to ``spawn``. ``reply_timeout`` bounds how long a
-    round waits on a silent worker before declaring it dead.
+    round waits on a silent worker before declaring it dead; a dead or
+    silent worker raises :class:`WorkerFailure` naming the worker and
+    the last command it was sent, instead of blocking forever on the
+    pipe.
     """
 
     name = "mp"
@@ -182,6 +260,21 @@ class MpTransport(Transport):
         self.reply_timeout = float(reply_timeout)
         self._procs: List[Any] = []
         self._conns: List[Any] = []
+        self._last_cmd: List[str] = ["launch"] * num_workers
+
+    def plane_kind(self) -> Optional[str]:
+        return "shm" if shm_available() else None
+
+    def provision_plane(self, spec: PlaneSpec) -> DataPlane:
+        # Spawned children run their own resource tracker, which would
+        # unlink segments it thinks the dying child leaked; forked
+        # children share the creator's tracker, where a child-side
+        # unregister would be destructive. See PlaneSpec.attach_untrack.
+        spec = dataclasses.replace(
+            spec, attach_untrack=self.start_method != "fork"
+        )
+        self.data_plane = ShmDataPlane.create(spec)
+        return self.data_plane
 
     def _launch(self, init_payloads: Iterable[bytes]) -> List[Any]:
         count = 0
@@ -202,8 +295,20 @@ class MpTransport(Transport):
         return [self._recv(w) for w in range(self.num_workers)]
 
     def _round(self, messages: Sequence[Message]) -> List[Any]:
-        for conn, message in zip(self._conns, messages):
-            conn.send(message)
+        for worker_id, (conn, message) in enumerate(
+            zip(self._conns, messages)
+        ):
+            blob = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+            self.bytes_sent += len(blob)
+            self._last_cmd[worker_id] = message[0]
+            try:
+                conn.send_bytes(blob)
+            except (BrokenPipeError, OSError) as exc:
+                raise WorkerFailure(
+                    worker_id,
+                    f"pipe write failed ({exc}); last command "
+                    f"{self._last_cmd[worker_id]!r}",
+                ) from exc
         # All workers now compute concurrently; collecting every reply
         # is the barrier.
         return [self._recv(w) for w in range(self.num_workers)]
@@ -211,31 +316,45 @@ class MpTransport(Transport):
     def _recv(self, worker_id: int) -> Any:
         conn = self._conns[worker_id]
         proc = self._procs[worker_id]
+        last = self._last_cmd[worker_id]
         deadline = time.monotonic() + self.reply_timeout
         while not conn.poll(0.05):
             if not proc.is_alive():
                 raise WorkerFailure(
                     worker_id,
                     f"process exited with code {proc.exitcode} before "
-                    "replying",
+                    f"replying to command {last!r}",
                 )
             if time.monotonic() > deadline:
                 raise WorkerFailure(
                     worker_id,
-                    f"no reply within {self.reply_timeout}s",
+                    f"no reply to command {last!r} within "
+                    f"{self.reply_timeout}s",
                 )
         try:
-            tag, payload = conn.recv()
-        except EOFError:
-            raise WorkerFailure(worker_id, "pipe closed mid-reply") from None
+            blob = conn.recv_bytes()
+        except (EOFError, OSError):
+            raise WorkerFailure(
+                worker_id,
+                f"pipe closed mid-reply to command {last!r}",
+            ) from None
+        self.bytes_received += len(blob)
+        tag, payload = pickle.loads(blob)
         if tag == "error":
             raise WorkerFailure(worker_id, payload)
         return payload
 
     def _shutdown(self) -> None:
+        """Stop workers; join with timeouts and escalate to kill.
+
+        Never blocks on a dead pipe: sends are best-effort, every join
+        is bounded, and stragglers are reaped with ``terminate`` then
+        ``kill`` so ``shutdown`` returns even when a worker wedged
+        mid-command.
+        """
         for conn in self._conns:
             try:
-                conn.send(("stop", {}))
+                conn.send_bytes(pickle.dumps(("stop", {})))
             except (OSError, ValueError):
                 pass
         for proc in self._procs:
@@ -243,6 +362,9 @@ class MpTransport(Transport):
             if proc.is_alive():
                 proc.terminate()
                 proc.join(timeout=2.0)
+            if proc.is_alive():  # pragma: no cover - stuck in kernel
+                proc.kill()
+                proc.join(timeout=1.0)
         for conn in self._conns:
             try:
                 conn.close()

@@ -8,25 +8,43 @@ boundary. Structure arrives exactly once, as a pickled finalized
 :class:`~repro.core.graph.DataGraph` inside the :class:`WorkerInit`
 payload (the CSR arrays ship; the structure memo caches are rebuilt
 lazily per process — see ``CSRGraph.__getstate__``); after that only
-flat data shards move: dirty ``(key, value, version)`` entries batched
-per destination, scheduling requests, and published global values.
+flat data shards move — and on typed-column graphs they move through
+the **shared-memory data plane** (:mod:`repro.runtime.plane`): the
+worker's columns live in its own shared segment, dirty entries are
+written directly into its ring, and the pipe carries only control data
+(descriptors, scheduling indices, counts). Untyped graphs keep the
+pickled ``FlatEntries`` wire.
 
 The message protocol is a tagged request/reply pair per phase:
 
-* ``("step", {color, inbox})`` — apply the inbox (version-filtered ghost
-  entries, remote scheduling requests, new globals), execute the
-  worker's share of one color-step, reply with dirty data and remote
-  scheduling requests grouped by destination worker;
+* ``("step", {colors, inbox})`` — apply the inbox (commit/abort marker,
+  ring descriptors, pickled ghost batches, remote scheduling requests,
+  new globals), then execute the worker's share of one **round**: one or
+  more color-steps. The first color executes normally; any further
+  colors are **speculative** — the coordinator merged mutually
+  independent scheduled frontiers into one barrier, and whether the
+  merged execution equals the sequential chromatic order depends on
+  what got scheduled *during* the round, which only the coordinator can
+  see. The worker therefore snapshots a conservative undo log per
+  speculative color (:meth:`~repro.runtime.shard.CSRShardStore.
+  capture_scope`) and holds it until the next command delivers the
+  verdict: the committed-part count drops the confirmed logs, and
+  everything after it restores data, versions, counts, and task-set
+  state exactly as if those colors had never run.
 * ``("sync_count", {inbox})`` — apply the inbox, evaluate each sync's
-  partial over owned vertices (Eq. 2), reply with the partials and the
-  per-color task-set census (the master's termination probe);
-* ``("collect", {})`` — reply with all owned data and update counts;
+  partial over owned vertices (Eq. 2), reply with the partials;
+* ``("collect", {inbox})`` — reply with owned data (only the columns
+  the data plane does not already expose to the coordinator) and update
+  counts;
 * ``("stop", {})`` — acknowledge and exit the serve loop.
 
-A worker never talks to its peers directly: the coordinator routes all
-exchange, so one duplex pipe per worker is the whole fabric and the
-inter-color communication barrier of the chromatic engine (Sec. 4.2.1)
-is simply "every reply received".
+Scheduling travels as **dense vertex indices** (int32 arrays) — the
+compiled numbering is canonical across processes, so ids never ship. A
+worker never talks to its peers' processes directly; with the plane it
+*reads their segments* (ring slices named by coordinator-routed
+descriptors), but all control flow still runs through the coordinator,
+so the inter-color communication barrier of the chromatic engine
+(Sec. 4.2.1) remains "every reply received".
 """
 
 from __future__ import annotations
@@ -45,22 +63,34 @@ from repro.core.scope import Scope
 from repro.core.sync import GlobalValues, SyncOperation
 from repro.core.update import normalize_schedule
 from repro.errors import EngineError
+from repro.runtime.plane import DataPlane, PlaneSpec, ShmDataPlane
 from repro.runtime.shard import CSRShardStore
 
 #: Inbox entry lists, keyed like the wire payloads.
 Inbox = Dict[str, Any]
 
+_EMPTY_I32 = np.empty(0, dtype=np.int32)
+
 
 def empty_inbox() -> Inbox:
     """A fresh routing inbox.
 
-    ``data`` is a slot-form ghost-entry batch (``None`` until routed;
-    see :class:`~repro.runtime.shard.FlatEntries`), ``sched`` bare
-    vertex ids (the chromatic engine ignores priorities, per the paper —
-    so they never ship), ``globals`` newly published ``(key, value)``
-    pairs.
+    ``data`` is a pickled slot-form ghost-entry batch (``None`` until
+    routed; see :class:`~repro.runtime.shard.FlatEntries`), ``plane``
+    ring descriptors ``(src_worker, half, v_start, v_count, e_start,
+    e_count)`` in delivery order, ``sched`` int32 arrays of dense vertex
+    indices, ``globals`` newly published ``(key, value)`` pairs, and
+    ``spec`` the commit/abort verdict for a preceding speculative round
+    (``None`` when no speculation is pending; empty fields are stripped
+    from the wire at send time).
     """
-    return {"data": None, "sched": [], "globals": []}
+    return {
+        "data": None,
+        "plane": [],
+        "sched": [],
+        "globals": [],
+        "spec": None,
+    }
 
 
 @dataclass
@@ -70,7 +100,10 @@ class WorkerInit:
     ``classes`` is the *global* color-class list (fixed order); each
     worker filters it down to its owned vertices, reproducing exactly
     the ``local_by_color`` ordering of the simulated
-    :class:`~repro.distributed.chromatic.ChromaticEngine`.
+    :class:`~repro.distributed.chromatic.ChromaticEngine`. ``plane`` is
+    the data-plane spec (or ``None`` for the pickled wire): shm workers
+    attach segments by name at init; the inproc transport injects the
+    in-process arrays right after construction.
     """
 
     worker_id: int
@@ -86,6 +119,7 @@ class WorkerInit:
     #: one and the graph's typed columns are compatible (the engine's
     #: ``use_kernel`` knob, shipped so every worker decides identically).
     use_kernel: bool = True
+    plane: Optional[PlaneSpec] = None
 
     def encode(self) -> bytes:
         return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
@@ -101,7 +135,7 @@ class WorkerInit:
         """
         state = {name: getattr(self, name) for name in (
             "num_workers", "graph", "owner", "classes", "consistency",
-            "program", "syncs", "initial_globals", "use_kernel",
+            "program", "syncs", "initial_globals", "use_kernel", "plane",
         )}
         return pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
 
@@ -129,24 +163,29 @@ class RuntimeWorker:
         self.update_fn = resolve_program(init.program)
         self.syncs = tuple(init.syncs)
         self.globals = GlobalValues(init.initial_globals)
+        csr = init.graph.compiled
+        self._vertex_ids = csr.vertex_ids
+        self._index_of = csr.index_of
         #: This worker's share of each color class, in global class order.
         self.by_color: List[List[VertexId]] = [
             [v for v in members if init.owner[v] == init.worker_id]
             for members in init.classes
         ]
-        #: Color of each owned vertex (for the per-color T_w census).
-        self._color_of: Dict[VertexId, int] = {
-            v: color
-            for color, members in enumerate(self.by_color)
-            for v in members
-        }
-        #: The local task set T_w, plus its per-color census. The census
-        #: rides on every reply so the coordinator can skip color-steps
-        #: nobody has work for (and, with no syncs registered, detect
-        #: termination without a dedicated probe round).
+        #: The local task set T_w. Scalar mode tracks vertex ids; kernel
+        #: mode a boolean mask in dense index space.
         self.scheduled: Set[VertexId] = set()
-        self.sched_by_color = np.zeros(len(self.by_color), dtype=np.int64)
         self.counts: Dict[VertexId, int] = {}
+        #: Undo logs of the last round's speculative color-steps, held
+        #: until the coordinator's commit/abort verdict arrives with the
+        #: next command's inbox.
+        self._spec_pending: Optional[List[Tuple]] = None
+        # Data plane (shared columns + dirty ring). Shm workers attach
+        # here by segment name; the inproc transport injects its
+        # in-process plane via attach_plane() right after construction.
+        self.plane: Optional[DataPlane] = None
+        self._ring = None
+        if init.plane is not None and init.plane.kind == "shm":
+            self.attach_plane(ShmDataPlane.attach(init.plane))
         # One pooled scope, rebound per vertex — the zero-allocation hot
         # path contract of ROADMAP's storage-layout section, now applied
         # per OS process instead of per simulated machine.
@@ -160,10 +199,12 @@ class RuntimeWorker:
         # Batch-kernel mode: when the program advertises a compatible
         # kernel, color-steps execute as numpy passes over the shard's
         # typed columns and the task set becomes a boolean mask in dense
-        # index space (scheduling, census, and counts all vectorize).
-        # The scalar interpreter above remains the fallback — and the
-        # oracle the kernel is property-tested against.
+        # index space (scheduling and counts all vectorize). The scalar
+        # interpreter above remains the fallback — and the oracle the
+        # kernel is property-tested against.
         kernel = kernel_of(self.update_fn) if init.use_kernel else None
+        index_of = self._index_of
+        num_vertices = len(csr.vertex_ids)
         if (
             kernel is not None
             and kernel.compatible(init.graph)
@@ -171,18 +212,9 @@ class RuntimeWorker:
         ):
             kernel.bind(init.graph)
             self.kernel = kernel
-            csr = init.graph.compiled
-            index_of = csr.index_of
-            num_vertices = len(csr.vertex_ids)
-            self._vertex_ids = csr.vertex_ids
-            self._index_of = index_of
             self._sched_mask = np.zeros(num_vertices, dtype=bool)
             self._counts_vec = np.zeros(num_vertices, dtype=np.int64)
-            self._owner_idx = np.fromiter(
-                (init.owner[v] for v in csr.vertex_ids),
-                dtype=np.int64,
-                count=num_vertices,
-            )
+            self._owner_idx = csr.dense_map(init.owner)
             self._by_color_idx = [
                 np.fromiter(
                     (index_of[v] for v in members),
@@ -191,11 +223,43 @@ class RuntimeWorker:
                 )
                 for members in self.by_color
             ]
-            self._color_of_idx = np.zeros(num_vertices, dtype=np.int64)
-            for color, members in enumerate(self._by_color_idx):
-                self._color_of_idx[members] = color
         else:
             self.kernel = None
+
+    def attach_plane(self, plane: DataPlane) -> None:
+        """Adopt shared column buffers and the dirty ring.
+
+        From then on every data write lands directly in this worker's
+        segment; ghost application reads peers' segments through routed
+        descriptors; the coordinator reads owned slots at collect time.
+        """
+        spec = plane.spec
+        self.plane = plane
+        segment = plane.segments[self.worker_id]
+        self.store.adopt_buffers(
+            segment.vdata if spec.has_v else None,
+            segment.edata if spec.has_e else None,
+        )
+        self._ring = plane.writer_for(self.worker_id)
+
+    def close_plane(self) -> None:
+        """Drop every view into the shared segments, then close them.
+
+        The store's columns *are* segment views once a plane is
+        attached; they must be released before the mmap can close
+        without "exported pointers" noise at interpreter teardown. The
+        worker is unusable afterwards (exit path only).
+        """
+        plane = self.plane
+        if plane is None:
+            return
+        self.plane = None
+        self._ring = None
+        if plane.spec.has_v:
+            self.store.vdata_flat = None
+        if plane.spec.has_e:
+            self.store.edata_flat = None
+        plane.close()
 
     @classmethod
     def from_bytes(cls, blob: bytes) -> "RuntimeWorker":
@@ -213,9 +277,14 @@ class RuntimeWorker:
     # ------------------------------------------------------------------
     # Message dispatch.
     # ------------------------------------------------------------------
-    def handle(self, tag: str, payload: Mapping[str, Any]) -> Dict[str, Any]:
+    def handle(self, tag: str, payload: Mapping[str, Any]) -> Any:
+        if self._ring is not None:
+            # Flip the ring half once per command: peers spend this
+            # round reading last round's descriptors out of the other
+            # half, so the flip is what makes the lock-free ring safe.
+            self._ring.begin_round()
         if tag == "step":
-            return self._step(payload["color"], payload.get("inbox"))
+            return self._step(payload["colors"], payload.get("inbox"))
         if tag == "sync_count":
             return self._sync_count(payload.get("inbox"))
         if tag == "collect":
@@ -226,68 +295,142 @@ class RuntimeWorker:
     def _apply_inbox(self, inbox: Optional[Inbox]) -> None:
         """Apply routed state before any local work of the phase runs.
 
-        Ghost entries go through the store's version filter (stale and
-        duplicate deliveries are dropped — the idempotence the version
-        scheme exists for); remote scheduling requests join the local
-        task set; newly published globals become visible to scopes.
+        The speculation verdict resolves first (an abort must restore
+        the shard before fresh ghost entries land); ghost entries —
+        ring descriptors and pickled batches alike — go through the
+        store's version filter (stale and duplicate deliveries are
+        dropped — the idempotence the version scheme exists for); remote
+        scheduling requests join the local task set; newly published
+        globals become visible to scopes.
         """
+        marker = inbox.get("spec") if inbox else None
+        if self._spec_pending is not None:
+            # The verdict counts committed parts of the last merged
+            # round; log j belongs to (speculative) part j + 1, so logs
+            # from index ``marker - 1`` on roll back.
+            if not isinstance(marker, int):
+                raise EngineError(
+                    f"worker {self.worker_id}: speculative step awaiting "
+                    f"a commit/abort verdict, got {marker!r}"
+                )
+            keep = marker - 1
+            if keep < len(self._spec_pending):
+                self._rollback_speculation(self._spec_pending[keep:])
+            self._spec_pending = None
         if not inbox:
             return
+        plane = self.plane
+        for (src, half, v_start, v_count, e_start, e_count) in inbox.get(
+            "plane", ()
+        ):
+            ring = plane.segments[src].halves[half]
+            self.store.apply_slices(
+                ring.v_index[v_start:v_start + v_count] if v_count else None,
+                ring.v_value[v_start:v_start + v_count] if v_count else None,
+                ring.v_version[v_start:v_start + v_count] if v_count else None,
+                ring.e_slot[e_start:e_start + e_count] if e_count else None,
+                ring.e_value[e_start:e_start + e_count] if e_count else None,
+                ring.e_version[e_start:e_start + e_count] if e_count else None,
+            )
         data = inbox.get("data")
         if data is not None:
             self.store.apply_flat(data)
-        sched = inbox.get("sched", ())
-        if sched:
+        for indices in inbox.get("sched", ()):
             if self.kernel is not None:
-                self._schedule_idx(
-                    np.fromiter(
-                        (self._index_of[u] for u in sched),
-                        dtype=np.int64,
-                        count=len(sched),
-                    )
-                )
+                self._schedule_idx(indices)
             else:
-                for u in sched:
-                    self._schedule(u)
+                vertex_ids = self._vertex_ids
+                for i in np.asarray(indices).tolist():
+                    self._schedule(vertex_ids[i])
         for key, value in inbox.get("globals", ()):
             self.globals.publish(key, value)
 
-    def _schedule(self, vertex: VertexId) -> None:
+    def _schedule(self, vertex: VertexId) -> bool:
+        """Set-semantics scheduling; true when the vertex was fresh."""
         scheduled = self.scheduled
         if vertex not in scheduled:
             scheduled.add(vertex)
-            self.sched_by_color[self._color_of[vertex]] += 1
+            return True
+        return False
 
-    def _schedule_idx(self, indices: np.ndarray) -> None:
+    def _schedule_idx(self, indices: np.ndarray) -> np.ndarray:
         """Kernel-mode scheduling: merge dense indices into the task
-        mask (set semantics; the census counts only newly added)."""
-        indices = np.unique(indices)
+        mask (set semantics); returns the freshly added indices.
+
+        No dedup pass: kernels already emit unique schedule sets, and a
+        duplicate "fresh" index is harmless everywhere it flows (mask
+        writes and rollback clears are idempotent)."""
         mask = self._sched_mask
         fresh = indices[~mask[indices]]
         if fresh.size:
             mask[fresh] = True
-            np.add.at(self.sched_by_color, self._color_of_idx[fresh], 1)
+        return fresh
 
-    def _census(self) -> List[int]:
-        return [int(n) for n in self.sched_by_color]
+    # ------------------------------------------------------------------
+    # Color-steps (possibly several per round, tail ones speculative).
+    # ------------------------------------------------------------------
+    def _step(self, colors: List[int], inbox: Optional[Inbox]) -> Tuple:
+        """One round: snapshot and run each listed color in order.
 
-    def _step(self, color: int, inbox: Optional[Inbox]) -> Dict[str, Any]:
-        """One color-step: snapshot the work list, run updates, route.
-
-        The work list is fixed before the first update runs (vertices of
-        this color scheduled *during* the step wait for the next sweep),
-        matching the simulated chromatic engine and making the step's
-        result independent of intra-color execution order — the property
-        the coloring guarantees (Sec. 4.2.1).
+        Per color the work list is fixed when its part starts — *after*
+        earlier parts of the same round ran locally, so fresh local
+        schedules into a later merged color execute exactly where the
+        oracle would run them; vertices of a color scheduled during or
+        after its own part wait for the color's next visit, matching
+        the simulated chromatic engine, and each part's result is
+        independent of intra-color execution order — the property the
+        coloring guarantees (Sec. 4.2.1). Colors after the first are
+        speculative: executed against an undo log and confirmed (or
+        rolled back) by the coordinator's verdict in the next round's
+        inbox. The reply is ``(ring_half, [parts])`` where a part is
+        ``(updates, pipe_batches, ring_meta, fresh_local_idx,
+        remote_idx_by_dst)`` with empty fields as ``None``.
         """
         self._apply_inbox(inbox)
-        if self.kernel is not None:
-            return self._step_kernel(color)
+        parts: List[Tuple] = []
+        spec_logs: List[Tuple] = []
+        run_color = (
+            self._run_color_kernel
+            if self.kernel is not None
+            else self._run_color_scalar
+        )
+        for i, color in enumerate(colors):
+            part, log = run_color(color, speculative=i > 0)
+            parts.append(part)
+            if i > 0:
+                spec_logs.append(log)
+        if spec_logs:
+            self._spec_pending = spec_logs
+        return (
+            self._ring.half if self._ring is not None else 0,
+            parts,
+        )
+
+    def _collect_dirty_part(self) -> Tuple[Dict, Dict]:
+        """Drain dirty state after one color: ring meta + pipe overflow."""
+        if self._ring is not None:
+            return self.store.collect_dirty_plane(self._ring)
+        return {}, self.store.collect_dirty_flat()
+
+    def _run_color_scalar(
+        self, color: int, speculative: bool
+    ) -> Tuple[Tuple, Optional[Tuple]]:
         scheduled = self.scheduled
         work = [v for v in self.by_color[color] if v in scheduled]
-        if work:
-            scheduled.difference_update(work)
-            self.sched_by_color[color] -= len(work)
+        if not work:
+            return (0, None, None, None, None), (None, work, [])
+        scheduled.difference_update(work)
+        index_of = self._index_of
+        undo = None
+        if speculative:
+            undo = self.store.capture_scope(
+                np.fromiter(
+                    (index_of[v] for v in work),
+                    dtype=np.int64,
+                    count=len(work),
+                ),
+                include_neighbors=self.consistency is Consistency.FULL,
+            )
         owner = self.owner
         me = self.worker_id
         graph = self.graph
@@ -298,6 +441,9 @@ class RuntimeWorker:
         drain = scope.drain_scheduled
         counts = self.counts
         counts_get = counts.get
+        #: Freshly scheduled local vertices (reported for the
+        #: coordinator's frontier mask and speculation validation).
+        local_new: List[VertexId] = []
         #: dst -> deduplicated remote scheduling requests, send order.
         sched_out: Dict[int, List[VertexId]] = {}
         sched_seen: Dict[int, Set[VertexId]] = {}
@@ -310,7 +456,8 @@ class RuntimeWorker:
             for (u, _prio) in pairs:
                 target = owner[u]
                 if target == me:
-                    schedule(u)
+                    if schedule(u):
+                        local_new.append(u)
                 else:
                     seen = sched_seen.get(target)
                     if seen is None:
@@ -320,75 +467,120 @@ class RuntimeWorker:
                         seen.add(u)
                         sched_out[target].append(u)
             counts[vertex] = counts_get(vertex, 0) + 1
-        dirty = self.store.collect_dirty_flat()
-        return {
-            "dirty": dirty,
-            "sched": sched_out,
-            "updates": len(work),
-            "sched_by_color": self._census(),
-        }
+        meta, overflow = self._collect_dirty_part()
+        part = (
+            len(work),
+            overflow or None,
+            meta or None,
+            np.fromiter(
+                (index_of[v] for v in local_new),
+                dtype=np.int32,
+                count=len(local_new),
+            )
+            if local_new
+            else None,
+            {
+                dst: np.fromiter(
+                    (index_of[v] for v in vertices),
+                    dtype=np.int32,
+                    count=len(vertices),
+                )
+                for dst, vertices in sched_out.items()
+            }
+            or None,
+        )
+        log = (undo, work, local_new) if speculative else None
+        return part, log
 
-    def _step_kernel(self, color: int) -> Dict[str, Any]:
-        """Kernel-mode color-step: the whole work list as numpy passes.
-
-        Same semantics as the scalar loop above — snapshot the scheduled
-        members of this color, execute, route scheduling by owner — but
-        the snapshot is a mask gather, the updates are one
-        :meth:`~repro.core.kernels.UpdateKernel.step` call over the
-        shard's typed columns, and version/dirty bookkeeping is applied
-        in bulk (:meth:`~repro.runtime.shard.CSRShardStore.
-        apply_kernel_result`).
-        """
+    def _run_color_kernel(
+        self, color: int, speculative: bool
+    ) -> Tuple[Tuple, Optional[Tuple]]:
         members = self._by_color_idx[color]
         mask = self._sched_mask
         work = members[mask[members]]
-        sched_out: Dict[int, List[VertexId]] = {}
-        if work.size:
-            mask[work] = False
-            self.sched_by_color[color] -= work.size
-            store = self.store
-            result = self.kernel.step(
-                self.graph,
+        if not work.size:
+            # This worker holds none of the frontier: no writes, no
+            # dirty state, nothing to capture or collect.
+            return (0, None, None, None, None), (None, work, _EMPTY_I32)
+        sched_out: Dict[int, np.ndarray] = {}
+        local_new = _EMPTY_I32
+        undo = None
+        mask[work] = False
+        store = self.store
+        if speculative:
+            undo = store.capture_scope(
                 work,
-                store.vdata_flat,
-                store.edata_flat,
-                self.globals.view(),
+                include_neighbors=self.consistency is Consistency.FULL,
             )
-            store.apply_kernel_result(result)
-            self._counts_vec[work] += 1
-            requested = result.scheduled
-            if requested.size:
-                owners = self._owner_idx[requested]
-                me = self.worker_id
-                local = requested[owners == me]
-                if local.size:
-                    self._schedule_idx(local)
-                remote = requested[owners != me]
-                if remote.size:
-                    vertex_ids = self._vertex_ids
-                    remote_owners = owners[owners != me]
-                    for dst in np.unique(remote_owners):
-                        sched_out[int(dst)] = [
-                            vertex_ids[i]
-                            for i in remote[remote_owners == dst]
-                        ]
-        return {
-            "dirty": self.store.collect_dirty_flat(),
-            "sched": sched_out,
-            "updates": int(work.size),
-            "sched_by_color": self._census(),
-        }
+        result = self.kernel.step(
+            self.graph,
+            work,
+            store.vdata_flat,
+            store.edata_flat,
+            self.globals.view(),
+        )
+        store.apply_kernel_result(result)
+        self._counts_vec[work] += 1
+        requested = result.scheduled
+        if requested.size:
+            owners = self._owner_idx[requested]
+            me = self.worker_id
+            local = requested[owners == me]
+            if local.size:
+                local_new = self._schedule_idx(local).astype(np.int32)
+            remote = requested[owners != me]
+            if remote.size:
+                remote_owners = owners[owners != me]
+                for dst in np.unique(remote_owners):
+                    sched_out[int(dst)] = (
+                        remote[remote_owners == dst].astype(np.int32)
+                    )
+        meta, overflow = self._collect_dirty_part()
+        part = (
+            int(work.size),
+            overflow or None,
+            meta or None,
+            local_new if local_new.size else None,
+            sched_out or None,
+        )
+        log = (undo, work, local_new) if speculative else None
+        return part, log
 
+    def _rollback_speculation(self, logs: List[Tuple]) -> None:
+        """Abort: restore shard, counts, and task set, newest first."""
+        for undo, work, added in reversed(logs):
+            if undo is not None:
+                self.store.restore_scope(undo)
+            # Order matters: clear this part's fresh schedules *before*
+            # restoring its frontier — a vertex that rescheduled itself
+            # during the rolled-back execution is in both sets, and must
+            # end scheduled (its pre-round frontier state; the
+            # self-reschedule never happened).
+            if self.kernel is not None:
+                if len(added):
+                    self._sched_mask[np.asarray(added, dtype=np.int64)] = False
+                if len(work):
+                    self._counts_vec[work] -= 1
+                    self._sched_mask[work] = True
+            else:
+                counts = self.counts
+                for v in work:
+                    remaining = counts[v] - 1
+                    if remaining:
+                        counts[v] = remaining
+                    else:
+                        del counts[v]
+                self.scheduled.difference_update(added)
+                self.scheduled.update(work)
+
+    # ------------------------------------------------------------------
     def _sync_count(self, inbox: Optional[Inbox]) -> Dict[str, Any]:
         self._apply_inbox(inbox)
         partials = [
             sync.partial(self.graph, self.store.owned_vertices, store=self.store)
             for sync in self.syncs
         ]
-        return {
-            "partials": partials,
-            "sched_by_color": self._census(),
-        }
+        return {"partials": partials}
 
     def _collect(self, inbox: Optional[Inbox]) -> Dict[str, Any]:
         """Owned data + update counts (the run's final answer shard).
@@ -396,22 +588,27 @@ class RuntimeWorker:
         Applies a final inbox first: the coordinator flushes any ghost
         entries still in flight from the last color-step, so edges held
         by two workers read back their freshest version no matter which
-        endpoint's owner is collected.
+        endpoint's owner is collected. Columns that live on the data
+        plane are *not* pickled back — the coordinator reads owned slots
+        straight out of this worker's segment after the barrier.
         """
         self._apply_inbox(inbox)
         store = self.store
-        payload = store.checkpoint_payload()
         counts = dict(self.counts)
         if self.kernel is not None:
             vertex_ids = self._vertex_ids
             counts_vec = self._counts_vec
             for i in counts_vec.nonzero()[0]:
                 counts[vertex_ids[i]] = int(counts_vec[i])
-        return {
-            "vdata": payload["vdata"],
-            "edata": payload["edata"],
-            "counts": counts,
-        }
+        spec = self.plane.spec if self.plane is not None else None
+        reply: Dict[str, Any] = {"counts": counts}
+        if spec is None or not spec.has_v or not spec.has_e:
+            payload = store.checkpoint_payload()
+            if spec is None or not spec.has_v:
+                reply["vdata"] = payload["vdata"]
+            if spec is None or not spec.has_e:
+                reply["edata"] = payload["edata"]
+        return reply
 
 
 def serve(conn: Any, init_blob: bytes) -> None:
@@ -422,35 +619,42 @@ def serve(conn: Any, init_blob: bytes) -> None:
     error); afterwards each received command yields exactly one
     ``("ok", payload)`` or ``("error", traceback)`` reply, so the
     coordinator's send-all-then-receive-all round is a true barrier.
+    Commands and replies cross the pipe as explicit pickled byte blobs
+    (``send_bytes``), so both ends can account wire volume exactly.
     """
     try:
         worker = RuntimeWorker.from_bytes(init_blob)
     except BaseException:
         try:
-            conn.send(("error", traceback.format_exc()))
+            conn.send_bytes(pickle.dumps(("error", traceback.format_exc())))
         finally:
             conn.close()
         return
-    conn.send(
+    conn.send_bytes(pickle.dumps(
         ("ok", {
             "worker": worker.worker_id,
             "owned": len(worker.store.owned_vertices),
         })
-    )
+    ))
     try:
         while True:
             try:
-                tag, payload = conn.recv()
+                tag, payload = pickle.loads(conn.recv_bytes())
             except EOFError:
                 break
             if tag == "stop":
-                conn.send(("ok", {}))
+                conn.send_bytes(pickle.dumps(("ok", {})))
                 break
             try:
                 reply = worker.handle(tag, payload)
             except BaseException:
-                conn.send(("error", traceback.format_exc()))
+                conn.send_bytes(
+                    pickle.dumps(("error", traceback.format_exc()))
+                )
             else:
-                conn.send(("ok", reply))
+                conn.send_bytes(pickle.dumps(
+                    ("ok", reply), protocol=pickle.HIGHEST_PROTOCOL
+                ))
     finally:
+        worker.close_plane()
         conn.close()

@@ -1,0 +1,644 @@
+"""Shared-memory data plane + color-merged rounds (ISSUE 4).
+
+The two halves of the runtime's near-zero-communication story, tested
+against the one property that matters: **bit-identity to the sequential
+oracle by construction** —
+
+* the data plane (shared columns + double-buffered dirty rings, or the
+  inproc in-process emulation) must be semantically indistinguishable
+  from the pickled ``FlatEntries`` wire, including ring overflow and
+  the ``REPRO_NO_SHM`` fallback;
+* merged rounds must commit only executions the
+  ``SequentialEngine`` + ``ColorSweepScheduler`` oracle would have
+  performed identically — speculative tails roll back whenever
+  mid-round scheduling or a cross-worker conflict would have diverged,
+  and a merge-incompatible configuration must refuse to merge, not
+  diverge;
+* shared segments must never leak into ``/dev/shm``, on any exit path.
+"""
+
+import os
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Consistency,
+    SequentialEngine,
+    greedy_coloring,
+    second_order_coloring,
+)
+from repro.core.coloring import (
+    color_classes,
+    frontiers_independent,
+    merge_compatible_matrix,
+    model_distance,
+)
+from repro.core.graph import DataGraph
+from repro.errors import EngineError
+from repro.runtime import (
+    ColorSweepScheduler,
+    MpTransport,
+    RuntimeChromaticEngine,
+    UpdateProgram,
+    WorkerFailure,
+    shm_available,
+)
+from repro.runtime.plane import NO_SHM_ENV
+from repro.runtime.worker import empty_inbox
+
+from tests.helpers import grid_graph, ring_graph
+
+
+needs_shm = pytest.mark.skipif(
+    not shm_available(),
+    reason="POSIX shared memory unavailable (or disabled via REPRO_NO_SHM)",
+)
+
+
+# ----------------------------------------------------------------------
+# Update functions (module-level: they cross process boundaries).
+# ----------------------------------------------------------------------
+def flood_max(scope):
+    best = scope.data
+    for u in scope.neighbors:
+        best = max(best, scope.neighbor(u))
+    if best != scope.data:
+        scope.data = best
+        return [(u, best) for u in scope.neighbors]
+
+
+def edge_accumulate(scope):
+    """Edge-writing update (legal under EDGE/FULL)."""
+    total = scope.data
+    for (a, b) in scope.adjacent_edges():
+        total += scope.edge(a, b)
+    for (a, b) in scope.adjacent_edges():
+        scope.set_edge(a, b, scope.edge(a, b) + 1.0)
+    if total != scope.data:
+        scope.data = total
+    return None
+
+
+def vertex_only_max(scope):
+    """Writes D_v only (legal under every model, incl. VERTEX)."""
+    best = scope.data
+    for u in scope.neighbors:
+        best = max(best, scope.neighbor(u))
+    if best != scope.data:
+        scope.data = best
+        return list(scope.neighbors)
+    return None
+
+
+def push_to_neighbors(scope):
+    """FULL-consistency ghost-write update."""
+    share = scope.data
+    if share:
+        for u in scope.neighbors:
+            scope.set_neighbor(u, scope.neighbor(u) + share)
+        scope.data = 0.0
+        return list(scope.neighbors)
+    return None
+
+
+def decay_and_spread(scope):
+    """Schedules neighbors only while energy remains — produces the
+    shrinking, wandering frontiers merged rounds feed on."""
+    value = scope.data
+    if value >= 1.0:
+        scope.data = value - 1.0
+        return list(scope.neighbors)
+    return None
+
+
+def broken_factory():
+    raise RuntimeError("factory exploded on purpose")
+
+
+def spec_abort_self_resched(scope):
+    """Regression shape for the rollback-ordering bug: vertex 0 forces
+    an abort of the speculative color-1 part (fresh *remote* schedule
+    into the span) exactly while vertex 1 — executing speculatively —
+    reschedules itself, landing in both the part's executed frontier
+    and its fresh-schedule log."""
+    value = scope.data
+    scope.data = value + 1.0
+    if scope.vertex == 0 and value == 0.0:
+        return [2]
+    if scope.vertex == 1 and value < 2.0:
+        return [1]
+    return None
+
+
+def typed_random_graph(num_vertices, num_edges, seed):
+    """Seeded random digraph compiled onto float64 data columns."""
+    rng = random.Random(seed)
+    g = DataGraph()
+    for i in range(num_vertices):
+        g.add_vertex(i, data=float(rng.randrange(8)))
+    added = set()
+    attempts = 0
+    while len(added) < num_edges and attempts < num_edges * 10:
+        attempts += 1
+        a = rng.randrange(num_vertices)
+        b = rng.randrange(num_vertices)
+        if a != b and (a, b) not in added:
+            added.add((a, b))
+            g.add_edge(a, b, data=float(rng.randrange(4)))
+    return g.finalize(vertex_dtype=float, edge_dtype=float)
+
+
+def graph_values(graph):
+    vdata = {v: graph.vertex_data(v) for v in graph.vertices()}
+    edata = {key: graph.edge_data(*key) for key in graph.edges()}
+    return vdata, edata
+
+
+def run_oracle(graph, fn, coloring, consistency=Consistency.EDGE,
+               max_updates=None):
+    engine = SequentialEngine(
+        graph,
+        fn,
+        consistency=consistency,
+        scheduler=ColorSweepScheduler(coloring),
+        max_updates=max_updates,
+        use_kernel=False,
+    )
+    return engine.run(initial=graph.vertices())
+
+
+# ----------------------------------------------------------------------
+# Static merge analysis.
+# ----------------------------------------------------------------------
+class TestMergeAnalysis:
+    def test_static_matrix_edge_consistency(self):
+        # Path 0-1-2-3 with colors [0, 1, 0, 2]: classes 1 and 2 touch
+        # (edge 1-2? no: 1 has color 1, 2 has color 0). Conflicts: 0-1
+        # (colors 0,1), 1-2 (1,0), 2-3 (0,2). Pair (1,2) never touches.
+        g = DataGraph()
+        for i in range(4):
+            g.add_vertex(i, data=0.0)
+        for i in range(3):
+            g.add_edge(i, i + 1)
+        g.finalize()
+        coloring = {0: 0, 1: 1, 2: 0, 3: 2}
+        classes = color_classes(coloring)
+        compat = merge_compatible_matrix(g, classes, Consistency.EDGE)
+        assert not compat[0, 1] and not compat[0, 2]
+        assert compat[1, 2] and compat[2, 1]
+        assert not compat.diagonal().any()
+
+    def test_static_matrix_full_needs_distance_two(self):
+        # Same path: colors 1 and 2 are distance 2 apart (1 - 2 - 3), so
+        # full consistency must reject the pair edge consistency allows.
+        g = DataGraph()
+        for i in range(4):
+            g.add_vertex(i, data=0.0)
+        for i in range(3):
+            g.add_edge(i, i + 1)
+        g.finalize()
+        coloring = {0: 0, 1: 1, 2: 0, 3: 2}
+        classes = color_classes(coloring)
+        compat = merge_compatible_matrix(g, classes, Consistency.FULL)
+        assert not compat[1, 2]
+
+    def test_frontier_independence_distances(self):
+        g = DataGraph()
+        for i in range(5):
+            g.add_vertex(i, data=0.0)
+        for i in range(4):
+            g.add_edge(i, i + 1)
+        g.finalize()
+        csr = g.compiled
+        a = np.zeros(5, dtype=bool)
+        b = np.zeros(5, dtype=bool)
+        a[0] = True
+        b[2] = True  # distance 2 from vertex 0
+        assert frontiers_independent(csr, a, b, 1)
+        assert not frontiers_independent(csr, a, b, 2)
+        # A cross-worker mask that exempts every edge kills the conflict.
+        b[:] = False
+        b[1] = True  # adjacent to 0
+        same_worker = np.zeros(csr.edge_src_index.size, dtype=bool)
+        assert not frontiers_independent(csr, a, b, 1)
+        assert frontiers_independent(csr, a, b, 1, edge_mask=same_worker)
+
+    def test_model_distance(self):
+        assert model_distance(Consistency.VERTEX) == 1
+        assert model_distance(Consistency.EDGE) == 1
+        assert model_distance(Consistency.FULL) == 2
+
+
+# ----------------------------------------------------------------------
+# Bit-identity of the plane + merged rounds (the load-bearing property).
+# ----------------------------------------------------------------------
+class TestPlaneEquivalence:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_typed_inproc_matches_oracle(self, workers):
+        g = typed_random_graph(18, 40, seed=11)
+        coloring = greedy_coloring(g)
+        g1, g2 = g.copy(), g.copy()
+        r1 = run_oracle(g1, flood_max, coloring)
+        engine = RuntimeChromaticEngine(
+            g2, flood_max, num_workers=workers, transport="inproc",
+            coloring=coloring,
+        )
+        r2 = engine.run(initial=g2.vertices())
+        assert engine._plane is not None  # the plane really was active
+        assert r2.data_plane == "local"
+        assert r1.updates_per_vertex == r2.updates_per_vertex
+        assert graph_values(g1) == graph_values(g2)
+
+    @needs_shm
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_typed_mp_matches_oracle(self, workers):
+        g = typed_random_graph(16, 36, seed=3)
+        coloring = greedy_coloring(g)
+        g1, g2 = g.copy(), g.copy()
+        r1 = run_oracle(g1, flood_max, coloring)
+        r2 = RuntimeChromaticEngine(
+            g2, flood_max, num_workers=workers, transport="mp",
+            coloring=coloring,
+        ).run(initial=g2.vertices())
+        assert r2.data_plane == "shm"
+        assert r1.updates_per_vertex == r2.updates_per_vertex
+        assert graph_values(g1) == graph_values(g2)
+
+    @given(
+        seed=st.integers(0, 10_000),
+        num_workers=st.integers(1, 4),
+        model=st.sampled_from(
+            [Consistency.VERTEX, Consistency.EDGE, Consistency.FULL]
+        ),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_bit_identical_across_models(self, seed, num_workers, model):
+        """Plane + merged rounds vs the oracle, across every model.
+
+        Mirrors the PR 2 property test but on typed columns (plane
+        active) with merging on — the exact configurations the tentpole
+        changes. Caps may bind mid-sweep on the runtime side, in which
+        case the oracle replayed to the same executed count must agree.
+        """
+        rng = random.Random(seed)
+        n = rng.randrange(5, 16)
+        g = typed_random_graph(n, num_edges=2 * n, seed=seed)
+        coloring = (
+            second_order_coloring(g)
+            if model is Consistency.FULL
+            else greedy_coloring(g)
+        )
+        fn = (
+            vertex_only_max
+            if model is Consistency.VERTEX
+            else (push_to_neighbors if model is Consistency.FULL
+                  else edge_accumulate)
+        )
+        cap = 4 * n
+        g1, g2 = g.copy(), g.copy()
+        r1 = run_oracle(g1, fn, coloring, consistency=model, max_updates=cap)
+        r2 = RuntimeChromaticEngine(
+            g2,
+            fn,
+            num_workers=num_workers,
+            transport="inproc",
+            consistency=model,
+            coloring=coloring,
+            partitioner="hash",
+            max_updates=cap,
+        ).run(initial=g2.vertices())
+        if r1.converged and r2.converged:
+            assert r1.updates_per_vertex == r2.updates_per_vertex
+            assert graph_values(g1) == graph_values(g2)
+        else:
+            g3 = g.copy()
+            run_oracle(
+                g3, fn, coloring, consistency=model,
+                max_updates=r2.num_updates,
+            )
+            assert graph_values(g3) == graph_values(g2)
+
+    def test_ring_overflow_falls_back_to_pipe(self):
+        """A 1-entry ring forces the overflow contract every round."""
+        g = typed_random_graph(14, 30, seed=9)
+        coloring = greedy_coloring(g)
+        g1, g2 = g.copy(), g.copy()
+        r1 = run_oracle(g1, flood_max, coloring)
+        r2 = RuntimeChromaticEngine(
+            g2, flood_max, num_workers=3, transport="inproc",
+            coloring=coloring, plane_ring_cap=1,
+        ).run(initial=g2.vertices())
+        assert r1.updates_per_vertex == r2.updates_per_vertex
+        assert graph_values(g1) == graph_values(g2)
+
+    def test_plane_off_matches_plane_on(self):
+        g = typed_random_graph(15, 32, seed=21)
+        coloring = greedy_coloring(g)
+        results = {}
+        for use_plane in (False, True):
+            copy = g.copy()
+            engine = RuntimeChromaticEngine(
+                copy, flood_max, num_workers=2, transport="inproc",
+                coloring=coloring, use_plane=use_plane,
+            )
+            run = engine.run(initial=copy.vertices())
+            results[use_plane] = (run.updates_per_vertex, graph_values(copy))
+            if not use_plane:
+                assert engine._plane is None and run.data_plane is None
+        assert results[False] == results[True]
+
+    def test_plane_shrinks_pipe_bytes(self):
+        """The point of the plane, measured: same run, fewer pipe bytes."""
+        g = typed_random_graph(60, 200, seed=5)
+        coloring = greedy_coloring(g)
+        byte_counts = {}
+        for use_plane in (False, True):
+            copy = g.copy()
+            run = RuntimeChromaticEngine(
+                copy, flood_max, num_workers=3, transport="inproc",
+                coloring=coloring, use_plane=use_plane, merge_rounds=False,
+            ).run(initial=copy.vertices())
+            byte_counts[use_plane] = run.bytes_on_pipe
+        assert byte_counts[True] < byte_counts[False]
+
+    def test_untyped_graph_gets_no_plane(self):
+        g = grid_graph(4, 4)
+        engine = RuntimeChromaticEngine(
+            g, flood_max, num_workers=2, transport="inproc",
+        )
+        run = engine.run(initial=g.vertices())
+        assert engine._plane is None and run.data_plane is None
+
+    def test_vertex_only_typed_columns(self):
+        """Partial plane: typed vertex column, object edge data."""
+        rng = random.Random(4)
+        g = DataGraph()
+        for i in range(10):
+            g.add_vertex(i, data=float(rng.randrange(5)))
+        for i in range(10):
+            g.add_edge(i, (i + 3) % 10)
+        g.finalize(vertex_dtype=float)
+        coloring = greedy_coloring(g)
+        g1, g2 = g.copy(), g.copy()
+        r1 = run_oracle(g1, vertex_only_max, coloring)
+        engine = RuntimeChromaticEngine(
+            g2, vertex_only_max, num_workers=2, transport="inproc",
+            coloring=coloring,
+        )
+        r2 = engine.run(initial=g2.vertices())
+        assert engine._plane is not None
+        assert engine._plane.spec.has_v and not engine._plane.spec.has_e
+        assert r1.updates_per_vertex == r2.updates_per_vertex
+        assert graph_values(g1) == graph_values(g2)
+
+
+# ----------------------------------------------------------------------
+# Merged rounds: refusal, commits, and the speculative abort path.
+# ----------------------------------------------------------------------
+class TestColorMergedRounds:
+    def test_merge_refuses_on_touching_frontiers(self):
+        """Merge-incompatible configuration: alternating ring ownership
+        makes every edge cross-worker, and the 2-coloring's frontiers
+        are the two alternating classes — always adjacent. The planner
+        must refuse every merge (and stay bit-identical), not diverge.
+        """
+        g = ring_graph(8)
+        g.set_vertex_data(0, 9.0)
+        coloring = {v: i % 2 for i, v in enumerate(g.vertices())}
+        assignment = {v: i % 2 for i, v in enumerate(g.vertices())}
+        g1, g2 = g.copy(), g.copy()
+        r1 = run_oracle(g1, flood_max, coloring)
+        r2 = RuntimeChromaticEngine(
+            g2, flood_max, num_workers=2, transport="inproc",
+            coloring=coloring, assignment=assignment,
+        ).run(initial=g2.vertices())
+        assert r2.rounds_saved == 0  # refused, every color got a barrier
+        assert r1.updates_per_vertex == r2.updates_per_vertex
+        assert graph_values(g1) == graph_values(g2)
+
+    def test_single_worker_merges_whole_sweeps(self):
+        """With one worker nothing is cross-worker: merged rounds run
+        each sweep's nonempty colors in one barrier, in oracle order."""
+        g = typed_random_graph(20, 50, seed=13)
+        coloring = greedy_coloring(g)
+        g1, g2 = g.copy(), g.copy()
+        r1 = run_oracle(g1, flood_max, coloring)
+        r2 = RuntimeChromaticEngine(
+            g2, flood_max, num_workers=1, transport="inproc",
+            coloring=coloring,
+        ).run(initial=g2.vertices())
+        assert r2.rounds_saved > 0
+        assert r1.updates_per_vertex == r2.updates_per_vertex
+        assert graph_values(g1) == graph_values(g2)
+
+    def test_merged_vs_unmerged_identical(self):
+        """Merging is a pure round-count optimization: every observable
+        output matches a merge-disabled run of the same configuration."""
+        g = typed_random_graph(24, 60, seed=17)
+        g.set_vertex_data(0, 50.0)
+        coloring = greedy_coloring(g)
+        outcomes = {}
+        for merge in (False, True):
+            copy = g.copy()
+            run = RuntimeChromaticEngine(
+                copy, decay_and_spread, num_workers=2, transport="inproc",
+                coloring=coloring, merge_rounds=merge,
+            ).run(initial=copy.vertices())
+            outcomes[merge] = (
+                run.num_updates, run.updates_per_vertex, graph_values(copy)
+            )
+            if not merge:
+                assert run.rounds_saved == 0
+        assert outcomes[False] == outcomes[True]
+
+    def test_abort_path_restores_oracle_order(self):
+        """Force the speculative abort: schedule only colors 0 and 2 of
+        a 3-colored path, so the planner merges them, then let the
+        updates schedule the intervening color-1 vertices mid-round.
+        The abort must roll the color-2 step back and re-run it after
+        color 1 — i.e. results must still equal the oracle's.
+        """
+        g = DataGraph()
+        for i in range(9):
+            g.add_vertex(i, data=float(9 - i))
+        for i in range(8):
+            g.add_edge(i, i + 1)
+        g.finalize()
+        coloring = {i: i % 3 for i in range(9)}
+        initial = [i for i in range(9) if i % 3 != 1]  # colors 0 and 2
+        g1, g2 = g.copy(), g.copy()
+        r1 = SequentialEngine(
+            g1, flood_max, scheduler=ColorSweepScheduler(coloring),
+        ).run(initial=list(initial))
+        aborts = []
+        engine = RuntimeChromaticEngine(
+            g2, flood_max, num_workers=1, transport="inproc",
+            coloring=coloring,
+        )
+        original = engine._process_replies
+
+        def counting(replies, group, mask, inboxes):
+            updates, aborted = original(replies, group, mask, inboxes)
+            if aborted:
+                aborts.append(len(group))
+            return updates, aborted
+
+        engine._process_replies = counting
+        r2 = engine.run(initial=list(initial))
+        assert aborts, "expected at least one speculative abort"
+        assert r1.updates_per_vertex == r2.updates_per_vertex
+        assert graph_values(g1) == graph_values(g2)
+
+    @pytest.mark.parametrize("use_kernel", [False])
+    def test_abort_keeps_self_rescheduled_vertex(self, use_kernel):
+        """A vertex that reschedules itself during a rolled-back
+        speculative part sits in both the part's frontier and its
+        fresh-schedule log; rollback must leave it *scheduled* (the
+        frontier state — the self-reschedule never happened). Regression
+        for the rollback ordering that silently dropped its updates.
+        """
+        g = DataGraph()
+        for i in range(3):
+            g.add_vertex(i, data=0.0)
+        g.finalize()  # no edges: every frontier pair is independent
+        coloring = {0: 0, 1: 1, 2: 1}
+        assignment = {0: 0, 1: 1, 2: 1}  # vertex 2 is remote to worker 0
+        g1, g2 = g.copy(), g.copy()
+        r1 = SequentialEngine(
+            g1,
+            spec_abort_self_resched,
+            scheduler=ColorSweepScheduler(coloring),
+            use_kernel=use_kernel,
+        ).run(initial=[0, 1])
+        r2 = RuntimeChromaticEngine(
+            g2,
+            spec_abort_self_resched,
+            num_workers=2,
+            transport="inproc",
+            coloring=coloring,
+            assignment=assignment,
+            use_kernel=use_kernel,
+        ).run(initial=[0, 1])
+        assert r1.num_updates == r2.num_updates
+        assert r1.updates_per_vertex == r2.updates_per_vertex
+        assert graph_values(g1) == graph_values(g2)
+
+    @given(seed=st.integers(0, 10_000), num_workers=st.integers(1, 4))
+    @settings(max_examples=10, deadline=None)
+    def test_dynamic_frontiers_bit_identical(self, seed, num_workers):
+        """Shrinking/wandering frontiers (the merge-friendly regime)
+        stay bit-identical through commits and aborts alike."""
+        rng = random.Random(seed)
+        n = rng.randrange(6, 20)
+        g = typed_random_graph(n, num_edges=2 * n, seed=seed)
+        g.set_vertex_data(rng.randrange(n), float(3 * n))
+        coloring = greedy_coloring(g)
+        g1, g2 = g.copy(), g.copy()
+        r1 = run_oracle(g1, decay_and_spread, coloring)
+        r2 = RuntimeChromaticEngine(
+            g2, decay_and_spread, num_workers=num_workers,
+            transport="inproc", coloring=coloring,
+        ).run(initial=g2.vertices())
+        assert r1.num_updates == r2.num_updates
+        assert r1.updates_per_vertex == r2.updates_per_vertex
+        assert graph_values(g1) == graph_values(g2)
+
+
+# ----------------------------------------------------------------------
+# Lifecycle: worker death, shm cleanup, REPRO_NO_SHM fallback.
+# ----------------------------------------------------------------------
+def _repro_segments():
+    try:
+        return {
+            name for name in os.listdir("/dev/shm")
+            if name.startswith("repro-plane-")
+        }
+    except FileNotFoundError:  # pragma: no cover - non-Linux
+        return set()
+
+
+class TestLifecycle:
+    @needs_shm
+    def test_worker_death_is_diagnosed_not_hung(self):
+        """Kill a worker mid-run: the next round must raise a
+        WorkerFailure naming the worker and its last command, shutdown
+        must return promptly, and the shm segments must be unlinked."""
+        g = typed_random_graph(12, 24, seed=2)
+        transport = MpTransport(2, reply_timeout=10.0)
+        engine = RuntimeChromaticEngine(
+            g, flood_max, num_workers=2, transport=transport,
+            coloring=greedy_coloring(g),
+        )
+        engine._provision_plane()
+        names = set(engine._plane.spec.names)
+        transport.launch(engine._encoded_inits())
+        assert _repro_segments() >= {n.lstrip("/") for n in names}
+        transport._procs[0].terminate()
+        transport._procs[0].join(timeout=5.0)
+        with pytest.raises(WorkerFailure) as info:
+            transport.round(
+                [("sync_count", {"inbox": empty_inbox()})] * 2
+            )
+        message = str(info.value)
+        assert "worker 0" in message
+        assert "sync_count" in message
+        transport.shutdown()  # must not block on the dead pipe
+        assert not (_repro_segments() & {n.lstrip("/") for n in names})
+
+    @needs_shm
+    def test_shm_cleaned_after_successful_run(self):
+        g = typed_random_graph(12, 24, seed=6)
+        engine = RuntimeChromaticEngine(
+            g, flood_max, num_workers=2, transport="mp",
+            coloring=greedy_coloring(g),
+        )
+        engine.run(initial=g.vertices())
+        spec = engine._plane.spec
+        assert spec.kind == "shm"
+        assert not (
+            _repro_segments() & {n.lstrip("/") for n in spec.names}
+        )
+
+    @needs_shm
+    def test_shm_cleaned_when_launch_fails(self):
+        g = typed_random_graph(10, 20, seed=8)
+        engine = RuntimeChromaticEngine(
+            g, UpdateProgram(broken_factory), num_workers=2,
+            transport="mp", coloring=greedy_coloring(g),
+        )
+        with pytest.raises((WorkerFailure, EngineError)):
+            engine.run(initial=g.vertices())
+        spec = engine._plane.spec
+        assert not (
+            _repro_segments() & {n.lstrip("/") for n in spec.names}
+        )
+
+    def test_no_shm_env_forces_pipe_wire(self, monkeypatch):
+        monkeypatch.setenv(NO_SHM_ENV, "1")
+        assert not shm_available()
+        g = typed_random_graph(12, 24, seed=12)
+        coloring = greedy_coloring(g)
+        g1, g2 = g.copy(), g.copy()
+        r1 = run_oracle(g1, flood_max, coloring)
+        engine = RuntimeChromaticEngine(
+            g2, flood_max, num_workers=2, transport="mp",
+            coloring=coloring,
+        )
+        r2 = engine.run(initial=g2.vertices())
+        assert engine._plane is None and r2.data_plane is None
+        assert r1.updates_per_vertex == r2.updates_per_vertex
+        assert graph_values(g1) == graph_values(g2)
+
+    def test_counters_are_recorded(self):
+        g = typed_random_graph(12, 24, seed=14)
+        run = RuntimeChromaticEngine(
+            g, flood_max, num_workers=2, transport="inproc",
+            coloring=greedy_coloring(g),
+        ).run(initial=g.vertices())
+        assert run.rounds > 0
+        assert run.bytes_on_pipe > 0
+        assert run.rounds_per_sweep > 0
