@@ -1,0 +1,72 @@
+"""ALS collaborative filtering on the pipelined locking engine.
+
+The chromatic engine needs a coloring and runs in color-step barriers;
+the **pipelined locking engine** (paper Sec. 4.2.2) is the general
+case: dynamic priorities, any consistency model, distributed
+readers-writer locks with a configurable window of in-flight scope
+acquisitions so lock latency hides behind computation. This script
+runs the paper's Fig. 1(d) workload — dynamic ALS on a Netflix-style
+bipartite ratings graph, priorities = factor-change magnitudes — on
+real worker OS processes under edge consistency, then shows the
+pipelining effect by re-running with the window collapsed to 1.
+
+Run:  python examples/locking_als.py
+"""
+
+from repro.apps.als import als_program, initialize_factors, training_rmse
+from repro.datasets.netflix import synthetic_netflix
+from repro.runtime import RuntimeLockingEngine
+
+D = 5  #: latent factor dimension
+
+
+def main(
+    num_users: int = 120,
+    num_movies: int = 40,
+    ratings_per_user: int = 12,
+    num_workers: int = 2,
+) -> None:
+    data = synthetic_netflix(
+        num_users=num_users,
+        num_movies=num_movies,
+        ratings_per_user=ratings_per_user,
+        d_true=3,
+        seed=0,
+    )
+    graph = data.graph
+    print(
+        f"ratings graph: {data.num_users} users, {data.num_movies} movies, "
+        f"{graph.num_edges} ratings"
+    )
+    program = als_program(D, epsilon=1e-3)
+    results = {}
+    for window in (64, 1):
+        copy = graph.copy()
+        initialize_factors(copy, D, seed=1)
+        before = training_rmse(copy)
+        run = RuntimeLockingEngine(
+            copy,
+            program,
+            num_workers=num_workers,
+            transport="mp",
+            scheduler="priority",
+            pipeline_window=window,
+        ).run(initial=copy.vertices())
+        results[window] = run
+        print(
+            f"  window={window:>2}: train RMSE {before:.3f} -> "
+            f"{training_rmse(copy):.3f} in {run.num_updates} updates, "
+            f"{run.rounds} rounds, {run.updates_per_sec:,.0f} updates/s "
+            f"on {num_workers} worker process(es)"
+        )
+    pipelined, serial = results[64], results[1]
+    if serial.exec_seconds > 0 and pipelined.exec_seconds > 0:
+        print(
+            f"pipelining win (window 64 vs 1): "
+            f"{serial.rounds / max(pipelined.rounds, 1):.1f}x fewer "
+            f"barriers"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -65,6 +65,36 @@ def make_als_update(
     return als_update
 
 
+def als_program(
+    d: int,
+    regularization: float = 0.05,
+    epsilon: float = 0.01,
+    dynamic: bool = True,
+):
+    """The ALS update as a runtime-executable program.
+
+    :func:`make_als_update` returns a closure, which cannot cross a
+    process boundary; this wraps the factory call in an
+    :class:`~repro.runtime.program.UpdateProgram` so every worker
+    process rebuilds the closure from the same configuration — the
+    paper's Fig. 1(d) workload, runnable under edge consistency on the
+    pipelined locking engine (``RuntimeLockingEngine``), where dynamic
+    priorities are the factor-change magnitudes. Also registered as
+    ``named_program("als", ...)``.
+    """
+    from repro.runtime.program import UpdateProgram
+
+    return UpdateProgram(
+        make_als_update,
+        args=(d,),
+        kwargs={
+            "regularization": regularization,
+            "epsilon": epsilon,
+            "dynamic": dynamic,
+        },
+    )
+
+
 def _rating(scope: Scope, neighbor: VertexId) -> float:
     """Rating on the (single) edge between the scope vertex and a
     neighbor, whichever direction it was stored in."""

@@ -200,3 +200,19 @@ def deploy(
         ingress=ingress,
         sizes=sizes,
     )
+
+
+def canonical_order_key(
+    graph: DataGraph, owner: Dict[VertexId, int]
+) -> Callable[[VertexId], tuple]:
+    """The canonical lock-acquisition total order ``(owner(u), index(u))``.
+
+    One definition for every locking backend (Sec. 4.2.2): machines are
+    visited in ascending id and vertices within a machine in ascending
+    dense compiled index, so lock chains built from any placement are
+    deadlock-free by fixed total order. The dense numbering comes from
+    the finalize-time compilation (``graph.vertex_index()``), which is
+    identical on every machine/process of a run.
+    """
+    index = graph.vertex_index()
+    return lambda u: (owner[u], index[u])

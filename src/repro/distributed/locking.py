@@ -29,7 +29,7 @@ import itertools
 from collections import deque
 from typing import Any, Deque, Dict, Generator, Iterable, List, Optional, Tuple
 
-from repro.core.consistency import Consistency, lock_plan, scope_keys
+from repro.core.consistency import Consistency, scope_keys
 from repro.core.graph import VertexId
 from repro.core.scheduler import make_scheduler
 from repro.core.tracing import Trace
@@ -41,7 +41,7 @@ from repro.distributed.base import (
 )
 from repro.distributed.consensus import install_termination
 from repro.distributed.dfs import DistributedFileSystem
-from repro.distributed.locks import VertexLockTable
+from repro.distributed.locks import VertexLockTable, build_lock_chain
 from repro.distributed.models import LOCK_MESSAGE_BYTES
 from repro.errors import EngineError
 from repro.sim.kernel import Future
@@ -207,23 +207,17 @@ class LockingEngine(DistributedEngineBase):
     # Lock chains.
     # ------------------------------------------------------------------
     def _chain_for(self, vertex: VertexId) -> List[Tuple[int, List]]:
-        """Lock plan for ``vertex`` grouped by machine, canonical order."""
+        """Lock plan for ``vertex`` grouped by machine, canonical order.
+
+        Shared with the runtime backend: :func:`~repro.distributed.locks
+        .build_lock_chain` is the one definition of the per-owner hop
+        grouping and the ``(owner, vertex_index)`` total order.
+        """
         chain = self._chains.get(vertex)
         if chain is None:
-            plan = lock_plan(
-                self.graph,
-                vertex,
-                self.consistency,
-                order_key=lambda u: (self.owner[u], self._vertex_index[u]),
+            chain = self._chains[vertex] = build_lock_chain(
+                self.graph, vertex, self.consistency, self.owner
             )
-            chain = []
-            for vid, kind in plan:
-                machine = self.owner[vid]
-                if chain and chain[-1][0] == machine:
-                    chain[-1][1].append((vid, kind))
-                else:
-                    chain.append((machine, [(vid, kind)]))
-            self._chains[vertex] = chain
         return chain
 
     def _ship_scope_data(

@@ -8,96 +8,196 @@ granted. Grants are strictly FIFO per vertex (a reader never overtakes
 a queued writer), which combined with the canonical ``(owner, vertex)``
 acquisition order makes the distributed protocol deadlock-free and
 starvation-free.
+
+The grant discipline itself lives in :class:`RWQueueCore`, a pure
+token-based state machine with no simulator dependency: the simulated
+:class:`VertexLockTable` wraps it with kernel futures, and the real
+runtime backend's locking worker (:mod:`repro.runtime.worker`) drives
+the *same* core with its own scope tokens — one implementation of the
+FIFO readers-writer rules, two execution substrates.
+
+:func:`build_lock_chain` is the other shared half: the per-vertex lock
+plan grouped into per-owner hops in the canonical total order, used
+verbatim by the simulated pipelined chains (Example 4 of the paper) and
+by the runtime engine's owner-routed lock batches.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Iterable, List, Tuple
+from typing import Any, Deque, Dict, Hashable, Iterable, List, Mapping, Tuple
 
-from repro.core.consistency import LockKind
-from repro.core.graph import VertexId
+from repro.core.consistency import Consistency, LockKind, lock_plan
+from repro.core.graph import DataGraph, VertexId
 from repro.errors import SimulationError
 from repro.sim.kernel import Future, SimKernel
 
 
-class _VertexLockState:
-    """Lock state for one vertex: holder counts plus a FIFO queue."""
+class _RWState:
+    """Lock state for one key: holder counts plus a FIFO queue."""
 
     __slots__ = ("readers", "writer", "queue")
 
     def __init__(self) -> None:
         self.readers = 0
         self.writer = False
-        self.queue: Deque[Tuple[LockKind, Future]] = deque()
+        self.queue: Deque[Tuple[LockKind, Any]] = deque()
+
+
+class RWQueueCore:
+    """FIFO readers-writer queues over opaque grant tokens.
+
+    The single source of the grant rules both lock backends rely on:
+
+    * grants are strictly FIFO per key — a reader never overtakes a
+      queued writer (no starvation);
+    * a writer is exclusive; consecutive readers at the head of the
+      queue are granted together.
+
+    ``request`` returns whether the token was granted immediately;
+    ``release`` returns every token the release newly granted, in grant
+    order. The caller decides what a token *is* (a simulator future, a
+    runtime scope record) and how to deliver the grant.
+    """
+
+    __slots__ = ("_locks",)
+
+    def __init__(self, keys: Iterable[Hashable]) -> None:
+        self._locks: Dict[Hashable, _RWState] = {k: _RWState() for k in keys}
+
+    def _state(self, key: Hashable) -> _RWState:
+        try:
+            return self._locks[key]
+        except KeyError:
+            raise SimulationError(
+                f"lock request for vertex {key!r} not owned here"
+            ) from None
+
+    def request(self, key: Hashable, kind: LockKind, token: Any) -> bool:
+        """Queue a request; returns True when granted immediately."""
+        state = self._state(key)
+        state.queue.append((kind, token))
+        granted = self._pump(state)
+        return bool(granted)
+
+    def release(self, key: Hashable, kind: LockKind) -> List[Any]:
+        """Release a held lock; returns tokens newly granted by it."""
+        state = self._state(key)
+        if kind is LockKind.WRITE:
+            if not state.writer:
+                raise SimulationError(f"write-release without hold on {key!r}")
+            state.writer = False
+        else:
+            if state.readers <= 0:
+                raise SimulationError(f"read-release without hold on {key!r}")
+            state.readers -= 1
+        return self._pump(state)
+
+    def _pump(self, state: _RWState) -> List[Any]:
+        """Grant queued requests FIFO as far as compatibility allows."""
+        granted: List[Any] = []
+        while state.queue:
+            kind, token = state.queue[0]
+            if kind is LockKind.WRITE:
+                if state.writer or state.readers:
+                    break
+                state.queue.popleft()
+                state.writer = True
+                granted.append(token)
+                break  # a writer is exclusive; nothing else can be granted
+            if state.writer:
+                break
+            state.queue.popleft()
+            state.readers += 1
+            granted.append(token)
+        return granted
+
+    # ------------------------------------------------------------------
+    # Introspection for tests.
+    # ------------------------------------------------------------------
+    def holders(self, key: Hashable) -> Tuple[int, bool]:
+        """``(reader_count, writer_held)`` for a key."""
+        state = self._state(key)
+        return state.readers, state.writer
+
+    def queue_length(self, key: Hashable) -> int:
+        """Pending (ungranted) requests for a key."""
+        return len(self._state(key).queue)
+
+    def any_held(self) -> bool:
+        """Whether any lock is currently held (drain check in tests)."""
+        return any(
+            s.readers or s.writer or s.queue for s in self._locks.values()
+        )
+
+
+def build_lock_chain(
+    graph: DataGraph,
+    vertex: VertexId,
+    model: Consistency,
+    owner: Mapping[VertexId, int],
+) -> List[Tuple[int, List[Tuple[VertexId, LockKind]]]]:
+    """Lock plan for ``vertex`` grouped by owning machine.
+
+    The canonical total order is
+    :func:`~repro.distributed.deploy.canonical_order_key` —
+    ``(owner(u), vertex_index(u))``: machines are visited in ascending
+    id, vertices within a machine in ascending dense index. Acquiring
+    one group at a time in this fixed order makes the distributed
+    protocol deadlock-free (Sec. 4.2.2): a scope holding locks at
+    machine ``m`` only ever waits at machines ``> m``, and within a
+    machine groups enqueue atomically, so wait-for edges cannot form a
+    cycle. Shared by the simulated lock chains and the runtime locking
+    engine.
+    """
+    from repro.distributed.deploy import canonical_order_key
+
+    plan = lock_plan(
+        graph, vertex, model, order_key=canonical_order_key(graph, owner)
+    )
+    chain: List[Tuple[int, List[Tuple[VertexId, LockKind]]]] = []
+    for vid, kind in plan:
+        machine = owner[vid]
+        if chain and chain[-1][0] == machine:
+            chain[-1][1].append((vid, kind))
+        else:
+            chain.append((machine, [(vid, kind)]))
+    return chain
 
 
 class VertexLockTable:
-    """Per-machine lock manager for its owned vertices."""
+    """Per-machine lock manager for its owned vertices (simulator side).
+
+    A thin future-delivering wrapper over :class:`RWQueueCore`: tokens
+    are kernel futures, resolved at grant time.
+    """
 
     def __init__(self, kernel: SimKernel, vertices: Iterable[VertexId]) -> None:
         self.kernel = kernel
-        self._locks: Dict[VertexId, _VertexLockState] = {
-            v: _VertexLockState() for v in vertices
-        }
-
-    def _state(self, vid: VertexId) -> _VertexLockState:
-        try:
-            return self._locks[vid]
-        except KeyError:
-            raise SimulationError(
-                f"lock request for vertex {vid!r} not owned here"
-            ) from None
+        self._core = RWQueueCore(vertices)
 
     def request(self, vid: VertexId, kind: LockKind) -> Future:
         """Request a lock; the returned future resolves at grant time."""
-        state = self._state(vid)
         future = Future(self.kernel)
-        state.queue.append((kind, future))
-        self._pump(state)
+        if self._core.request(vid, kind, future):
+            future.resolve()
         return future
 
     def release(self, vid: VertexId, kind: LockKind) -> None:
         """Release a held lock and grant the next queued requests."""
-        state = self._state(vid)
-        if kind is LockKind.WRITE:
-            if not state.writer:
-                raise SimulationError(f"write-release without hold on {vid!r}")
-            state.writer = False
-        else:
-            if state.readers <= 0:
-                raise SimulationError(f"read-release without hold on {vid!r}")
-            state.readers -= 1
-        self._pump(state)
-
-    def _pump(self, state: _VertexLockState) -> None:
-        """Grant queued requests FIFO as far as compatibility allows."""
-        while state.queue:
-            kind, future = state.queue[0]
-            if kind is LockKind.WRITE:
-                if state.writer or state.readers:
-                    return
-                state.queue.popleft()
-                state.writer = True
-                future.resolve()
-                return  # a writer is exclusive; nothing else can be granted
-            if state.writer:
-                return
-            state.queue.popleft()
-            state.readers += 1
-            future.resolve()
+        for token in self._core.release(vid, kind):
+            token.resolve()
 
     # ------------------------------------------------------------------
     # Introspection for tests.
     # ------------------------------------------------------------------
     def holders(self, vid: VertexId) -> Tuple[int, bool]:
         """``(reader_count, writer_held)`` for a vertex."""
-        state = self._state(vid)
-        return state.readers, state.writer
+        return self._core.holders(vid)
 
     def queue_length(self, vid: VertexId) -> int:
         """Pending (ungranted) requests for a vertex."""
-        return len(self._state(vid).queue)
+        return self._core.queue_length(vid)
 
 
 def acquire_plan_locally(

@@ -18,6 +18,7 @@ scale; this backend is where throughput is real.
 """
 
 from repro.runtime.engine import RuntimeChromaticEngine, RuntimeRunResult
+from repro.runtime.locking import RuntimeLockingEngine
 from repro.runtime.oracle import ColorSweepScheduler
 from repro.runtime.plane import (
     DataPlane,
@@ -26,7 +27,7 @@ from repro.runtime.plane import (
     ShmDataPlane,
     shm_available,
 )
-from repro.runtime.program import UpdateProgram, resolve_program
+from repro.runtime.program import UpdateProgram, named_program, resolve_program
 from repro.runtime.shard import CSRShardStore
 from repro.runtime.transport import (
     InprocTransport,
@@ -35,7 +36,12 @@ from repro.runtime.transport import (
     WorkerFailure,
     make_transport,
 )
-from repro.runtime.worker import RuntimeWorker, WorkerInit
+from repro.runtime.worker import (
+    LockingWorker,
+    LockWorkerInit,
+    RuntimeWorker,
+    WorkerInit,
+)
 
 __all__ = [
     "CSRShardStore",
@@ -43,9 +49,12 @@ __all__ = [
     "DataPlane",
     "InprocTransport",
     "LocalDataPlane",
+    "LockWorkerInit",
+    "LockingWorker",
     "MpTransport",
     "PlaneSpec",
     "RuntimeChromaticEngine",
+    "RuntimeLockingEngine",
     "RuntimeRunResult",
     "RuntimeWorker",
     "ShmDataPlane",
@@ -54,6 +63,7 @@ __all__ = [
     "WorkerFailure",
     "WorkerInit",
     "make_transport",
+    "named_program",
     "resolve_program",
     "shm_available",
 ]

@@ -120,6 +120,10 @@ class RuntimeRunResult:
     rounds_saved: int = 0
     bytes_on_pipe: int = 0
     data_plane: Optional[str] = None
+    #: Engine-specific diagnostics (the locking engine parks its
+    #: serializability trace and termination-token hops here, mirroring
+    #: the simulated engines' ``DistributedRunResult.extra``).
+    extra: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def exec_seconds(self) -> float:
@@ -146,6 +150,102 @@ class RuntimeRunResult:
         if not self.sweeps:
             return 0.0
         return self.rounds / self.sweeps
+
+
+# ----------------------------------------------------------------------
+# Coordinator plumbing shared by the runtime engines (chromatic and
+# locking): plane provisioning, one-blob launch encoding, and the final
+# collect write-back. One implementation, two engines.
+# ----------------------------------------------------------------------
+def provision_plane(
+    transport: Transport,
+    graph: DataGraph,
+    num_workers: int,
+    use_plane: bool,
+    ring_cap: Optional[int],
+):
+    """Allocate the data plane through the transport, when eligible.
+
+    The plane's lifecycle is the transport's: torn down with shutdown on
+    every exit path. Returns ``None`` for pipe-only backends, untyped
+    graphs, or ``use_plane=False``.
+    """
+    if not use_plane:
+        return None
+    kind = transport.plane_kind()
+    if kind is None:
+        return None
+    csr = graph.compiled
+    spec = plane_spec_for(
+        graph,
+        num_workers,
+        max_routable_v=len(csr.vertex_ids) * max(num_workers - 1, 1),
+        max_routable_e=2 * len(csr.edge_keys),
+        kind=kind,
+        ring_cap=ring_cap,
+    )
+    if spec is None:
+        return None
+    return transport.provision_plane(spec)
+
+
+def encode_init_payloads(init: Any, num_workers: int):
+    """Per-worker launch payloads around one shared encoded state blob.
+
+    The worker-independent state — dominated by the pickled graph — is
+    serialized exactly once; only the worker id differs per payload, so
+    launch serialization is O(structure), not O(workers × structure).
+    """
+    from repro.runtime.worker import encode_worker
+
+    try:
+        shared = init.encode_shared()
+    except Exception as exc:
+        raise EngineError(
+            "worker init payload cannot be pickled — the update "
+            "program, sync map/combine/finalize functions, and "
+            "all graph data must be module-level / picklable to "
+            f"cross process boundaries ({exc})"
+        ) from exc
+    for worker_id in range(num_workers):
+        yield encode_worker(worker_id, shared)
+
+
+def write_back_plane_columns(
+    graph: DataGraph, plane: Any, owner_idx: np.ndarray
+) -> None:
+    """Read owned slots out of each worker's shared segment.
+
+    After the final collect barrier, owned slots are authoritative at
+    their owner's segment — no wire round-trip needed for typed columns
+    living on the data plane.
+    """
+    csr = graph.compiled
+    spec = plane.spec
+    edge_owner = owner_idx[csr.edge_src_index]
+    for w, segment in enumerate(plane.segments):
+        if spec.has_v:
+            owned = np.nonzero(owner_idx == w)[0]
+            if owned.size:
+                csr.vdata[owned] = segment.vdata[owned]
+        if spec.has_e:
+            slots = np.nonzero(edge_owner == w)[0]
+            if slots.size:
+                csr.edata[slots] = segment.edata[slots]
+
+
+def apply_collect_replies(
+    graph: DataGraph, replies: List[Dict]
+) -> Dict[VertexId, int]:
+    """Write collected (pickled) shards into the parent graph; counts."""
+    counts: Dict[VertexId, int] = {}
+    for reply in replies:
+        for v, value in reply.get("vdata", {}).items():
+            graph.set_vertex_data(v, value)
+        for (a, b), value in reply.get("edata", {}).items():
+            graph.set_edge_data(a, b, value)
+        counts.update(reply["counts"])
+    return counts
 
 
 class RuntimeChromaticEngine:
@@ -660,42 +760,16 @@ class RuntimeChromaticEngine:
     # Launch plumbing.
     # ------------------------------------------------------------------
     def _provision_plane(self) -> None:
-        """Allocate the data plane through the transport (lifecycle is
-        the transport's: torn down with shutdown on every exit path)."""
-        if not self.use_plane:
-            return
-        kind = self.transport.plane_kind()
-        if kind is None:
-            return
-        csr = self._csr
-        spec = plane_spec_for(
+        self._plane = provision_plane(
+            self.transport,
             self.graph,
             self.num_workers,
-            max_routable_v=self._num_vertices * max(self.num_workers - 1, 1),
-            max_routable_e=2 * len(csr.edge_keys),
-            kind=kind,
-            ring_cap=self._plane_ring_cap,
+            self.use_plane,
+            self._plane_ring_cap,
         )
-        if spec is not None:
-            self._plane = self.transport.provision_plane(spec)
 
     def _encoded_inits(self):
-        from repro.runtime.worker import encode_worker
-
-        # The worker-independent state — dominated by the pickled
-        # graph — is serialized exactly once and shared by every
-        # worker's payload; only the worker id differs.
-        try:
-            shared = self._worker_init(0).encode_shared()
-        except Exception as exc:
-            raise EngineError(
-                "worker init payload cannot be pickled — the update "
-                "program, sync map/combine/finalize functions, and "
-                "all graph data must be module-level / picklable to "
-                f"cross process boundaries ({exc})"
-            ) from exc
-        for worker_id in range(self.num_workers):
-            yield encode_worker(worker_id, shared)
+        return encode_init_payloads(self._worker_init(0), self.num_workers)
 
     def _worker_init(self, worker_id: int) -> WorkerInit:
         return WorkerInit(
@@ -738,28 +812,6 @@ class RuntimeChromaticEngine:
         pickled.
         """
         replies = self._send_round("collect", {}, inboxes)
-        graph = self.graph
-        plane = self._plane
-        if plane is not None:
-            csr = self._csr
-            spec = plane.spec
-            owner_idx = self._owner_idx
-            edge_owner = owner_idx[csr.edge_src_index]
-            for w in range(self.num_workers):
-                segment = plane.segments[w]
-                if spec.has_v:
-                    owned = np.nonzero(owner_idx == w)[0]
-                    if owned.size:
-                        csr.vdata[owned] = segment.vdata[owned]
-                if spec.has_e:
-                    slots = np.nonzero(edge_owner == w)[0]
-                    if slots.size:
-                        csr.edata[slots] = segment.edata[slots]
-        counts: Dict[VertexId, int] = {}
-        for reply in replies:
-            for v, value in reply.get("vdata", {}).items():
-                graph.set_vertex_data(v, value)
-            for (a, b), value in reply.get("edata", {}).items():
-                graph.set_edge_data(a, b, value)
-            counts.update(reply["counts"])
-        return counts
+        if self._plane is not None:
+            write_back_plane_columns(self.graph, self._plane, self._owner_idx)
+        return apply_collect_replies(self.graph, replies)

@@ -1,0 +1,462 @@
+"""The runtime pipelined locking engine (paper Sec. 4.2.2), on real
+OS processes.
+
+This is the general engine of the paper — arbitrary update programs,
+dynamic per-worker scheduling, any consistency model — executed on the
+same :class:`~repro.runtime.transport.Transport` backends as the
+chromatic engine. Where the chromatic engine needs a graph coloring and
+runs in color-step barriers, this engine takes *any* schedule and
+serializes conflicting scopes with **distributed readers-writer locks**:
+
+* **Owner-side lock queues, routed like ghost entries.** Each worker
+  owns the locks for its owned vertices (an
+  :class:`~repro.distributed.locks.RWQueueCore` FIFO table — the same
+  grant discipline as the simulator's ``VertexLockTable``). Lock
+  requests, grants, and unlocks cross the coordinator as int32 batches
+  in the same per-round routed inboxes that carry dirty ghost entries
+  and scheduling requests; workers never address each other directly.
+* **Canonical-order chains.** A scope's lock plan is grouped into
+  per-owner hops in the canonical ``(owner, vertex_index)`` total order
+  (:func:`~repro.distributed.locks.build_lock_chain`, shared verbatim
+  with the simulated engine) and acquired one group at a time, which
+  makes deadlock impossible: a scope holding locks at worker ``m`` only
+  ever waits at workers ``> m``, and within one worker groups enqueue
+  atomically into consistently-ordered FIFO queues.
+* **Pipelined acquisition** (the paper's Fig. 3b/8b effect). Each
+  worker keeps up to ``pipeline_window`` scopes with in-flight lock
+  chains while executing every scope whose locks are all held, so the
+  2+ rounds of latency a remote lock hop costs are overlapped with
+  useful local computation. Ghost data needs no separate prefetch: the
+  push-based version protocol delivers a conflicting predecessor's
+  writes **no later than the inbox that carries the grant** (the unlock
+  and the dirty entries leave the previous holder in the same round,
+  and data is applied before grants are processed), so a granted scope
+  always reads state at least as fresh as the serialization order
+  requires.
+* **Termination by distributed consensus.** The Misra marker-ring
+  semantics of :mod:`repro.distributed.consensus` ported onto the
+  barrier loop: workers report idle, the coordinator blackens a worker
+  whenever it executes or is routed any message, and a
+  :class:`~repro.distributed.consensus.MisraToken` hops through idle
+  workers between rounds — the run ends when a full white idle circuit
+  completes (and, belt-and-braces, every routed inbox is empty).
+
+Correctness contract: **sequential consistency, not bit-identity**. The
+locks guarantee conflict-serializability — two scopes whose write sets
+intersect the other's read-or-write sets never hold their scopes
+concurrently — so every run is equivalent to *some* serial schedule,
+but which one depends on real interleaving. Deterministic workloads
+therefore land on the same fixed point as ``SequentialEngine`` (and a
+single-worker run reproduces its FIFO order exactly); per-update
+histories may differ. Property-tested in
+``tests/test_runtime_locking.py`` by checking every executed scope
+against the consistency model's write sets and by fixed-point
+equivalence with the sequential oracle.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.consistency import Consistency
+from repro.core.graph import DataGraph, VertexId
+from repro.core.sync import GlobalValues
+from repro.core.update import normalize_schedule
+from repro.distributed.consensus import MisraToken
+from repro.distributed.deploy import OwnershipPlan, plan_ownership
+from repro.errors import EngineError
+from repro.runtime.engine import (
+    RuntimeRunResult,
+    apply_collect_replies,
+    encode_init_payloads,
+    provision_plane,
+    write_back_plane_columns,
+)
+from repro.runtime.program import check_picklable
+from repro.runtime.transport import Transport, make_transport
+from repro.runtime.worker import LockWorkerInit
+
+
+def empty_lock_inbox() -> Dict[str, Any]:
+    """A fresh routing inbox for one locking-engine round.
+
+    ``data``/``plane``/``globals`` are exactly the chromatic wire
+    (pickled ghost batches, ring descriptors, published globals);
+    ``sched`` carries ``(int32 indices, float64 priorities | None)``
+    pairs — priorities matter here, unlike the chromatic engine;
+    ``lock`` carries ``(src, int32 batch)`` request groups for this
+    worker's lock table, ``grant`` int32 scope ids for its in-flight
+    chains, ``unlock`` int32 ``(vertex, kind)`` pairs to release.
+    """
+    return {
+        "data": None,
+        "plane": [],
+        "sched": [],
+        "globals": [],
+        "lock": [],
+        "grant": [],
+        "unlock": [],
+    }
+
+
+def _inboxes_quiet(inboxes: List[Dict[str, Any]]) -> bool:
+    """No routed message of any kind is awaiting delivery."""
+    return all(
+        not value for inbox in inboxes for value in inbox.values()
+    )
+
+
+class RuntimeLockingEngine:
+    """Pipelined distributed locking execution on real worker processes.
+
+    Parameters
+    ----------
+    graph:
+        Finalized data graph; holds the final state after :meth:`run`.
+    program:
+        Picklable update function or
+        :class:`~repro.runtime.program.UpdateProgram`.
+    num_workers / transport:
+        Worker count and backend (``"mp"``, ``"inproc"``, or an
+        unlaunched :class:`~repro.runtime.transport.Transport`).
+    consistency:
+        Any model — no coloring needed. Serializability holds for EDGE
+        and FULL; VERTEX deliberately allows the racy neighbor reads of
+        Fig. 1(d) (write sets are still disjoint under its locks).
+    scheduler:
+        Per-worker dynamic scheduler: ``"fifo"`` or ``"priority"``.
+    pipeline_window:
+        Maximum scopes with in-flight lock chains per worker (the
+        paper sweeps 100–10,000 in Figs. 3b/8b). 1 disables pipelining:
+        a worker blocks on every remote lock chain.
+    round_budget:
+        Updates one worker may execute per round, so self-scheduling
+        programs still yield the barrier (and ``max_updates`` overshoot
+        stays bounded by one round of work).
+    partitioner / assignment / atoms_per_worker:
+        Placement knobs for :func:`~repro.distributed.deploy
+        .plan_ownership`, identical to the chromatic engine.
+    initial_globals:
+        Seeded read-only global values (no sync operations here).
+    max_updates / max_rounds:
+        Stop conditions checked at round boundaries; ``max_updates`` may
+        overshoot by up to one round of work per worker.
+    reply_timeout / use_plane / plane_ring_cap:
+        As for the chromatic engine.
+    trace:
+        Record every executed scope as ``(worker, round, vertex, reads,
+        writes)`` into ``result.extra["trace"]`` for the
+        serializability checker — tests only; disables the scope fast
+        paths.
+    """
+
+    def __init__(
+        self,
+        graph: DataGraph,
+        program: Any,
+        num_workers: int = 2,
+        transport: Union[str, Transport] = "mp",
+        consistency: Consistency = Consistency.EDGE,
+        scheduler: str = "fifo",
+        pipeline_window: int = 64,
+        round_budget: int = 4096,
+        partitioner: Any = "hash",
+        assignment: Optional[Dict[VertexId, int]] = None,
+        atoms_per_worker: int = 4,
+        initial_globals: Optional[Dict[str, Any]] = None,
+        max_updates: Optional[int] = None,
+        max_rounds: Optional[int] = None,
+        reply_timeout: Optional[float] = None,
+        use_plane: bool = True,
+        plane_ring_cap: Optional[int] = None,
+        trace: bool = False,
+    ) -> None:
+        graph.require_finalized()
+        if num_workers < 1:
+            raise EngineError("num_workers must be >= 1")
+        if pipeline_window < 1:
+            raise EngineError("pipeline_window must be >= 1")
+        if round_budget < 1:
+            raise EngineError("round_budget must be >= 1")
+        if scheduler not in ("fifo", "priority"):
+            raise EngineError(
+                "locking engine scheduler must be 'fifo' or 'priority', "
+                f"got {scheduler!r}"
+            )
+        check_picklable(program)
+        self.graph = graph
+        self.program = program
+        self.num_workers = num_workers
+        self.transport = make_transport(
+            transport, num_workers, reply_timeout=reply_timeout
+        )
+        self.consistency = consistency
+        self.scheduler = scheduler
+        self.pipeline_window = pipeline_window
+        self.round_budget = round_budget
+        self.plan: OwnershipPlan = plan_ownership(
+            graph,
+            num_workers,
+            partitioner=partitioner,
+            assignment=assignment,
+            atoms_per_machine=atoms_per_worker,
+        )
+        self.owner = self.plan.owner
+        self.globals = GlobalValues(initial_globals)
+        self._initial_globals = dict(initial_globals or {})
+        self.max_updates = max_updates
+        self.max_rounds = max_rounds
+        self.use_plane = use_plane
+        self._plane_ring_cap = plane_ring_cap
+        self.trace = trace
+        csr = graph.compiled
+        self._csr = csr
+        self._owner_idx = csr.dense_map(self.owner)
+        self.updates_per_worker: Dict[int, int] = {
+            w: 0 for w in range(num_workers)
+        }
+        self._plane = None
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    def run(self, initial: Iterable = ()) -> RuntimeRunResult:
+        """Execute to quiescence (or a stop condition); single-use."""
+        if self._ran:
+            raise EngineError(
+                "runtime engine instances are single-use (worker "
+                "processes are torn down at run end); build a new one"
+            )
+        self._ran = True
+        start = time.perf_counter()
+        num_workers = self.num_workers
+        inboxes = [empty_lock_inbox() for _ in range(num_workers)]
+        self._seed_initial(initial, inboxes)
+        #: Misra black flags, coordinator-maintained: a worker blackens
+        #: when it executes updates or is routed any message, and the
+        #: token clears the flag at visit time.
+        black = [True] * num_workers
+        token = MisraToken(num_workers)
+        total_updates = 0
+        rounds = 0
+        converged = False
+        try:
+            self._plane = provision_plane(
+                self.transport,
+                self.graph,
+                num_workers,
+                self.use_plane,
+                self._plane_ring_cap,
+            )
+            self.transport.launch(
+                encode_init_payloads(self._worker_init(0), num_workers)
+            )
+            launch_seconds = time.perf_counter() - start
+            while True:
+                if (
+                    self.max_updates is not None
+                    and total_updates >= self.max_updates
+                ):
+                    break
+                if self.max_rounds is not None and rounds >= self.max_rounds:
+                    break
+                budget = self.round_budget
+                if self.max_updates is not None:
+                    budget = min(budget, self.max_updates - total_updates)
+                replies = self._send_round(
+                    "lstep", {"round": rounds, "budget": budget}, inboxes
+                )
+                rounds += 1
+                inboxes = [empty_lock_inbox() for _ in range(num_workers)]
+                reported_idle = []
+                for w, (half, body) in enumerate(replies):
+                    executed = body["executed"]
+                    if executed:
+                        total_updates += executed
+                        self.updates_per_worker[w] += executed
+                        black[w] = True
+                    reported_idle.append(body["idle"])
+                    self._route(w, half, body, inboxes, black)
+                # The token's idle view must treat an undelivered inbox
+                # as "busy": blackening-on-routing alone is not enough,
+                # because one advance() call may clear the flag and
+                # complete a second, white circuit before the message is
+                # ever delivered. A worker is idle for termination
+                # purposes only when it reported idle AND nothing is
+                # about to be delivered to it — then a full white
+                # circuit really does witness global quiescence.
+                idle = [
+                    reported_idle[w]
+                    and all(not value for value in inboxes[w].values())
+                    for w in range(num_workers)
+                ]
+
+                def take_black(w: int) -> bool:
+                    was = black[w]
+                    black[w] = False
+                    return was
+
+                if token.advance(idle, take_black):
+                    assert _inboxes_quiet(inboxes)
+                    converged = True
+                    break
+            counts = self._collect_and_write_back(inboxes)
+        finally:
+            self.transport.shutdown()
+        wall = time.perf_counter() - start
+        transport = self.transport
+        result = RuntimeRunResult(
+            num_updates=total_updates,
+            updates_per_vertex=counts,
+            converged=converged,
+            globals=self.globals.snapshot(),
+            sweeps=0,
+            wall_seconds=wall,
+            launch_seconds=launch_seconds,
+            num_workers=num_workers,
+            backend=transport.name,
+            updates_per_worker=dict(self.updates_per_worker),
+            rounds=transport.rounds_completed,
+            bytes_on_pipe=transport.bytes_sent + transport.bytes_received,
+            data_plane=self._plane.spec.kind if self._plane else None,
+        )
+        result.extra["token_hops"] = token.hops
+        result.extra["pipeline_window"] = self.pipeline_window
+        if self.trace:
+            result.extra["trace"] = self._trace_entries
+        return result
+
+    # ------------------------------------------------------------------
+    # Routing.
+    # ------------------------------------------------------------------
+    def _seed_initial(
+        self, initial: Iterable, inboxes: List[Dict[str, Any]]
+    ) -> None:
+        index_of = self._csr.index_of
+        owner_idx = self._owner_idx
+        by_worker: Dict[int, Tuple[List[int], List[float]]] = {}
+        for vertex, prio in normalize_schedule(initial, graph=self.graph):
+            idx = index_of[vertex]
+            indices, priorities = by_worker.setdefault(
+                int(owner_idx[idx]), ([], [])
+            )
+            indices.append(idx)
+            priorities.append(prio)
+        for w, (indices, priorities) in by_worker.items():
+            prio_arr = (
+                np.asarray(priorities, dtype=np.float64)
+                if any(priorities)
+                else None
+            )
+            inboxes[w]["sched"].append(
+                (np.asarray(indices, dtype=np.int32), prio_arr)
+            )
+
+    def _route(
+        self,
+        src: int,
+        half: int,
+        body: Dict[str, Any],
+        inboxes: List[Dict[str, Any]],
+        black: List[bool],
+    ) -> None:
+        """Deliver one worker's outgoing batches into the next inboxes.
+
+        Every routed message blackens its receiver (Misra: receiving
+        work invalidates the token's circuit) — including pure data
+        pushes, which is conservative but always safe.
+        """
+        lock = body.get("lock")
+        if lock:
+            for dst, arr in lock.items():
+                inboxes[dst]["lock"].append((src, arr))
+                black[dst] = True
+        grant = body.get("grant")
+        if grant:
+            for dst, arr in grant.items():
+                inboxes[dst]["grant"].append(arr)
+                black[dst] = True
+        unlock = body.get("unlock")
+        if unlock:
+            for dst, arr in unlock.items():
+                inboxes[dst]["unlock"].append(arr)
+                black[dst] = True
+        sched = body.get("sched")
+        if sched:
+            for dst, pair in sched.items():
+                inboxes[dst]["sched"].append(pair)
+                black[dst] = True
+        plane = body.get("plane")
+        if plane:
+            for dst, run in plane.items():
+                inboxes[dst]["plane"].append(
+                    (src, half, run[0], run[1], run[2], run[3])
+                )
+                black[dst] = True
+        data = body.get("data")
+        if data:
+            for dst, batch in data.items():
+                inbox = inboxes[dst]
+                if inbox["data"] is None:
+                    inbox["data"] = batch
+                else:
+                    inbox["data"].extend(batch)
+                black[dst] = True
+
+    def _send_round(
+        self, tag: str, extra: Dict[str, Any], inboxes: List[Dict]
+    ) -> List[Any]:
+        """One full barrier: send every worker its inbox, collect all."""
+        messages = []
+        for inbox in inboxes:
+            payload = dict(extra)
+            payload["inbox"] = {
+                key: value for key, value in inbox.items() if value
+            }
+            messages.append((tag, payload))
+        return self.transport.round(messages)
+
+    # ------------------------------------------------------------------
+    # Launch / teardown plumbing.
+    # ------------------------------------------------------------------
+    def _worker_init(self, worker_id: int) -> LockWorkerInit:
+        return LockWorkerInit(
+            worker_id=worker_id,
+            num_workers=self.num_workers,
+            graph=self.graph,
+            owner=self.owner,
+            consistency=self.consistency,
+            program=self.program,
+            scheduler=self.scheduler,
+            pipeline_window=self.pipeline_window,
+            round_budget=self.round_budget,
+            initial_globals=self._initial_globals,
+            trace=self.trace,
+            plane=self._plane.spec if self._plane is not None else None,
+        )
+
+    def _collect_and_write_back(
+        self, inboxes: List[Dict]
+    ) -> Dict[VertexId, int]:
+        """Final barrier: flush residual ghost state, gather shards.
+
+        Same discipline as the chromatic engine: the collect command
+        carries each worker's residual inbox so in-flight ghost entries
+        land before the shard is read; plane columns are read straight
+        out of the segments.
+        """
+        replies = self._send_round("collect", {}, inboxes)
+        if self._plane is not None:
+            write_back_plane_columns(self.graph, self._plane, self._owner_idx)
+        self._trace_entries: List[Tuple] = []
+        if self.trace:
+            for w, reply in enumerate(replies):
+                for (round_no, vertex, reads, writes) in reply.get(
+                    "trace", ()
+                ):
+                    self._trace_entries.append(
+                        (w, round_no, vertex, reads, writes)
+                    )
+        return apply_collect_replies(self.graph, replies)

@@ -16,6 +16,7 @@ any state lives in the graph or the sync-maintained globals.
 
 from __future__ import annotations
 
+import importlib
 import pickle
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Tuple
@@ -58,6 +59,36 @@ def resolve_program(program: Any) -> UpdateFunction:
     raise EngineError(
         f"expected an UpdateProgram or a callable, got {program!r}"
     )
+
+
+#: Registered runtime-executable programs: name -> (module, factory).
+#: Resolved lazily so the registry never imports the apps package at
+#: module load (apps import this module for :class:`UpdateProgram`).
+REGISTERED_PROGRAMS: Dict[str, Tuple[str, str]] = {
+    "pagerank": ("repro.apps.pagerank", "make_pagerank_update"),
+    "lbp": ("repro.apps.lbp", "make_lbp_update_typed"),
+    "als": ("repro.apps.als", "make_als_update"),
+}
+
+
+def named_program(name: str, *args: Any, **kwargs: Any) -> UpdateProgram:
+    """Build an :class:`UpdateProgram` from the registered-program table.
+
+    The app factories are the registry's values, so
+    ``named_program("als", 5, epsilon=1e-3)`` is exactly
+    ``UpdateProgram(make_als_update, (5,), {"epsilon": 1e-3})`` — a
+    stable, importable-by-name entry point for benchmarks, examples, and
+    anything driving the runtime engines from configuration.
+    """
+    try:
+        module_name, factory_name = REGISTERED_PROGRAMS[name]
+    except KeyError:
+        raise EngineError(
+            f"unknown program {name!r}; registered: "
+            f"{sorted(REGISTERED_PROGRAMS)}"
+        ) from None
+    factory = getattr(importlib.import_module(module_name), factory_name)
+    return UpdateProgram(factory, args=args, kwargs=kwargs)
 
 
 def check_picklable(program: Any) -> None:

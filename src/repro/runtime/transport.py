@@ -51,7 +51,7 @@ from repro.runtime.plane import (
     ShmDataPlane,
     shm_available,
 )
-from repro.runtime.worker import RuntimeWorker, serve
+from repro.runtime.worker import serve, worker_from_bytes
 
 Message = Tuple[str, Any]
 
@@ -180,7 +180,7 @@ class InprocTransport(Transport):
 
     def __init__(self, num_workers: int) -> None:
         super().__init__(num_workers)
-        self._workers: List[RuntimeWorker] = []
+        self._workers: List[Any] = []
 
     def plane_kind(self) -> Optional[str]:
         return "local"
@@ -192,19 +192,24 @@ class InprocTransport(Transport):
     def _launch(self, init_payloads: Iterable[bytes]) -> List[Any]:
         acks = []
         for blob in init_payloads:
-            worker = RuntimeWorker.from_bytes(blob)
+            worker = worker_from_bytes(blob)
             if self.data_plane is not None:
                 # The local plane's arrays cannot ride the pickled init
                 # payload; hand them over here — same attach call the
                 # shm worker performs from its spec.
                 worker.attach_plane(self.data_plane)
             self._workers.append(worker)
-            acks.append(
-                {
-                    "worker": worker.worker_id,
-                    "owned": len(worker.store.owned_vertices),
-                }
+            ack = {
+                "worker": worker.worker_id,
+                "owned": len(worker.store.owned_vertices),
+            }
+            # Launch acks cross MpTransport's pipe and are counted
+            # there; count the identical envelope here so bytes_received
+            # agrees between backends from the first message on.
+            self.bytes_received += len(
+                pickle.dumps(("ok", ack), protocol=pickle.HIGHEST_PROTOCOL)
             )
+            acks.append(ack)
         self._check_payload_count(len(acks))
         return acks
 
@@ -212,7 +217,12 @@ class InprocTransport(Transport):
         replies = []
         for worker, message in zip(self._workers, messages):
             # Same wire discipline as MpTransport: commands and replies
-            # are serialized copies, never shared objects.
+            # are serialized copies, never shared objects — and the
+            # reply rides the identical ("ok", payload) envelope, so the
+            # byte counters of a deterministic run agree across
+            # backends exactly (the satellite contract ISSUE 5 pins:
+            # every sub-round increments rounds_completed and both
+            # directions' counters identically on both transports).
             blob = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
             self.bytes_sent += len(blob)
             tag, payload = pickle.loads(blob)
@@ -221,10 +231,10 @@ class InprocTransport(Transport):
             except Exception as exc:
                 raise WorkerFailure(worker.worker_id, repr(exc)) from exc
             reply_blob = pickle.dumps(
-                reply, protocol=pickle.HIGHEST_PROTOCOL
+                ("ok", reply), protocol=pickle.HIGHEST_PROTOCOL
             )
             self.bytes_received += len(reply_blob)
-            replies.append(pickle.loads(reply_blob))
+            replies.append(pickle.loads(reply_blob)[1])
         return replies
 
     def _shutdown(self) -> None:

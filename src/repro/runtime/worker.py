@@ -38,6 +38,21 @@ The message protocol is a tagged request/reply pair per phase:
   counts;
 * ``("stop", {})`` — acknowledge and exit the serve loop.
 
+The **locking worker** (:class:`LockingWorker`, driving the pipelined
+locking engine of Sec. 4.2.2 — :mod:`repro.runtime.locking`) speaks one
+more phase over the same transports:
+
+* ``("lstep", {round, budget, inbox})`` — apply the inbox (ghost data,
+  remote scheduling requests, owner-side lock/unlock batches, grants
+  for this worker's in-flight scopes), then run the pipelined loop:
+  advance lock chains, execute every scope whose locks are all held,
+  and keep up to ``pipeline_window`` scopes in flight so lock latency
+  overlaps with local update computation. Locks for a vertex live at
+  its *owner* (an :class:`~repro.distributed.locks.RWQueueCore` FIFO
+  readers-writer table per worker), and lock/unlock/grant traffic rides
+  the coordinator-routed rounds as int32 batches — exactly the path
+  ghost entries take.
+
 Scheduling travels as **dense vertex indices** (int32 arrays) — the
 compiled numbering is canonical across processes, so ids never ship. A
 worker never talks to its peers' processes directly; with the plane it
@@ -51,17 +66,20 @@ from __future__ import annotations
 
 import pickle
 import traceback
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Set, Tuple
+from typing import Any, Deque, Dict, List, Mapping, Optional, Set, Tuple
 
 import numpy as np
 
-from repro.core.consistency import Consistency
+from repro.core.consistency import Consistency, LockKind
 from repro.core.graph import DataGraph, VertexId
 from repro.core.kernels import independent_classes, kernel_of
+from repro.core.scheduler import make_scheduler
 from repro.core.scope import Scope
 from repro.core.sync import GlobalValues, SyncOperation
 from repro.core.update import normalize_schedule
+from repro.distributed.locks import RWQueueCore, build_lock_chain
 from repro.errors import EngineError
 from repro.runtime.plane import DataPlane, PlaneSpec, ShmDataPlane
 from repro.runtime.shard import CSRShardStore
@@ -121,6 +139,12 @@ class WorkerInit:
     use_kernel: bool = True
     plane: Optional[PlaneSpec] = None
 
+    #: Worker-independent fields serialized once by :meth:`encode_shared`.
+    _shared_fields = (
+        "num_workers", "graph", "owner", "classes", "consistency",
+        "program", "syncs", "initial_globals", "use_kernel", "plane",
+    )
+
     def encode(self) -> bytes:
         return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
 
@@ -131,13 +155,49 @@ class WorkerInit:
         most of it one large pickled graph — so the coordinator encodes
         it a single time and wraps each worker's id around the shared
         blob (:func:`encode_worker`), cutting launch serialization from
-        O(workers × graph) to O(graph).
+        O(workers × graph) to O(graph). The init *class* rides along so
+        :func:`worker_from_bytes` can dispatch to the right worker kind.
         """
-        state = {name: getattr(self, name) for name in (
-            "num_workers", "graph", "owner", "classes", "consistency",
-            "program", "syncs", "initial_globals", "use_kernel", "plane",
-        )}
-        return pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+        state = {name: getattr(self, name) for name in self._shared_fields}
+        return pickle.dumps(
+            (type(self), state), protocol=pickle.HIGHEST_PROTOCOL
+        )
+
+
+@dataclass
+class LockWorkerInit:
+    """Launch payload for the pipelined locking engine's workers.
+
+    Same shipping discipline as :class:`WorkerInit` (one shared blob,
+    per-worker id wrapper) but a different execution contract: no
+    coloring, a real per-worker dynamic scheduler (``"fifo"`` or
+    ``"priority"``), a pipeline window bounding in-flight scope
+    acquisitions, and a per-round execution budget so self-scheduling
+    programs yield the barrier. ``trace`` turns on scope read/write
+    recording for the serializability checker (costs the fast paths).
+    """
+
+    worker_id: int
+    num_workers: int
+    graph: DataGraph
+    owner: Dict[VertexId, int]
+    consistency: Consistency
+    program: Any
+    scheduler: str = "fifo"
+    pipeline_window: int = 64
+    round_budget: int = 4096
+    initial_globals: Optional[Dict[str, Any]] = None
+    trace: bool = False
+    plane: Optional[PlaneSpec] = None
+
+    _shared_fields = (
+        "num_workers", "graph", "owner", "consistency", "program",
+        "scheduler", "pipeline_window", "round_budget",
+        "initial_globals", "trace", "plane",
+    )
+
+    encode = WorkerInit.encode
+    encode_shared = WorkerInit.encode_shared
 
 
 def encode_worker(worker_id: int, shared_blob: bytes) -> bytes:
@@ -148,7 +208,109 @@ def encode_worker(worker_id: int, shared_blob: bytes) -> bytes:
     )
 
 
-class RuntimeWorker:
+class _PlaneClient:
+    """Data-plane lifecycle + routed-entry application, shared by every
+    worker kind (chromatic and locking): attach the shared segments,
+    apply coordinator-routed ring descriptors and pickled batches
+    through the store's version filter, and release the segment views
+    on exit."""
+
+    worker_id: int
+    store: CSRShardStore
+
+    def _init_plane(self, spec: Optional[PlaneSpec]) -> None:
+        # Shm workers attach here by segment name; the inproc transport
+        # injects its in-process plane via attach_plane() right after
+        # construction.
+        self.plane: Optional[DataPlane] = None
+        self._ring = None
+        if spec is not None and spec.kind == "shm":
+            self.attach_plane(ShmDataPlane.attach(spec))
+
+    def attach_plane(self, plane: DataPlane) -> None:
+        """Adopt shared column buffers and the dirty ring.
+
+        From then on every data write lands directly in this worker's
+        segment; ghost application reads peers' segments through routed
+        descriptors; the coordinator reads owned slots at collect time.
+        """
+        spec = plane.spec
+        self.plane = plane
+        segment = plane.segments[self.worker_id]
+        self.store.adopt_buffers(
+            segment.vdata if spec.has_v else None,
+            segment.edata if spec.has_e else None,
+        )
+        self._ring = plane.writer_for(self.worker_id)
+
+    def close_plane(self) -> None:
+        """Drop every view into the shared segments, then close them.
+
+        The store's columns *are* segment views once a plane is
+        attached; they must be released before the mmap can close
+        without "exported pointers" noise at interpreter teardown. The
+        worker is unusable afterwards (exit path only).
+        """
+        plane = self.plane
+        if plane is None:
+            return
+        self.plane = None
+        self._ring = None
+        if plane.spec.has_v:
+            self.store.vdata_flat = None
+        if plane.spec.has_e:
+            self.store.edata_flat = None
+        plane.close()
+
+    def _apply_entries(self, inbox: Inbox) -> None:
+        """Apply routed ghost state (ring descriptors, pickled batches).
+
+        Both delivery paths go through the store's version filter, so
+        stale and duplicate deliveries are dropped — the idempotence the
+        version scheme exists for.
+        """
+        plane = self.plane
+        for (src, half, v_start, v_count, e_start, e_count) in inbox.get(
+            "plane", ()
+        ):
+            ring = plane.segments[src].halves[half]
+            self.store.apply_slices(
+                ring.v_index[v_start:v_start + v_count] if v_count else None,
+                ring.v_value[v_start:v_start + v_count] if v_count else None,
+                ring.v_version[v_start:v_start + v_count] if v_count else None,
+                ring.e_slot[e_start:e_start + e_count] if e_count else None,
+                ring.e_value[e_start:e_start + e_count] if e_count else None,
+                ring.e_version[e_start:e_start + e_count] if e_count else None,
+            )
+        data = inbox.get("data")
+        if data is not None:
+            self.store.apply_flat(data)
+
+    def _collect_dirty_part(self) -> Tuple[Dict, Dict]:
+        """Drain dirty state: ring meta + pipe overflow."""
+        if self._ring is not None:
+            return self.store.collect_dirty_plane(self._ring)
+        return {}, self.store.collect_dirty_flat()
+
+    def _collect_payload(self, counts: Dict[VertexId, int]) -> Dict[str, Any]:
+        """The collect reply: counts plus whatever the plane can't carry.
+
+        Columns living on the data plane are *not* pickled back — the
+        coordinator reads owned slots straight out of this worker's
+        segment after the barrier; only plane-less columns travel.
+        """
+        spec = self.plane.spec if self.plane is not None else None
+        reply: Dict[str, Any] = {"counts": counts}
+        if spec is None or not spec.has_v or not spec.has_e:
+            payload = self.store.checkpoint_payload()
+            if spec is None or not spec.has_v:
+                reply["vdata"] = payload["vdata"]
+            if spec is None or not spec.has_e:
+                reply["edata"] = payload["edata"]
+        return reply
+
+
+class RuntimeWorker(_PlaneClient):
     """One worker's state machine (transport-agnostic, synchronous)."""
 
     def __init__(self, init: WorkerInit) -> None:
@@ -179,13 +341,8 @@ class RuntimeWorker:
         #: until the coordinator's commit/abort verdict arrives with the
         #: next command's inbox.
         self._spec_pending: Optional[List[Tuple]] = None
-        # Data plane (shared columns + dirty ring). Shm workers attach
-        # here by segment name; the inproc transport injects its
-        # in-process plane via attach_plane() right after construction.
-        self.plane: Optional[DataPlane] = None
-        self._ring = None
-        if init.plane is not None and init.plane.kind == "shm":
-            self.attach_plane(ShmDataPlane.attach(init.plane))
+        # Data plane (shared columns + dirty ring).
+        self._init_plane(init.plane)
         # One pooled scope, rebound per vertex — the zero-allocation hot
         # path contract of ROADMAP's storage-layout section, now applied
         # per OS process instead of per simulated machine.
@@ -225,54 +382,6 @@ class RuntimeWorker:
             ]
         else:
             self.kernel = None
-
-    def attach_plane(self, plane: DataPlane) -> None:
-        """Adopt shared column buffers and the dirty ring.
-
-        From then on every data write lands directly in this worker's
-        segment; ghost application reads peers' segments through routed
-        descriptors; the coordinator reads owned slots at collect time.
-        """
-        spec = plane.spec
-        self.plane = plane
-        segment = plane.segments[self.worker_id]
-        self.store.adopt_buffers(
-            segment.vdata if spec.has_v else None,
-            segment.edata if spec.has_e else None,
-        )
-        self._ring = plane.writer_for(self.worker_id)
-
-    def close_plane(self) -> None:
-        """Drop every view into the shared segments, then close them.
-
-        The store's columns *are* segment views once a plane is
-        attached; they must be released before the mmap can close
-        without "exported pointers" noise at interpreter teardown. The
-        worker is unusable afterwards (exit path only).
-        """
-        plane = self.plane
-        if plane is None:
-            return
-        self.plane = None
-        self._ring = None
-        if plane.spec.has_v:
-            self.store.vdata_flat = None
-        if plane.spec.has_e:
-            self.store.edata_flat = None
-        plane.close()
-
-    @classmethod
-    def from_bytes(cls, blob: bytes) -> "RuntimeWorker":
-        payload = pickle.loads(blob)
-        if (
-            isinstance(payload, tuple)
-            and len(payload) == 3
-            and payload[0] == "shared-init"
-        ):
-            _tag, worker_id, shared_blob = payload
-            init = WorkerInit(worker_id=worker_id, **pickle.loads(shared_blob))
-            return cls(init)
-        return cls(payload)
 
     # ------------------------------------------------------------------
     # Message dispatch.
@@ -319,22 +428,7 @@ class RuntimeWorker:
             self._spec_pending = None
         if not inbox:
             return
-        plane = self.plane
-        for (src, half, v_start, v_count, e_start, e_count) in inbox.get(
-            "plane", ()
-        ):
-            ring = plane.segments[src].halves[half]
-            self.store.apply_slices(
-                ring.v_index[v_start:v_start + v_count] if v_count else None,
-                ring.v_value[v_start:v_start + v_count] if v_count else None,
-                ring.v_version[v_start:v_start + v_count] if v_count else None,
-                ring.e_slot[e_start:e_start + e_count] if e_count else None,
-                ring.e_value[e_start:e_start + e_count] if e_count else None,
-                ring.e_version[e_start:e_start + e_count] if e_count else None,
-            )
-        data = inbox.get("data")
-        if data is not None:
-            self.store.apply_flat(data)
+        self._apply_entries(inbox)
         for indices in inbox.get("sched", ()):
             if self.kernel is not None:
                 self._schedule_idx(indices)
@@ -405,12 +499,6 @@ class RuntimeWorker:
             self._ring.half if self._ring is not None else 0,
             parts,
         )
-
-    def _collect_dirty_part(self) -> Tuple[Dict, Dict]:
-        """Drain dirty state after one color: ring meta + pipe overflow."""
-        if self._ring is not None:
-            return self.store.collect_dirty_plane(self._ring)
-        return {}, self.store.collect_dirty_flat()
 
     def _run_color_scalar(
         self, color: int, speculative: bool
@@ -593,22 +681,418 @@ class RuntimeWorker:
         straight out of this worker's segment after the barrier.
         """
         self._apply_inbox(inbox)
-        store = self.store
         counts = dict(self.counts)
         if self.kernel is not None:
             vertex_ids = self._vertex_ids
             counts_vec = self._counts_vec
             for i in counts_vec.nonzero()[0]:
                 counts[vertex_ids[i]] = int(counts_vec[i])
-        spec = self.plane.spec if self.plane is not None else None
-        reply: Dict[str, Any] = {"counts": counts}
-        if spec is None or not spec.has_v or not spec.has_e:
-            payload = store.checkpoint_payload()
-            if spec is None or not spec.has_v:
-                reply["vdata"] = payload["vdata"]
-            if spec is None or not spec.has_e:
-                reply["edata"] = payload["edata"]
+        return self._collect_payload(counts)
+
+
+#: Wire encoding of lock kinds inside int32 batches.
+_KINDS = (LockKind.READ, LockKind.WRITE)
+_KIND_CODE = {LockKind.READ: 0, LockKind.WRITE: 1}
+
+
+class _PendingScope:
+    """Requester-side state of one in-flight scope acquisition.
+
+    The chain is the canonical per-owner hop list
+    (:func:`~repro.distributed.locks.build_lock_chain`, dense-index
+    form); ``pos`` is the group currently being acquired and ``waiting``
+    counts its locally-queued, not-yet-granted locks. A scope is used as
+    its own grant token in the local lock table.
+    """
+
+    __slots__ = ("scope_id", "vertex", "chain", "pos", "waiting")
+
+    def __init__(self, scope_id: int, vertex: VertexId, chain: List) -> None:
+        self.scope_id = scope_id
+        self.vertex = vertex
+        self.chain = chain
+        self.pos = 0
+        self.waiting = 0
+
+
+class _RemoteGroup:
+    """Owner-side state of one remote requester's lock group: grant the
+    whole group back (one int32 scope id) once every lock is held."""
+
+    __slots__ = ("src", "scope_id", "remaining")
+
+    def __init__(self, src: int, scope_id: int, remaining: int) -> None:
+        self.src = src
+        self.scope_id = scope_id
+        self.remaining = remaining
+
+
+class LockingWorker(_PlaneClient):
+    """Worker of the pipelined locking engine (Sec. 4.2.2).
+
+    Two roles per round, both driven by the coordinator's inbox:
+
+    * **Lock owner** for its owned vertices: an
+      :class:`~repro.distributed.locks.RWQueueCore` FIFO readers-writer
+      table (the same grant discipline as the simulator's
+      ``VertexLockTable``). Remote request groups enqueue atomically —
+      combined with the canonical chain order this is what makes the
+      protocol deadlock-free — and a group's grant travels back as a
+      single int32 scope id.
+    * **Requester/executor** for its scheduled vertices: up to
+      ``pipeline_window`` scopes keep their lock chains in flight while
+      every ready scope executes, so remote lock latency (2+ rounds per
+      remote hop) is hidden behind local update computation — the
+      pipelining effect Figs. 3b/8b measure. Fully local chains acquire
+      and execute inline, interleaved one pop at a time, so a
+      single-worker run reproduces ``SequentialEngine``'s FIFO order
+      exactly.
+
+    Data freshness is inherited from the ghost/version protocol: a
+    scope's grant can only arrive in a round *after* the conflicting
+    holder's unlock was processed at the owner, and that holder's dirty
+    entries were routed no later than its unlock — so the inbox's data
+    (applied first) always includes every write the locks serialized.
+    """
+
+    def __init__(self, init: LockWorkerInit) -> None:
+        from repro.runtime.program import resolve_program
+
+        if init.pipeline_window < 1:
+            raise EngineError("pipeline_window must be >= 1")
+        self.worker_id = init.worker_id
+        self.num_workers = init.num_workers
+        self.graph = init.graph
+        self.owner = init.owner
+        self.consistency = init.consistency
+        self.store = CSRShardStore(init.worker_id, init.graph, init.owner)
+        self.update_fn = resolve_program(init.program)
+        self.globals = GlobalValues(init.initial_globals)
+        self.window = init.pipeline_window
+        self.round_budget = init.round_budget
+        csr = init.graph.compiled
+        self._vertex_ids = csr.vertex_ids
+        self._index_of = csr.index_of
+        self.scheduler = make_scheduler(init.scheduler)
+        #: Locks for *owned* vertices live here, keyed by dense index.
+        self.table = RWQueueCore(
+            self._index_of[v] for v in self.store.owned_vertices
+        )
+        self.counts: Dict[VertexId, int] = {}
+        self._chains: Dict[VertexId, List] = {}
+        self._inflight: Dict[int, _PendingScope] = {}
+        self._ready: Deque[_PendingScope] = deque()
+        self._next_scope = 0
+        self._trace: Optional[List[Tuple]] = [] if init.trace else None
+        self._init_plane(init.plane)
+        self._scope = Scope(
+            init.graph,
+            None,
+            model=init.consistency,
+            store=self.store,
+            globals_view=self.globals.view(),
+            record=init.trace,
+        )
+        # Per-round outgoing batches (dst -> growing int/float lists).
+        self._out_lock: Dict[int, List[int]] = {}
+        self._out_grant: Dict[int, List[int]] = {}
+        self._out_unlock: Dict[int, List[int]] = {}
+        self._out_sched: Dict[int, Tuple[List[int], List[float]]] = {}
+
+    # ------------------------------------------------------------------
+    # Message dispatch.
+    # ------------------------------------------------------------------
+    def handle(self, tag: str, payload: Mapping[str, Any]) -> Any:
+        if self._ring is not None:
+            # Same double-buffer discipline as the chromatic worker:
+            # peers read last round's half while this one fills.
+            self._ring.begin_round()
+        if tag == "lstep":
+            return self._lstep(
+                payload.get("round", 0),
+                payload.get("budget"),
+                payload.get("inbox"),
+            )
+        if tag == "collect":
+            return self._collect(payload.get("inbox"))
+        raise EngineError(f"worker {self.worker_id}: unknown command {tag!r}")
+
+    # ------------------------------------------------------------------
+    # Chain plumbing.
+    # ------------------------------------------------------------------
+    def _chain_for(self, vertex: VertexId) -> List:
+        """Canonical per-owner lock chain, dense-index form (memoized)."""
+        chain = self._chains.get(vertex)
+        if chain is None:
+            index_of = self._index_of
+            chain = self._chains[vertex] = [
+                (owner, [(index_of[vid], kind) for vid, kind in group])
+                for owner, group in build_lock_chain(
+                    self.graph, vertex, self.consistency, self.owner
+                )
+            ]
+        return chain
+
+    def _start(self, vertex: VertexId) -> None:
+        scope_id = self._next_scope
+        self._next_scope += 1
+        ps = _PendingScope(scope_id, vertex, self._chain_for(vertex))
+        self._inflight[scope_id] = ps
+        self._advance(ps)
+
+    def _advance(self, ps: _PendingScope) -> None:
+        """Acquire chain groups in order until blocked, remote, or done.
+
+        Local groups enqueue atomically against the own table (the
+        per-owner atomicity the deadlock-freedom argument needs); a
+        remote group ships as one int32 request batch and the chain
+        parks until its grant returns. A completed chain queues the
+        scope for execution.
+        """
+        me = self.worker_id
+        table = self.table
+        while ps.pos < len(ps.chain):
+            owner, group = ps.chain[ps.pos]
+            if owner != me:
+                out = self._out_lock.setdefault(owner, [])
+                out.append(ps.scope_id)
+                out.append(len(group))
+                for vidx, kind in group:
+                    out.append(vidx)
+                    out.append(_KIND_CODE[kind])
+                return
+            waiting = 0
+            for vidx, kind in group:
+                if not table.request(vidx, kind, ps):
+                    waiting += 1
+            if waiting:
+                ps.waiting = waiting
+                return
+            ps.pos += 1
+        self._ready.append(ps)
+
+    def _on_granted(self, token: Any) -> None:
+        """A queued lock was granted (release pump callback)."""
+        if isinstance(token, _PendingScope):
+            token.waiting -= 1
+            if token.waiting == 0:
+                token.pos += 1
+                self._advance(token)
+        else:
+            token.remaining -= 1
+            if token.remaining == 0:
+                self._out_grant.setdefault(token.src, []).append(
+                    token.scope_id
+                )
+
+    def _release(self, ps: _PendingScope) -> None:
+        """Drop every lock of an executed scope; pump grants."""
+        del self._inflight[ps.scope_id]
+        me = self.worker_id
+        table = self.table
+        for owner, group in ps.chain:
+            if owner == me:
+                for vidx, kind in group:
+                    for token in table.release(vidx, kind):
+                        self._on_granted(token)
+            else:
+                out = self._out_unlock.setdefault(owner, [])
+                for vidx, kind in group:
+                    out.append(vidx)
+                    out.append(_KIND_CODE[kind])
+
+    # ------------------------------------------------------------------
+    # One round.
+    # ------------------------------------------------------------------
+    def _lstep(
+        self, round_no: int, budget: Optional[int], inbox: Optional[Inbox]
+    ) -> Tuple:
+        """Apply the inbox, then pipeline until blocked or out of budget.
+
+        Inbox order matters: ghost data first (every write the grants
+        about to be processed were serialized against), then remote
+        schedules, then owner-side unlocks (their pumps may ready local
+        scopes or complete remote groups), then fresh remote lock
+        requests, then grants for this worker's own chains. Execution
+        interleaves ready scopes with pipeline top-up one pop at a time
+        (FIFO-exact at one worker) and stops at ``budget`` updates so
+        self-scheduling programs still yield the barrier.
+        """
+        self._out_lock = {}
+        self._out_grant = {}
+        self._out_unlock = {}
+        self._out_sched = {}
+        if inbox:
+            self._apply_entries(inbox)
+            for key, value in inbox.get("globals", ()):
+                self.globals.publish(key, value)
+            vertex_ids = self._vertex_ids
+            for indices, priorities in inbox.get("sched", ()):
+                indices = np.asarray(indices).tolist()
+                if priorities is None:
+                    for i in indices:
+                        self.scheduler.add(vertex_ids[i])
+                else:
+                    for i, prio in zip(indices, priorities.tolist()):
+                        self.scheduler.add(vertex_ids[i], prio)
+            table = self.table
+            for arr in inbox.get("unlock", ()):
+                pairs = np.asarray(arr).tolist()
+                for j in range(0, len(pairs), 2):
+                    for token in table.release(
+                        pairs[j], _KINDS[pairs[j + 1]]
+                    ):
+                        self._on_granted(token)
+            for src, arr in inbox.get("lock", ()):
+                flat = np.asarray(arr).tolist()
+                j = 0
+                while j < len(flat):
+                    scope_id, k = flat[j], flat[j + 1]
+                    j += 2
+                    group = _RemoteGroup(src, scope_id, k)
+                    for _ in range(k):
+                        vidx, code = flat[j], flat[j + 1]
+                        j += 2
+                        if table.request(vidx, _KINDS[code], group):
+                            group.remaining -= 1
+                    if group.remaining == 0:
+                        self._out_grant.setdefault(src, []).append(scope_id)
+            inflight = self._inflight
+            for arr in inbox.get("grant", ()):
+                for scope_id in np.asarray(arr).tolist():
+                    ps = inflight[scope_id]
+                    ps.pos += 1
+                    self._advance(ps)
+        executed = self._pump(round_no, budget)
+        meta, overflow = self._collect_dirty_part()
+        body = {
+            "executed": executed,
+            "idle": not self._inflight and not self.scheduler,
+            "lock": self._encode_i32(self._out_lock),
+            "grant": self._encode_i32(self._out_grant),
+            "unlock": self._encode_i32(self._out_unlock),
+            "sched": self._encode_sched(),
+            "plane": meta or None,
+            "data": overflow or None,
+        }
+        return (self._ring.half if self._ring is not None else 0, body)
+
+    def _pump(self, round_no: int, budget: Optional[int]) -> int:
+        """Execute ready scopes / top up the window, one pop at a time."""
+        executed = 0
+        ready = self._ready
+        scheduler = self.scheduler
+        window = self.window
+        inflight = self._inflight
+        while budget is None or executed < budget:
+            if ready:
+                self._execute(ready.popleft(), round_no)
+                executed += 1
+                continue
+            if len(inflight) < window and scheduler:
+                vertex, _prio = scheduler.pop()
+                self._start(vertex)
+                continue
+            break
+        return executed
+
+    def _execute(self, ps: _PendingScope, round_no: int) -> None:
+        """Run the update inside its fully locked scope, then release."""
+        vertex = ps.vertex
+        scope = self._scope
+        scope.rebind(vertex)
+        returned = self.update_fn(scope)
+        pairs = scope.drain_scheduled()
+        if returned is not None:
+            pairs.extend(normalize_schedule(returned, graph=self.graph))
+        me = self.worker_id
+        owner = self.owner
+        index_of = self._index_of
+        for (u, prio) in pairs:
+            target = owner[u]
+            if target == me:
+                self.scheduler.add(u, prio)
+            else:
+                idx_list, prio_list = self._out_sched.setdefault(
+                    target, ([], [])
+                )
+                idx_list.append(index_of[u])
+                prio_list.append(prio)
+        self.counts[vertex] = self.counts.get(vertex, 0) + 1
+        if self._trace is not None:
+            self._trace.append(
+                (
+                    round_no,
+                    vertex,
+                    frozenset(scope.reads),
+                    frozenset(scope.writes),
+                )
+            )
+        # Two-phase: every lock held for the whole update, released
+        # after — then changes push with this round's dirty collection,
+        # never later than the unlock they are serialized by.
+        self._release(ps)
+
+    # ------------------------------------------------------------------
+    # Wire encoding.
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _encode_i32(out: Dict[int, List[int]]) -> Optional[Dict]:
+        if not out:
+            return None
+        return {
+            dst: np.asarray(values, dtype=np.int32)
+            for dst, values in out.items()
+        }
+
+    def _encode_sched(self) -> Optional[Dict]:
+        if not self._out_sched:
+            return None
+        encoded = {}
+        for dst, (indices, priorities) in self._out_sched.items():
+            prio_arr = (
+                np.asarray(priorities, dtype=np.float64)
+                if any(priorities)
+                else None
+            )
+            encoded[dst] = (np.asarray(indices, dtype=np.int32), prio_arr)
+        return encoded
+
+    # ------------------------------------------------------------------
+    def _collect(self, inbox: Optional[Inbox]) -> Dict[str, Any]:
+        """Owned data + update counts (+ the trace when recording)."""
+        if inbox:
+            self._apply_entries(inbox)
+        reply = self._collect_payload(dict(self.counts))
+        if self._trace is not None:
+            reply["trace"] = self._trace
         return reply
+
+
+def worker_from_bytes(blob: bytes) -> _PlaneClient:
+    """Build the right worker kind from a pickled init payload.
+
+    Payloads come in two shapes: a bare init dataclass, or the
+    ``("shared-init", worker_id, shared_blob)`` wrapper whose shared
+    blob carries ``(init_class, state)`` — encoded once for all workers
+    (:meth:`WorkerInit.encode_shared`). The init class picks the worker:
+    :class:`WorkerInit` drives the chromatic :class:`RuntimeWorker`,
+    :class:`LockWorkerInit` the pipelined :class:`LockingWorker`.
+    """
+    payload = pickle.loads(blob)
+    if (
+        isinstance(payload, tuple)
+        and len(payload) == 3
+        and payload[0] == "shared-init"
+    ):
+        _tag, worker_id, shared_blob = payload
+        init_cls, state = pickle.loads(shared_blob)
+        init = init_cls(worker_id=worker_id, **state)
+    else:
+        init = payload
+    if isinstance(init, LockWorkerInit):
+        return LockingWorker(init)
+    return RuntimeWorker(init)
 
 
 def serve(conn: Any, init_blob: bytes) -> None:
@@ -623,7 +1107,7 @@ def serve(conn: Any, init_blob: bytes) -> None:
     (``send_bytes``), so both ends can account wire volume exactly.
     """
     try:
-        worker = RuntimeWorker.from_bytes(init_blob)
+        worker = worker_from_bytes(init_blob)
     except BaseException:
         try:
             conn.send_bytes(pickle.dumps(("error", traceback.format_exc())))

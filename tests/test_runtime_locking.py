@@ -1,0 +1,612 @@
+"""Runtime pipelined locking engine: sequential consistency on real
+processes (ISSUE 5, paper Sec. 4.2.2).
+
+The contract under test is **serializability**, not bit-identity: the
+distributed readers-writer locks must guarantee every run is equivalent
+to some serial schedule of the executed updates. Three layers of
+checks:
+
+* **write-set disjointness** — no two scopes executing concurrently
+  (same round, different workers) may intersect write sets, under every
+  consistency model including VERTEX (whose racy neighbor *reads* are
+  allowed by design, Fig. 1d);
+* **conflict-serializability + serial replay** — under EDGE/FULL, no
+  concurrent pair may conflict at all (W ∩ (R ∪ W)), and replaying the
+  recorded executions in commit order ``(round, worker, position)`` on
+  a single-threaded graph must land on the *identical* final values —
+  the end-to-end proof that grants never outrun the ghost data they
+  were serialized against;
+* **fixed-point equivalence** — deterministic workloads reach the
+  sequential oracle's fixed point at any worker count, and a
+  single-worker run reproduces ``SequentialEngine``'s FIFO execution
+  bit for bit (same values, same per-vertex histogram).
+
+The same suite runs again under ``REPRO_NO_SHM=1`` in CI, pinning the
+pickled pipe wire instead of the shared-memory plane.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.als import (
+    als_program,
+    initialize_factors,
+    make_als_update,
+    training_rmse,
+)
+from repro.apps.pagerank import exact_pagerank, l1_error, make_pagerank_update
+from repro.core import Consistency, SequentialEngine
+from repro.core.consistency import LockKind, read_set, write_set
+from repro.core.graph import DataGraph
+from repro.core.scope import Scope
+from repro.datasets.netflix import synthetic_netflix
+from repro.datasets.webgraph import power_law_web_graph
+from repro.distributed.consensus import MisraToken, misra_visit
+from repro.distributed.locks import RWQueueCore, build_lock_chain
+from repro.errors import EngineError, SimulationError
+from repro.runtime import (
+    RuntimeLockingEngine,
+    UpdateProgram,
+    named_program,
+)
+
+from tests.helpers import grid_graph, ring_graph
+
+
+# ----------------------------------------------------------------------
+# Module-level update functions (must pickle by reference for mp).
+# ----------------------------------------------------------------------
+def flood_max(scope):
+    best = scope.data
+    for u in scope.neighbors:
+        best = max(best, scope.neighbor(u))
+    if best != scope.data:
+        scope.data = best
+        return [(u, best) for u in scope.neighbors]
+
+
+def edge_accumulate(scope):
+    """Edge-writing update (legal under EDGE/FULL)."""
+    total = scope.data
+    for (a, b) in scope.adjacent_edges():
+        total += scope.edge(a, b)
+    for (a, b) in scope.adjacent_edges():
+        scope.set_edge(a, b, scope.edge(a, b) + 1.0)
+    if total != scope.data:
+        scope.data = total
+        return None
+    return None
+
+
+def vertex_only_max(scope):
+    """Writes D_v only (legal under every model, incl. VERTEX)."""
+    best = scope.data
+    for u in scope.neighbors:
+        best = max(best, scope.neighbor(u))
+    if best != scope.data:
+        scope.data = best
+        return list(scope.neighbors)
+    return None
+
+
+def trigger_countdown(scope):
+    """Trigger vertex hands off to a countdown vertex that then
+    self-schedules many purely-local executions (no routed messages)."""
+    if scope.vertex == "t":
+        return ["c"]
+    if scope.data > 0:
+        scope.data = scope.data - 1.0
+        return [scope.vertex]
+    return None
+
+
+def push_to_neighbors(scope):
+    """FULL-consistency ghost writes (remote-owned neighbor data)."""
+    share = scope.data
+    if share:
+        for u in scope.neighbors:
+            scope.set_neighbor(u, scope.neighbor(u) + share)
+        scope.data = 0.0
+        return list(scope.neighbors)
+    return None
+
+
+def graph_values(graph):
+    vdata = {v: graph.vertex_data(v) for v in graph.vertices()}
+    edata = {(a, b): graph.edge_data(a, b) for (a, b) in graph.edges()}
+    return vdata, edata
+
+
+def random_graph(num_vertices, num_edges, seed, typed=False):
+    rng = random.Random(seed)
+    g = DataGraph()
+    for i in range(num_vertices):
+        g.add_vertex(i, data=float(rng.randrange(8)))
+    added = set()
+    attempts = 0
+    while len(added) < num_edges and attempts < num_edges * 10:
+        attempts += 1
+        a = rng.randrange(num_vertices)
+        b = rng.randrange(num_vertices)
+        if a != b and (a, b) not in added:
+            added.add((a, b))
+            g.add_edge(a, b, data=float(rng.randrange(4)))
+    if typed:
+        return g.finalize(vertex_dtype=float, edge_dtype=float)
+    return g.finalize()
+
+
+# ----------------------------------------------------------------------
+# Shared extraction: the pure lock core and the consensus token.
+# ----------------------------------------------------------------------
+class TestRWQueueCore:
+    def test_writer_is_exclusive_and_fifo(self):
+        core = RWQueueCore([1])
+        assert core.request(1, LockKind.WRITE, "w1")
+        assert not core.request(1, LockKind.READ, "r1")
+        assert not core.request(1, LockKind.WRITE, "w2")
+        assert core.holders(1) == (0, True)
+        # Release grants strictly FIFO: the queued reader first.
+        assert core.release(1, LockKind.WRITE) == ["r1"]
+        assert core.holders(1) == (1, False)
+        assert core.release(1, LockKind.READ) == ["w2"]
+
+    def test_reader_never_overtakes_queued_writer(self):
+        core = RWQueueCore(["v"])
+        assert core.request("v", LockKind.READ, "r1")
+        assert not core.request("v", LockKind.WRITE, "w")
+        # A late reader queues behind the writer (no starvation).
+        assert not core.request("v", LockKind.READ, "r2")
+        assert core.release("v", LockKind.READ) == ["w"]
+        assert core.release("v", LockKind.WRITE) == ["r2"]
+
+    def test_consecutive_readers_grant_together(self):
+        core = RWQueueCore(["v"])
+        assert core.request("v", LockKind.WRITE, "w")
+        assert not core.request("v", LockKind.READ, "r1")
+        assert not core.request("v", LockKind.READ, "r2")
+        assert core.release("v", LockKind.WRITE) == ["r1", "r2"]
+
+    def test_release_without_hold_raises(self):
+        core = RWQueueCore(["v"])
+        with pytest.raises(SimulationError):
+            core.release("v", LockKind.WRITE)
+        with pytest.raises(SimulationError):
+            core.release("v", LockKind.READ)
+
+    def test_unowned_key_raises(self):
+        core = RWQueueCore(["v"])
+        with pytest.raises(SimulationError):
+            core.request("other", LockKind.READ, "t")
+
+
+class TestMisraToken:
+    def test_visit_arithmetic(self):
+        assert misra_visit(2, black=True, num_machines=4) == (0, False)
+        assert misra_visit(2, black=False, num_machines=4) == (3, False)
+        assert misra_visit(3, black=False, num_machines=4) == (4, True)
+
+    def test_all_idle_black_terminates_in_two_circuits(self):
+        token = MisraToken(3)
+        black = [True, True, True]
+
+        def take(w):
+            was = black[w]
+            black[w] = False
+            return was
+
+        assert token.advance([True, True, True], take)
+        assert token.terminated
+        assert token.hops == 6  # one clearing circuit + one white circuit
+
+    def test_busy_worker_blocks_the_token(self):
+        token = MisraToken(3)
+        black = [False, False, False]
+
+        def take(w):
+            was = black[w]
+            black[w] = False
+            return was
+
+        assert not token.advance([True, False, True], take)
+        assert token.at == 1  # parked at the busy worker
+        # Work arrived at worker 2 meanwhile: its blackness resets the
+        # count, so one more full circuit is needed.
+        black[2] = True
+        assert token.advance([True, True, True], take)
+        assert token.terminated
+
+
+class TestLockChain:
+    def test_groups_follow_canonical_owner_order(self):
+        g = ring_graph(6)
+        index = g.vertex_index()
+        owner = {v: index[v] % 3 for v in g.vertices()}
+        vertex = next(iter(g.vertices()))
+        chain = build_lock_chain(g, vertex, Consistency.EDGE, owner)
+        owners = [machine for machine, _group in chain]
+        assert owners == sorted(owners)
+        flat = [(owner[v], index[v]) for _m, grp in chain for (v, _k) in grp]
+        assert flat == sorted(flat)
+        kinds = {
+            v: kind for _m, group in chain for (v, kind) in group
+        }
+        assert kinds[vertex] is LockKind.WRITE
+        for u in g.neighbors(vertex):
+            assert kinds[u] is LockKind.READ
+
+    def test_model_selects_lock_kinds(self):
+        g = ring_graph(5)
+        index = g.vertex_index()
+        owner = {v: 0 for v in g.vertices()}
+        vertex = next(iter(g.vertices()))
+        vertex_chain = build_lock_chain(
+            g, vertex, Consistency.VERTEX, owner
+        )
+        assert vertex_chain == [(0, [(vertex, LockKind.WRITE)])]
+        full = build_lock_chain(g, vertex, Consistency.FULL, owner)
+        assert all(
+            kind is LockKind.WRITE for _m, grp in full for (_v, kind) in grp
+        )
+
+
+# ----------------------------------------------------------------------
+# Serializability property (the tentpole's correctness contract).
+# ----------------------------------------------------------------------
+def check_trace_serializable(graph, trace, model):
+    """No two same-round, cross-worker scopes may conflict.
+
+    Write sets must be disjoint under every model; under EDGE/FULL the
+    full conflict predicate (W ∩ (R ∪ W)) must be empty too — VERTEX
+    deliberately leaves neighbor reads unprotected (Fig. 1d).
+    """
+    strict = model is not Consistency.VERTEX
+    by_round = {}
+    for (worker, round_no, vertex, reads, writes) in trace:
+        by_round.setdefault(round_no, []).append((worker, reads, writes))
+    for entries in by_round.values():
+        for i in range(len(entries)):
+            for j in range(i + 1, len(entries)):
+                wi, ri, wsi = entries[i]
+                wj, rj, wsj = entries[j]
+                if wi == wj:
+                    continue  # same worker: sequential within the round
+                assert not (wsi & wsj), "concurrent write-write overlap"
+                if strict:
+                    assert not (wsi & (rj | wsj)), "concurrent conflict"
+                    assert not (wsj & (ri | wsi)), "concurrent conflict"
+
+
+def check_trace_covers_model(graph, trace, model):
+    """Recorded accesses stay inside the model's read/write sets."""
+    for (_worker, _round, vertex, reads, writes) in trace:
+        assert writes <= write_set(graph, vertex, model)
+        if model is not Consistency.VERTEX:
+            assert reads <= read_set(graph, vertex, model)
+
+
+def replay_serially(graph_before, trace, update_fn, model):
+    """Re-execute the recorded schedule on one thread, in commit order."""
+    replay = graph_before.copy()
+    scope = Scope(replay, None, model=model)
+    order = sorted(
+        enumerate(trace), key=lambda e: (e[1][1], e[1][0], e[0])
+    )
+    for _pos, (_worker, _round, vertex, _reads, _writes) in order:
+        scope.rebind(vertex)
+        update_fn(scope)
+        scope.drain_scheduled()
+    return replay
+
+
+class TestSerializabilityProperty:
+    @given(
+        seed=st.integers(0, 10_000),
+        num_workers=st.integers(1, 4),
+        model=st.sampled_from(
+            [Consistency.VERTEX, Consistency.EDGE, Consistency.FULL]
+        ),
+        use_plane=st.booleans(),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_executed_scopes_never_conflict(
+        self, seed, num_workers, model, use_plane
+    ):
+        rng = random.Random(seed)
+        n = rng.randrange(5, 16)
+        # Typed columns when the plane is requested, so both wire
+        # flavors (ring descriptors and pickled batches) are exercised.
+        g = random_graph(n, num_edges=2 * n, seed=seed, typed=use_plane)
+        fn = vertex_only_max if model is Consistency.VERTEX else edge_accumulate
+        copy = g.copy()
+        result = RuntimeLockingEngine(
+            copy,
+            fn,
+            num_workers=num_workers,
+            transport="inproc",
+            consistency=model,
+            partitioner="hash",
+            max_updates=4 * n,
+            use_plane=use_plane,
+            trace=True,
+        ).run(initial=copy.vertices())
+        trace = result.extra["trace"]
+        assert len(trace) == result.num_updates
+        check_trace_serializable(g, trace, model)
+        check_trace_covers_model(g, trace, model)
+        if model is not Consistency.VERTEX:
+            # Sequential consistency end to end: the recorded schedule,
+            # replayed serially, produces identical final values.
+            replay = replay_serially(g, trace, fn, model)
+            assert graph_values(replay) == graph_values(copy)
+
+    @given(seed=st.integers(0, 10_000), num_workers=st.integers(2, 4))
+    @settings(max_examples=6, deadline=None)
+    def test_full_consistency_ghost_writes_serialize(self, seed, num_workers):
+        rng = random.Random(seed)
+        n = rng.randrange(6, 14)
+        g = random_graph(n, num_edges=2 * n, seed=seed)
+        copy = g.copy()
+        result = RuntimeLockingEngine(
+            copy,
+            push_to_neighbors,
+            num_workers=num_workers,
+            transport="inproc",
+            consistency=Consistency.FULL,
+            max_updates=3 * n,
+            trace=True,
+        ).run(initial=copy.vertices())
+        trace = result.extra["trace"]
+        check_trace_serializable(g, trace, Consistency.FULL)
+        replay = replay_serially(g, trace, push_to_neighbors, Consistency.FULL)
+        assert graph_values(replay) == graph_values(copy)
+
+
+# ----------------------------------------------------------------------
+# Fixed-point equivalence with the sequential oracle.
+# ----------------------------------------------------------------------
+class TestFixedPointEquivalence:
+    def test_flood_max_reaches_oracle_fixed_point_all_backends(self):
+        g = grid_graph(5, 5)
+        g.set_vertex_data((0, 0), 9.0)
+        oracle = g.copy()
+        SequentialEngine(oracle, flood_max, scheduler="fifo").run(
+            initial=oracle.vertices()
+        )
+        expected = graph_values(oracle)
+        for backend in ("inproc", "mp"):
+            for workers in (1, 3):
+                copy = g.copy()
+                result = RuntimeLockingEngine(
+                    copy, flood_max, num_workers=workers, transport=backend
+                ).run(initial=copy.vertices())
+                assert result.converged
+                assert graph_values(copy) == expected
+
+    def test_single_worker_is_bit_identical_to_sequential_fifo(self):
+        """One worker, fully local chains: pops interleave with
+        execution exactly like ``SequentialEngine`` + FIFO, so the whole
+        run — values, counts, histogram — is reproduced bit for bit."""
+        g = power_law_web_graph(120, out_degree=4, seed=3)
+        g1, g2 = g.copy(), g.copy()
+        r1 = SequentialEngine(
+            g1, make_pagerank_update(epsilon=1e-6), scheduler="fifo"
+        ).run(initial=g1.vertices())
+        r2 = RuntimeLockingEngine(
+            g2,
+            UpdateProgram(make_pagerank_update, kwargs={"epsilon": 1e-6}),
+            num_workers=1,
+            transport="inproc",
+        ).run(initial=g2.vertices())
+        assert r1.num_updates == r2.num_updates
+        assert r1.updates_per_vertex == r2.updates_per_vertex
+        assert graph_values(g1) == graph_values(g2)
+
+    def test_pagerank_fixed_point_matches_exact(self):
+        g = power_law_web_graph(100, out_degree=4, seed=7)
+        truth = exact_pagerank(g)
+        for workers in (2, 4):
+            copy = g.copy()
+            result = RuntimeLockingEngine(
+                copy,
+                UpdateProgram(make_pagerank_update, kwargs={"epsilon": 1e-7}),
+                num_workers=workers,
+                transport="inproc",
+            ).run(initial=copy.vertices())
+            assert result.converged
+            assert l1_error(copy, truth) < 1e-3
+
+    def test_als_single_worker_matches_sequential(self):
+        data = synthetic_netflix(
+            num_users=20, num_movies=10, ratings_per_user=5, seed=2
+        )
+        g = data.graph
+        initialize_factors(g, d=3, seed=1)
+        g1, g2 = g.copy(), g.copy()
+        r1 = SequentialEngine(
+            g1, make_als_update(3, epsilon=1e-2), scheduler="fifo"
+        ).run(initial=g1.vertices())
+        r2 = RuntimeLockingEngine(
+            g2,
+            als_program(3, epsilon=1e-2),
+            num_workers=1,
+            transport="inproc",
+        ).run(initial=g2.vertices())
+        assert r1.num_updates == r2.num_updates
+        for v in g1.vertices():
+            assert np.array_equal(g1.vertex_data(v), g2.vertex_data(v))
+
+
+# ----------------------------------------------------------------------
+# ALS on the locking engine (the Fig. 1d workload, satellite).
+# ----------------------------------------------------------------------
+class TestRuntimeALS:
+    def test_als_converges_on_real_processes(self):
+        data = synthetic_netflix(
+            num_users=24, num_movies=10, ratings_per_user=5, seed=0
+        )
+        g = data.graph
+        initialize_factors(g, d=3, seed=1)
+        before = training_rmse(g)
+        result = RuntimeLockingEngine(
+            g,
+            als_program(3, epsilon=1e-3),
+            num_workers=2,
+            transport="mp",
+            scheduler="priority",
+            consistency=Consistency.EDGE,
+        ).run(initial=g.vertices())
+        assert result.converged
+        assert result.backend == "mp"
+        after = training_rmse(g)
+        assert after < before * 0.5
+
+    def test_als_trace_is_serializable_under_edge(self):
+        data = synthetic_netflix(
+            num_users=16, num_movies=8, ratings_per_user=4, seed=1
+        )
+        g = data.graph
+        initialize_factors(g, d=3, seed=3)
+        before = g.copy()
+        result = RuntimeLockingEngine(
+            g,
+            als_program(3, epsilon=1e-2),
+            num_workers=3,
+            transport="inproc",
+            trace=True,
+        ).run(initial=g.vertices())
+        trace = result.extra["trace"]
+        check_trace_serializable(g, trace, Consistency.EDGE)
+        replay = replay_serially(
+            before, trace, make_als_update(3, epsilon=1e-2), Consistency.EDGE
+        )
+        for v in g.vertices():
+            assert np.array_equal(replay.vertex_data(v), g.vertex_data(v))
+
+    def test_named_program_registry(self):
+        program = named_program("als", 3, epsilon=1e-2)
+        assert callable(program.resolve())
+        with pytest.raises(EngineError):
+            named_program("not-a-program")
+
+
+# ----------------------------------------------------------------------
+# Pipelining, accounting, and API edges.
+# ----------------------------------------------------------------------
+class TestPipelineAndAccounting:
+    def test_window_one_disables_overlap(self):
+        """window=1 blocks the worker on every remote chain, so its
+        throughput per barrier collapses versus a pipelined window —
+        deterministic on inproc, so comparable exactly."""
+        g = power_law_web_graph(120, out_degree=4, seed=2)
+        per_round = {}
+        for window in (1, 64):
+            copy = g.copy()
+            result = RuntimeLockingEngine(
+                copy,
+                UpdateProgram(make_pagerank_update, kwargs={"epsilon": 1e-5}),
+                num_workers=3,
+                transport="inproc",
+                pipeline_window=window,
+            ).run(initial=copy.vertices())
+            assert result.converged
+            per_round[window] = result.num_updates / result.rounds
+        assert per_round[64] > per_round[1]
+
+    def test_transport_counters_agree_across_backends(self):
+        """Satellite: lock/grant sub-rounds and launch acks count the
+        same bytes and rounds on both transports (deterministic run)."""
+        g = grid_graph(5, 5)
+        g.set_vertex_data((2, 2), 7.0)
+        counters = {}
+        for backend in ("inproc", "mp"):
+            copy = g.copy()
+            engine = RuntimeLockingEngine(
+                copy, flood_max, num_workers=2, transport=backend
+            )
+            result = engine.run(initial=copy.vertices())
+            counters[backend] = (
+                engine.transport.bytes_sent,
+                engine.transport.bytes_received,
+                engine.transport.rounds_completed,
+                result.num_updates,
+            )
+        assert counters["inproc"] == counters["mp"]
+
+    def test_engine_parameter_validation(self):
+        g = grid_graph(2, 2)
+        with pytest.raises(EngineError):
+            RuntimeLockingEngine(g, flood_max, pipeline_window=0)
+        with pytest.raises(EngineError):
+            RuntimeLockingEngine(g, flood_max, scheduler="sweep")
+        with pytest.raises(EngineError):
+            RuntimeLockingEngine(g, flood_max, round_budget=0)
+
+    def test_engine_is_single_use(self):
+        g = grid_graph(3, 3)
+        engine = RuntimeLockingEngine(
+            g, flood_max, num_workers=2, transport="inproc"
+        )
+        engine.run(initial=g.vertices())
+        with pytest.raises(EngineError):
+            engine.run(initial=g.vertices())
+
+    def test_max_updates_stops_the_run(self):
+        g = power_law_web_graph(80, out_degree=3, seed=5)
+        copy = g.copy()
+        cap = 60
+        result = RuntimeLockingEngine(
+            copy,
+            UpdateProgram(make_pagerank_update, kwargs={"schedule": "self"}),
+            num_workers=2,
+            transport="inproc",
+            max_updates=cap,
+            round_budget=16,
+        ).run(initial=copy.vertices())
+        assert not result.converged
+        # Round-boundary stop: bounded overshoot of one round's budget.
+        assert cap <= result.num_updates <= cap + 2 * 16
+
+    def test_termination_waits_for_in_flight_schedules(self):
+        """Regression: worker 1's last update routes a schedule to
+        worker 0 while every worker reports idle — the token must not
+        witness a quiet circuit before that message is delivered, even
+        when the receiver's remaining work is purely local (routes
+        nothing) and budget-throttled across many rounds."""
+        g = DataGraph()
+        g.add_vertex("t", data=0.0)
+        g.add_vertex("c", data=50.0)
+        g.finalize()
+        engine = RuntimeLockingEngine(
+            g,
+            trigger_countdown,
+            num_workers=2,
+            transport="inproc",
+            assignment={"t": 0, "c": 1},
+            atoms_per_worker=1,
+            round_budget=1,
+        )
+        assert engine.owner["t"] != engine.owner["c"]
+        result = engine.run(initial=["t"])
+        # 1 trigger + 51 countdown executions (50 decrements + the
+        # final no-op that stops self-scheduling).
+        assert result.converged
+        assert result.num_updates == 52
+        assert g.vertex_data("c") == 0.0
+
+    def test_result_carries_diagnostics(self):
+        g = grid_graph(3, 3)
+        copy = g.copy()
+        result = RuntimeLockingEngine(
+            copy, flood_max, num_workers=2, transport="inproc",
+            pipeline_window=8,
+        ).run(initial=copy.vertices())
+        assert result.extra["pipeline_window"] == 8
+        assert result.extra["token_hops"] >= result.num_workers
+        assert result.rounds > 0 and result.bytes_on_pipe > 0
+        assert sum(result.updates_per_worker.values()) == result.num_updates
+        assert sum(result.updates_per_vertex.values()) == result.num_updates
