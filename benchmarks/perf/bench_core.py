@@ -36,7 +36,13 @@ throughput on three fronts:
   Figs. 3b/8b effect measured on real lock latency. Correctness rides
   along as fixed-point checks (PageRank L1 vs dense truth, ALS train
   RMSE descent), since sequential consistency promises the fixed
-  point, not a bit pattern.
+  point, not a bit pattern;
+* **Fault tolerance** (PR 6, ``runtime_fault``): the Fig. 1a workload
+  bare vs with periodic synchronous snapshots
+  (``snapshot_overhead_pct``), plus one run with an injected worker
+  kill recording the respawn + rollback cost (``recovery_seconds``)
+  and that the recovered run finishes bit-identical to the unkilled
+  one.
 
 Since PR 4 both runtime sections also record the communication
 counters the shared-memory data plane and color-merged rounds exist to
@@ -936,6 +942,84 @@ def run_runtime_als_benchmarks(repeats: int = 3) -> Dict[str, Dict]:
 
 
 # ----------------------------------------------------------------------
+# Fault tolerance: snapshot overhead and kill/recover cost (PR 6).
+# ----------------------------------------------------------------------
+FAULT_PR_VERTICES = 1200
+FAULT_PR_SWEEPS = 8
+FAULT_SNAPSHOT_EVERY = 2
+FAULT_KILL = (1, 6)  # worker 1 dies at the start of round 6
+
+
+def build_fault_workload(snapshot_every=None, kill=None):
+    """Fig. 1a round-robin PageRank, optionally snapshotting/killed."""
+    graph = power_law_web_graph(FAULT_PR_VERTICES, out_degree=4, seed=7)
+    coloring = greedy_coloring(graph)
+    program = UpdateProgram(make_pagerank_update, kwargs={"schedule": "self"})
+
+    def run():
+        copy = graph.copy()
+        engine = RuntimeChromaticEngine(
+            copy,
+            program,
+            num_workers=4,
+            transport="mp",
+            coloring=coloring,
+            max_sweeps=FAULT_PR_SWEEPS,
+            snapshot_every=snapshot_every,
+        )
+        if kill is not None:
+            engine.transport.schedule_kill(*kill)
+        result = engine.run(initial=copy.vertices())
+        run.last_graph = copy
+        run.last_result = result
+        return result
+
+    run.last_graph = None
+    run.last_result = None
+    return run
+
+
+def run_runtime_fault_benchmarks(repeats: int = 3) -> Dict[str, Dict]:
+    """Sec. 4.3 costs, measured: the same workload (a) bare, (b) with
+    periodic synchronous snapshots (``snapshot_overhead_pct`` is the
+    throughput tax), and (c) with snapshots *and* an injected worker
+    kill — recording how long the respawn + rollback took and that the
+    recovered run still finishes bit-identical to the unkilled one."""
+    results: Dict[str, Dict] = {}
+    bare = build_fault_workload()
+    results["no_snapshots"] = measure_runtime(bare, repeats=repeats)
+    snap = build_fault_workload(snapshot_every=FAULT_SNAPSHOT_EVERY)
+    results["with_snapshots"] = measure_runtime(snap, repeats=repeats)
+    row = results["with_snapshots"]
+    row["snapshots"] = snap.last_result.extra["snapshots"]
+    row["snapshot_bytes"] = snap.last_result.extra["snapshot_bytes"]
+    bare_ups = results["no_snapshots"]["updates_per_sec"]
+    results["snapshot_overhead_pct"] = (
+        round((bare_ups - row["updates_per_sec"]) / bare_ups * 100.0, 1)
+        if bare_ups
+        else 0.0
+    )
+    # One killed run (not best-of: the kill + backoff dominate and are
+    # what is being measured, not steady-state noise).
+    killed = build_fault_workload(
+        snapshot_every=FAULT_SNAPSHOT_EVERY, kill=FAULT_KILL
+    )
+    result = killed()
+    results["kill_recover"] = {
+        "killed_worker": FAULT_KILL[0],
+        "killed_at_round": FAULT_KILL[1],
+        "recoveries": result.extra["recoveries"],
+        "recovery_seconds": round(result.extra["recovery_seconds"], 4),
+        "updates_per_sec": round(result.updates_per_sec, 1),
+        "bit_identical_to_unkilled": all(
+            killed.last_graph.vertex_data(v) == bare.last_graph.vertex_data(v)
+            for v in bare.last_graph.vertices()
+        ),
+    }
+    return results
+
+
+# ----------------------------------------------------------------------
 # Measurement.
 # ----------------------------------------------------------------------
 def measure(run: Callable[[], int], repeats: int = 3) -> Dict[str, float]:
@@ -1017,6 +1101,7 @@ def main(argv=None) -> int:
     runtime_lbp_results = run_runtime_lbp_benchmarks(repeats=args.repeats)
     locking_pr_results = run_locking_pagerank_benchmarks(repeats=args.repeats)
     runtime_als_results = run_runtime_als_benchmarks(repeats=args.repeats)
+    fault_results = run_runtime_fault_benchmarks(repeats=args.repeats)
     payload = {
         "harness": "benchmarks.perf.bench_core",
         "python": platform.python_version(),
@@ -1027,6 +1112,7 @@ def main(argv=None) -> int:
         "runtime_lbp": runtime_lbp_results,
         "runtime_locking_pagerank": locking_pr_results,
         "runtime_als": runtime_als_results,
+        "runtime_fault": fault_results,
         "speedup": {
             name: round(
                 results[name]["updates_per_sec"]
@@ -1104,6 +1190,16 @@ def main(argv=None) -> int:
             f"{section['mp_4_workers']['pipelining_speedup_vs_window_1']}x; "
             f"{flag_key}={section[flag_key]}"
         )
+    recover = fault_results["kill_recover"]
+    print(
+        "  runtime_fault: snapshot overhead "
+        f"{fault_results['snapshot_overhead_pct']}% "
+        f"({fault_results['with_snapshots']['snapshots']} snapshots, "
+        f"{fault_results['with_snapshots']['snapshot_bytes'] / 1024:.0f} "
+        "KiB); kill+recover in "
+        f"{recover['recovery_seconds'] * 1e3:.0f} ms, bit_identical="
+        f"{recover['bit_identical_to_unkilled']}"
+    )
     return 0
 
 

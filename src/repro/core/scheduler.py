@@ -72,6 +72,16 @@ class Scheduler:
         """Remove and return ``(vertex, priority)`` per this policy."""
         raise NotImplementedError
 
+    def entries(self) -> List[Tuple[VertexId, float]]:
+        """Snapshot the pending task set as ``(vertex, priority)`` pairs.
+
+        Non-destructive; order is unspecified (a restore via
+        :meth:`add` round-trips the *set*, not the pop order — the
+        execution model never guaranteed one). Used by the runtime
+        checkpoint layer to journal a worker's task set.
+        """
+        raise NotImplementedError
+
     def peek_priority(self) -> float:
         """Priority the next :meth:`pop` would return.
 
@@ -121,6 +131,9 @@ class FIFOScheduler(Scheduler):
         self._members.discard(vertex)
         return vertex, 0.0
 
+    def entries(self) -> List[Tuple[VertexId, float]]:
+        return [(vertex, 0.0) for vertex in self._queue]
+
     def __len__(self) -> int:
         return len(self._queue)
 
@@ -164,6 +177,9 @@ class PriorityScheduler(Scheduler):
                 return -neg_priority
             heapq.heappop(self._heap)
         raise SchedulerError("peek on empty priority scheduler")
+
+    def entries(self) -> List[Tuple[VertexId, float]]:
+        return list(self._priority.items())
 
     def __len__(self) -> int:
         return len(self._priority)
@@ -256,6 +272,9 @@ class SweepScheduler(Scheduler):
         self._flag(index, -1)
         self._cursor = (index + 1) % len(self._order)
         return vertex, 0.0
+
+    def entries(self) -> List[Tuple[VertexId, float]]:
+        return [(vertex, 0.0) for vertex in self._dirty]
 
     def __len__(self) -> int:
         return len(self._dirty)

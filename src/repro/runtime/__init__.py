@@ -14,9 +14,20 @@ compiled CSR structure), the same atom-based placement — executed by
 
 The simulator remains the place for what real hardware can't give you —
 the calibrated cycle/byte cost model, EC2 pricing, fault injection at
-scale; this backend is where throughput is real.
+scale; this backend is where throughput is real. Fault tolerance is
+real too (:mod:`repro.runtime.checkpoint`): engines snapshot to disk at
+barriers (or via the async Chandy–Lamport scopes of Alg. 5), the
+transports inject deterministic worker kills (``REPRO_FAULT``), and a
+:class:`WorkerFailure` mid-run respawns the dead worker and rolls the
+cluster back to the last complete snapshot.
 """
 
+from repro.runtime.checkpoint import (
+    CheckpointManager,
+    SnapshotCadence,
+    SnapshotDirectory,
+    merge_journals,
+)
 from repro.runtime.engine import RuntimeChromaticEngine, RuntimeRunResult
 from repro.runtime.locking import RuntimeLockingEngine
 from repro.runtime.oracle import ColorSweepScheduler
@@ -30,11 +41,13 @@ from repro.runtime.plane import (
 from repro.runtime.program import UpdateProgram, named_program, resolve_program
 from repro.runtime.shard import CSRShardStore
 from repro.runtime.transport import (
+    FAULT_ENV,
     InprocTransport,
     MpTransport,
     Transport,
     WorkerFailure,
     make_transport,
+    parse_fault_plan,
 )
 from repro.runtime.worker import (
     LockingWorker,
@@ -45,8 +58,10 @@ from repro.runtime.worker import (
 
 __all__ = [
     "CSRShardStore",
+    "CheckpointManager",
     "ColorSweepScheduler",
     "DataPlane",
+    "FAULT_ENV",
     "InprocTransport",
     "LocalDataPlane",
     "LockWorkerInit",
@@ -58,12 +73,16 @@ __all__ = [
     "RuntimeRunResult",
     "RuntimeWorker",
     "ShmDataPlane",
+    "SnapshotCadence",
+    "SnapshotDirectory",
     "Transport",
     "UpdateProgram",
     "WorkerFailure",
     "WorkerInit",
     "make_transport",
+    "merge_journals",
     "named_program",
+    "parse_fault_plan",
     "resolve_program",
     "shm_available",
 ]

@@ -1,0 +1,263 @@
+"""Snapshots and recovery for the real-process runtime (Sec. 4.3).
+
+The simulator reproduces the paper's fault-tolerance story on a modeled
+DFS (:mod:`repro.distributed.snapshot`); this module is its on-disk
+twin for the runtime engines: numbered snapshot directories holding one
+journal per worker — the exact per-machine path scheme and payload
+shape of the simulated DFS (``snapshot/<id>/machine-<worker>``,
+``{"vdata", "edata", "versions"}`` plus runtime extras the simulator's
+restore ignores) — a coordinator-side manager that writes and reads
+them, and the cadence rule deciding *when* to snapshot.
+
+Two construction modes share this layout:
+
+* **Synchronous** (both engines): the coordinator stops the world at a
+  barrier (the locking engine drains its pipeline to quiescence first),
+  sends one ``checkpoint`` round, and writes every journal itself.
+* **Asynchronous** (locking engine): the Chandy–Lamport variant of
+  Alg. 5 runs as snapshot scopes *inside* the pipeline — workers write
+  their own journals at finish, and the coordinator only adds the meta
+  record and the COMPLETE marker.
+
+A snapshot becomes recoverable only once its ``COMPLETE`` marker
+exists, so a crash mid-snapshot can never be recovered *from* — the
+previous complete snapshot remains the recovery point.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.distributed.snapshot import snapshot_file, suggested_interval
+from repro.errors import SnapshotError
+
+#: Coordinator-side metadata file inside a snapshot directory.
+META_NAME = "meta"
+#: Marker whose existence makes a snapshot recoverable.
+COMPLETE_NAME = "COMPLETE"
+
+
+class SnapshotDirectory:
+    """On-disk snapshot layout, shared by coordinator and workers.
+
+    Journals are pickled blobs at the simulated DFS's per-machine paths
+    rooted at ``root``; ``meta`` (coordinator bookkeeping: engine
+    progress counters, globals, the task-set mask) and the ``COMPLETE``
+    marker sit next to them. Workers hold only ``root`` — an async
+    snapshot ships ``(snapshot_id, root)`` to every worker and each
+    writes its own journal, mirroring the paper's "each machine saves
+    to distributed storage".
+    """
+
+    def __init__(self, root: Any) -> None:
+        self.root = os.fspath(root)
+
+    def snapshot_dir(self, snapshot_id: int) -> str:
+        return os.path.join(self.root, "snapshot", str(snapshot_id))
+
+    def journal_path(self, snapshot_id: int, worker_id: int) -> str:
+        return os.path.join(self.root, snapshot_file(snapshot_id, worker_id))
+
+    def _write(self, path: str, payload: Any) -> int:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        with open(path, "wb") as fh:
+            fh.write(blob)
+        return len(blob)
+
+    def _read(self, path: str) -> Any:
+        try:
+            with open(path, "rb") as fh:
+                return pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError) as exc:
+            raise SnapshotError(f"cannot read snapshot file {path}: {exc}")
+
+    def write_journal(
+        self, snapshot_id: int, worker_id: int, payload: Dict[str, Any]
+    ) -> int:
+        """Persist one worker's journal; returns bytes written."""
+        return self._write(self.journal_path(snapshot_id, worker_id), payload)
+
+    def read_journal(self, snapshot_id: int, worker_id: int) -> Dict[str, Any]:
+        return self._read(self.journal_path(snapshot_id, worker_id))
+
+    def write_meta(self, snapshot_id: int, meta: Dict[str, Any]) -> int:
+        return self._write(
+            os.path.join(self.snapshot_dir(snapshot_id), META_NAME), meta
+        )
+
+    def read_meta(self, snapshot_id: int) -> Dict[str, Any]:
+        return self._read(
+            os.path.join(self.snapshot_dir(snapshot_id), META_NAME)
+        )
+
+    def mark_complete(self, snapshot_id: int) -> None:
+        path = os.path.join(self.snapshot_dir(snapshot_id), COMPLETE_NAME)
+        with open(path, "wb"):
+            pass
+
+    def is_complete(self, snapshot_id: int) -> bool:
+        return os.path.exists(
+            os.path.join(self.snapshot_dir(snapshot_id), COMPLETE_NAME)
+        )
+
+    def snapshot_ids(self) -> List[int]:
+        """Every snapshot directory present, complete or not."""
+        base = os.path.join(self.root, "snapshot")
+        try:
+            names = os.listdir(base)
+        except OSError:
+            return []
+        ids = []
+        for name in names:
+            try:
+                ids.append(int(name))
+            except ValueError:
+                continue
+        return sorted(ids)
+
+    def latest(self) -> Optional[int]:
+        """Highest *complete* snapshot id, or ``None``."""
+        complete = [s for s in self.snapshot_ids() if self.is_complete(s)]
+        return max(complete) if complete else None
+
+
+def merge_journals(journals: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Union of per-worker journals into one global restore payload.
+
+    Journals partition the graph by ownership (every owned vertex, every
+    edge at its source-endpoint owner), so the union covers each slot
+    exactly once. The merged payload is what every worker — survivor or
+    respawn — applies through
+    :meth:`~repro.runtime.shard.CSRShardStore.restore_checkpoint`, each
+    filtering down to the slots it holds: ghosts roll back to their
+    owner's snapshot values, which is exactly what makes the restored
+    cluster state consistent.
+    """
+    merged: Dict[str, Any] = {"vdata": {}, "edata": {}, "versions": {}}
+    for journal in journals:
+        merged["vdata"].update(journal.get("vdata", {}))
+        merged["edata"].update(journal.get("edata", {}))
+        merged["versions"].update(journal.get("versions", {}))
+    return merged
+
+
+class SnapshotCadence:
+    """Decides when the next snapshot is due.
+
+    ``every=N`` (int): every N barriers — sweeps for the chromatic
+    engine, rounds for the locking engine. ``every="auto"``: wall-clock
+    cadence from Young's interval (Eq. 3), with the *measured* cost of
+    the last snapshot as the checkpoint-time estimate — the paper's own
+    cadence rule, applied to real seconds. The engine baseline snapshot
+    (taken right after launch) provides the first measurement.
+    """
+
+    def __init__(self, every: Any, num_workers: int) -> None:
+        if every == "auto":
+            self.mode = "auto"
+            self.every = None
+        elif isinstance(every, int) and not isinstance(every, bool) and every >= 1:
+            self.mode = "count"
+            self.every = every
+        else:
+            raise SnapshotError(
+                "snapshot_every must be a positive int (barriers) or "
+                f"'auto', got {every!r}"
+            )
+        self.num_workers = num_workers
+        self._last_counter = 0
+        self._last_time: Optional[float] = None
+        self._interval: Optional[float] = None
+
+    def due(self, counter: int, now: float) -> bool:
+        if self.mode == "count":
+            return counter - self._last_counter >= self.every
+        if self._last_time is None or self._interval is None:
+            return False
+        return now - self._last_time >= self._interval
+
+    def mark(
+        self, counter: int, now: float, cost: Optional[float] = None
+    ) -> None:
+        """Record that a snapshot finished (or that the clock re-anchors
+        after a recovery). ``cost`` feeds the auto interval."""
+        self._last_counter = counter
+        self._last_time = now
+        if self.mode == "auto" and cost is not None:
+            self._interval = suggested_interval(
+                self.num_workers,
+                checkpoint_seconds=max(cost, 1e-3),
+            )
+
+
+class CheckpointManager:
+    """Coordinator side of runtime snapshots: numbered snapshots in a
+    :class:`SnapshotDirectory`, id allocation that never reuses a
+    partially-written directory, and the read-back for recovery."""
+
+    def __init__(self, root: Any, num_workers: int) -> None:
+        self.dir = SnapshotDirectory(root)
+        self.num_workers = num_workers
+        existing = self.dir.snapshot_ids()
+        self._next_id = max(existing) + 1 if existing else 0
+        self.snapshots_taken = 0
+        self.bytes_written = 0
+
+    def next_id(self) -> int:
+        snapshot_id = self._next_id
+        self._next_id += 1
+        return snapshot_id
+
+    def write(
+        self,
+        snapshot_id: int,
+        journals: List[Dict[str, Any]],
+        meta: Dict[str, Any],
+    ) -> int:
+        """Synchronous snapshot: persist every journal + meta, mark
+        complete. Returns bytes written."""
+        total = 0
+        for worker_id, journal in enumerate(journals):
+            total += self.dir.write_journal(snapshot_id, worker_id, journal)
+        total += self.dir.write_meta(snapshot_id, meta)
+        self.dir.mark_complete(snapshot_id)
+        self.snapshots_taken += 1
+        self.bytes_written += total
+        return total
+
+    def finalize_async(
+        self, snapshot_id: int, meta: Dict[str, Any]
+    ) -> int:
+        """Async snapshot epilogue: workers already wrote their own
+        journals; verify they all exist, add meta, mark complete."""
+        for worker_id in range(self.num_workers):
+            if not os.path.exists(
+                self.dir.journal_path(snapshot_id, worker_id)
+            ):
+                raise SnapshotError(
+                    f"async snapshot {snapshot_id} is missing worker "
+                    f"{worker_id}'s journal"
+                )
+        total = self.dir.write_meta(snapshot_id, meta)
+        self.dir.mark_complete(snapshot_id)
+        self.snapshots_taken += 1
+        self.bytes_written += total
+        return total
+
+    def latest_state(
+        self,
+    ) -> Tuple[int, Dict[str, Any], List[Dict[str, Any]]]:
+        """``(snapshot_id, meta, journals)`` of the newest complete
+        snapshot; raises :class:`SnapshotError` when there is none."""
+        snapshot_id = self.dir.latest()
+        if snapshot_id is None:
+            raise SnapshotError("no complete snapshot to recover from")
+        meta = self.dir.read_meta(snapshot_id)
+        journals = [
+            self.dir.read_journal(snapshot_id, worker_id)
+            for worker_id in range(self.num_workers)
+        ]
+        return snapshot_id, meta, journals

@@ -62,6 +62,8 @@ count), the simulated chromatic engine, and a
 
 from __future__ import annotations
 
+import shutil
+import tempfile
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
@@ -76,16 +78,21 @@ from repro.core.coloring import (
     merge_compatible_matrix,
     model_distance,
 )
-from repro.core.consistency import Consistency
+from repro.core.consistency import Consistency, edge_key, vertex_key
 from repro.core.graph import DataGraph, VertexId
 from repro.core.sync import GlobalValues, SyncOperation
 from repro.core.update import normalize_schedule
 from repro.distributed.deploy import OwnershipPlan, plan_ownership
 from repro.errors import EngineError
+from repro.runtime.checkpoint import (
+    CheckpointManager,
+    SnapshotCadence,
+    merge_journals,
+)
 from repro.runtime.plane import plane_spec_for
 from repro.runtime.program import check_picklable
-from repro.runtime.transport import Transport, make_transport
-from repro.runtime.worker import WorkerInit, empty_inbox
+from repro.runtime.transport import Transport, WorkerFailure, make_transport
+from repro.runtime.worker import WorkerInit, empty_inbox, encode_worker
 
 #: Ceiling on how many colors one merged round may span. Groups larger
 #: than this see diminishing returns (one barrier already amortized) and
@@ -189,17 +196,15 @@ def provision_plane(
     return transport.provision_plane(spec)
 
 
-def encode_init_payloads(init: Any, num_workers: int):
-    """Per-worker launch payloads around one shared encoded state blob.
+def encode_shared_init(init: Any) -> bytes:
+    """Serialize the worker-independent launch state exactly once.
 
-    The worker-independent state — dominated by the pickled graph — is
-    serialized exactly once; only the worker id differs per payload, so
-    launch serialization is O(structure), not O(workers × structure).
+    The blob — dominated by the pickled graph — is reused for every
+    worker's launch payload *and* for respawning a dead worker during
+    recovery, so engines cache it for the lifetime of a run.
     """
-    from repro.runtime.worker import encode_worker
-
     try:
-        shared = init.encode_shared()
+        return init.encode_shared()
     except Exception as exc:
         raise EngineError(
             "worker init payload cannot be pickled — the update "
@@ -207,8 +212,46 @@ def encode_init_payloads(init: Any, num_workers: int):
             "all graph data must be module-level / picklable to "
             f"cross process boundaries ({exc})"
         ) from exc
+
+
+def encode_init_payloads(init: Any, num_workers: int):
+    """Per-worker launch payloads around one shared encoded state blob.
+
+    The worker-independent state is serialized exactly once; only the
+    worker id differs per payload, so launch serialization is
+    O(structure), not O(workers × structure).
+    """
+    shared = encode_shared_init(init)
     for worker_id in range(num_workers):
         yield encode_worker(worker_id, shared)
+
+
+def baseline_journals(
+    graph: DataGraph, owner: Dict[VertexId, int], num_workers: int
+) -> List[Dict[str, Any]]:
+    """Synthesize the launch-time snapshot from the coordinator's graph.
+
+    Taken before any round runs, so it needs no transport traffic — and
+    therefore cannot itself be lost to an injected or real worker death:
+    a failure in the very first round always has a complete snapshot
+    (the initial state) to recover to. Versions are journaled as 0 so a
+    restore force-resets survivors' version clocks along with their
+    values — without that, post-recovery deliveries would be filtered
+    as stale.
+    """
+    journals: List[Dict[str, Any]] = [
+        {"vdata": {}, "edata": {}, "versions": {}, "counts": {}}
+        for _ in range(num_workers)
+    ]
+    for v in graph.vertices():
+        journal = journals[owner[v]]
+        journal["vdata"][v] = graph.vertex_data(v)
+        journal["versions"][vertex_key(v)] = 0
+    for (a, b) in graph.edges():
+        journal = journals[owner[a]]
+        journal["edata"][(a, b)] = graph.edge_data(a, b)
+        journal["versions"][edge_key(a, b)] = 0
+    return journals
 
 
 def write_back_plane_columns(
@@ -304,6 +347,20 @@ class RuntimeChromaticEngine:
     plane_ring_cap:
         Override for the dirty-ring capacity (entries per column per
         half); small values exercise the overflow-to-pipe contract.
+    snapshot_every / snapshot_dir:
+        Fault tolerance (Sec. 4.3). ``snapshot_every=N`` journals a
+        consistent snapshot every N sweeps (``"auto"``: wall-clock
+        cadence from Young's interval, Eq. 3, fed with measured
+        snapshot cost); ``None`` (the default) disables snapshots *and*
+        recovery. ``snapshot_dir`` roots the on-disk journals; ``None``
+        uses a temporary directory removed when the run ends.
+    max_recoveries / recovery_backoff:
+        With snapshots on, a :class:`~repro.runtime.transport.
+        WorkerFailure` triggers respawn + rollback to the latest
+        complete snapshot instead of aborting the run — at most
+        ``max_recoveries`` times, sleeping ``recovery_backoff *
+        attempt`` seconds before each (a restarted machine is rarely
+        instantly healthy).
     """
 
     def __init__(
@@ -326,6 +383,10 @@ class RuntimeChromaticEngine:
         merge_rounds: bool = True,
         use_plane: bool = True,
         plane_ring_cap: Optional[int] = None,
+        snapshot_every: Optional[Union[int, str]] = None,
+        snapshot_dir: Optional[str] = None,
+        max_recoveries: int = 2,
+        recovery_backoff: float = 0.05,
     ) -> None:
         graph.require_finalized()
         if num_workers < 1:
@@ -403,10 +464,30 @@ class RuntimeChromaticEngine:
         self._pending_spec: Optional[int] = None
         self.rounds_saved = 0
         self._ran = False
+        # Fault tolerance (Sec. 4.3): snapshot cadence + bounded
+        # respawn/rollback recovery. Disabled unless snapshot_every is
+        # set — without a snapshot there is nothing to recover to.
+        self.snapshot_every = snapshot_every
+        self.snapshot_dir = snapshot_dir
+        self.max_recoveries = max_recoveries
+        self.recovery_backoff = recovery_backoff
+        self._ckpt: Optional[CheckpointManager] = None
+        self._cadence: Optional[SnapshotCadence] = None
+        self._shared_blob: Optional[bytes] = None
+        self._recoveries = 0
+        self._recovery_seconds = 0.0
 
     # ------------------------------------------------------------------
     def run(self, initial: Iterable = ()) -> RuntimeRunResult:
-        """Execute to quiescence (or a stop condition); single-use."""
+        """Execute to quiescence (or a stop condition); single-use.
+
+        With snapshots on, a :class:`WorkerFailure` mid-run does not
+        abort: the dead worker is respawned through the transport, every
+        worker (survivors included — their ghosts must roll back) is
+        restored from the latest complete snapshot, the coordinator's
+        own progress state resets from the snapshot's meta record, and
+        execution resumes — at most ``max_recoveries`` times.
+        """
         if self._ran:
             raise EngineError(
                 "runtime engine instances are single-use (worker "
@@ -415,12 +496,13 @@ class RuntimeChromaticEngine:
         self._ran = True
         start = time.perf_counter()
         num_workers = self.num_workers
-        inboxes = [empty_inbox() for _ in range(num_workers)]
+        self._inboxes = [empty_inbox() for _ in range(num_workers)]
         #: The exact global task set T in dense index space — the
         #: coordinator routes every scheduling request and absorbs every
         #: worker's fresh-schedule report, so this mask always equals
         #: the union of worker task sets plus in-flight requests.
         mask = np.zeros(self._num_vertices, dtype=bool)
+        self._mask = mask
         index_of = self._csr.index_of
         owner_idx = self._owner_idx
         init_by_worker: List[List[int]] = [[] for _ in range(num_workers)]
@@ -431,84 +513,68 @@ class RuntimeChromaticEngine:
                 init_by_worker[owner_idx[idx]].append(idx)
         for w, indices in enumerate(init_by_worker):
             if indices:
-                inboxes[w]["sched"].append(np.asarray(indices, dtype=np.int32))
-        converged = False
-        sweeps = 0
-        total_updates = 0
+                self._inboxes[w]["sched"].append(
+                    np.asarray(indices, dtype=np.int32)
+                )
+        self._converged = False
+        self._sweeps = 0
+        self._total_updates = 0
+        self._published: List[Tuple[str, Any]] = []
+        tmp_root: Optional[str] = None
+        launch_seconds = 0.0
         try:
+            if self.snapshot_every is not None:
+                root = self.snapshot_dir
+                if root is None:
+                    root = tmp_root = tempfile.mkdtemp(prefix="repro-ckpt-")
+                self._ckpt = CheckpointManager(root, num_workers)
+                self._cadence = SnapshotCadence(
+                    self.snapshot_every, num_workers
+                )
             self._provision_plane()
             # The graph-bearing shared state is pickled exactly once;
             # each worker's payload wraps its id around that one blob
             # (see _encoded_inits), so launch serialization is
-            # O(structure), not O(workers x structure).
+            # O(structure), not O(workers x structure) — and the cached
+            # blob respawns dead workers during recovery.
             self.transport.launch(self._encoded_inits())
             launch_seconds = time.perf_counter() - start
-            published: List[Tuple[str, Any]] = []
+            if self._ckpt is not None:
+                self._baseline_snapshot()
+            failure: Optional[WorkerFailure] = None
             while True:
-                if self.syncs:
-                    # Sweep preamble: distributed sync evaluation. The
-                    # round doubles as the master's delivery flush.
-                    replies = self._send_round("sync_count", {}, inboxes)
-                    inboxes = [empty_inbox() for _ in range(num_workers)]
-                    published = self._combine_syncs(replies)
-                if not mask.any():
-                    converged = True
+                try:
+                    if failure is not None:
+                        exc, failure = failure, None
+                        self._recover_from(exc)
+                    self._run_loop()
+                    counts = self._collect_and_write_back(self._inboxes)
                     break
-                if self.max_sweeps is not None and sweeps >= self.max_sweeps:
-                    break
-                if (
-                    self.max_updates is not None
-                    and total_updates >= self.max_updates
-                ):
-                    break
-                merge_enabled = self.merge_rounds and self.num_colors > 1
-                pos = 0
-                while pos < self.num_colors:
-                    frontier = self._frontier(pos, mask)
-                    if frontier.size == 0:
-                        # Nobody holds (or is being sent) work of this
-                        # color: the step would be a global no-op, so it
-                        # is elided. Undelivered inbox entries persist to
-                        # the next executed round.
-                        pos += 1
-                        continue
-                    group = self._plan_group(pos, frontier, mask, merge_enabled)
-                    if published:
-                        for inbox in inboxes:
-                            inbox["globals"] = published
-                        published = []  # globals ship once per sweep
-                    colors = [color for color, _frontier in group]
-                    replies = self._send_round(
-                        "step", {"colors": colors}, inboxes
-                    )
-                    inboxes = [empty_inbox() for _ in range(num_workers)]
-                    committed, aborted = self._process_replies(
-                        replies, group, mask, inboxes
-                    )
-                    total_updates += committed
-                    if aborted:
-                        # The oracle would have run freshly scheduled
-                        # intervening work inside the span: resume the
-                        # scan right after the group's first color, with
-                        # the rolled-back frontiers still scheduled.
-                        # (An abort costs no extra barrier — the
-                        # rolled-back colors run in the rounds the
-                        # unmerged schedule would have used anyway.)
-                        pos = group[0][0] + 1
-                    else:
-                        pos = group[-1][0] + 1
-                sweeps += 1
-            counts = self._collect_and_write_back(inboxes)
+                except WorkerFailure as exc:
+                    if self._ckpt is None:
+                        raise
+                    self._recoveries += 1
+                    if self._recoveries > self.max_recoveries:
+                        raise
+                    failure = exc
         finally:
             self.transport.shutdown()
+            if tmp_root is not None:
+                shutil.rmtree(tmp_root, ignore_errors=True)
         wall = time.perf_counter() - start
         transport = self.transport
+        extra: Dict[str, Any] = {}
+        if self._ckpt is not None:
+            extra["snapshots"] = self._ckpt.snapshots_taken
+            extra["snapshot_bytes"] = self._ckpt.bytes_written
+            extra["recoveries"] = self._recoveries
+            extra["recovery_seconds"] = self._recovery_seconds
         return RuntimeRunResult(
-            num_updates=total_updates,
+            num_updates=self._total_updates,
             updates_per_vertex=counts,
-            converged=converged,
+            converged=self._converged,
             globals=self.globals.snapshot(),
-            sweeps=sweeps,
+            sweeps=self._sweeps,
             wall_seconds=wall,
             launch_seconds=launch_seconds,
             num_workers=self.num_workers,
@@ -518,7 +584,170 @@ class RuntimeChromaticEngine:
             rounds_saved=self.rounds_saved,
             bytes_on_pipe=transport.bytes_sent + transport.bytes_received,
             data_plane=self._plane.spec.kind if self._plane else None,
+            extra=extra,
         )
+
+    def _run_loop(self) -> None:
+        """Sweep until convergence or a stop condition (resumable)."""
+        num_workers = self.num_workers
+        mask = self._mask
+        while True:
+            if self.syncs:
+                # Sweep preamble: distributed sync evaluation. The
+                # round doubles as the master's delivery flush.
+                replies = self._send_round("sync_count", {}, self._inboxes)
+                self._inboxes = [empty_inbox() for _ in range(num_workers)]
+                self._published = self._combine_syncs(replies)
+            if not mask.any():
+                self._converged = True
+                break
+            if (
+                self.max_sweeps is not None
+                and self._sweeps >= self.max_sweeps
+            ):
+                break
+            if (
+                self.max_updates is not None
+                and self._total_updates >= self.max_updates
+            ):
+                break
+            if self._cadence is not None and self._cadence.due(
+                self._sweeps, time.perf_counter()
+            ):
+                self._take_snapshot()
+            merge_enabled = self.merge_rounds and self.num_colors > 1
+            pos = 0
+            while pos < self.num_colors:
+                frontier = self._frontier(pos, mask)
+                if frontier.size == 0:
+                    # Nobody holds (or is being sent) work of this
+                    # color: the step would be a global no-op, so it
+                    # is elided. Undelivered inbox entries persist to
+                    # the next executed round.
+                    pos += 1
+                    continue
+                group = self._plan_group(pos, frontier, mask, merge_enabled)
+                if self._published:
+                    for inbox in self._inboxes:
+                        inbox["globals"] = self._published
+                    self._published = []  # globals ship once per sweep
+                colors = [color for color, _frontier in group]
+                replies = self._send_round(
+                    "step", {"colors": colors}, self._inboxes
+                )
+                self._inboxes = [empty_inbox() for _ in range(num_workers)]
+                committed, aborted = self._process_replies(
+                    replies, group, mask, self._inboxes
+                )
+                self._total_updates += committed
+                if aborted:
+                    # The oracle would have run freshly scheduled
+                    # intervening work inside the span: resume the
+                    # scan right after the group's first color, with
+                    # the rolled-back frontiers still scheduled.
+                    # (An abort costs no extra barrier — the
+                    # rolled-back colors run in the rounds the
+                    # unmerged schedule would have used anyway.)
+                    pos = group[0][0] + 1
+                else:
+                    pos = group[-1][0] + 1
+            self._sweeps += 1
+
+    # ------------------------------------------------------------------
+    # Snapshots and recovery (Sec. 4.3).
+    # ------------------------------------------------------------------
+    def _snapshot_meta(self) -> Dict[str, Any]:
+        """Coordinator progress record stored beside the journals."""
+        return {
+            "engine": "chromatic",
+            "mode": "sync",
+            "sweeps": self._sweeps,
+            "total_updates": self._total_updates,
+            "updates_per_worker": dict(self.updates_per_worker),
+            "globals": self.globals.snapshot(),
+            "rounds_saved": self.rounds_saved,
+            "mask": np.nonzero(self._mask)[0],
+        }
+
+    def _baseline_snapshot(self) -> None:
+        """Journal the initial state, coordinator-side (no rounds)."""
+        start = time.perf_counter()
+        self._ckpt.write(
+            self._ckpt.next_id(),
+            baseline_journals(self.graph, self.owner, self.num_workers),
+            self._snapshot_meta(),
+        )
+        now = time.perf_counter()
+        self._cadence.mark(self._sweeps, now, cost=now - start)
+
+    def _take_snapshot(self) -> None:
+        """Synchronous snapshot at a sweep barrier.
+
+        The checkpoint round delivers each worker's residual inbox
+        (including any pending speculation verdict, so journals are
+        post-verdict) and replies with its journal; scheduling state is
+        not journaled per worker — the coordinator's global mask is
+        exact and rides the meta record.
+        """
+        start = time.perf_counter()
+        snapshot_id = self._ckpt.next_id()
+        journals = self._send_round("checkpoint", {}, self._inboxes)
+        self._inboxes = [empty_inbox() for _ in range(self.num_workers)]
+        self._ckpt.write(snapshot_id, journals, self._snapshot_meta())
+        now = time.perf_counter()
+        self._cadence.mark(self._sweeps, now, cost=now - start)
+
+    def _recover_from(self, failure: WorkerFailure) -> None:
+        """Respawn the dead worker; roll the whole cluster back.
+
+        Every worker — the respawn *and* the survivors — applies the
+        merged journal (survivors' ghosts roll back to their owner's
+        snapshot values; that rollback is what makes the restored
+        cluster state consistent) and re-seeds its share of the
+        snapshot's task set. Coordinator progress counters, globals,
+        and the task mask reset from the meta record; the cadence clock
+        re-anchors so recovery doesn't trigger an immediate snapshot.
+        """
+        start = time.perf_counter()
+        if self.recovery_backoff:
+            time.sleep(self.recovery_backoff * self._recoveries)
+        self.transport.recover(
+            failure.worker_id,
+            encode_worker(failure.worker_id, self._shared_blob),
+        )
+        _snapshot_id, meta, journals = self._ckpt.latest_state()
+        merged = merge_journals(journals)
+        mask = np.zeros(self._num_vertices, dtype=bool)
+        mask_idx = np.asarray(meta["mask"], dtype=np.int64)
+        if mask_idx.size:
+            mask[mask_idx] = True
+        self._mask = mask
+        owner_idx = self._owner_idx
+        globals_items = list(meta.get("globals", {}).items())
+        messages: List[Tuple[str, Dict[str, Any]]] = []
+        for w in range(self.num_workers):
+            messages.append((
+                "restore",
+                {
+                    "state": merged,
+                    "counts": journals[w].get("counts"),
+                    "sched": mask_idx[owner_idx[mask_idx] == w].astype(
+                        np.int32
+                    ),
+                    "globals": globals_items,
+                },
+            ))
+        self.transport.round(messages)
+        self._sweeps = meta["sweeps"]
+        self._total_updates = meta["total_updates"]
+        self.updates_per_worker = dict(meta["updates_per_worker"])
+        self.rounds_saved = meta.get("rounds_saved", 0)
+        self.globals = GlobalValues(meta.get("globals"))
+        self._pending_spec = None
+        self._published = []
+        self._inboxes = [empty_inbox() for _ in range(self.num_workers)]
+        self._cadence.mark(self._sweeps, time.perf_counter())
+        self._recovery_seconds += time.perf_counter() - start
 
     # ------------------------------------------------------------------
     # Rounds.
@@ -769,7 +998,11 @@ class RuntimeChromaticEngine:
         )
 
     def _encoded_inits(self):
-        return encode_init_payloads(self._worker_init(0), self.num_workers)
+        self._shared_blob = encode_shared_init(self._worker_init(0))
+        return [
+            encode_worker(w, self._shared_blob)
+            for w in range(self.num_workers)
+        ]
 
     def _worker_init(self, worker_id: int) -> WorkerInit:
         return WorkerInit(

@@ -56,6 +56,8 @@ equivalence with the sequential oracle.
 
 from __future__ import annotations
 
+import shutil
+import tempfile
 import time
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
@@ -67,17 +69,29 @@ from repro.core.sync import GlobalValues
 from repro.core.update import normalize_schedule
 from repro.distributed.consensus import MisraToken
 from repro.distributed.deploy import OwnershipPlan, plan_ownership
-from repro.errors import EngineError
+from repro.errors import EngineError, SnapshotError
+from repro.runtime.checkpoint import (
+    CheckpointManager,
+    SnapshotCadence,
+    merge_journals,
+)
 from repro.runtime.engine import (
     RuntimeRunResult,
     apply_collect_replies,
-    encode_init_payloads,
+    baseline_journals,
+    encode_shared_init,
     provision_plane,
     write_back_plane_columns,
 )
 from repro.runtime.program import check_picklable
-from repro.runtime.transport import Transport, make_transport
-from repro.runtime.worker import LockWorkerInit
+from repro.runtime.transport import Transport, WorkerFailure, make_transport
+from repro.runtime.worker import LockWorkerInit, encode_worker
+
+#: Drain rounds a synchronous snapshot may spend reaching quiescence
+#: before giving up. Every drain round strictly shrinks in-flight work
+#: (no new scopes are admitted), so hitting this means a protocol bug,
+#: not a slow pipeline.
+_MAX_DRAIN_ROUNDS = 10_000
 
 
 def empty_lock_inbox() -> Dict[str, Any]:
@@ -89,7 +103,9 @@ def empty_lock_inbox() -> Dict[str, Any]:
     pairs — priorities matter here, unlike the chromatic engine;
     ``lock`` carries ``(src, int32 batch)`` request groups for this
     worker's lock table, ``grant`` int32 scope ids for its in-flight
-    chains, ``unlock`` int32 ``(vertex, kind)`` pairs to release.
+    chains, ``unlock`` int32 ``(vertex, kind)`` pairs to release;
+    ``ssched`` int32 index arrays asking this worker to snapshot its
+    vertices (the cross-partition propagation of Alg. 5).
     """
     return {
         "data": None,
@@ -99,6 +115,7 @@ def empty_lock_inbox() -> Dict[str, Any]:
         "lock": [],
         "grant": [],
         "unlock": [],
+        "ssched": [],
     }
 
 
@@ -151,6 +168,17 @@ class RuntimeLockingEngine:
         writes)`` into ``result.extra["trace"]`` for the
         serializability checker — tests only; disables the scope fast
         paths.
+    snapshot_every / snapshot_dir / max_recoveries / recovery_backoff:
+        Fault tolerance, as for the chromatic engine (the cadence
+        counter here is rounds, not sweeps).
+    snapshot_mode:
+        ``"sync"`` (the default): drain the lock pipeline to quiescence
+        at a barrier, then journal — the paper's synchronous snapshot.
+        ``"async"``: the Chandy–Lamport snapshot of Alg. 5, run as
+        lock-pipelined snapshot scopes *concurrent* with regular
+        updates; the journaled cut is consistent but not quiescent, so
+        recovery re-executes from a full task set and equivalence is
+        fixed-point, not per-update.
     """
 
     def __init__(
@@ -173,6 +201,11 @@ class RuntimeLockingEngine:
         use_plane: bool = True,
         plane_ring_cap: Optional[int] = None,
         trace: bool = False,
+        snapshot_every: Optional[Union[int, str]] = None,
+        snapshot_dir: Optional[str] = None,
+        snapshot_mode: str = "sync",
+        max_recoveries: int = 2,
+        recovery_backoff: float = 0.05,
     ) -> None:
         graph.require_finalized()
         if num_workers < 1:
@@ -185,6 +218,11 @@ class RuntimeLockingEngine:
             raise EngineError(
                 "locking engine scheduler must be 'fifo' or 'priority', "
                 f"got {scheduler!r}"
+            )
+        if snapshot_mode not in ("sync", "async"):
+            raise EngineError(
+                "snapshot_mode must be 'sync' or 'async', "
+                f"got {snapshot_mode!r}"
             )
         check_picklable(program)
         self.graph = graph
@@ -220,10 +258,32 @@ class RuntimeLockingEngine:
         }
         self._plane = None
         self._ran = False
+        # Fault tolerance (Sec. 4.3), mirroring the chromatic engine.
+        self.snapshot_every = snapshot_every
+        self.snapshot_dir = snapshot_dir
+        self.snapshot_mode = snapshot_mode
+        self.max_recoveries = max_recoveries
+        self.recovery_backoff = recovery_backoff
+        self._ckpt: Optional[CheckpointManager] = None
+        self._cadence: Optional[SnapshotCadence] = None
+        self._shared_blob: Optional[bytes] = None
+        #: In-progress async snapshot (id + begin/finish handshake
+        #: state); ``None`` when no Chandy–Lamport snapshot is running.
+        self._async: Optional[Dict[str, Any]] = None
+        self._recoveries = 0
+        self._recovery_seconds = 0.0
 
     # ------------------------------------------------------------------
     def run(self, initial: Iterable = ()) -> RuntimeRunResult:
-        """Execute to quiescence (or a stop condition); single-use."""
+        """Execute to quiescence (or a stop condition); single-use.
+
+        With snapshots on, a :class:`WorkerFailure` mid-run respawns the
+        dead worker, rolls every worker back to the latest complete
+        snapshot (survivors included: ghosts, lock tables, pipelines,
+        schedulers all reset), and resumes — at most ``max_recoveries``
+        times. Restart-from-snapshot means the termination detector also
+        restarts: black flags and a fresh Misra token.
+        """
         if self._ran:
             raise EngineError(
                 "runtime engine instances are single-use (worker "
@@ -232,17 +292,28 @@ class RuntimeLockingEngine:
         self._ran = True
         start = time.perf_counter()
         num_workers = self.num_workers
-        inboxes = [empty_lock_inbox() for _ in range(num_workers)]
-        self._seed_initial(initial, inboxes)
+        self._inboxes = [empty_lock_inbox() for _ in range(num_workers)]
+        self._seed_initial(initial, self._inboxes)
         #: Misra black flags, coordinator-maintained: a worker blackens
         #: when it executes updates or is routed any message, and the
         #: token clears the flag at visit time.
-        black = [True] * num_workers
-        token = MisraToken(num_workers)
-        total_updates = 0
-        rounds = 0
-        converged = False
+        self._black = [True] * num_workers
+        self._token = MisraToken(num_workers)
+        self._total_updates = 0
+        self._rounds = 0
+        self._converged = False
+        token_hops = 0
+        tmp_root: Optional[str] = None
+        launch_seconds = 0.0
         try:
+            if self.snapshot_every is not None:
+                root = self.snapshot_dir
+                if root is None:
+                    root = tmp_root = tempfile.mkdtemp(prefix="repro-ckpt-")
+                self._ckpt = CheckpointManager(root, num_workers)
+                self._cadence = SnapshotCadence(
+                    self.snapshot_every, num_workers
+                )
             self._plane = provision_plane(
                 self.transport,
                 self.graph,
@@ -250,67 +321,42 @@ class RuntimeLockingEngine:
                 self.use_plane,
                 self._plane_ring_cap,
             )
-            self.transport.launch(
-                encode_init_payloads(self._worker_init(0), num_workers)
-            )
+            self._shared_blob = encode_shared_init(self._worker_init(0))
+            self.transport.launch([
+                encode_worker(w, self._shared_blob)
+                for w in range(num_workers)
+            ])
             launch_seconds = time.perf_counter() - start
+            if self._ckpt is not None:
+                self._baseline_snapshot()
+            failure: Optional[WorkerFailure] = None
             while True:
-                if (
-                    self.max_updates is not None
-                    and total_updates >= self.max_updates
-                ):
+                try:
+                    if failure is not None:
+                        exc, failure = failure, None
+                        self._recover_from(exc)
+                    self._run_loop()
+                    token_hops += self._token.hops
+                    counts = self._collect_and_write_back(self._inboxes)
                     break
-                if self.max_rounds is not None and rounds >= self.max_rounds:
-                    break
-                budget = self.round_budget
-                if self.max_updates is not None:
-                    budget = min(budget, self.max_updates - total_updates)
-                replies = self._send_round(
-                    "lstep", {"round": rounds, "budget": budget}, inboxes
-                )
-                rounds += 1
-                inboxes = [empty_lock_inbox() for _ in range(num_workers)]
-                reported_idle = []
-                for w, (half, body) in enumerate(replies):
-                    executed = body["executed"]
-                    if executed:
-                        total_updates += executed
-                        self.updates_per_worker[w] += executed
-                        black[w] = True
-                    reported_idle.append(body["idle"])
-                    self._route(w, half, body, inboxes, black)
-                # The token's idle view must treat an undelivered inbox
-                # as "busy": blackening-on-routing alone is not enough,
-                # because one advance() call may clear the flag and
-                # complete a second, white circuit before the message is
-                # ever delivered. A worker is idle for termination
-                # purposes only when it reported idle AND nothing is
-                # about to be delivered to it — then a full white
-                # circuit really does witness global quiescence.
-                idle = [
-                    reported_idle[w]
-                    and all(not value for value in inboxes[w].values())
-                    for w in range(num_workers)
-                ]
-
-                def take_black(w: int) -> bool:
-                    was = black[w]
-                    black[w] = False
-                    return was
-
-                if token.advance(idle, take_black):
-                    assert _inboxes_quiet(inboxes)
-                    converged = True
-                    break
-            counts = self._collect_and_write_back(inboxes)
+                except WorkerFailure as exc:
+                    if self._ckpt is None:
+                        raise
+                    token_hops += self._token.hops
+                    self._recoveries += 1
+                    if self._recoveries > self.max_recoveries:
+                        raise
+                    failure = exc
         finally:
             self.transport.shutdown()
+            if tmp_root is not None:
+                shutil.rmtree(tmp_root, ignore_errors=True)
         wall = time.perf_counter() - start
         transport = self.transport
         result = RuntimeRunResult(
-            num_updates=total_updates,
+            num_updates=self._total_updates,
             updates_per_vertex=counts,
-            converged=converged,
+            converged=self._converged,
             globals=self.globals.snapshot(),
             sweeps=0,
             wall_seconds=wall,
@@ -322,11 +368,266 @@ class RuntimeLockingEngine:
             bytes_on_pipe=transport.bytes_sent + transport.bytes_received,
             data_plane=self._plane.spec.kind if self._plane else None,
         )
-        result.extra["token_hops"] = token.hops
+        result.extra["token_hops"] = token_hops
         result.extra["pipeline_window"] = self.pipeline_window
+        if self._ckpt is not None:
+            result.extra["snapshots"] = self._ckpt.snapshots_taken
+            result.extra["snapshot_bytes"] = self._ckpt.bytes_written
+            result.extra["recoveries"] = self._recoveries
+            result.extra["recovery_seconds"] = self._recovery_seconds
         if self.trace:
             result.extra["trace"] = self._trace_entries
         return result
+
+    def _run_loop(self) -> None:
+        """Round until the token converges or a stop condition (resumable)."""
+        num_workers = self.num_workers
+        while True:
+            if (
+                self.max_updates is not None
+                and self._total_updates >= self.max_updates
+            ):
+                break
+            if (
+                self.max_rounds is not None
+                and self._rounds >= self.max_rounds
+            ):
+                break
+            if (
+                self._cadence is not None
+                and self._async is None
+                and self._cadence.due(self._rounds, time.perf_counter())
+            ):
+                if self.snapshot_mode == "sync":
+                    self._sync_snapshot()
+                    continue  # re-check stop conditions post-drain
+                self._async_begin()
+            budget = self.round_budget
+            if self.max_updates is not None:
+                budget = min(budget, self.max_updates - self._total_updates)
+            extra: Dict[str, Any] = {"round": self._rounds, "budget": budget}
+            async_state = self._async
+            finishing = False
+            if async_state is not None:
+                if not async_state["begun"]:
+                    # Round 1 of the handshake: every worker becomes an
+                    # initiator for its owned partition.
+                    async_state["begun"] = True
+                    extra["snap"] = {
+                        "id": async_state["id"],
+                        "root": self._ckpt.dir.root,
+                    }
+                elif async_state["ready"]:
+                    finishing = True
+                    extra["snap_finish"] = True
+                else:
+                    # Keep nudging: a worker whose snapshot work drained
+                    # seeds its next unmarked owned vertex (disconnected
+                    # components never hear about the snapshot from a
+                    # neighbor).
+                    extra["snap_seed"] = True
+            replies = self._send_round("lstep", extra, self._inboxes)
+            self._rounds += 1
+            self._inboxes = [empty_lock_inbox() for _ in range(num_workers)]
+            reported_idle = []
+            snap_done = True
+            ssched_any = False
+            snap_bytes = 0
+            for w, (half, body) in enumerate(replies):
+                executed = body["executed"]
+                if executed:
+                    self._total_updates += executed
+                    self.updates_per_worker[w] += executed
+                    self._black[w] = True
+                reported_idle.append(body["idle"])
+                if body.get("ssched"):
+                    ssched_any = True
+                snap_done = snap_done and body.get("snap_done", False)
+                snap_bytes += body.get("snap_bytes") or 0
+                self._route(w, half, body, self._inboxes, self._black)
+            if async_state is not None:
+                if finishing:
+                    self._async_finalize(snap_bytes)
+                elif snap_done and not ssched_any:
+                    # Every worker marked all it owns, holds no snapshot
+                    # scope, and routed no propagation this round — the
+                    # cut is complete; next round closes the handshake.
+                    async_state["ready"] = True
+                # No termination check while a snapshot is in flight:
+                # workers report busy anyway, and the token must not
+                # witness the snapshot's own traffic as a white circuit.
+                continue
+            black = self._black
+            inboxes = self._inboxes
+            # The token's idle view must treat an undelivered inbox
+            # as "busy": blackening-on-routing alone is not enough,
+            # because one advance() call may clear the flag and
+            # complete a second, white circuit before the message is
+            # ever delivered. A worker is idle for termination
+            # purposes only when it reported idle AND nothing is
+            # about to be delivered to it — then a full white
+            # circuit really does witness global quiescence.
+            idle = [
+                reported_idle[w]
+                and all(not value for value in inboxes[w].values())
+                for w in range(num_workers)
+            ]
+
+            def take_black(w: int) -> bool:
+                was = black[w]
+                black[w] = False
+                return was
+
+            if self._token.advance(idle, take_black):
+                assert _inboxes_quiet(inboxes)
+                self._converged = True
+                break
+
+    # ------------------------------------------------------------------
+    # Snapshots and recovery (Sec. 4.3).
+    # ------------------------------------------------------------------
+    def _snapshot_meta(self, mode: str) -> Dict[str, Any]:
+        """Coordinator progress record stored beside the journals.
+
+        Unlike the chromatic engine there is no global task mask — each
+        worker journals its own scheduler, so meta carries only the
+        round clock and globals."""
+        return {
+            "engine": "locking",
+            "mode": mode,
+            "rounds": self._rounds,
+            "globals": self.globals.snapshot(),
+        }
+
+    def _baseline_snapshot(self) -> None:
+        """Journal the initial state, coordinator-side (no rounds)."""
+        start = time.perf_counter()
+        journals = baseline_journals(
+            self.graph, self.owner, self.num_workers
+        )
+        for w, journal in enumerate(journals):
+            journal["sched"] = self._initial_sched.get(w, [])
+        self._ckpt.write(
+            self._ckpt.next_id(), journals, self._snapshot_meta("sync")
+        )
+        now = time.perf_counter()
+        self._cadence.mark(self._rounds, now, cost=now - start)
+
+    def _sync_snapshot(self) -> None:
+        """Synchronous snapshot: drain to quiescence, then journal.
+
+        Drain rounds run the pipeline with a full budget but admit no
+        new scopes (``drain=True``), so in-flight chains complete, their
+        unlocks/grants/data flush through the routed inboxes, and the
+        cluster reaches the halted-and-delivered state the paper's
+        synchronous snapshot assumes. Updates executed while draining
+        are real work and count normally.
+        """
+        start = time.perf_counter()
+        num_workers = self.num_workers
+        drains = 0
+        while True:
+            extra = {
+                "round": self._rounds,
+                "budget": self.round_budget,
+                "drain": True,
+            }
+            replies = self._send_round("lstep", extra, self._inboxes)
+            self._rounds += 1
+            self._inboxes = [empty_lock_inbox() for _ in range(num_workers)]
+            inflight = 0
+            for w, (half, body) in enumerate(replies):
+                executed = body["executed"]
+                if executed:
+                    self._total_updates += executed
+                    self.updates_per_worker[w] += executed
+                    self._black[w] = True
+                inflight += body.get("inflight", 0)
+                self._route(w, half, body, self._inboxes, self._black)
+            if inflight == 0 and _inboxes_quiet(self._inboxes):
+                break
+            drains += 1
+            if drains > _MAX_DRAIN_ROUNDS:
+                raise SnapshotError(
+                    "lock pipeline failed to drain to quiescence for a "
+                    f"synchronous snapshot within {_MAX_DRAIN_ROUNDS} "
+                    "rounds"
+                )
+        snapshot_id = self._ckpt.next_id()
+        journals = self._send_round("checkpoint", {}, self._inboxes)
+        self._rounds += 1
+        self._inboxes = [empty_lock_inbox() for _ in range(num_workers)]
+        self._ckpt.write(
+            snapshot_id, journals, self._snapshot_meta("sync")
+        )
+        now = time.perf_counter()
+        self._cadence.mark(self._rounds, now, cost=now - start)
+
+    def _async_begin(self) -> None:
+        self._async = {
+            "id": self._ckpt.next_id(),
+            "begun": False,
+            "ready": False,
+            "start": time.perf_counter(),
+        }
+
+    def _async_finalize(self, snap_bytes: int) -> None:
+        """Close the handshake: workers wrote their own journals this
+        round; verify, add meta, mark complete."""
+        state = self._async
+        self._async = None
+        self._ckpt.finalize_async(
+            state["id"], self._snapshot_meta("async")
+        )
+        # Worker-side journal bytes aren't visible to finalize_async;
+        # fold the reported sizes into the coordinator's accounting.
+        self._ckpt.bytes_written += snap_bytes
+        now = time.perf_counter()
+        self._cadence.mark(self._rounds, now, cost=now - state["start"])
+
+    def _recover_from(self, failure: WorkerFailure) -> None:
+        """Respawn the dead worker; roll the whole cluster back.
+
+        Counts reset from the journals (their sum is the snapshot's
+        exact update total), the termination detector restarts black,
+        and any half-run async snapshot is abandoned — its COMPLETE
+        marker never existed, so it was never a recovery point.
+        """
+        start = time.perf_counter()
+        if self.recovery_backoff:
+            time.sleep(self.recovery_backoff * self._recoveries)
+        self.transport.recover(
+            failure.worker_id,
+            encode_worker(failure.worker_id, self._shared_blob),
+        )
+        _snapshot_id, meta, journals = self._ckpt.latest_state()
+        merged = merge_journals(journals)
+        globals_items = list(meta.get("globals", {}).items())
+        messages: List[Tuple[str, Dict[str, Any]]] = []
+        for w in range(self.num_workers):
+            messages.append((
+                "restore",
+                {
+                    "state": merged,
+                    "counts": journals[w].get("counts"),
+                    "sched": journals[w].get("sched") or [],
+                    "globals": globals_items,
+                },
+            ))
+        self.transport.round(messages)
+        self._rounds = meta["rounds"]
+        self._total_updates = 0
+        for w, journal in enumerate(journals):
+            count = sum((journal.get("counts") or {}).values())
+            self.updates_per_worker[w] = count
+            self._total_updates += count
+        self.globals = GlobalValues(meta.get("globals"))
+        self._black = [True] * self.num_workers
+        self._token = MisraToken(self.num_workers)
+        self._async = None
+        self._inboxes = [empty_lock_inbox() for _ in range(self.num_workers)]
+        self._cadence.mark(self._rounds, time.perf_counter())
+        self._recovery_seconds += time.perf_counter() - start
 
     # ------------------------------------------------------------------
     # Routing.
@@ -344,6 +645,13 @@ class RuntimeLockingEngine:
             )
             indices.append(idx)
             priorities.append(prio)
+        #: Per-worker ``(index, priority)`` pairs of the initial
+        #: schedule, journaled by the baseline snapshot so a recovery
+        #: before the first real snapshot restarts the run exactly.
+        self._initial_sched = {
+            w: list(zip(indices, priorities))
+            for w, (indices, priorities) in by_worker.items()
+        }
         for w, (indices, priorities) in by_worker.items():
             prio_arr = (
                 np.asarray(priorities, dtype=np.float64)
@@ -387,6 +695,11 @@ class RuntimeLockingEngine:
         if sched:
             for dst, pair in sched.items():
                 inboxes[dst]["sched"].append(pair)
+                black[dst] = True
+        ssched = body.get("ssched")
+        if ssched:
+            for dst, arr in ssched.items():
+                inboxes[dst]["ssched"].append(arr)
                 black[dst] = True
         plane = body.get("plane")
         if plane:

@@ -841,6 +841,49 @@ class CSRShardStore:
                 payload["versions"][edge_key(a, b)] = self._eversion[slot]
         return payload
 
+    def restore_checkpoint(self, payload: Mapping[str, Any]) -> None:
+        """Force-restore held slots from a (merged) snapshot payload.
+
+        The recovery inverse of :meth:`checkpoint_payload`, applied with
+        the whole cluster's merged journals: this shard takes every slot
+        it holds — primaries *and* ghosts — and overwrites value and
+        version unconditionally. Recovery rolls state *back*, so the
+        monotone version filter of :meth:`apply_remote` must not apply
+        here. Slots the payload does not cover keep their current value
+        (a journal in ``LocalGraphStore``'s per-machine shape restores
+        just that machine's owned slots — same format, same semantics as
+        the simulator's restore). Dirty flags are cleared wholesale: the
+        post-restore state is globally snapshot-consistent, so nothing
+        needs to ship.
+        """
+        versions = payload.get("versions", {})
+        index_of = self._index_of
+        held_v = self._held_v_mask
+        vdata = self.vdata_flat
+        vversion = self._vversion
+        for vid, value in payload.get("vdata", {}).items():
+            index = index_of.get(vid)
+            if index is None or not held_v[index]:
+                continue
+            vdata[index] = value
+            version = versions.get(vertex_key(vid))
+            if version is not None:
+                vversion[index] = version
+        edge_slot = self._edge_slot
+        held_e = self._held_e_mask
+        edata = self.edata_flat
+        eversion = self._eversion
+        for (a, b), value in payload.get("edata", {}).items():
+            slot = edge_slot.get((a, b))
+            if slot is None or not held_e[slot]:
+                continue
+            edata[slot] = value
+            version = versions.get(edge_key(a, b))
+            if version is not None:
+                eversion[slot] = version
+        self._dirty_v[:] = False
+        self._dirty_e[:] = False
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"CSRShardStore(machine={self.machine_id}, "

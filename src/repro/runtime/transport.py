@@ -39,9 +39,10 @@ from __future__ import annotations
 
 import dataclasses
 import multiprocessing
+import os
 import pickle
 import time
-from typing import Any, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import EngineError
 from repro.runtime.plane import (
@@ -55,15 +56,67 @@ from repro.runtime.worker import serve, worker_from_bytes
 
 Message = Tuple[str, Any]
 
+#: Deterministic fault-injection schedule: ``"w:round"`` entries (comma
+#: separated), where ``round`` is a 0-based count of completed rounds at
+#: which worker ``w`` dies, or the literal ``launch`` to kill it during
+#: startup. Parsed by every transport at construction; entries naming
+#: workers the transport does not have are ignored, so one schedule can
+#: drive a whole test run.
+FAULT_ENV = "REPRO_FAULT"
+
+
+def parse_fault_plan(text: Optional[str]) -> Dict[int, Union[int, str]]:
+    """Parse a :data:`FAULT_ENV` schedule into ``{worker: when}``.
+
+    ``when`` is an int round number or the string ``"launch"``. One
+    entry per worker (a later entry for the same worker wins).
+    """
+    plan: Dict[int, Union[int, str]] = {}
+    for part in (text or "").split(","):
+        part = part.strip()
+        if not part:
+            continue
+        worker_text, _, when_text = part.partition(":")
+        try:
+            worker = int(worker_text)
+            when: Union[int, str] = (
+                "launch" if when_text.strip() == "launch"
+                else int(when_text)
+            )
+        except ValueError:
+            raise EngineError(
+                f"bad {FAULT_ENV} entry {part!r}; expected "
+                "'worker:round' or 'worker:launch'"
+            ) from None
+        plan[worker] = when
+    return plan
+
 
 class WorkerFailure(EngineError):
-    """A worker process (or in-process worker) raised; carries its
-    traceback text and the failing worker id."""
+    """A worker died or raised; one structured shape for every raise
+    site (pipe write, silent death, timeout, worker traceback, injected
+    kill): the failing worker, a human-readable detail, and where in
+    the protocol it happened — ``last_command`` is the command the
+    worker was processing (``"launch"`` before any round) and ``phase``
+    is ``"launch"``, ``"send"``, or ``"reply"``. The recovery path keys
+    off ``worker_id``; everything else is for the error message."""
 
-    def __init__(self, worker_id: int, detail: str) -> None:
-        super().__init__(f"worker {worker_id} failed:\n{detail}")
+    def __init__(
+        self,
+        worker_id: int,
+        detail: str,
+        *,
+        last_command: str = "launch",
+        phase: str = "reply",
+    ) -> None:
+        super().__init__(
+            f"worker {worker_id} failed (phase {phase!r}, last command "
+            f"{last_command!r}):\n{detail}"
+        )
         self.worker_id = worker_id
         self.detail = detail
+        self.last_command = last_command
+        self.phase = phase
 
 
 class Transport:
@@ -81,6 +134,28 @@ class Transport:
         self.bytes_sent = 0
         self.bytes_received = 0
         self.rounds_completed = 0
+        #: worker -> pending kill (round number or "launch"); seeded
+        #: from the environment, extended via :meth:`schedule_kill`.
+        #: Entries fire once and are removed.
+        self._fault_plan: Dict[int, Union[int, str]] = {
+            w: when
+            for w, when in parse_fault_plan(os.environ.get(FAULT_ENV)).items()
+            if 0 <= w < num_workers
+        }
+
+    def schedule_kill(self, worker_id: int, when: Union[int, str]) -> None:
+        """Arrange for ``worker_id`` to die deterministically: at the
+        start of the round whose 0-based number equals ``when``
+        (i.e. after ``when`` rounds completed), or during ``"launch"``.
+        The programmatic twin of the :data:`FAULT_ENV` knob."""
+        if not 0 <= worker_id < self.num_workers:
+            raise EngineError(f"no such worker {worker_id}")
+        if when != "launch" and not isinstance(when, int):
+            raise EngineError(
+                f"kill schedule must be a round number or 'launch', "
+                f"got {when!r}"
+            )
+        self._fault_plan[worker_id] = when
 
     # Data-plane lifecycle -----------------------------------------------
     def plane_kind(self) -> Optional[str]:
@@ -94,9 +169,15 @@ class Transport:
     def _release_plane(self) -> None:
         plane = self.data_plane
         if plane is not None:
+            # Clear the reference first and close in a finally: a raise
+            # out of unlink() (e.g. a segment already torn down by a
+            # dying worker) must neither leave the plane re-releasable
+            # by a second shutdown() nor skip closing the mmaps.
             self.data_plane = None
-            plane.unlink()
-            plane.close()
+            try:
+                plane.unlink()
+            finally:
+                plane.close()
 
     # Rounds --------------------------------------------------------------
     def launch(self, init_payloads: Iterable[bytes]) -> List[Any]:
@@ -137,6 +218,23 @@ class Transport:
         self.rounds_completed += 1
         return replies
 
+    def recover(self, worker_id: int, init_payload: bytes) -> Any:
+        """Respawn one dead worker from a fresh init payload.
+
+        Only valid between rounds on a launched, unclosed transport —
+        the coordinator's recovery path after a :class:`WorkerFailure`.
+        The new worker re-runs the full launch path (including shm
+        segment re-attachment via the plane spec inside the payload) and
+        its ready ack is returned; restoring its *state* is the
+        engine's job (a subsequent ``restore`` round). Backends without
+        respawn support raise :class:`~repro.errors.EngineError`.
+        """
+        if not self._launched or self._closed:
+            raise EngineError("transport is not running")
+        if not 0 <= worker_id < self.num_workers:
+            raise EngineError(f"no such worker {worker_id}")
+        return self._recover(worker_id, init_payload)
+
     def shutdown(self) -> None:
         """Stop workers and release resources (idempotent).
 
@@ -160,6 +258,11 @@ class Transport:
 
     def _round(self, messages: Sequence[Message]) -> List[Any]:
         raise NotImplementedError
+
+    def _recover(self, worker_id: int, init_payload: bytes) -> Any:
+        raise EngineError(
+            f"{self.name!r} transport cannot respawn workers"
+        )
 
     def _shutdown(self) -> None:
         raise NotImplementedError
@@ -189,33 +292,71 @@ class InprocTransport(Transport):
         self.data_plane = LocalDataPlane(spec)
         return self.data_plane
 
+    def _build_worker(self, blob: bytes) -> Any:
+        worker = worker_from_bytes(blob)
+        if self.data_plane is not None:
+            # The local plane's arrays cannot ride the pickled init
+            # payload; hand them over here — same attach call the
+            # shm worker performs from its spec.
+            worker.attach_plane(self.data_plane)
+        return worker
+
+    def _ack(self, worker: Any) -> Any:
+        ack = {
+            "worker": worker.worker_id,
+            "owned": len(worker.store.owned_vertices),
+        }
+        # Launch acks cross MpTransport's pipe and are counted
+        # there; count the identical envelope here so bytes_received
+        # agrees between backends from the first message on.
+        self.bytes_received += len(
+            pickle.dumps(("ok", ack), protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        return ack
+
     def _launch(self, init_payloads: Iterable[bytes]) -> List[Any]:
         acks = []
-        for blob in init_payloads:
-            worker = worker_from_bytes(blob)
-            if self.data_plane is not None:
-                # The local plane's arrays cannot ride the pickled init
-                # payload; hand them over here — same attach call the
-                # shm worker performs from its spec.
-                worker.attach_plane(self.data_plane)
+        for worker_id, blob in enumerate(init_payloads):
+            if self._fault_plan.get(worker_id) == "launch":
+                del self._fault_plan[worker_id]
+                self._workers.append(None)
+                raise WorkerFailure(
+                    worker_id,
+                    "injected fault: killed at launch",
+                    last_command="launch",
+                    phase="launch",
+                )
+            worker = self._build_worker(blob)
             self._workers.append(worker)
-            ack = {
-                "worker": worker.worker_id,
-                "owned": len(worker.store.owned_vertices),
-            }
-            # Launch acks cross MpTransport's pipe and are counted
-            # there; count the identical envelope here so bytes_received
-            # agrees between backends from the first message on.
-            self.bytes_received += len(
-                pickle.dumps(("ok", ack), protocol=pickle.HIGHEST_PROTOCOL)
-            )
-            acks.append(ack)
+            acks.append(self._ack(worker))
         self._check_payload_count(len(acks))
         return acks
 
     def _round(self, messages: Sequence[Message]) -> List[Any]:
         replies = []
-        for worker, message in zip(self._workers, messages):
+        for worker_id, (worker, message) in enumerate(
+            zip(self._workers, messages)
+        ):
+            if self._fault_plan.get(worker_id) == self.rounds_completed:
+                # Deterministic emulation of an mp worker dying at this
+                # round: the worker object is dropped (its state is
+                # unreachable, exactly like a dead process) and the
+                # round fails the same way _recv would.
+                del self._fault_plan[worker_id]
+                self._workers[worker_id] = None
+                raise WorkerFailure(
+                    worker_id,
+                    "injected fault: killed by schedule",
+                    last_command=message[0],
+                    phase="reply",
+                )
+            if worker is None:
+                raise WorkerFailure(
+                    worker_id,
+                    "worker is dead and has not been recovered",
+                    last_command=message[0],
+                    phase="send",
+                )
             # Same wire discipline as MpTransport: commands and replies
             # are serialized copies, never shared objects — and the
             # reply rides the identical ("ok", payload) envelope, so the
@@ -229,13 +370,23 @@ class InprocTransport(Transport):
             try:
                 reply = worker.handle(tag, payload)
             except Exception as exc:
-                raise WorkerFailure(worker.worker_id, repr(exc)) from exc
+                raise WorkerFailure(
+                    worker.worker_id,
+                    f"{type(exc).__name__}: {exc}",
+                    last_command=tag,
+                    phase="reply",
+                ) from exc
             reply_blob = pickle.dumps(
                 ("ok", reply), protocol=pickle.HIGHEST_PROTOCOL
             )
             self.bytes_received += len(reply_blob)
             replies.append(pickle.loads(reply_blob)[1])
         return replies
+
+    def _recover(self, worker_id: int, init_payload: bytes) -> Any:
+        worker = self._build_worker(init_payload)
+        self._workers[worker_id] = worker
+        return self._ack(worker)
 
     def _shutdown(self) -> None:
         self._workers = []
@@ -271,6 +422,9 @@ class MpTransport(Transport):
         self._procs: List[Any] = []
         self._conns: List[Any] = []
         self._last_cmd: List[str] = ["launch"] * num_workers
+        #: True while a command has been sent and its reply not yet
+        #: consumed; lets recovery drain survivors of an aborted round.
+        self._pending: List[bool] = [False] * num_workers
 
     def plane_kind(self) -> Optional[str]:
         return "shm" if shm_available() else None
@@ -286,25 +440,53 @@ class MpTransport(Transport):
         self.data_plane = ShmDataPlane.create(spec)
         return self.data_plane
 
+    def _spawn(self, worker_id: int, blob: bytes) -> None:
+        parent, child = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=serve,
+            args=(child, blob),
+            name=f"graphlab-runtime-w{worker_id}",
+            daemon=True,
+        )
+        proc.start()
+        child.close()
+        if worker_id < len(self._procs):
+            self._procs[worker_id] = proc
+            self._conns[worker_id] = parent
+        else:
+            self._procs.append(proc)
+            self._conns.append(parent)
+
+    def kill_worker(self, worker_id: int) -> None:
+        """Hard-kill one worker process (fault injection)."""
+        proc = self._procs[worker_id]
+        if proc.is_alive():
+            proc.kill()
+            proc.join(timeout=2.0)
+
+    def _fire_kills(self, when: Union[int, str]) -> None:
+        for worker_id, at in list(self._fault_plan.items()):
+            if at == when and worker_id < len(self._procs):
+                del self._fault_plan[worker_id]
+                self.kill_worker(worker_id)
+
     def _launch(self, init_payloads: Iterable[bytes]) -> List[Any]:
         count = 0
         for worker_id, blob in enumerate(init_payloads):
-            parent, child = self._ctx.Pipe()
-            proc = self._ctx.Process(
-                target=serve,
-                args=(child, blob),
-                name=f"graphlab-runtime-w{worker_id}",
-                daemon=True,
-            )
-            proc.start()
-            child.close()
-            self._procs.append(proc)
-            self._conns.append(parent)
+            self._spawn(worker_id, blob)
             count += 1
         self._check_payload_count(count)
-        return [self._recv(w) for w in range(self.num_workers)]
+        self._pending = [True] * self.num_workers
+        # Kill-at-launch fires after the spawn, before the ready acks:
+        # the failure surfaces through the normal _recv path.
+        self._fire_kills("launch")
+        return [self._recv(w, phase="launch") for w in range(self.num_workers)]
 
     def _round(self, messages: Sequence[Message]) -> List[Any]:
+        # Scheduled kills fire before the sends, so the doomed worker
+        # never processes this round's command — deterministic "machine
+        # lost between barriers" semantics.
+        self._fire_kills(self.rounds_completed)
         for worker_id, (conn, message) in enumerate(
             zip(self._conns, messages)
         ):
@@ -316,14 +498,16 @@ class MpTransport(Transport):
             except (BrokenPipeError, OSError) as exc:
                 raise WorkerFailure(
                     worker_id,
-                    f"pipe write failed ({exc}); last command "
-                    f"{self._last_cmd[worker_id]!r}",
+                    f"pipe write failed ({exc})",
+                    last_command=message[0],
+                    phase="send",
                 ) from exc
+            self._pending[worker_id] = True
         # All workers now compute concurrently; collecting every reply
         # is the barrier.
         return [self._recv(w) for w in range(self.num_workers)]
 
-    def _recv(self, worker_id: int) -> Any:
+    def _recv(self, worker_id: int, phase: str = "reply") -> Any:
         conn = self._conns[worker_id]
         proc = self._procs[worker_id]
         last = self._last_cmd[worker_id]
@@ -333,26 +517,63 @@ class MpTransport(Transport):
                 raise WorkerFailure(
                     worker_id,
                     f"process exited with code {proc.exitcode} before "
-                    f"replying to command {last!r}",
+                    "replying",
+                    last_command=last,
+                    phase=phase,
                 )
             if time.monotonic() > deadline:
                 raise WorkerFailure(
                     worker_id,
-                    f"no reply to command {last!r} within "
-                    f"{self.reply_timeout}s",
+                    f"no reply within {self.reply_timeout}s",
+                    last_command=last,
+                    phase=phase,
                 )
         try:
             blob = conn.recv_bytes()
         except (EOFError, OSError):
             raise WorkerFailure(
                 worker_id,
-                f"pipe closed mid-reply to command {last!r}",
+                "pipe closed mid-reply",
+                last_command=last,
+                phase=phase,
             ) from None
         self.bytes_received += len(blob)
+        self._pending[worker_id] = False
         tag, payload = pickle.loads(blob)
         if tag == "error":
-            raise WorkerFailure(worker_id, payload)
+            raise WorkerFailure(
+                worker_id, payload, last_command=last, phase=phase
+            )
         return payload
+
+    def _recover(self, worker_id: int, init_payload: bytes) -> Any:
+        # Drain survivors of the aborted round first: they finished the
+        # round whose barrier the failure broke, and their replies are
+        # still in the pipes. The replies are discarded — the engine
+        # rolls everyone back to the snapshot anyway. A second failure
+        # here propagates; the engine's bounded retry handles it.
+        for w in range(self.num_workers):
+            if w != worker_id and self._pending[w]:
+                self._recv(w)
+        # Reap what's left of the dead worker, then respawn on a fresh
+        # pipe. The init payload re-ships the full launch state (plane
+        # spec included, so an shm worker re-attaches its segments by
+        # name) and the ready ack is awaited like at launch.
+        proc = self._procs[worker_id]
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=2.0)
+            if proc.is_alive():  # pragma: no cover - stuck in kernel
+                proc.kill()
+                proc.join(timeout=1.0)
+        try:
+            self._conns[worker_id].close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+        self._last_cmd[worker_id] = "launch"
+        self._spawn(worker_id, init_payload)
+        self._pending[worker_id] = True
+        return self._recv(worker_id, phase="launch")
 
     def _shutdown(self) -> None:
         """Stop workers; join with timeouts and escalate to kill.

@@ -72,7 +72,7 @@ from typing import Any, Deque, Dict, List, Mapping, Optional, Set, Tuple
 
 import numpy as np
 
-from repro.core.consistency import Consistency, LockKind
+from repro.core.consistency import Consistency, LockKind, edge_key, vertex_key
 from repro.core.graph import DataGraph, VertexId
 from repro.core.kernels import independent_classes, kernel_of
 from repro.core.scheduler import make_scheduler
@@ -80,7 +80,8 @@ from repro.core.scope import Scope
 from repro.core.sync import GlobalValues, SyncOperation
 from repro.core.update import normalize_schedule
 from repro.distributed.locks import RWQueueCore, build_lock_chain
-from repro.errors import EngineError
+from repro.errors import EngineError, SnapshotError
+from repro.runtime.checkpoint import SnapshotDirectory
 from repro.runtime.plane import DataPlane, PlaneSpec, ShmDataPlane
 from repro.runtime.shard import CSRShardStore
 
@@ -398,6 +399,10 @@ class RuntimeWorker(_PlaneClient):
             return self._sync_count(payload.get("inbox"))
         if tag == "collect":
             return self._collect(payload.get("inbox"))
+        if tag == "checkpoint":
+            return self._checkpoint(payload.get("inbox"))
+        if tag == "restore":
+            return self._restore(payload)
         raise EngineError(f"worker {self.worker_id}: unknown command {tag!r}")
 
     # ------------------------------------------------------------------
@@ -681,13 +686,71 @@ class RuntimeWorker(_PlaneClient):
         straight out of this worker's segment after the barrier.
         """
         self._apply_inbox(inbox)
+        return self._collect_payload(self._counts_dict())
+
+    def _counts_dict(self) -> Dict[VertexId, int]:
+        """Update counts as one id-keyed dict (kernel vec + scalar)."""
         counts = dict(self.counts)
         if self.kernel is not None:
             vertex_ids = self._vertex_ids
             counts_vec = self._counts_vec
             for i in counts_vec.nonzero()[0]:
                 counts[vertex_ids[i]] = int(counts_vec[i])
-        return self._collect_payload(counts)
+        return counts
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore (runtime fault tolerance, Sec. 4.3).
+    # ------------------------------------------------------------------
+    def _checkpoint(self, inbox: Optional[Inbox]) -> Dict[str, Any]:
+        """Barrier snapshot: journal this shard's owned slots + counts.
+
+        Runs at a sweep boundary; the residual inbox applies first —
+        including any pending speculation verdict, so the journal always
+        reflects post-verdict state — and the reply is a journal in the
+        simulated DFS's per-machine shape plus the runtime's update
+        counts. The task set is *not* journaled here: the chromatic
+        coordinator's global mask is exact and rides the meta record.
+        """
+        self._apply_inbox(inbox)
+        payload = self.store.checkpoint_payload()
+        payload["counts"] = self._counts_dict()
+        return payload
+
+    def _restore(self, payload: Mapping[str, Any]) -> Dict[str, Any]:
+        """Roll this worker back to a snapshot.
+
+        ``state`` is the cluster-wide merged journal (this shard filters
+        to its held slots — ghosts roll back to their owner's snapshot
+        values), ``counts`` the worker's journaled update counts,
+        ``sched`` the dense indices of its share of the snapshot task
+        set, ``globals`` the snapshot-time published values. Any pending
+        speculation is dropped first: the round it belonged to was
+        aborted by the failure, and the restore overwrites its state
+        anyway.
+        """
+        self._spec_pending = None
+        self.store.restore_checkpoint(payload["state"])
+        counts = payload.get("counts") or {}
+        sched = payload.get("sched")
+        if self.kernel is not None:
+            self.counts = {}
+            self._counts_vec[:] = 0
+            index_of = self._index_of
+            for vertex, count in counts.items():
+                self._counts_vec[index_of[vertex]] = count
+            self._sched_mask[:] = False
+            if sched is not None and len(sched):
+                self._sched_mask[np.asarray(sched, dtype=np.int64)] = True
+        else:
+            self.counts = dict(counts)
+            self.scheduled = set()
+            if sched is not None:
+                vertex_ids = self._vertex_ids
+                for i in np.asarray(sched).tolist():
+                    self.scheduled.add(vertex_ids[i])
+        for key, value in payload.get("globals", ()):
+            self.globals.publish(key, value)
+        return {"worker": self.worker_id}
 
 
 #: Wire encoding of lock kinds inside int32 batches.
@@ -702,17 +765,27 @@ class _PendingScope:
     (:func:`~repro.distributed.locks.build_lock_chain`, dense-index
     form); ``pos`` is the group currently being acquired and ``waiting``
     counts its locally-queued, not-yet-granted locks. A scope is used as
-    its own grant token in the local lock table.
+    its own grant token in the local lock table. ``snap`` marks a
+    Chandy–Lamport snapshot scope (Alg. 5): it rides the same lock
+    pipeline as real updates but executes the snapshot update instead
+    of the program, outside the round budget.
     """
 
-    __slots__ = ("scope_id", "vertex", "chain", "pos", "waiting")
+    __slots__ = ("scope_id", "vertex", "chain", "pos", "waiting", "snap")
 
-    def __init__(self, scope_id: int, vertex: VertexId, chain: List) -> None:
+    def __init__(
+        self,
+        scope_id: int,
+        vertex: VertexId,
+        chain: List,
+        snap: bool = False,
+    ) -> None:
         self.scope_id = scope_id
         self.vertex = vertex
         self.chain = chain
         self.pos = 0
         self.waiting = 0
+        self.snap = snap
 
 
 class _RemoteGroup:
@@ -773,6 +846,7 @@ class LockingWorker(_PlaneClient):
         csr = init.graph.compiled
         self._vertex_ids = csr.vertex_ids
         self._index_of = csr.index_of
+        self._scheduler_kind = init.scheduler
         self.scheduler = make_scheduler(init.scheduler)
         #: Locks for *owned* vertices live here, keyed by dense index.
         self.table = RWQueueCore(
@@ -784,6 +858,16 @@ class LockingWorker(_PlaneClient):
         self._ready: Deque[_PendingScope] = deque()
         self._next_scope = 0
         self._trace: Optional[List[Tuple]] = [] if init.trace else None
+        #: In-progress async Chandy–Lamport snapshot (Alg. 5): marked /
+        #: queued owned vertices, the local work queue, and the growing
+        #: journal. ``None`` when no snapshot is active.
+        self._snap: Optional[Dict[str, Any]] = None
+        #: Snapshot scopes need EDGE consistency regardless of the
+        #: engine's model (the snapshot update reads the vertex and all
+        #: adjacent edges); share the memo when the models coincide.
+        self._snap_chains: Dict[VertexId, List] = (
+            self._chains if init.consistency is Consistency.EDGE else {}
+        )
         self._init_plane(init.plane)
         self._scope = Scope(
             init.graph,
@@ -798,6 +882,7 @@ class LockingWorker(_PlaneClient):
         self._out_grant: Dict[int, List[int]] = {}
         self._out_unlock: Dict[int, List[int]] = {}
         self._out_sched: Dict[int, Tuple[List[int], List[float]]] = {}
+        self._out_ssched: Dict[int, List[int]] = {}
 
     # ------------------------------------------------------------------
     # Message dispatch.
@@ -808,13 +893,13 @@ class LockingWorker(_PlaneClient):
             # peers read last round's half while this one fills.
             self._ring.begin_round()
         if tag == "lstep":
-            return self._lstep(
-                payload.get("round", 0),
-                payload.get("budget"),
-                payload.get("inbox"),
-            )
+            return self._lstep(payload)
         if tag == "collect":
             return self._collect(payload.get("inbox"))
+        if tag == "checkpoint":
+            return self._checkpoint(payload.get("inbox"))
+        if tag == "restore":
+            return self._restore(payload)
         raise EngineError(f"worker {self.worker_id}: unknown command {tag!r}")
 
     # ------------------------------------------------------------------
@@ -904,9 +989,7 @@ class LockingWorker(_PlaneClient):
     # ------------------------------------------------------------------
     # One round.
     # ------------------------------------------------------------------
-    def _lstep(
-        self, round_no: int, budget: Optional[int], inbox: Optional[Inbox]
-    ) -> Tuple:
+    def _lstep(self, payload: Mapping[str, Any]) -> Tuple:
         """Apply the inbox, then pipeline until blocked or out of budget.
 
         Inbox order matters: ghost data first (every write the grants
@@ -917,11 +1000,27 @@ class LockingWorker(_PlaneClient):
         interleaves ready scopes with pipeline top-up one pop at a time
         (FIFO-exact at one worker) and stops at ``budget`` updates so
         self-scheduling programs still yield the barrier.
+
+        Fault-tolerance extras on the same phase: ``drain`` completes
+        in-flight scopes without starting new ones (the coordinator's
+        quiescence drive before a synchronous snapshot); ``snap`` /
+        ``snap_seed`` / ``snap_finish`` run the asynchronous
+        Chandy–Lamport snapshot (Alg. 5) — remote snapshot-propagation
+        requests ride the inbox as ``ssched`` index arrays, exactly like
+        scheduling.
         """
+        round_no = payload.get("round", 0)
+        budget = payload.get("budget")
+        inbox = payload.get("inbox")
+        drain = bool(payload.get("drain"))
         self._out_lock = {}
         self._out_grant = {}
         self._out_unlock = {}
         self._out_sched = {}
+        self._out_ssched = {}
+        snap_info = payload.get("snap")
+        if snap_info is not None:
+            self._snap_begin(snap_info)
         if inbox:
             self._apply_entries(inbox)
             for key, value in inbox.get("globals", ()):
@@ -935,6 +1034,10 @@ class LockingWorker(_PlaneClient):
                 else:
                     for i, prio in zip(indices, priorities.tolist()):
                         self.scheduler.add(vertex_ids[i], prio)
+            if self._snap is not None:
+                for arr in inbox.get("ssched", ()):
+                    for i in np.asarray(arr).tolist():
+                        self._snap_enqueue(vertex_ids[i])
             table = self.table
             for arr in inbox.get("unlock", ()):
                 pairs = np.asarray(arr).tolist()
@@ -963,37 +1066,91 @@ class LockingWorker(_PlaneClient):
                     ps = inflight[scope_id]
                     ps.pos += 1
                     self._advance(ps)
-        executed = self._pump(round_no, budget)
+        if payload.get("snap_seed"):
+            self._snap_seed()
+        snap_bytes = None
+        if payload.get("snap_finish"):
+            snap_bytes = self._snap_finish()
+        executed = self._pump(round_no, budget, drain=drain)
         meta, overflow = self._collect_dirty_part()
         body = {
             "executed": executed,
-            "idle": not self._inflight and not self.scheduler,
+            "idle": (
+                self._snap is None
+                and not self._inflight
+                and not self.scheduler
+            ),
+            "inflight": len(self._inflight) + len(self._ready),
             "lock": self._encode_i32(self._out_lock),
             "grant": self._encode_i32(self._out_grant),
             "unlock": self._encode_i32(self._out_unlock),
             "sched": self._encode_sched(),
+            "ssched": self._encode_i32(self._out_ssched),
             "plane": meta or None,
             "data": overflow or None,
         }
+        if snap_bytes is not None:
+            body["snap_bytes"] = snap_bytes
+        snap = self._snap
+        if snap is not None:
+            body["snap_done"] = (
+                len(snap["marked"]) == len(self.store.owned_vertices)
+                and not snap["queue"]
+                and not any(ps.snap for ps in self._inflight.values())
+                and not self._out_ssched
+            )
         return (self._ring.half if self._ring is not None else 0, body)
 
-    def _pump(self, round_no: int, budget: Optional[int]) -> int:
-        """Execute ready scopes / top up the window, one pop at a time."""
+    def _pump(
+        self, round_no: int, budget: Optional[int], drain: bool = False
+    ) -> int:
+        """Execute ready scopes / top up the window, one pop at a time.
+
+        Snapshot scopes are budget-exempt (a budget-stalled snapshot
+        would hold locks across rounds and throttle the very pipeline it
+        is observing); ``drain`` completes what is in flight without
+        admitting new program scopes, so repeated drain rounds converge
+        to quiescence.
+        """
         executed = 0
         ready = self._ready
         scheduler = self.scheduler
         window = self.window
         inflight = self._inflight
-        while budget is None or executed < budget:
+        #: Program scopes popped after the budget ran out; re-queued in
+        #: order once the pump stops, still ready next round.
+        deferred: List[_PendingScope] = []
+        while True:
             if ready:
-                self._execute(ready.popleft(), round_no)
-                executed += 1
+                ps = ready.popleft()
+                if ps.snap:
+                    self._execute_snap(ps)
+                elif budget is None or executed < budget:
+                    self._execute(ps, round_no)
+                    executed += 1
+                else:
+                    deferred.append(ps)
                 continue
-            if len(inflight) < window and scheduler:
+            snap = self._snap
+            if (
+                snap is not None
+                and snap["queue"]
+                and len(inflight) < window
+            ):
+                self._start_snap(snap["queue"].popleft())
+                continue
+            if (
+                not drain
+                and (budget is None or executed < budget)
+                and len(inflight) < window
+                and scheduler
+            ):
                 vertex, _prio = scheduler.pop()
                 self._start(vertex)
                 continue
             break
+        if deferred:
+            ready.extendleft(reversed(deferred))
         return executed
 
     def _execute(self, ps: _PendingScope, round_no: int) -> None:
@@ -1032,6 +1189,239 @@ class LockingWorker(_PlaneClient):
         # after — then changes push with this round's dirty collection,
         # never later than the unlock they are serialized by.
         self._release(ps)
+
+    # ------------------------------------------------------------------
+    # Asynchronous Chandy–Lamport snapshot (Alg. 5).
+    # ------------------------------------------------------------------
+    def _snap_begin(self, info: Mapping[str, Any]) -> None:
+        """Initiate a snapshot epoch: every worker is an initiator for
+        its owned partition; propagation across partitions travels as
+        ``ssched`` requests, so the union of journals is one consistent
+        cut. The journal accumulates in memory and is written by this
+        worker at ``snap_finish`` — the paper's "each machine saves its
+        own state to distributed storage"."""
+        self._snap = {
+            "id": info["id"],
+            "root": info["root"],
+            "marked": set(),
+            "queued": set(),
+            "queue": deque(),
+            "vdata": {},
+            "edata": {},
+            "versions": {},
+        }
+        self._snap_seed()
+
+    def _snap_seed(self) -> None:
+        """Queue the next unmarked owned vertex when the snapshot has no
+        local work in flight — the restart that carries Alg. 5 across
+        disconnected components (neighbor propagation alone never
+        reaches them). Idempotent and cheap; the coordinator asks every
+        round of an active snapshot."""
+        snap = self._snap
+        if snap is None or snap["queue"]:
+            return
+        if any(ps.snap for ps in self._inflight.values()):
+            return
+        queued = snap["queued"]
+        for vertex in self.store.owned_vertices:
+            if vertex not in queued:
+                self._snap_enqueue(vertex)
+                return
+
+    def _snap_enqueue(self, vertex: VertexId) -> None:
+        """Schedule an owned vertex's snapshot update (set semantics)."""
+        snap = self._snap
+        if snap is None:
+            return
+        if vertex in snap["marked"] or vertex in snap["queued"]:
+            return
+        snap["queued"].add(vertex)
+        snap["queue"].append(vertex)
+
+    def _snap_chain_for(self, vertex: VertexId) -> List:
+        """Snapshot scopes lock at EDGE consistency whatever the
+        engine's model — Alg. 5 reads the vertex and all adjacent edges,
+        and anything weaker could journal a neighbor edge mid-update."""
+        chain = self._snap_chains.get(vertex)
+        if chain is None:
+            index_of = self._index_of
+            chain = self._snap_chains[vertex] = [
+                (owner, [(index_of[vid], kind) for vid, kind in group])
+                for owner, group in build_lock_chain(
+                    self.graph, vertex, Consistency.EDGE, self.owner
+                )
+            ]
+        return chain
+
+    def _start_snap(self, vertex: VertexId) -> None:
+        scope_id = self._next_scope
+        self._next_scope += 1
+        ps = _PendingScope(
+            scope_id, vertex, self._snap_chain_for(vertex), snap=True
+        )
+        self._inflight[scope_id] = ps
+        self._advance(ps)
+
+    def _execute_snap(self, ps: _PendingScope) -> None:
+        """Alg. 5's snapshot update, run inside the fully locked scope.
+
+        Save the vertex; save every adjacent edge *this worker owns*
+        (source-endpoint ownership, the journal partitioning rule) that
+        is not yet journaled; propagate to unmarked neighbors — locally
+        by queueing, remotely via ``ssched`` — then mark and release.
+        The ``(a, b) in edata`` dedup is what makes double delivery
+        harmless when both endpoints reach the same edge.
+        """
+        snap = self._snap
+        vertex = ps.vertex
+        if snap is not None and vertex not in snap["marked"]:
+            store = self.store
+            index_of = self._index_of
+            marked = snap["marked"]
+            edata = snap["edata"]
+            versions = snap["versions"]
+            snap["vdata"][vertex] = store.vertex_data(vertex)
+            versions[vertex_key(vertex)] = int(
+                store._vversion[index_of[vertex]]
+            )
+            owner = self.owner
+            me = self.worker_id
+            graph = self.graph
+            for u in graph.neighbors(vertex):
+                owned_u = owner[u] == me
+                if owned_u and u in marked:
+                    continue
+                for a, b in ((u, vertex), (vertex, u)):
+                    if owner[a] != me:
+                        continue
+                    if not graph.has_edge(a, b) or (a, b) in edata:
+                        continue
+                    edata[(a, b)] = store.edge_data(a, b)
+                    versions[edge_key(a, b)] = int(
+                        store._eversion[store._edge_slot[(a, b)]]
+                    )
+                if owned_u:
+                    self._snap_enqueue(u)
+                else:
+                    self._out_ssched.setdefault(owner[u], []).append(
+                        index_of[u]
+                    )
+            marked.add(vertex)
+        self._release(ps)
+
+    def _snap_finish(self) -> Optional[int]:
+        """Persist this worker's journal and end its snapshot epoch.
+
+        The journal carries the shard state in the simulated DFS's shape
+        plus the runtime extras recovery needs; the task set journaled
+        for an async snapshot is *every* owned vertex — the cut is
+        consistent but not quiescent, so recovery re-executes from a
+        full frontier and converges to the same fixed point.
+        """
+        snap = self._snap
+        if snap is None:
+            return None
+        index_of = self._index_of
+        journal = {
+            "vdata": snap["vdata"],
+            "edata": snap["edata"],
+            "versions": snap["versions"],
+            "counts": dict(self.counts),
+            "sched": [
+                (int(index_of[v]), 0.0)
+                for v in self.store.owned_vertices
+            ],
+        }
+        nbytes = SnapshotDirectory(snap["root"]).write_journal(
+            snap["id"], self.worker_id, journal
+        )
+        self._snap = None
+        return nbytes
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore (runtime fault tolerance, Sec. 4.3).
+    # ------------------------------------------------------------------
+    def _checkpoint(self, inbox: Optional[Inbox]) -> Dict[str, Any]:
+        """Quiescent-barrier snapshot: owned slots, counts, task set.
+
+        The coordinator drains the pipeline to quiescence first; a
+        residual inbox may still carry ghost data, globals, and remote
+        schedules (they fold into the journal), but lock-protocol
+        traffic — or scopes still in flight here — means the drain
+        failed and the snapshot must not be trusted.
+        """
+        if inbox:
+            if (
+                inbox.get("lock")
+                or inbox.get("grant")
+                or inbox.get("unlock")
+            ):
+                raise SnapshotError(
+                    f"worker {self.worker_id}: checkpoint round carries "
+                    "lock traffic; pipeline was not quiescent"
+                )
+            self._apply_entries(inbox)
+            for key, value in inbox.get("globals", ()):
+                self.globals.publish(key, value)
+            vertex_ids = self._vertex_ids
+            for indices, priorities in inbox.get("sched", ()):
+                indices = np.asarray(indices).tolist()
+                if priorities is None:
+                    for i in indices:
+                        self.scheduler.add(vertex_ids[i])
+                else:
+                    for i, prio in zip(indices, priorities.tolist()):
+                        self.scheduler.add(vertex_ids[i], prio)
+        if self._inflight or self._ready:
+            raise SnapshotError(
+                f"worker {self.worker_id}: checkpoint with "
+                f"{len(self._inflight) + len(self._ready)} scopes in "
+                "flight; pipeline was not quiescent"
+            )
+        index_of = self._index_of
+        payload = self.store.checkpoint_payload()
+        payload["counts"] = dict(self.counts)
+        payload["sched"] = [
+            (int(index_of[v]), float(priority))
+            for v, priority in self.scheduler.entries()
+        ]
+        return payload
+
+    def _restore(self, payload: Mapping[str, Any]) -> Dict[str, Any]:
+        """Roll this worker back to a snapshot.
+
+        Same contract as the chromatic worker's restore, plus the
+        locking engine's dynamic state: the lock table rebuilds empty
+        (every lock a failed round held is gone with it), in-flight
+        scopes and outgoing batches drop, the scheduler rebuilds from
+        the journaled task set, and any half-run async snapshot is
+        abandoned — its COMPLETE marker never existed, so it was never
+        recoverable anyway.
+        """
+        self.store.restore_checkpoint(payload["state"])
+        self.counts = dict(payload.get("counts") or {})
+        self.table = RWQueueCore(
+            self._index_of[v] for v in self.store.owned_vertices
+        )
+        self.scheduler = make_scheduler(self._scheduler_kind)
+        vertex_ids = self._vertex_ids
+        for index, priority in payload.get("sched", ()):
+            self.scheduler.add(vertex_ids[index], priority)
+        self._inflight = {}
+        self._ready = deque()
+        self._out_lock = {}
+        self._out_grant = {}
+        self._out_unlock = {}
+        self._out_sched = {}
+        self._out_ssched = {}
+        self._next_scope = 0
+        if self._trace is not None:
+            self._trace = []
+        self._snap = None
+        for key, value in payload.get("globals", ()):
+            self.globals.publish(key, value)
+        return {"worker": self.worker_id}
 
     # ------------------------------------------------------------------
     # Wire encoding.

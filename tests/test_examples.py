@@ -31,6 +31,7 @@ SMOKE_ARGS = {
     },
     "video_segmentation": {"frames": 3, "rows": 4, "cols": 6},
     "multicore_pagerank": {"num_vertices": 80, "max_workers": 2},
+    "fault_tolerant_pagerank": {"num_vertices": 80, "num_workers": 2},
     "batch_pagerank": {"num_vertices": 120, "sweeps": 3},
     "locking_als": {
         "num_users": 16, "num_movies": 8, "ratings_per_user": 4,

@@ -1,0 +1,325 @@
+"""Snapshots and crash/recover equivalence on the runtime engines.
+
+The fault-tolerance contract (paper Sec. 4.3, PR 6):
+
+* **Chromatic**: snapshots are taken at sweep barriers, where execution
+  is deterministic — a run that loses a worker mid-flight and recovers
+  from the last snapshot finishes **bit-identical** to an unkilled run.
+* **Locking**: execution is only conflict-serializable, so the promise
+  after recovery is **fixed-point equivalence** with the sequential
+  oracle, for both the synchronous (drain-to-quiescence) snapshot and
+  the asynchronous Chandy–Lamport snapshot of Alg. 5.
+* Recovery happens inside ``run()`` — no coordinator restart — and the
+  respawned cluster keeps going through *further* failures up to
+  ``max_recoveries``.
+
+Both ``use_plane`` settings run, pinning the shm and the pipe wire
+(``REPRO_NO_SHM`` CI lane re-runs the whole file without shm anyway).
+"""
+
+import pytest
+
+from repro.apps.pagerank import make_pagerank_update
+from repro.datasets.webgraph import power_law_web_graph
+from repro.errors import SnapshotError, EngineError
+from repro.runtime import (
+    CheckpointManager,
+    RuntimeChromaticEngine,
+    RuntimeLockingEngine,
+    SnapshotCadence,
+    SnapshotDirectory,
+    UpdateProgram,
+    WorkerFailure,
+    merge_journals,
+)
+
+from repro.runtime.transport import FAULT_ENV
+
+from tests.helpers import grid_graph
+
+
+@pytest.fixture(autouse=True)
+def _clear_fault_env(monkeypatch):
+    """Every kill here is scheduled explicitly; an ambient REPRO_FAULT
+    (the CI fault lane sets one job-wide) must not add extras."""
+    monkeypatch.delenv(FAULT_ENV, raising=False)
+
+
+def flood_max(scope):
+    best = scope.data
+    for u in scope.neighbors:
+        best = max(best, scope.neighbor(u))
+    if best != scope.data:
+        scope.data = best
+        return [(u, best) for u in scope.neighbors]
+
+
+PAGERANK = UpdateProgram(
+    make_pagerank_update, kwargs={"schedule": "out", "epsilon": 1e-4}
+)
+
+
+def web(n=60):
+    return power_law_web_graph(n, out_degree=3, seed=11)
+
+
+def ranks(graph):
+    return {v: graph.vertex_data(v) for v in graph.vertices()}
+
+
+def clean_chromatic(transport="inproc", **kw):
+    g = web()
+    result = RuntimeChromaticEngine(
+        g, PAGERANK, num_workers=2, transport=transport,
+        max_sweeps=100, **kw,
+    ).run(initial=g.vertices())
+    return ranks(g), result
+
+
+class TestChromaticCrashRecover:
+    """Bit-identity through kill + respawn + rollback."""
+
+    @pytest.mark.parametrize("kill_round", [0, 1, 5, 9])
+    @pytest.mark.parametrize("use_plane", [True, False])
+    def test_inproc_bit_identical(self, kill_round, use_plane):
+        clean, _ = clean_chromatic(use_plane=use_plane)
+        g = web()
+        engine = RuntimeChromaticEngine(
+            g, PAGERANK, num_workers=2, transport="inproc",
+            max_sweeps=100, use_plane=use_plane,
+            snapshot_every=2, recovery_backoff=0.0,
+        )
+        engine.transport.schedule_kill(1, kill_round)
+        result = engine.run(initial=g.vertices())
+        assert result.extra["recoveries"] == 1
+        assert result.extra["snapshots"] >= 1
+        assert ranks(g) == clean
+
+    def test_mp_bit_identical(self):
+        clean, _ = clean_chromatic(transport="mp")
+        g = web()
+        engine = RuntimeChromaticEngine(
+            g, PAGERANK, num_workers=2, transport="mp",
+            max_sweeps=100, snapshot_every=2, recovery_backoff=0.0,
+        )
+        engine.transport.schedule_kill(0, 4)
+        result = engine.run(initial=g.vertices())
+        assert result.extra["recoveries"] == 1
+        assert ranks(g) == clean
+
+    def test_two_failures_two_recoveries(self):
+        clean, _ = clean_chromatic()
+        g = web()
+        engine = RuntimeChromaticEngine(
+            g, PAGERANK, num_workers=2, transport="inproc",
+            max_sweeps=100, snapshot_every=2, recovery_backoff=0.0,
+        )
+        engine.transport.schedule_kill(1, 3)
+        engine.transport.schedule_kill(0, 9)
+        result = engine.run(initial=g.vertices())
+        assert result.extra["recoveries"] == 2
+        assert ranks(g) == clean
+
+    def test_max_recoveries_exceeded(self):
+        g = web()
+        engine = RuntimeChromaticEngine(
+            g, PAGERANK, num_workers=2, transport="inproc",
+            max_sweeps=100, snapshot_every=2,
+            max_recoveries=1, recovery_backoff=0.0,
+        )
+        engine.transport.schedule_kill(1, 3)
+        engine.transport.schedule_kill(0, 7)
+        with pytest.raises(WorkerFailure):
+            engine.run(initial=g.vertices())
+
+    def test_no_snapshots_means_no_recovery(self):
+        g = web()
+        engine = RuntimeChromaticEngine(
+            g, PAGERANK, num_workers=2, transport="inproc", max_sweeps=100
+        )
+        engine.transport.schedule_kill(1, 3)
+        with pytest.raises(WorkerFailure):
+            engine.run(initial=g.vertices())
+
+    def test_snapshots_persist_to_user_dir(self, tmp_path):
+        g = web()
+        result = RuntimeChromaticEngine(
+            g, PAGERANK, num_workers=2, transport="inproc",
+            max_sweeps=100, snapshot_every=2,
+            snapshot_dir=str(tmp_path),
+        ).run(initial=g.vertices())
+        directory = SnapshotDirectory(str(tmp_path))
+        assert directory.latest() is not None
+        meta = directory.read_meta(directory.latest())
+        assert meta["engine"] == "chromatic"
+        assert result.extra["snapshot_bytes"] > 0
+
+    def test_typed_kernel_graph_recovers(self):
+        """Kill + recover on a typed-column graph (kernel fast path)."""
+        g1 = web()
+        RuntimeChromaticEngine(
+            g1, PAGERANK, num_workers=2, transport="inproc",
+            max_sweeps=40,
+        ).run(initial=g1.vertices())
+        g2 = web()
+        engine = RuntimeChromaticEngine(
+            g2, PAGERANK, num_workers=2, transport="inproc",
+            max_sweeps=40, snapshot_every=3, recovery_backoff=0.0,
+        )
+        engine.transport.schedule_kill(0, 6)
+        result = engine.run(initial=g2.vertices())
+        assert result.extra["recoveries"] == 1
+        assert ranks(g2) == ranks(g1)
+
+
+class TestLockingCrashRecover:
+    """Fixed-point equivalence through kill + respawn + rollback."""
+
+    def _clean(self):
+        g = web()
+        RuntimeLockingEngine(
+            g, PAGERANK, num_workers=2, transport="inproc",
+        ).run(initial=g.vertices())
+        return ranks(g)
+
+    @pytest.mark.parametrize("mode", ["sync", "async"])
+    @pytest.mark.parametrize("use_plane", [True, False])
+    def test_inproc_fixed_point(self, mode, use_plane):
+        clean = self._clean()
+        g = web()
+        engine = RuntimeLockingEngine(
+            g, PAGERANK, num_workers=2, transport="inproc",
+            use_plane=use_plane, snapshot_every=3,
+            snapshot_mode=mode, recovery_backoff=0.0,
+        )
+        engine.transport.schedule_kill(1, 6)
+        result = engine.run(initial=g.vertices())
+        assert result.converged
+        assert result.extra["recoveries"] == 1
+        got = ranks(g)
+        for v, rank in clean.items():
+            assert got[v] == pytest.approx(rank, abs=1e-3)
+
+    @pytest.mark.parametrize("mode", ["sync", "async"])
+    def test_mp_fixed_point(self, mode):
+        clean = self._clean()
+        g = web()
+        engine = RuntimeLockingEngine(
+            g, PAGERANK, num_workers=2, transport="mp",
+            snapshot_every=3, snapshot_mode=mode, recovery_backoff=0.0,
+        )
+        engine.transport.schedule_kill(0, 6)
+        result = engine.run(initial=g.vertices())
+        assert result.converged
+        assert result.extra["recoveries"] == 1
+        got = ranks(g)
+        for v, rank in clean.items():
+            assert got[v] == pytest.approx(rank, abs=1e-3)
+
+    def test_kill_at_round_zero_recovers_from_baseline(self):
+        clean = self._clean()
+        g = web()
+        engine = RuntimeLockingEngine(
+            g, PAGERANK, num_workers=2, transport="inproc",
+            snapshot_every=1000, recovery_backoff=0.0,
+        )
+        engine.transport.schedule_kill(1, 0)
+        result = engine.run(initial=g.vertices())
+        # Only the baseline snapshot existed; the whole run replays.
+        assert result.converged
+        assert result.extra["recoveries"] == 1
+        got = ranks(g)
+        for v, rank in clean.items():
+            assert got[v] == pytest.approx(rank, abs=1e-3)
+
+    def test_async_snapshot_covers_whole_graph(self, tmp_path):
+        """The Chandy–Lamport cut journals every vertex and edge."""
+        g = web()
+        RuntimeLockingEngine(
+            g, PAGERANK, num_workers=3, transport="inproc",
+            snapshot_every=2, snapshot_mode="async",
+            snapshot_dir=str(tmp_path),
+        ).run(initial=g.vertices())
+        directory = SnapshotDirectory(str(tmp_path))
+        latest = directory.latest()
+        assert latest is not None
+        journals = [directory.read_journal(latest, w) for w in range(3)]
+        merged = merge_journals(journals)
+        assert set(merged["vdata"]) == set(g.vertices())
+        assert set(merged["edata"]) == set(g.edges())
+        # Async snapshots exist alongside the sync baseline.
+        metas = [
+            directory.read_meta(s)
+            for s in directory.snapshot_ids()
+            if directory.is_complete(s)
+        ]
+        assert any(m["mode"] == "async" for m in metas)
+
+    def test_bad_snapshot_mode_rejected(self):
+        with pytest.raises(EngineError):
+            RuntimeLockingEngine(
+                grid_graph(2, 2), flood_max, num_workers=1,
+                transport="inproc", snapshot_mode="lazy",
+            )
+
+
+class TestCheckpointManager:
+    def test_write_read_roundtrip(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path), 2)
+        journals = [
+            {"vdata": {"v:0": 1.0}, "edata": {}, "versions": {"v:0": 3}},
+            {"vdata": {"v:1": 2.0}, "edata": {}, "versions": {"v:1": 4}},
+        ]
+        sid = manager.next_id()
+        manager.write(sid, journals, {"engine": "test", "rounds": 7})
+        got_sid, meta, got = manager.latest_state()
+        assert got_sid == sid
+        assert meta["rounds"] == 7
+        assert got == journals
+        merged = merge_journals(got)
+        assert merged["vdata"] == {"v:0": 1.0, "v:1": 2.0}
+        assert merged["versions"] == {"v:0": 3, "v:1": 4}
+
+    def test_incomplete_snapshot_is_not_a_recovery_point(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path), 1)
+        sid = manager.next_id()
+        manager.dir.write_journal(sid, 0, {"vdata": {}})
+        with pytest.raises(SnapshotError):
+            manager.latest_state()
+
+    def test_finalize_async_requires_all_journals(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path), 2)
+        sid = manager.next_id()
+        manager.dir.write_journal(sid, 0, {"vdata": {}})
+        with pytest.raises(SnapshotError):
+            manager.finalize_async(sid, {})
+
+    def test_ids_never_reuse_partial_directories(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path), 1)
+        sid = manager.next_id()
+        manager.dir.write_journal(sid, 0, {"vdata": {}})
+        fresh = CheckpointManager(str(tmp_path), 1)
+        assert fresh.next_id() == sid + 1
+
+
+class TestSnapshotCadence:
+    def test_count_mode(self):
+        cadence = SnapshotCadence(3, 4)
+        assert not cadence.due(2, 0.0)
+        assert cadence.due(3, 0.0)
+        cadence.mark(3, 0.0)
+        assert not cadence.due(5, 100.0)
+        assert cadence.due(6, 100.0)
+
+    def test_auto_mode_needs_a_first_measurement(self):
+        cadence = SnapshotCadence("auto", 64)
+        assert not cadence.due(0, 0.0)
+        cadence.mark(0, 0.0, cost=120.0)
+        # Young's interval for 64 workers, 120 s checkpoints: ~3 h.
+        assert not cadence.due(0, 3600.0)
+        assert cadence.due(0, 4 * 3600.0)
+
+    @pytest.mark.parametrize("bad", [0, -1, True, "often", 2.5])
+    def test_rejects_bad_cadence(self, bad):
+        with pytest.raises(SnapshotError):
+            SnapshotCadence(bad, 2)
