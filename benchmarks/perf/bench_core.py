@@ -97,6 +97,7 @@ from repro.core.graph import DataGraph
 from repro.datasets.mesh import grid_2d_typed
 from repro.datasets.netflix import synthetic_netflix
 from repro.datasets.webgraph import power_law_web_graph
+from repro.obs import phase_share_fractions
 from repro.runtime import (
     ColorSweepScheduler,
     RuntimeChromaticEngine,
@@ -266,7 +267,7 @@ def build_threaded_fig1a_workload(num_workers: int = 4):
     return run
 
 
-def build_runtime_fig1a_workload(num_workers: int):
+def build_runtime_fig1a_workload(num_workers: int, telemetry: bool = False):
     """Fig. 1a round-robin PageRank on real worker OS processes.
 
     The runner reports the engine's own throughput accounting
@@ -290,6 +291,7 @@ def build_runtime_fig1a_workload(num_workers: int):
             transport="mp",
             coloring=coloring,
             max_sweeps=FIG1A_SWEEPS,
+            telemetry=telemetry,
         )
         result = engine.run(initial=copy.vertices())
         run.last_graph = copy
@@ -383,6 +385,19 @@ def measure_runtime(run, repeats: int = 3) -> Dict[str, float]:
     return best
 
 
+def runtime_phase_shares(build, *args) -> Dict[str, float]:
+    """Six-phase worker-time shares from one telemetry-on run.
+
+    A separate run so the measured throughput rows stay telemetry-off
+    (observation never steers the recorded numbers); the breakdown is
+    the ISSUE 7 quantity — where worker wall time goes (compute / lock
+    wait / ghost apply / serialization / pipe idle / snapshot).
+    """
+    run = build(*args, telemetry=True)
+    result = run()
+    return phase_share_fractions(result.telemetry)
+
+
 def run_runtime_benchmarks(repeats: int = 3) -> Dict[str, Dict]:
     """Fig. 1a throughput: threaded baseline vs workers=1/2/4 processes.
 
@@ -407,6 +422,9 @@ def run_runtime_benchmarks(repeats: int = 3) -> Dict[str, Dict]:
         bit_identical = bit_identical and all(
             run.last_graph.vertex_data(v) == oracle[v] for v in oracle
         )
+    results["mp_4_workers"]["phase_shares"] = runtime_phase_shares(
+        build_runtime_fig1a_workload, 4
+    )
     threaded = results["threaded_4_workers"]["updates_per_sec"]
     for workers in (1, 2, 4):
         name = f"mp_{workers}_workers"
@@ -568,7 +586,7 @@ def _runtime_lbp_graph():
     return graph
 
 
-def build_runtime_lbp_workload(num_workers: int):
+def build_runtime_lbp_workload(num_workers: int, telemetry: bool = False):
     """Grid-MRF residual BP on real worker processes, to convergence.
 
     Boundary messages are ``(2, L)`` float64 rows — the payload class
@@ -592,6 +610,7 @@ def build_runtime_lbp_workload(num_workers: int):
             num_workers=num_workers,
             transport="mp",
             coloring=coloring,
+            telemetry=telemetry,
         )
         result = engine.run(initial=copy.vertices())
         run.last_graph = copy
@@ -681,6 +700,9 @@ def run_runtime_lbp_benchmarks(repeats: int = 3) -> Dict[str, Dict]:
             if threaded
             else 0.0
         )
+    results["mp_4_workers"]["phase_shares"] = runtime_phase_shares(
+        build_runtime_lbp_workload, 4
+    )
     results["num_updates_expected"] = oracle_result.num_updates
     results["bit_identical_to_sequential"] = bit_identical
     return results
@@ -767,7 +789,9 @@ def _finish_locking_section(results: Dict[str, Dict]) -> None:
     results["pipeline_window"] = LOCKING_WINDOW
 
 
-def build_locking_pagerank_workload(num_workers: int, window: int):
+def build_locking_pagerank_workload(
+    num_workers: int, window: int, telemetry: bool = False
+):
     """Dynamic PageRank to quiescence on the pipelined locking engine."""
     graph = _locking_pagerank_graph()
     program = UpdateProgram(
@@ -782,6 +806,7 @@ def build_locking_pagerank_workload(num_workers: int, window: int):
             num_workers=num_workers,
             transport="mp",
             pipeline_window=window,
+            telemetry=telemetry,
         )
         result = engine.run(initial=copy.vertices())
         run.last_graph = copy
@@ -842,6 +867,9 @@ def run_locking_pagerank_benchmarks(repeats: int = 3) -> Dict[str, Dict]:
     fixed_point = fixed_point and (
         l1_error(window_run.last_graph, truth) < tolerance
     )
+    results["mp_4_workers"]["phase_shares"] = runtime_phase_shares(
+        build_locking_pagerank_workload, 4, LOCKING_WINDOW
+    )
     _finish_locking_section(results)
     results["fixed_point_ok"] = fixed_point
     return results
@@ -858,7 +886,9 @@ def _als_graph():
     return data.graph
 
 
-def build_runtime_als_workload(num_workers: int, window: int):
+def build_runtime_als_workload(
+    num_workers: int, window: int, telemetry: bool = False
+):
     """Dynamic ALS (Fig. 1d) under edge consistency, priority order."""
     graph = _als_graph()
     from repro.apps.als import als_program
@@ -875,6 +905,7 @@ def build_runtime_als_workload(num_workers: int, window: int):
             transport="mp",
             scheduler="priority",
             pipeline_window=window,
+            telemetry=telemetry,
         )
         result = engine.run(initial=copy.vertices())
         run.last_graph = copy
@@ -935,6 +966,12 @@ def run_runtime_als_benchmarks(repeats: int = 3) -> Dict[str, Dict]:
     row["train_rmse"] = round(rmse, 4)
     converged = converged and rmse < rmse_start * 0.5
     results["mp_4_workers_window_1"] = row
+    results["mp_4_workers"]["phase_shares"] = runtime_phase_shares(
+        build_runtime_als_workload, 4, LOCKING_WINDOW
+    )
+    results["mp_4_workers_window_1"]["phase_shares"] = runtime_phase_shares(
+        build_runtime_als_workload, 4, 1
+    )
     _finish_locking_section(results)
     results["train_rmse_start"] = round(rmse_start, 4)
     results["rmse_converged"] = converged

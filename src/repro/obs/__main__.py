@@ -1,0 +1,72 @@
+"""CLI over exported telemetry files.
+
+    python -m repro.obs report run.trace.jsonl     # phase breakdown table
+    python -m repro.obs chrome run.trace.jsonl out.json
+    python -m repro.obs validate out.json          # trace-event schema check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.obs.export import read_jsonl, validate_chrome_trace, write_chrome_trace
+from repro.obs.report import format_report, summarize
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.obs", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_report = sub.add_parser("report", help="print the phase-breakdown table")
+    p_report.add_argument("trace", help="JSONL telemetry file (write_jsonl output)")
+    p_report.add_argument(
+        "--json", action="store_true", help="emit the raw report dict as JSON"
+    )
+
+    p_chrome = sub.add_parser("chrome", help="convert JSONL telemetry to Chrome trace JSON")
+    p_chrome.add_argument("trace", help="JSONL telemetry file")
+    p_chrome.add_argument("out", help="output Chrome trace-event JSON path")
+
+    p_validate = sub.add_parser("validate", help="validate a Chrome trace JSON file")
+    p_validate.add_argument("trace", help="Chrome trace-event JSON file")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "report":
+        report = summarize(read_jsonl(args.trace))
+        if args.json:
+            print(json.dumps(report, indent=2))
+        else:
+            print(format_report(report))
+        return 0
+
+    if args.command == "chrome":
+        write_chrome_trace(read_jsonl(args.trace), args.out)
+        print(f"wrote {args.out}")
+        return 0
+
+    if args.command == "validate":
+        with open(args.trace, "r", encoding="utf-8") as fh:
+            obj = json.load(fh)
+        problems = validate_chrome_trace(obj)
+        if problems:
+            for problem in problems:
+                print(f"INVALID: {problem}", file=sys.stderr)
+            return 1
+        print(f"{args.trace}: valid trace-event JSON")
+        return 0
+
+    return 2
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head`) closed the pipe — not an
+        # error worth a traceback; 141 matches shell SIGPIPE convention.
+        sys.stderr.close()
+        sys.exit(141)

@@ -1,0 +1,180 @@
+"""Timeline exporters: JSONL and Chrome trace-event format.
+
+JSONL is the archival form — one self-describing record per line
+(``meta``, ``counters``, ``span``), round-trippable back into a
+:class:`~repro.obs.timeline.RunTelemetry` with :func:`read_jsonl` so
+the CLI can re-aggregate a file written by an earlier run.
+
+The Chrome form follows the Trace Event Format's JSON-object flavor
+(``{"traceEvents": [...]}``) using complete events (``ph: "X"``) with
+microsecond ``ts``/``dur`` normalized to the earliest span, ``pid`` 0,
+and one ``tid`` per track (0 = coordinator, ``w + 1`` = worker ``w``)
+named via ``thread_name`` metadata events — loadable in
+``chrome://tracing`` or Perfetto.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.obs.events import SPAN_KINDS
+from repro.obs.timeline import COORDINATOR_TRACK, RunTelemetry
+
+
+def write_jsonl(telemetry: RunTelemetry, path: str) -> None:
+    """Write one run's telemetry as self-describing JSONL records."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(
+            json.dumps(
+                {
+                    "type": "meta",
+                    "meta": telemetry.meta,
+                    "clock_offsets": telemetry.clock_offsets,
+                    "dropped": {str(k): v for k, v in telemetry.dropped.items()},
+                }
+            )
+            + "\n"
+        )
+        for track, counters in sorted(telemetry.counters.items()):
+            fh.write(
+                json.dumps({"type": "counters", "track": track, "ctr": counters})
+                + "\n"
+            )
+        for (track, kind, start, end, a, b) in telemetry.events:
+            fh.write(
+                json.dumps(
+                    {
+                        "type": "span",
+                        "track": track,
+                        "kind": kind,
+                        "start": start,
+                        "end": end,
+                        "a": a,
+                        "b": b,
+                    }
+                )
+                + "\n"
+            )
+
+
+def read_jsonl(path: str) -> RunTelemetry:
+    """Load a :func:`write_jsonl` file back into a RunTelemetry."""
+    telemetry = RunTelemetry()
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            rtype = record.get("type")
+            if rtype == "meta":
+                telemetry.meta = record.get("meta", {})
+                telemetry.clock_offsets = record.get("clock_offsets", [])
+                telemetry.dropped = {
+                    int(k): v for k, v in record.get("dropped", {}).items()
+                }
+            elif rtype == "counters":
+                telemetry.counters[int(record["track"])] = record.get("ctr", {})
+            elif rtype == "span":
+                telemetry.events.append(
+                    (
+                        int(record["track"]),
+                        record["kind"],
+                        float(record["start"]),
+                        float(record["end"]),
+                        int(record.get("a", 0)),
+                        int(record.get("b", 0)),
+                    )
+                )
+    return telemetry
+
+
+def _track_tid(track: int) -> int:
+    return 0 if track == COORDINATOR_TRACK else track + 1
+
+
+def chrome_trace(telemetry: RunTelemetry) -> Dict[str, Any]:
+    """Build the Chrome trace-event JSON object for one run."""
+    events: List[Dict[str, Any]] = []
+    tracks = sorted({e[0] for e in telemetry.events})
+    for track in tracks:
+        name = "coordinator" if track == COORDINATOR_TRACK else f"worker {track}"
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": _track_tid(track),
+                "args": {"name": name},
+            }
+        )
+    if telemetry.events:
+        origin = min(e[2] for e in telemetry.events)
+    else:
+        origin = 0.0
+    for (track, kind, start, end, a, b) in telemetry.events:
+        events.append(
+            {
+                "name": kind,
+                "cat": "runtime",
+                "ph": "X",
+                "pid": 0,
+                "tid": _track_tid(track),
+                "ts": (start - origin) * 1e6,
+                "dur": max(0.0, end - start) * 1e6,
+                "args": {"a": a, "b": b},
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": dict(telemetry.meta),
+    }
+
+
+def write_chrome_trace(telemetry: RunTelemetry, path: str) -> None:
+    """Write the Chrome trace-event JSON object to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(chrome_trace(telemetry), fh)
+
+
+def validate_chrome_trace(obj: Any) -> List[str]:
+    """Check an object against the trace-event schema we emit.
+
+    Returns a list of human-readable problems (empty = valid). Checks
+    the JSON-object container shape, every event's required fields and
+    types, and that ``X`` events carry non-negative microsecond
+    ``ts``/``dur`` and a known span kind.
+    """
+    problems: List[str] = []
+    if not isinstance(obj, dict):
+        return ["top level is not a JSON object"]
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        return ['missing or non-list "traceEvents"']
+    if not events:
+        problems.append("traceEvents is empty")
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in ("X", "M"):
+            problems.append(f"{where}: unexpected ph {ph!r}")
+            continue
+        for key in ("name", "pid", "tid"):
+            if key not in event:
+                problems.append(f"{where}: missing {key!r}")
+        if not isinstance(event.get("tid"), int) or event.get("tid", -1) < 0:
+            problems.append(f"{where}: tid must be a non-negative int")
+        if ph == "M":
+            continue
+        for key in ("ts", "dur"):
+            value = event.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                problems.append(f"{where}: {key} must be a non-negative number")
+        if event.get("name") not in SPAN_KINDS:
+            problems.append(f"{where}: unknown span kind {event.get('name')!r}")
+    return problems

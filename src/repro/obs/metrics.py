@@ -1,0 +1,55 @@
+"""Counter plumbing and small numeric helpers for telemetry reports.
+
+Counters are plain ``{name: int}`` dicts accumulated worker-side by
+:class:`~repro.obs.events.SpanRecorder` and merged coordinator-side by
+summing — every counter is a monotone total (entries placed in a ring,
+overflow batches shipped, rounds observed), so addition is the one
+merge rule needed across drain batches and across recovery respawns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def merge_counters(
+    into: Dict[str, int], batch: Optional[Dict[str, int]]
+) -> Dict[str, int]:
+    """Fold one drained counter dict into an accumulator (sum merge)."""
+    if batch:
+        for name, value in batch.items():
+            into[name] = into.get(name, 0) + value
+    return into
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]) of a non-empty list."""
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    rank = max(0, min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+def log2_histogram(
+    values: Sequence[float], scale: float = 1.0
+) -> List[List[float]]:
+    """Power-of-two histogram of ``values * scale``.
+
+    Returns ``[bucket_floor, count]`` rows in ascending bucket order,
+    where a value lands in the bucket ``[2**k, 2**(k+1))`` containing
+    it; sub-1 values share the ``0`` bucket. Log-spaced buckets are the
+    standard shape for latency distributions (grant latencies span
+    microseconds to whole rounds — linear buckets would waste either
+    end).
+    """
+    buckets: Dict[float, int] = {}
+    for value in values:
+        scaled = value * scale
+        floor = 0.0
+        if scaled >= 1.0:
+            floor = 1.0
+            while floor * 2.0 <= scaled:
+                floor *= 2.0
+        buckets[floor] = buckets.get(floor, 0) + 1
+    return [[floor, buckets[floor]] for floor in sorted(buckets)]

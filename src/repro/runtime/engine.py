@@ -84,6 +84,8 @@ from repro.core.sync import GlobalValues, SyncOperation
 from repro.core.update import normalize_schedule
 from repro.distributed.deploy import OwnershipPlan, plan_ownership
 from repro.errors import EngineError
+from repro.obs.events import Stopwatch
+from repro.obs.timeline import RunTelemetry, TimelineCollector, drain_telemetry
 from repro.runtime.checkpoint import (
     CheckpointManager,
     SnapshotCadence,
@@ -127,6 +129,9 @@ class RuntimeRunResult:
     rounds_saved: int = 0
     bytes_on_pipe: int = 0
     data_plane: Optional[str] = None
+    #: Assembled run timeline (:class:`repro.obs.timeline.RunTelemetry`)
+    #: when the engine ran with ``telemetry=True``; ``None`` otherwise.
+    telemetry: Optional[RunTelemetry] = None
     #: Engine-specific diagnostics (the locking engine parks its
     #: serializability trace and termination-token hops here, mirroring
     #: the simulated engines' ``DistributedRunResult.extra``).
@@ -387,6 +392,7 @@ class RuntimeChromaticEngine:
         snapshot_dir: Optional[str] = None,
         max_recoveries: int = 2,
         recovery_backoff: float = 0.05,
+        telemetry: bool = False,
     ) -> None:
         graph.require_finalized()
         if num_workers < 1:
@@ -476,6 +482,13 @@ class RuntimeChromaticEngine:
         self._shared_blob: Optional[bytes] = None
         self._recoveries = 0
         self._recovery_seconds = 0.0
+        # Observability (observe, never steer): workers piggyback span
+        # batches on round replies; the collector assembles the timeline
+        # surfaced as RuntimeRunResult.telemetry.
+        self.telemetry = telemetry
+        self._collector: Optional[TimelineCollector] = (
+            TimelineCollector(num_workers) if telemetry else None
+        )
 
     # ------------------------------------------------------------------
     def run(self, initial: Iterable = ()) -> RuntimeRunResult:
@@ -494,7 +507,10 @@ class RuntimeChromaticEngine:
                 "processes are torn down at run end); build a new one"
             )
         self._ran = True
-        start = time.perf_counter()
+        collector = self._collector
+        rec = collector.coordinator if collector is not None else None
+        self.transport.obs = rec
+        sw = Stopwatch(rec, "run")
         num_workers = self.num_workers
         self._inboxes = [empty_inbox() for _ in range(num_workers)]
         #: The exact global task set T in dense index space — the
@@ -538,7 +554,7 @@ class RuntimeChromaticEngine:
             # O(structure), not O(workers x structure) — and the cached
             # blob respawns dead workers during recovery.
             self.transport.launch(self._encoded_inits())
-            launch_seconds = time.perf_counter() - start
+            launch_seconds = sw.elapsed()
             if self._ckpt is not None:
                 self._baseline_snapshot()
             failure: Optional[WorkerFailure] = None
@@ -561,7 +577,7 @@ class RuntimeChromaticEngine:
             self.transport.shutdown()
             if tmp_root is not None:
                 shutil.rmtree(tmp_root, ignore_errors=True)
-        wall = time.perf_counter() - start
+        wall = sw.stop()
         transport = self.transport
         extra: Dict[str, Any] = {}
         if self._ckpt is not None:
@@ -569,6 +585,20 @@ class RuntimeChromaticEngine:
             extra["snapshot_bytes"] = self._ckpt.bytes_written
             extra["recoveries"] = self._recoveries
             extra["recovery_seconds"] = self._recovery_seconds
+        telemetry = None
+        if collector is not None:
+            spec = self._plane.spec if self._plane is not None else None
+            telemetry = collector.finalize(
+                transport.clock_offsets,
+                {
+                    "engine": "chromatic",
+                    "backend": transport.name,
+                    "num_workers": self.num_workers,
+                    "data_plane": spec.kind if spec is not None else None,
+                    "ring_v": spec.ring_v if spec is not None else 0,
+                    "ring_e": spec.ring_e if spec is not None else 0,
+                },
+            )
         return RuntimeRunResult(
             num_updates=self._total_updates,
             updates_per_vertex=counts,
@@ -584,6 +614,7 @@ class RuntimeChromaticEngine:
             rounds_saved=self.rounds_saved,
             bytes_on_pipe=transport.bytes_sent + transport.bytes_received,
             data_plane=self._plane.spec.kind if self._plane else None,
+            telemetry=telemetry,
             extra=extra,
         )
 
@@ -656,6 +687,12 @@ class RuntimeChromaticEngine:
     # ------------------------------------------------------------------
     # Snapshots and recovery (Sec. 4.3).
     # ------------------------------------------------------------------
+    @property
+    def _rec(self):
+        """Coordinator span recorder, or ``None`` when telemetry is off."""
+        collector = self._collector
+        return collector.coordinator if collector is not None else None
+
     def _snapshot_meta(self) -> Dict[str, Any]:
         """Coordinator progress record stored beside the journals."""
         return {
@@ -671,14 +708,13 @@ class RuntimeChromaticEngine:
 
     def _baseline_snapshot(self) -> None:
         """Journal the initial state, coordinator-side (no rounds)."""
-        start = time.perf_counter()
-        self._ckpt.write(
-            self._ckpt.next_id(),
-            baseline_journals(self.graph, self.owner, self.num_workers),
-            self._snapshot_meta(),
-        )
-        now = time.perf_counter()
-        self._cadence.mark(self._sweeps, now, cost=now - start)
+        with Stopwatch(self._rec, "snap") as sw:
+            self._ckpt.write(
+                self._ckpt.next_id(),
+                baseline_journals(self.graph, self.owner, self.num_workers),
+                self._snapshot_meta(),
+            )
+        self._cadence.mark(self._sweeps, sw.end, cost=sw.seconds)
 
     def _take_snapshot(self) -> None:
         """Synchronous snapshot at a sweep barrier.
@@ -689,13 +725,12 @@ class RuntimeChromaticEngine:
         not journaled per worker — the coordinator's global mask is
         exact and rides the meta record.
         """
-        start = time.perf_counter()
-        snapshot_id = self._ckpt.next_id()
-        journals = self._send_round("checkpoint", {}, self._inboxes)
-        self._inboxes = [empty_inbox() for _ in range(self.num_workers)]
-        self._ckpt.write(snapshot_id, journals, self._snapshot_meta())
-        now = time.perf_counter()
-        self._cadence.mark(self._sweeps, now, cost=now - start)
+        with Stopwatch(self._rec, "snap") as sw:
+            snapshot_id = self._ckpt.next_id()
+            journals = self._send_round("checkpoint", {}, self._inboxes)
+            self._inboxes = [empty_inbox() for _ in range(self.num_workers)]
+            self._ckpt.write(snapshot_id, journals, self._snapshot_meta())
+        self._cadence.mark(self._sweeps, sw.end, cost=sw.seconds)
 
     def _recover_from(self, failure: WorkerFailure) -> None:
         """Respawn the dead worker; roll the whole cluster back.
@@ -708,7 +743,7 @@ class RuntimeChromaticEngine:
         and the task mask reset from the meta record; the cadence clock
         re-anchors so recovery doesn't trigger an immediate snapshot.
         """
-        start = time.perf_counter()
+        sw = Stopwatch(self._rec, "recover")
         if self.recovery_backoff:
             time.sleep(self.recovery_backoff * self._recoveries)
         self.transport.recover(
@@ -737,7 +772,7 @@ class RuntimeChromaticEngine:
                     "globals": globals_items,
                 },
             ))
-        self.transport.round(messages)
+        drain_telemetry(self.transport.round(messages), self._collector)
         self._sweeps = meta["sweeps"]
         self._total_updates = meta["total_updates"]
         self.updates_per_worker = dict(meta["updates_per_worker"])
@@ -746,8 +781,9 @@ class RuntimeChromaticEngine:
         self._pending_spec = None
         self._published = []
         self._inboxes = [empty_inbox() for _ in range(self.num_workers)]
-        self._cadence.mark(self._sweeps, time.perf_counter())
-        self._recovery_seconds += time.perf_counter() - start
+        sw.stop()
+        self._cadence.mark(self._sweeps, sw.end)
+        self._recovery_seconds += sw.seconds
 
     # ------------------------------------------------------------------
     # Rounds.
@@ -771,7 +807,11 @@ class RuntimeChromaticEngine:
                 key: value for key, value in inbox.items() if value
             }
             messages.append((tag, payload))
-        return self.transport.round(messages)
+        # The single reply funnel: piggybacked telemetry batches are
+        # stripped here, so no downstream consumer (speculation
+        # validation, checkpoint journaling, sync combine, collect
+        # write-back) ever sees the extra field.
+        return drain_telemetry(self.transport.round(messages), self._collector)
 
     def _frontier(self, color: int, mask: np.ndarray) -> np.ndarray:
         members = self._class_idx[color]
@@ -1017,6 +1057,7 @@ class RuntimeChromaticEngine:
             initial_globals=self._initial_globals,
             use_kernel=self.use_kernel,
             plane=self._plane.spec if self._plane is not None else None,
+            telemetry=self.telemetry,
         )
 
     def _combine_syncs(self, replies: List[Dict]) -> List[Tuple[str, Any]]:

@@ -70,6 +70,8 @@ from repro.core.update import normalize_schedule
 from repro.distributed.consensus import MisraToken
 from repro.distributed.deploy import OwnershipPlan, plan_ownership
 from repro.errors import EngineError, SnapshotError
+from repro.obs.events import Stopwatch
+from repro.obs.timeline import TimelineCollector, drain_telemetry
 from repro.runtime.checkpoint import (
     CheckpointManager,
     SnapshotCadence,
@@ -206,6 +208,7 @@ class RuntimeLockingEngine:
         snapshot_mode: str = "sync",
         max_recoveries: int = 2,
         recovery_backoff: float = 0.05,
+        telemetry: bool = False,
     ) -> None:
         graph.require_finalized()
         if num_workers < 1:
@@ -272,6 +275,18 @@ class RuntimeLockingEngine:
         self._async: Optional[Dict[str, Any]] = None
         self._recoveries = 0
         self._recovery_seconds = 0.0
+        # Observability (observe, never steer) — see the chromatic
+        # engine; grant-latency spans here are the Fig. 3b/8b quantity.
+        self.telemetry = telemetry
+        self._collector: Optional[TimelineCollector] = (
+            TimelineCollector(num_workers) if telemetry else None
+        )
+
+    @property
+    def _rec(self):
+        """Coordinator span recorder, or ``None`` when telemetry is off."""
+        collector = self._collector
+        return collector.coordinator if collector is not None else None
 
     # ------------------------------------------------------------------
     def run(self, initial: Iterable = ()) -> RuntimeRunResult:
@@ -290,7 +305,10 @@ class RuntimeLockingEngine:
                 "processes are torn down at run end); build a new one"
             )
         self._ran = True
-        start = time.perf_counter()
+        collector = self._collector
+        rec = collector.coordinator if collector is not None else None
+        self.transport.obs = rec
+        sw = Stopwatch(rec, "run")
         num_workers = self.num_workers
         self._inboxes = [empty_lock_inbox() for _ in range(num_workers)]
         self._seed_initial(initial, self._inboxes)
@@ -326,7 +344,7 @@ class RuntimeLockingEngine:
                 encode_worker(w, self._shared_blob)
                 for w in range(num_workers)
             ])
-            launch_seconds = time.perf_counter() - start
+            launch_seconds = sw.elapsed()
             if self._ckpt is not None:
                 self._baseline_snapshot()
             failure: Optional[WorkerFailure] = None
@@ -351,7 +369,7 @@ class RuntimeLockingEngine:
             self.transport.shutdown()
             if tmp_root is not None:
                 shutil.rmtree(tmp_root, ignore_errors=True)
-        wall = time.perf_counter() - start
+        wall = sw.stop()
         transport = self.transport
         result = RuntimeRunResult(
             num_updates=self._total_updates,
@@ -377,6 +395,20 @@ class RuntimeLockingEngine:
             result.extra["recovery_seconds"] = self._recovery_seconds
         if self.trace:
             result.extra["trace"] = self._trace_entries
+        if collector is not None:
+            spec = self._plane.spec if self._plane is not None else None
+            result.telemetry = collector.finalize(
+                transport.clock_offsets,
+                {
+                    "engine": "locking",
+                    "backend": transport.name,
+                    "num_workers": num_workers,
+                    "data_plane": spec.kind if spec is not None else None,
+                    "ring_v": spec.ring_v if spec is not None else 0,
+                    "ring_e": spec.ring_e if spec is not None else 0,
+                    "pipeline_window": self.pipeline_window,
+                },
+            )
         return result
 
     def _run_loop(self) -> None:
@@ -501,17 +533,16 @@ class RuntimeLockingEngine:
 
     def _baseline_snapshot(self) -> None:
         """Journal the initial state, coordinator-side (no rounds)."""
-        start = time.perf_counter()
-        journals = baseline_journals(
-            self.graph, self.owner, self.num_workers
-        )
-        for w, journal in enumerate(journals):
-            journal["sched"] = self._initial_sched.get(w, [])
-        self._ckpt.write(
-            self._ckpt.next_id(), journals, self._snapshot_meta("sync")
-        )
-        now = time.perf_counter()
-        self._cadence.mark(self._rounds, now, cost=now - start)
+        with Stopwatch(self._rec, "snap") as sw:
+            journals = baseline_journals(
+                self.graph, self.owner, self.num_workers
+            )
+            for w, journal in enumerate(journals):
+                journal["sched"] = self._initial_sched.get(w, [])
+            self._ckpt.write(
+                self._ckpt.next_id(), journals, self._snapshot_meta("sync")
+            )
+        self._cadence.mark(self._rounds, sw.end, cost=sw.seconds)
 
     def _sync_snapshot(self) -> None:
         """Synchronous snapshot: drain to quiescence, then journal.
@@ -523,7 +554,7 @@ class RuntimeLockingEngine:
         synchronous snapshot assumes. Updates executed while draining
         are real work and count normally.
         """
-        start = time.perf_counter()
+        sw = Stopwatch(self._rec, "snap")
         num_workers = self.num_workers
         drains = 0
         while True:
@@ -560,15 +591,15 @@ class RuntimeLockingEngine:
         self._ckpt.write(
             snapshot_id, journals, self._snapshot_meta("sync")
         )
-        now = time.perf_counter()
-        self._cadence.mark(self._rounds, now, cost=now - start)
+        sw.stop()
+        self._cadence.mark(self._rounds, sw.end, cost=sw.seconds)
 
     def _async_begin(self) -> None:
         self._async = {
             "id": self._ckpt.next_id(),
             "begun": False,
             "ready": False,
-            "start": time.perf_counter(),
+            "watch": Stopwatch(self._rec, "snap"),
         }
 
     def _async_finalize(self, snap_bytes: int) -> None:
@@ -582,8 +613,9 @@ class RuntimeLockingEngine:
         # Worker-side journal bytes aren't visible to finalize_async;
         # fold the reported sizes into the coordinator's accounting.
         self._ckpt.bytes_written += snap_bytes
-        now = time.perf_counter()
-        self._cadence.mark(self._rounds, now, cost=now - state["start"])
+        sw = state["watch"]
+        sw.stop()
+        self._cadence.mark(self._rounds, sw.end, cost=sw.seconds)
 
     def _recover_from(self, failure: WorkerFailure) -> None:
         """Respawn the dead worker; roll the whole cluster back.
@@ -593,7 +625,7 @@ class RuntimeLockingEngine:
         and any half-run async snapshot is abandoned — its COMPLETE
         marker never existed, so it was never a recovery point.
         """
-        start = time.perf_counter()
+        sw = Stopwatch(self._rec, "recover")
         if self.recovery_backoff:
             time.sleep(self.recovery_backoff * self._recoveries)
         self.transport.recover(
@@ -614,7 +646,7 @@ class RuntimeLockingEngine:
                     "globals": globals_items,
                 },
             ))
-        self.transport.round(messages)
+        drain_telemetry(self.transport.round(messages), self._collector)
         self._rounds = meta["rounds"]
         self._total_updates = 0
         for w, journal in enumerate(journals):
@@ -626,8 +658,9 @@ class RuntimeLockingEngine:
         self._token = MisraToken(self.num_workers)
         self._async = None
         self._inboxes = [empty_lock_inbox() for _ in range(self.num_workers)]
-        self._cadence.mark(self._rounds, time.perf_counter())
-        self._recovery_seconds += time.perf_counter() - start
+        sw.stop()
+        self._cadence.mark(self._rounds, sw.end)
+        self._recovery_seconds += sw.seconds
 
     # ------------------------------------------------------------------
     # Routing.
@@ -729,7 +762,9 @@ class RuntimeLockingEngine:
                 key: value for key, value in inbox.items() if value
             }
             messages.append((tag, payload))
-        return self.transport.round(messages)
+        # Single reply funnel: piggybacked telemetry batches are
+        # stripped here before any caller inspects the replies.
+        return drain_telemetry(self.transport.round(messages), self._collector)
 
     # ------------------------------------------------------------------
     # Launch / teardown plumbing.
@@ -748,6 +783,7 @@ class RuntimeLockingEngine:
             initial_globals=self._initial_globals,
             trace=self.trace,
             plane=self._plane.spec if self._plane is not None else None,
+            telemetry=self.telemetry,
         )
 
     def _collect_and_write_back(

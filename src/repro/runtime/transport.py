@@ -134,6 +134,12 @@ class Transport:
         self.bytes_sent = 0
         self.bytes_received = 0
         self.rounds_completed = 0
+        #: Coordinator-side span recorder (``repro.obs``); ``None`` when
+        #: telemetry is off. Set by the engine before ``launch``.
+        self.obs: Optional[Any] = None
+        #: Per-worker clock offsets (worker perf_counter domain ->
+        #: coordinator domain), measured by the launch handshake.
+        self.clock_offsets: List[float] = [0.0] * num_workers
         #: worker -> pending kill (round number or "launch"); seeded
         #: from the environment, extended via :meth:`schedule_kill`.
         #: Entries fire once and are removed.
@@ -192,7 +198,13 @@ class Transport:
         if self._launched:
             raise EngineError("transport already launched (single-use)")
         self._launched = True
-        return self._launch(init_payloads)
+        rec = self.obs
+        if rec is None:
+            return self._launch(init_payloads)
+        t0 = time.perf_counter()
+        acks = self._launch(init_payloads)
+        rec.span("launch", t0, time.perf_counter())
+        return acks
 
     def _check_payload_count(self, count: int) -> None:
         if count != self.num_workers:
@@ -214,8 +226,15 @@ class Transport:
                 f"round needs {self.num_workers} messages, "
                 f"got {len(messages)}"
             )
+        rec = self.obs
+        if rec is None:
+            replies = self._round(messages)
+            self.rounds_completed += 1
+            return replies
+        t0 = time.perf_counter()
         replies = self._round(messages)
         self.rounds_completed += 1
+        rec.span("round", t0, time.perf_counter(), self.rounds_completed)
         return replies
 
     def recover(self, worker_id: int, init_payload: bytes) -> Any:
@@ -251,6 +270,27 @@ class Transport:
                 self._shutdown()
         finally:
             self._release_plane()
+
+    def _set_offset(
+        self, worker_id: int, t_send: float, t_recv: float, ack: Any
+    ) -> None:
+        """Fold one launch/recover handshake into ``clock_offsets``.
+
+        The ack's ``clk`` is the worker's ``perf_counter()`` reading,
+        bracketed by the coordinator's ``t_send`` (before the worker
+        could read it) and ``t_recv`` (after the ack arrived). On the
+        same machine ``perf_counter`` is a system-wide monotonic clock,
+        so the reading lands inside the bracket and the offset is
+        exactly ``0.0``; otherwise the midpoint estimate is correct to
+        within half the handshake round-trip.
+        """
+        clk = ack.get("clk") if isinstance(ack, dict) else None
+        if clk is None:
+            return
+        if t_send <= clk <= t_recv:
+            self.clock_offsets[worker_id] = 0.0
+        else:
+            self.clock_offsets[worker_id] = (t_send + t_recv) / 2.0 - clk
 
     # Subclass hooks -----------------------------------------------------
     def _launch(self, init_payloads: Iterable[bytes]) -> List[Any]:
@@ -305,6 +345,9 @@ class InprocTransport(Transport):
         ack = {
             "worker": worker.worker_id,
             "owned": len(worker.store.owned_vertices),
+            # Same handshake field serve() sends, so the clock-offset
+            # path is exercised (trivially: one process, offset 0.0).
+            "clk": time.perf_counter(),
         }
         # Launch acks cross MpTransport's pipe and are counted
         # there; count the identical envelope here so bytes_received
@@ -326,9 +369,12 @@ class InprocTransport(Transport):
                     last_command="launch",
                     phase="launch",
                 )
+            t_send = time.perf_counter()
             worker = self._build_worker(blob)
             self._workers.append(worker)
-            acks.append(self._ack(worker))
+            ack = self._ack(worker)
+            self._set_offset(worker_id, t_send, time.perf_counter(), ack)
+            acks.append(ack)
         self._check_payload_count(len(acks))
         return acks
 
@@ -384,9 +430,12 @@ class InprocTransport(Transport):
         return replies
 
     def _recover(self, worker_id: int, init_payload: bytes) -> Any:
+        t_send = time.perf_counter()
         worker = self._build_worker(init_payload)
         self._workers[worker_id] = worker
-        return self._ack(worker)
+        ack = self._ack(worker)
+        self._set_offset(worker_id, t_send, time.perf_counter(), ack)
+        return ack
 
     def _shutdown(self) -> None:
         self._workers = []
@@ -422,6 +471,9 @@ class MpTransport(Transport):
         self._procs: List[Any] = []
         self._conns: List[Any] = []
         self._last_cmd: List[str] = ["launch"] * num_workers
+        #: Coordinator-clock spawn times, the t_send of the clock-offset
+        #: handshake (resolved when the launch-phase ack arrives).
+        self._spawn_at: List[float] = [0.0] * num_workers
         #: True while a command has been sent and its reply not yet
         #: consumed; lets recovery drain survivors of an aborted round.
         self._pending: List[bool] = [False] * num_workers
@@ -441,6 +493,7 @@ class MpTransport(Transport):
         return self.data_plane
 
     def _spawn(self, worker_id: int, blob: bytes) -> None:
+        self._spawn_at[worker_id] = time.perf_counter()
         parent, child = self._ctx.Pipe()
         proc = self._ctx.Process(
             target=serve,
@@ -543,6 +596,13 @@ class MpTransport(Transport):
         if tag == "error":
             raise WorkerFailure(
                 worker_id, payload, last_command=last, phase=phase
+            )
+        if phase == "launch":
+            self._set_offset(
+                worker_id,
+                self._spawn_at[worker_id],
+                time.perf_counter(),
+                payload,
             )
         return payload
 

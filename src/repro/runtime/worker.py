@@ -68,6 +68,7 @@ import pickle
 import traceback
 from collections import deque
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Any, Deque, Dict, List, Mapping, Optional, Set, Tuple
 
 import numpy as np
@@ -81,6 +82,7 @@ from repro.core.sync import GlobalValues, SyncOperation
 from repro.core.update import normalize_schedule
 from repro.distributed.locks import RWQueueCore, build_lock_chain
 from repro.errors import EngineError, SnapshotError
+from repro.obs.events import SpanRecorder
 from repro.runtime.checkpoint import SnapshotDirectory
 from repro.runtime.plane import DataPlane, PlaneSpec, ShmDataPlane
 from repro.runtime.shard import CSRShardStore
@@ -139,11 +141,15 @@ class WorkerInit:
     #: ``use_kernel`` knob, shipped so every worker decides identically).
     use_kernel: bool = True
     plane: Optional[PlaneSpec] = None
+    #: Record spans/counters and piggyback them on round replies
+    #: (:mod:`repro.obs`). Observation only — never steers execution.
+    telemetry: bool = False
 
     #: Worker-independent fields serialized once by :meth:`encode_shared`.
     _shared_fields = (
         "num_workers", "graph", "owner", "classes", "consistency",
         "program", "syncs", "initial_globals", "use_kernel", "plane",
+        "telemetry",
     )
 
     def encode(self) -> bytes:
@@ -190,11 +196,12 @@ class LockWorkerInit:
     initial_globals: Optional[Dict[str, Any]] = None
     trace: bool = False
     plane: Optional[PlaneSpec] = None
+    telemetry: bool = False
 
     _shared_fields = (
         "num_workers", "graph", "owner", "consistency", "program",
         "scheduler", "pipeline_window", "round_budget",
-        "initial_globals", "trace", "plane",
+        "initial_globals", "trace", "plane", "telemetry",
     )
 
     encode = WorkerInit.encode
@@ -209,15 +216,74 @@ def encode_worker(worker_id: int, shared_blob: bytes) -> bytes:
     )
 
 
+#: Batched-piggyback threshold: span batches ride a reply only once
+#: this many events have buffered (amortizing drain + pickle + merge
+#: cost over many rounds), with an unconditional flush on ``collect``.
+_TEL_FLUSH = 256
+
+
+def _attach_tel(reply: Any, tel: Dict[str, Any]) -> Any:
+    """Piggyback a drained telemetry batch on whatever reply shape the
+    command produced: tuple replies grow a trailing element, dict
+    replies a ``"tel"`` key. The engine strips it back off in its round
+    funnel (:func:`repro.obs.timeline.drain_telemetry`) before any other
+    consumer sees the reply."""
+    if isinstance(reply, tuple):
+        return reply + (tel,)
+    if isinstance(reply, dict):
+        reply["tel"] = tel
+    return reply
+
+
 class _PlaneClient:
-    """Data-plane lifecycle + routed-entry application, shared by every
-    worker kind (chromatic and locking): attach the shared segments,
-    apply coordinator-routed ring descriptors and pickled batches
-    through the store's version filter, and release the segment views
-    on exit."""
+    """Data-plane lifecycle + routed-entry application + command
+    dispatch shell, shared by every worker kind (chromatic and locking):
+    attach the shared segments, apply coordinator-routed ring
+    descriptors and pickled batches through the store's version filter,
+    flip the ring half and drain telemetry once per command, and release
+    the segment views on exit."""
 
     worker_id: int
     store: CSRShardStore
+    #: Telemetry recorder; ``None`` when telemetry is off (the hot-path
+    #: contract: disabled cost is one falsy check per site).
+    _obs: Optional[SpanRecorder]
+
+    def handle(self, tag: str, payload: Mapping[str, Any]) -> Any:
+        """One command: ring flip, class-specific dispatch, telemetry.
+
+        The ring half flips exactly once per command: peers spend this
+        round reading last round's descriptors out of the other half, so
+        the flip is what makes the lock-free ring safe. When telemetry
+        is on, ring occupancy counters accumulate every round but the
+        span batch only drains onto a reply once it has grown past
+        ``_TEL_FLUSH`` events (or the buffer started dropping), plus
+        unconditionally on ``collect`` — the run's last barrier — so
+        nothing recorded is lost. Piggybacked on bytes already crossing
+        the pipe, zero extra barriers, and the batching keeps the
+        per-round cost of telemetry amortized.
+        """
+        ring = self._ring
+        if ring is not None:
+            ring.begin_round()
+        reply = self._handle(tag, payload)
+        rec = self._obs
+        if rec is not None:
+            if ring is not None:
+                rec.count("plane_rounds")
+                if ring.v_used:
+                    rec.count("plane_ring_v", int(ring.v_used))
+                if ring.e_used:
+                    rec.count("plane_ring_e", int(ring.e_used))
+            if (
+                len(rec.events) >= _TEL_FLUSH
+                or rec.dropped
+                or tag == "collect"
+            ):
+                tel = rec.drain()
+                if tel:
+                    reply = _attach_tel(reply, tel)
+        return reply
 
     def _init_plane(self, spec: Optional[PlaneSpec]) -> None:
         # Shm workers attach here by segment name; the inproc transport
@@ -290,7 +356,10 @@ class _PlaneClient:
     def _collect_dirty_part(self) -> Tuple[Dict, Dict]:
         """Drain dirty state: ring meta + pipe overflow."""
         if self._ring is not None:
-            return self.store.collect_dirty_plane(self._ring)
+            meta, overflow = self.store.collect_dirty_plane(self._ring)
+            if overflow and self._obs is not None:
+                self._obs.count("plane_overflow_batches")
+            return meta, overflow
         return {}, self.store.collect_dirty_flat()
 
     def _collect_payload(self, counts: Dict[VertexId, int]) -> Dict[str, Any]:
@@ -342,6 +411,7 @@ class RuntimeWorker(_PlaneClient):
         #: until the coordinator's commit/abort verdict arrives with the
         #: next command's inbox.
         self._spec_pending: Optional[List[Tuple]] = None
+        self._obs = SpanRecorder() if init.telemetry else None
         # Data plane (shared columns + dirty ring).
         self._init_plane(init.plane)
         # One pooled scope, rebound per vertex — the zero-allocation hot
@@ -387,12 +457,7 @@ class RuntimeWorker(_PlaneClient):
     # ------------------------------------------------------------------
     # Message dispatch.
     # ------------------------------------------------------------------
-    def handle(self, tag: str, payload: Mapping[str, Any]) -> Any:
-        if self._ring is not None:
-            # Flip the ring half once per command: peers spend this
-            # round reading last round's descriptors out of the other
-            # half, so the flip is what makes the lock-free ring safe.
-            self._ring.begin_round()
+    def _handle(self, tag: str, payload: Mapping[str, Any]) -> Any:
         if tag == "step":
             return self._step(payload["colors"], payload.get("inbox"))
         if tag == "sync_count":
@@ -417,6 +482,15 @@ class RuntimeWorker(_PlaneClient):
         scheduling requests join the local task set; newly published
         globals become visible to scopes.
         """
+        rec = self._obs
+        if rec is None:
+            self._apply_inbox_inner(inbox)
+            return
+        t0 = perf_counter()
+        self._apply_inbox_inner(inbox)
+        rec.span("ghost", t0, perf_counter())
+
+    def _apply_inbox_inner(self, inbox: Optional[Inbox]) -> None:
         marker = inbox.get("spec") if inbox else None
         if self._spec_pending is not None:
             # The verdict counts committed parts of the last merged
@@ -512,6 +586,8 @@ class RuntimeWorker(_PlaneClient):
         work = [v for v in self.by_color[color] if v in scheduled]
         if not work:
             return (0, None, None, None, None), (None, work, [])
+        rec = self._obs
+        t0 = perf_counter() if rec is not None else 0.0
         scheduled.difference_update(work)
         index_of = self._index_of
         undo = None
@@ -560,7 +636,12 @@ class RuntimeWorker(_PlaneClient):
                         seen.add(u)
                         sched_out[target].append(u)
             counts[vertex] = counts_get(vertex, 0) + 1
+        if rec is not None:
+            t1 = perf_counter()
+            rec.span("compute", t0, t1, len(work))
         meta, overflow = self._collect_dirty_part()
+        if rec is not None:
+            rec.span("ser", t1, perf_counter())
         part = (
             len(work),
             overflow or None,
@@ -595,6 +676,8 @@ class RuntimeWorker(_PlaneClient):
             # This worker holds none of the frontier: no writes, no
             # dirty state, nothing to capture or collect.
             return (0, None, None, None, None), (None, work, _EMPTY_I32)
+        rec = self._obs
+        t0 = perf_counter() if rec is not None else 0.0
         sched_out: Dict[int, np.ndarray] = {}
         local_new = _EMPTY_I32
         undo = None
@@ -628,7 +711,12 @@ class RuntimeWorker(_PlaneClient):
                     sched_out[int(dst)] = (
                         remote[remote_owners == dst].astype(np.int32)
                     )
+        if rec is not None:
+            t1 = perf_counter()
+            rec.span("kernel", t0, t1, int(work.size))
         meta, overflow = self._collect_dirty_part()
+        if rec is not None:
+            rec.span("ser", t1, perf_counter())
         part = (
             int(work.size),
             overflow or None,
@@ -712,8 +800,12 @@ class RuntimeWorker(_PlaneClient):
         coordinator's global mask is exact and rides the meta record.
         """
         self._apply_inbox(inbox)
+        rec = self._obs
+        t0 = perf_counter() if rec is not None else 0.0
         payload = self.store.checkpoint_payload()
         payload["counts"] = self._counts_dict()
+        if rec is not None:
+            rec.span("snap", t0, perf_counter())
         return payload
 
     def _restore(self, payload: Mapping[str, Any]) -> Dict[str, Any]:
@@ -728,6 +820,8 @@ class RuntimeWorker(_PlaneClient):
         aborted by the failure, and the restore overwrites its state
         anyway.
         """
+        rec = self._obs
+        t0 = perf_counter() if rec is not None else 0.0
         self._spec_pending = None
         self.store.restore_checkpoint(payload["state"])
         counts = payload.get("counts") or {}
@@ -750,6 +844,8 @@ class RuntimeWorker(_PlaneClient):
                     self.scheduled.add(vertex_ids[i])
         for key, value in payload.get("globals", ()):
             self.globals.publish(key, value)
+        if rec is not None:
+            rec.span("snap", t0, perf_counter())
         return {"worker": self.worker_id}
 
 
@@ -771,7 +867,7 @@ class _PendingScope:
     of the program, outside the round budget.
     """
 
-    __slots__ = ("scope_id", "vertex", "chain", "pos", "waiting", "snap")
+    __slots__ = ("scope_id", "vertex", "chain", "pos", "waiting", "snap", "t0")
 
     def __init__(
         self,
@@ -786,6 +882,8 @@ class _PendingScope:
         self.pos = 0
         self.waiting = 0
         self.snap = snap
+        #: Request timestamp for the grant-latency span (telemetry only).
+        self.t0 = 0.0
 
 
 class _RemoteGroup:
@@ -858,6 +956,7 @@ class LockingWorker(_PlaneClient):
         self._ready: Deque[_PendingScope] = deque()
         self._next_scope = 0
         self._trace: Optional[List[Tuple]] = [] if init.trace else None
+        self._obs = SpanRecorder() if init.telemetry else None
         #: In-progress async Chandy–Lamport snapshot (Alg. 5): marked /
         #: queued owned vertices, the local work queue, and the growing
         #: journal. ``None`` when no snapshot is active.
@@ -887,11 +986,7 @@ class LockingWorker(_PlaneClient):
     # ------------------------------------------------------------------
     # Message dispatch.
     # ------------------------------------------------------------------
-    def handle(self, tag: str, payload: Mapping[str, Any]) -> Any:
-        if self._ring is not None:
-            # Same double-buffer discipline as the chromatic worker:
-            # peers read last round's half while this one fills.
-            self._ring.begin_round()
+    def _handle(self, tag: str, payload: Mapping[str, Any]) -> Any:
         if tag == "lstep":
             return self._lstep(payload)
         if tag == "collect":
@@ -922,6 +1017,8 @@ class LockingWorker(_PlaneClient):
         scope_id = self._next_scope
         self._next_scope += 1
         ps = _PendingScope(scope_id, vertex, self._chain_for(vertex))
+        if self._obs is not None:
+            ps.t0 = perf_counter()
         self._inflight[scope_id] = ps
         self._advance(ps)
 
@@ -954,6 +1051,19 @@ class LockingWorker(_PlaneClient):
                 ps.waiting = waiting
                 return
             ps.pos += 1
+        rec = self._obs
+        if rec is not None and not ps.snap:
+            # Chain complete: the whole request->grant latency, tagged
+            # with pipeline occupancy at grant time (the Fig. 3b/8b
+            # quantity). Overlaps busy spans by design — that overlap
+            # *is* the latency pipelining hides.
+            rec.span(
+                "lockwait",
+                ps.t0,
+                perf_counter(),
+                len(self._inflight),
+                len(ps.chain),
+            )
         self._ready.append(ps)
 
     def _on_granted(self, token: Any) -> None:
@@ -1018,10 +1128,12 @@ class LockingWorker(_PlaneClient):
         self._out_unlock = {}
         self._out_sched = {}
         self._out_ssched = {}
+        rec = self._obs
         snap_info = payload.get("snap")
         if snap_info is not None:
             self._snap_begin(snap_info)
         if inbox:
+            t0 = perf_counter() if rec is not None else 0.0
             self._apply_entries(inbox)
             for key, value in inbox.get("globals", ()):
                 self.globals.publish(key, value)
@@ -1066,12 +1178,23 @@ class LockingWorker(_PlaneClient):
                     ps = inflight[scope_id]
                     ps.pos += 1
                     self._advance(ps)
+            if rec is not None:
+                # The whole routed-inbox application — ghost data,
+                # remote schedules, and lock-protocol deliveries alike.
+                rec.span("ghost", t0, perf_counter())
         if payload.get("snap_seed"):
             self._snap_seed()
         snap_bytes = None
         if payload.get("snap_finish"):
+            t0 = perf_counter() if rec is not None else 0.0
             snap_bytes = self._snap_finish()
+            if rec is not None:
+                rec.span("snap", t0, perf_counter())
+        t0 = perf_counter() if rec is not None else 0.0
         executed = self._pump(round_no, budget, drain=drain)
+        if rec is not None:
+            t1 = perf_counter()
+            rec.span("compute", t0, t1, executed)
         meta, overflow = self._collect_dirty_part()
         body = {
             "executed": executed,
@@ -1099,6 +1222,10 @@ class LockingWorker(_PlaneClient):
                 and not any(ps.snap for ps in self._inflight.values())
                 and not self._out_ssched
             )
+        if rec is not None:
+            # Dirty-part collection plus outbound wire encoding — the
+            # whole serialization-boundary tail of the round.
+            rec.span("ser", t1, perf_counter())
         return (self._ring.half if self._ring is not None else 0, body)
 
     def _pump(
@@ -1379,6 +1506,8 @@ class LockingWorker(_PlaneClient):
                 f"{len(self._inflight) + len(self._ready)} scopes in "
                 "flight; pipeline was not quiescent"
             )
+        rec = self._obs
+        t0 = perf_counter() if rec is not None else 0.0
         index_of = self._index_of
         payload = self.store.checkpoint_payload()
         payload["counts"] = dict(self.counts)
@@ -1386,6 +1515,8 @@ class LockingWorker(_PlaneClient):
             (int(index_of[v]), float(priority))
             for v, priority in self.scheduler.entries()
         ]
+        if rec is not None:
+            rec.span("snap", t0, perf_counter())
         return payload
 
     def _restore(self, payload: Mapping[str, Any]) -> Dict[str, Any]:
@@ -1399,6 +1530,8 @@ class LockingWorker(_PlaneClient):
         abandoned — its COMPLETE marker never existed, so it was never
         recoverable anyway.
         """
+        rec = self._obs
+        t0 = perf_counter() if rec is not None else 0.0
         self.store.restore_checkpoint(payload["state"])
         self.counts = dict(payload.get("counts") or {})
         self.table = RWQueueCore(
@@ -1421,6 +1554,8 @@ class LockingWorker(_PlaneClient):
         self._snap = None
         for key, value in payload.get("globals", ()):
             self.globals.publish(key, value)
+        if rec is not None:
+            rec.span("snap", t0, perf_counter())
         return {"worker": self.worker_id}
 
     # ------------------------------------------------------------------
@@ -1508,12 +1643,25 @@ def serve(conn: Any, init_blob: bytes) -> None:
         ("ok", {
             "worker": worker.worker_id,
             "owned": len(worker.store.owned_vertices),
+            # Clock-offset handshake: the coordinator brackets this
+            # reading with its own to map this process's perf_counter
+            # domain into its timeline (repro.obs.timeline).
+            "clk": perf_counter(),
         })
     ))
+    rec = getattr(worker, "_obs", None)
     try:
         while True:
             try:
-                tag, payload = pickle.loads(conn.recv_bytes())
+                if rec is None:
+                    tag, payload = pickle.loads(conn.recv_bytes())
+                else:
+                    t0 = perf_counter()
+                    blob = conn.recv_bytes()
+                    t1 = perf_counter()
+                    tag, payload = pickle.loads(blob)
+                    rec.span("idle", t0, t1)
+                    rec.span("ser", t1, perf_counter())
             except EOFError:
                 break
             if tag == "stop":
@@ -1526,9 +1674,20 @@ def serve(conn: Any, init_blob: bytes) -> None:
                     pickle.dumps(("error", traceback.format_exc()))
                 )
             else:
-                conn.send_bytes(pickle.dumps(
-                    ("ok", reply), protocol=pickle.HIGHEST_PROTOCOL
-                ))
+                if rec is None:
+                    conn.send_bytes(pickle.dumps(
+                        ("ok", reply), protocol=pickle.HIGHEST_PROTOCOL
+                    ))
+                else:
+                    # This pickle+ship span necessarily rides the
+                    # *next* reply's batch — the current one is
+                    # already built when the span ends.
+                    t0 = perf_counter()
+                    out = pickle.dumps(
+                        ("ok", reply), protocol=pickle.HIGHEST_PROTOCOL
+                    )
+                    conn.send_bytes(out)
+                    rec.span("ser", t0, perf_counter())
     finally:
         worker.close_plane()
         conn.close()

@@ -143,6 +143,54 @@ def test_violations_match_bruteforce(entries):
     assert len(t.violations()) == brute
 
 
+def _violations_quadratic(trace):
+    """The pre-heap implementation of ``Trace.violations`` (kept here as
+    the reference for the equivalence property): rebuild the active set
+    with a linear filter at every step."""
+    found = []
+    by_start = sorted(trace.executions, key=lambda e: (e.start, e.seq))
+    active = []
+    for execution in by_start:
+        still_active = [e for e in active if e.end > execution.start]
+        for other in still_active:
+            if execution.conflicts_with(other):
+                found.append((other, execution))
+        still_active.append(execution)
+        active = still_active
+    return found
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 4),          # vertex/key id
+            st.floats(0, 20),           # start
+            st.floats(0, 3),            # duration (0 allowed: instant)
+            st.booleans(),              # writes (else reads)
+        ),
+        min_size=0,
+        max_size=30,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_violations_heap_matches_quadratic_reference(entries):
+    """The end-time-heap sweep returns the *identical pair list* (same
+    pairs, same order) as the old quadratic active-set rebuild,
+    including zero-length intervals and tied starts."""
+    t = Trace()
+    for key, start, dur, is_write in entries:
+        keys = [vertex_key(key)]
+        _rec(
+            t,
+            key,
+            start,
+            start + dur,
+            reads=[] if is_write else keys,
+            writes=keys if is_write else [],
+        )
+    assert t.violations() == _violations_quadratic(t)
+
+
 class TestGatherInRecording:
     """Regression (ISSUE 3 satellite): ``Scope.gather_in`` takes the
     compiled-CSR fast path even when tracing, and must record exactly

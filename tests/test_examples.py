@@ -33,6 +33,7 @@ SMOKE_ARGS = {
     "multicore_pagerank": {"num_vertices": 80, "max_workers": 2},
     "fault_tolerant_pagerank": {"num_vertices": 80, "num_workers": 2},
     "batch_pagerank": {"num_vertices": 120, "sweeps": 3},
+    "profile_pagerank": {"num_vertices": 120, "num_workers": 2},
     "locking_als": {
         "num_users": 16, "num_movies": 8, "ratings_per_user": 4,
         "num_workers": 2,
