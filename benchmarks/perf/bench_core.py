@@ -42,7 +42,11 @@ throughput on three fronts:
   (``snapshot_overhead_pct``), plus one run with an injected worker
   kill recording the respawn + rollback cost (``recovery_seconds``)
   and that the recovered run finishes bit-identical to the unkilled
-  one.
+  one. PR 8 adds two robustness latencies to the same section: how
+  fast the heartbeat watchdog declares a SIGSTOPped worker dead
+  (``hang_detection_seconds``) and how long a cold restart from
+  verified on-disk snapshots takes (``resume_from_disk_seconds``),
+  both with bit-identity checks.
 
 Since PR 4 both runtime sections also record the communication
 counters the shared-memory data plane and color-merged rounds exist to
@@ -75,6 +79,7 @@ import platform
 import random
 import subprocess
 import sys
+import tempfile
 import time
 from pathlib import Path
 from typing import Callable, Dict
@@ -100,9 +105,11 @@ from repro.datasets.webgraph import power_law_web_graph
 from repro.obs import phase_share_fractions
 from repro.runtime import (
     ColorSweepScheduler,
+    MpTransport,
     RuntimeChromaticEngine,
     RuntimeLockingEngine,
     UpdateProgram,
+    WorkerFailure,
 )
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
@@ -1016,6 +1023,97 @@ def build_fault_workload(snapshot_every=None, kill=None):
     return run
 
 
+def _measure_hang_detection() -> Dict[str, float]:
+    """PR 8 liveness cost: SIGSTOP one worker mid-run (at the shipped
+    heartbeat defaults) and time the gap between the fault firing and
+    the coordinator declaring the worker dead. Without heartbeats this
+    was the full 120 s pipe timeout; the watchdog must land it in
+    seconds."""
+    graph = power_law_web_graph(FAULT_PR_VERTICES, out_degree=4, seed=7)
+    coloring = greedy_coloring(graph)
+    program = UpdateProgram(make_pagerank_update, kwargs={"schedule": "self"})
+    transport = MpTransport(4)
+    transport.schedule_fault(1, 3, mode="hang")
+    engine = RuntimeChromaticEngine(
+        graph.copy(),
+        program,
+        num_workers=4,
+        transport=transport,
+        coloring=coloring,
+        max_sweeps=FAULT_PR_SWEEPS,
+    )
+    try:
+        try:
+            engine.run(initial=graph.vertices())
+        except WorkerFailure:
+            caught_at = time.monotonic()
+        else:
+            raise RuntimeError("injected hang was never detected")
+    finally:
+        transport.shutdown()
+    return {
+        "hung_worker": 1,
+        "hung_at_round": 3,
+        "heartbeat_interval_seconds": transport.heartbeat_interval,
+        "heartbeat_timeout_seconds": transport.heartbeat_timeout,
+        "hang_detection_seconds": round(
+            caught_at - transport.last_fault_fired_at, 4
+        ),
+    }
+
+
+def _measure_resume_from_disk(bare) -> Dict[str, float]:
+    """PR 8 cold-restart cost: crash a snapshotting run with no in-run
+    recovery budget, then boot a fresh engine with ``resume_from=`` the
+    crashed run's snapshot root and time the restore (verify + rollback
+    of a freshly-launched cluster from disk). The resumed run must still
+    finish bit-identical to the never-killed one."""
+    graph = power_law_web_graph(FAULT_PR_VERTICES, out_degree=4, seed=7)
+    coloring = greedy_coloring(graph)
+    program = UpdateProgram(make_pagerank_update, kwargs={"schedule": "self"})
+    with tempfile.TemporaryDirectory() as root:
+        crashed = RuntimeChromaticEngine(
+            graph.copy(),
+            program,
+            num_workers=4,
+            transport="mp",
+            coloring=coloring,
+            max_sweeps=FAULT_PR_SWEEPS,
+            snapshot_every=1,
+            snapshot_dir=root,
+            max_recoveries=0,
+        )
+        crashed.transport.schedule_kill(*FAULT_KILL)
+        try:
+            crashed.run(initial=graph.vertices())
+        except WorkerFailure:
+            pass
+        else:
+            raise RuntimeError("injected kill never crashed the run")
+        copy = graph.copy()
+        resumed = RuntimeChromaticEngine(
+            copy,
+            program,
+            num_workers=4,
+            transport="mp",
+            coloring=coloring,
+            max_sweeps=FAULT_PR_SWEEPS,
+            snapshot_every=1,
+            snapshot_dir=root,
+        )
+        result = resumed.run(resume_from=root)
+    return {
+        "killed_worker": FAULT_KILL[0],
+        "killed_at_round": FAULT_KILL[1],
+        "resume_from_disk_seconds": round(result.extra["resume_seconds"], 4),
+        "snapshots_rejected": result.extra["snapshots_rejected"],
+        "bit_identical_to_unkilled": all(
+            copy.vertex_data(v) == bare.last_graph.vertex_data(v)
+            for v in bare.last_graph.vertices()
+        ),
+    }
+
+
 def run_runtime_fault_benchmarks(repeats: int = 3) -> Dict[str, Dict]:
     """Sec. 4.3 costs, measured: the same workload (a) bare, (b) with
     periodic synchronous snapshots (``snapshot_overhead_pct`` is the
@@ -1053,6 +1151,10 @@ def run_runtime_fault_benchmarks(repeats: int = 3) -> Dict[str, Dict]:
             for v in bare.last_graph.vertices()
         ),
     }
+    # PR 8 robustness latencies: one run each (the injected fault, not
+    # steady-state throughput, is what is being timed).
+    results["hang_detection"] = _measure_hang_detection()
+    results["resume_from_disk"] = _measure_resume_from_disk(bare)
     return results
 
 
@@ -1236,6 +1338,16 @@ def main(argv=None) -> int:
         "KiB); kill+recover in "
         f"{recover['recovery_seconds'] * 1e3:.0f} ms, bit_identical="
         f"{recover['bit_identical_to_unkilled']}"
+    )
+    hang = fault_results["hang_detection"]
+    resume = fault_results["resume_from_disk"]
+    print(
+        "  runtime_fault: hang detected in "
+        f"{hang['hang_detection_seconds']:.2f} s "
+        f"(heartbeat timeout {hang['heartbeat_timeout_seconds']:.1f} s); "
+        "resume from disk in "
+        f"{resume['resume_from_disk_seconds'] * 1e3:.0f} ms, bit_identical="
+        f"{resume['bit_identical_to_unkilled']}"
     )
     return 0
 

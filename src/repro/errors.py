@@ -82,3 +82,13 @@ class DFSError(GraphLabError):
 class EngineError(GraphLabError):
     """Engine configuration or lifecycle misuse (e.g. running an engine
     twice, using the chromatic engine without a valid coloring)."""
+
+
+class FaultSpecError(EngineError, ValueError):
+    """A ``REPRO_FAULT`` schedule entry is malformed.
+
+    Derives from both :class:`EngineError` (framework failures stay
+    catchable with one clause) and :class:`ValueError` (a bad spec
+    string is a plain bad-value bug at the call site); the message
+    always names the offending fragment.
+    """

@@ -42,6 +42,8 @@ from repro.runtime.program import UpdateProgram, named_program, resolve_program
 from repro.runtime.shard import CSRShardStore
 from repro.runtime.transport import (
     FAULT_ENV,
+    FAULT_MODES,
+    FaultSpec,
     InprocTransport,
     MpTransport,
     Transport,
@@ -62,6 +64,8 @@ __all__ = [
     "ColorSweepScheduler",
     "DataPlane",
     "FAULT_ENV",
+    "FAULT_MODES",
+    "FaultSpec",
     "InprocTransport",
     "LocalDataPlane",
     "LockWorkerInit",

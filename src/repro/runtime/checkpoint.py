@@ -22,12 +22,33 @@ Two construction modes share this layout:
 A snapshot becomes recoverable only once its ``COMPLETE`` marker
 exists, so a crash mid-snapshot can never be recovered *from* — the
 previous complete snapshot remains the recovery point.
+
+On-disk format of one snapshot (``<root>/snapshot/<id>/``)::
+
+    machine-<w>   pickled journal of worker w: {"vdata", "edata",
+                  "versions"} plus engine extras (sched state etc.)
+    meta          pickled coordinator bookkeeping (progress counters,
+                  globals, the task-set mask)
+    MANIFEST      pickled {basename: {"bytes": int, "crc32": int}}
+                  covering every machine-<w> journal and meta; crc32 is
+                  ``zlib.crc32(blob) & 0xFFFFFFFF`` of the exact bytes
+                  on disk
+    COMPLETE      empty marker; written last
+
+Every file is written atomically (``<path>.tmp`` then ``os.replace``),
+so a crash mid-write never leaves a half-written file under its final
+name. At recovery time :meth:`SnapshotDirectory.verify` re-reads every
+manifested file and checks both size and CRC; a snapshot that fails —
+truncated journal, flipped bits, missing manifest — is *rejected* and
+the manager falls back to the next-newest complete snapshot (the
+baseline taken right after launch guarantees there is always one).
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import zlib
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.distributed.snapshot import snapshot_file, suggested_interval
@@ -37,6 +58,17 @@ from repro.errors import SnapshotError
 META_NAME = "meta"
 #: Marker whose existence makes a snapshot recoverable.
 COMPLETE_NAME = "COMPLETE"
+#: Integrity record: sizes + CRCs of every journal and the meta file.
+MANIFEST_NAME = "MANIFEST"
+
+#: Blob the fault injector overwrites a journal with (``REPRO_FAULT``
+#: mode ``corrupt_snapshot``). Deliberately not valid pickle either, so
+#: the fault is caught even by manifest-less readers.
+_CORRUPT_BLOB = b"repro-corrupt-snapshot"
+
+
+def _crc(blob: bytes) -> int:
+    return zlib.crc32(blob) & 0xFFFFFFFF
 
 
 class SnapshotDirectory:
@@ -60,12 +92,21 @@ class SnapshotDirectory:
     def journal_path(self, snapshot_id: int, worker_id: int) -> str:
         return os.path.join(self.root, snapshot_file(snapshot_id, worker_id))
 
-    def _write(self, path: str, payload: Any) -> int:
+    def _write(self, path: str, payload: Any) -> Tuple[int, int]:
+        """Atomically persist ``payload``; returns ``(bytes, crc32)``.
+
+        Writes ``<path>.tmp`` then ``os.replace``s it into place, so a
+        crash mid-write can never leave a truncated file under the
+        final name — the manifest CRC then only has bit-rot and
+        deliberate corruption left to catch.
+        """
         os.makedirs(os.path.dirname(path), exist_ok=True)
         blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-        with open(path, "wb") as fh:
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as fh:
             fh.write(blob)
-        return len(blob)
+        os.replace(tmp, path)
+        return len(blob), _crc(blob)
 
     def _read(self, path: str) -> Any:
         try:
@@ -76,14 +117,16 @@ class SnapshotDirectory:
 
     def write_journal(
         self, snapshot_id: int, worker_id: int, payload: Dict[str, Any]
-    ) -> int:
-        """Persist one worker's journal; returns bytes written."""
+    ) -> Tuple[int, int]:
+        """Persist one worker's journal; returns ``(bytes, crc32)``."""
         return self._write(self.journal_path(snapshot_id, worker_id), payload)
 
     def read_journal(self, snapshot_id: int, worker_id: int) -> Dict[str, Any]:
         return self._read(self.journal_path(snapshot_id, worker_id))
 
-    def write_meta(self, snapshot_id: int, meta: Dict[str, Any]) -> int:
+    def write_meta(
+        self, snapshot_id: int, meta: Dict[str, Any]
+    ) -> Tuple[int, int]:
         return self._write(
             os.path.join(self.snapshot_dir(snapshot_id), META_NAME), meta
         )
@@ -92,6 +135,70 @@ class SnapshotDirectory:
         return self._read(
             os.path.join(self.snapshot_dir(snapshot_id), META_NAME)
         )
+
+    def write_manifest(
+        self, snapshot_id: int, entries: Dict[str, Dict[str, int]]
+    ) -> int:
+        """Persist the integrity manifest (see module docstring);
+        returns bytes written. ``entries`` maps basenames to
+        ``{"bytes": n, "crc32": c}`` and must cover every journal and
+        the meta file — :meth:`verify` checks exactly that."""
+        nbytes, _ = self._write(
+            os.path.join(self.snapshot_dir(snapshot_id), MANIFEST_NAME),
+            entries,
+        )
+        return nbytes
+
+    def read_manifest(self, snapshot_id: int) -> Dict[str, Dict[str, int]]:
+        return self._read(
+            os.path.join(self.snapshot_dir(snapshot_id), MANIFEST_NAME)
+        )
+
+    def verify(self, snapshot_id: int, num_workers: int) -> None:
+        """Integrity-check one snapshot against its manifest.
+
+        Raises :class:`SnapshotError` naming the failing file when the
+        manifest is missing/unreadable, a manifested file is absent,
+        its size disagrees (truncation), or its CRC32 disagrees (bit
+        rot, deliberate corruption), or any ``machine-<w>`` journal for
+        ``w < num_workers`` is not covered. Passing means every byte the
+        recovery path will read is exactly what was written.
+        """
+        entries = self.read_manifest(snapshot_id)
+        for worker_id in range(num_workers):
+            name = os.path.basename(self.journal_path(snapshot_id, worker_id))
+            if name not in entries:
+                raise SnapshotError(
+                    f"snapshot {snapshot_id}: manifest does not cover "
+                    f"journal {name!r}"
+                )
+        if META_NAME not in entries:
+            raise SnapshotError(
+                f"snapshot {snapshot_id}: manifest does not cover "
+                f"{META_NAME!r}"
+            )
+        base = self.snapshot_dir(snapshot_id)
+        for name, record in sorted(entries.items()):
+            path = os.path.join(base, name)
+            try:
+                with open(path, "rb") as fh:
+                    blob = fh.read()
+            except OSError as exc:
+                raise SnapshotError(
+                    f"snapshot {snapshot_id}: cannot read manifested "
+                    f"file {name!r}: {exc}"
+                )
+            if len(blob) != record["bytes"]:
+                raise SnapshotError(
+                    f"snapshot {snapshot_id}: file {name!r} is "
+                    f"{len(blob)} bytes, manifest says "
+                    f"{record['bytes']} (truncated or overwritten)"
+                )
+            if _crc(blob) != record["crc32"]:
+                raise SnapshotError(
+                    f"snapshot {snapshot_id}: file {name!r} fails its "
+                    "CRC32 check (corrupt)"
+                )
 
     def mark_complete(self, snapshot_id: int) -> None:
         path = os.path.join(self.snapshot_dir(snapshot_id), COMPLETE_NAME)
@@ -196,7 +303,17 @@ class SnapshotCadence:
 class CheckpointManager:
     """Coordinator side of runtime snapshots: numbered snapshots in a
     :class:`SnapshotDirectory`, id allocation that never reuses a
-    partially-written directory, and the read-back for recovery."""
+    partially-written directory, manifest/CRC integrity on every write,
+    and the verified read-back for recovery (newest snapshot that
+    passes :meth:`SnapshotDirectory.verify` wins; rejected ones are
+    counted in ``snapshots_rejected``).
+
+    Also the consumer of ``REPRO_FAULT`` entries with mode
+    ``corrupt_snapshot``: ``worker:<snapshot_id>:corrupt_snapshot``
+    overwrites that worker's journal with garbage right after snapshot
+    ``<snapshot_id>`` completes — the disk-side twin of the transports'
+    process faults, exercising exactly the fallback path above.
+    """
 
     def __init__(self, root: Any, num_workers: int) -> None:
         self.dir = SnapshotDirectory(root)
@@ -204,7 +321,37 @@ class CheckpointManager:
         existing = self.dir.snapshot_ids()
         self._next_id = max(existing) + 1 if existing else 0
         self.snapshots_taken = 0
+        self.snapshots_rejected = 0
         self.bytes_written = 0
+        # Imported here: transport imports worker imports this module.
+        from repro.runtime.transport import FAULT_ENV, parse_fault_plan
+
+        self._corruption_plan: Dict[int, int] = {
+            w: spec.when
+            for w, spec in parse_fault_plan(os.environ.get(FAULT_ENV)).items()
+            if spec.mode == "corrupt_snapshot"
+            and isinstance(spec.when, int)
+            and 0 <= w < num_workers
+        }
+
+    def schedule_corruption(self, worker_id: int, snapshot_id: int) -> None:
+        """Arrange for ``worker_id``'s journal of snapshot
+        ``snapshot_id`` to be garbled right after that snapshot
+        completes (test/chaos hook, same effect as the env knob)."""
+        if not 0 <= worker_id < self.num_workers:
+            raise SnapshotError(
+                f"worker id must be in [0, {self.num_workers}), got "
+                f"{worker_id}"
+            )
+        self._corruption_plan[worker_id] = snapshot_id
+
+    def _maybe_corrupt(self, snapshot_id: int) -> None:
+        for worker_id, target in list(self._corruption_plan.items()):
+            if target == snapshot_id:
+                path = self.dir.journal_path(snapshot_id, worker_id)
+                with open(path, "wb") as fh:
+                    fh.write(_CORRUPT_BLOB)
+                del self._corruption_plan[worker_id]
 
     def next_id(self) -> int:
         snapshot_id = self._next_id
@@ -217,32 +364,61 @@ class CheckpointManager:
         journals: List[Dict[str, Any]],
         meta: Dict[str, Any],
     ) -> int:
-        """Synchronous snapshot: persist every journal + meta, mark
-        complete. Returns bytes written."""
+        """Synchronous snapshot: persist every journal + meta + the
+        manifest, mark complete. Returns bytes written."""
         total = 0
+        entries: Dict[str, Dict[str, int]] = {}
         for worker_id, journal in enumerate(journals):
-            total += self.dir.write_journal(snapshot_id, worker_id, journal)
-        total += self.dir.write_meta(snapshot_id, meta)
+            nbytes, crc = self.dir.write_journal(
+                snapshot_id, worker_id, journal
+            )
+            name = os.path.basename(
+                self.dir.journal_path(snapshot_id, worker_id)
+            )
+            entries[name] = {"bytes": nbytes, "crc32": crc}
+            total += nbytes
+        nbytes, crc = self.dir.write_meta(snapshot_id, meta)
+        entries[META_NAME] = {"bytes": nbytes, "crc32": crc}
+        total += nbytes
+        total += self.dir.write_manifest(snapshot_id, entries)
         self.dir.mark_complete(snapshot_id)
+        self._maybe_corrupt(snapshot_id)
         self.snapshots_taken += 1
         self.bytes_written += total
         return total
 
     def finalize_async(
-        self, snapshot_id: int, meta: Dict[str, Any]
+        self,
+        snapshot_id: int,
+        meta: Dict[str, Any],
+        crcs: Optional[Dict[int, int]] = None,
     ) -> int:
         """Async snapshot epilogue: workers already wrote their own
-        journals; verify they all exist, add meta, mark complete."""
+        journals; verify they all exist, add meta + manifest, mark
+        complete. ``crcs`` maps worker id to the CRC32 each worker
+        reported for its own journal; missing entries are computed by
+        re-reading the file (same answer, one extra read)."""
+        crcs = crcs or {}
+        entries: Dict[str, Dict[str, int]] = {}
         for worker_id in range(self.num_workers):
-            if not os.path.exists(
-                self.dir.journal_path(snapshot_id, worker_id)
-            ):
+            path = self.dir.journal_path(snapshot_id, worker_id)
+            if not os.path.exists(path):
                 raise SnapshotError(
                     f"async snapshot {snapshot_id} is missing worker "
                     f"{worker_id}'s journal"
                 )
-        total = self.dir.write_meta(snapshot_id, meta)
+            record = {"bytes": os.path.getsize(path)}
+            if worker_id in crcs:
+                record["crc32"] = crcs[worker_id]
+            else:
+                with open(path, "rb") as fh:
+                    record["crc32"] = _crc(fh.read())
+            entries[os.path.basename(path)] = record
+        total, crc = self.dir.write_meta(snapshot_id, meta)
+        entries[META_NAME] = {"bytes": total, "crc32": crc}
+        total += self.dir.write_manifest(snapshot_id, entries)
         self.dir.mark_complete(snapshot_id)
+        self._maybe_corrupt(snapshot_id)
         self.snapshots_taken += 1
         self.bytes_written += total
         return total
@@ -251,13 +427,35 @@ class CheckpointManager:
         self,
     ) -> Tuple[int, Dict[str, Any], List[Dict[str, Any]]]:
         """``(snapshot_id, meta, journals)`` of the newest complete
-        snapshot; raises :class:`SnapshotError` when there is none."""
-        snapshot_id = self.dir.latest()
-        if snapshot_id is None:
-            raise SnapshotError("no complete snapshot to recover from")
-        meta = self.dir.read_meta(snapshot_id)
-        journals = [
-            self.dir.read_journal(snapshot_id, worker_id)
-            for worker_id in range(self.num_workers)
+        snapshot that passes integrity verification.
+
+        Complete snapshots are tried newest-first; one that fails
+        :meth:`SnapshotDirectory.verify` (or whose files fail to load)
+        is counted in ``snapshots_rejected`` and skipped — the fallback
+        the baseline snapshot guarantees can't run dry unless every
+        snapshot on disk is damaged, in which case a
+        :class:`SnapshotError` lists what was rejected.
+        """
+        complete = [
+            s for s in self.dir.snapshot_ids() if self.dir.is_complete(s)
         ]
-        return snapshot_id, meta, journals
+        if not complete:
+            raise SnapshotError("no complete snapshot to recover from")
+        rejected: List[str] = []
+        for snapshot_id in sorted(complete, reverse=True):
+            try:
+                self.dir.verify(snapshot_id, self.num_workers)
+                meta = self.dir.read_meta(snapshot_id)
+                journals = [
+                    self.dir.read_journal(snapshot_id, worker_id)
+                    for worker_id in range(self.num_workers)
+                ]
+            except SnapshotError as exc:
+                self.snapshots_rejected += 1
+                rejected.append(f"snapshot {snapshot_id}: {exc}")
+                continue
+            return snapshot_id, meta, journals
+        raise SnapshotError(
+            "every complete snapshot failed integrity verification:\n"
+            + "\n".join(rejected)
+        )

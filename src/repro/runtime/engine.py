@@ -482,6 +482,7 @@ class RuntimeChromaticEngine:
         self._shared_blob: Optional[bytes] = None
         self._recoveries = 0
         self._recovery_seconds = 0.0
+        self._resume_seconds: Optional[float] = None
         # Observability (observe, never steer): workers piggyback span
         # batches on round replies; the collector assembles the timeline
         # surfaced as RuntimeRunResult.telemetry.
@@ -491,7 +492,11 @@ class RuntimeChromaticEngine:
         )
 
     # ------------------------------------------------------------------
-    def run(self, initial: Iterable = ()) -> RuntimeRunResult:
+    def run(
+        self,
+        initial: Iterable = (),
+        resume_from: Optional[Any] = None,
+    ) -> RuntimeRunResult:
         """Execute to quiescence (or a stop condition); single-use.
 
         With snapshots on, a :class:`WorkerFailure` mid-run does not
@@ -500,11 +505,22 @@ class RuntimeChromaticEngine:
         restored from the latest complete snapshot, the coordinator's
         own progress state resets from the snapshot's meta record, and
         execution resumes — at most ``max_recoveries`` times.
+
+        ``resume_from`` is a snapshot root from an earlier (crashed)
+        run: instead of a baseline snapshot, the freshly-launched
+        cluster is restored from the newest snapshot there that passes
+        integrity verification, and new snapshots continue in the same
+        directory. Requires ``snapshot_every``.
         """
         if self._ran:
             raise EngineError(
                 "runtime engine instances are single-use (worker "
                 "processes are torn down at run end); build a new one"
+            )
+        if resume_from is not None and self.snapshot_every is None:
+            raise EngineError(
+                "resume_from requires snapshot_every (a resumed run "
+                "must keep snapshotting into the same directory)"
             )
         self._ran = True
         collector = self._collector
@@ -540,7 +556,10 @@ class RuntimeChromaticEngine:
         launch_seconds = 0.0
         try:
             if self.snapshot_every is not None:
-                root = self.snapshot_dir
+                root = (
+                    resume_from if resume_from is not None
+                    else self.snapshot_dir
+                )
                 if root is None:
                     root = tmp_root = tempfile.mkdtemp(prefix="repro-ckpt-")
                 self._ckpt = CheckpointManager(root, num_workers)
@@ -556,7 +575,14 @@ class RuntimeChromaticEngine:
             self.transport.launch(self._encoded_inits())
             launch_seconds = sw.elapsed()
             if self._ckpt is not None:
-                self._baseline_snapshot()
+                if resume_from is not None:
+                    with Stopwatch(self._rec, "recover") as rsw:
+                        _sid, meta, journals = self._ckpt.latest_state()
+                        self._restore_cluster(meta, journals)
+                    self._cadence.mark(self._sweeps, rsw.end)
+                    self._resume_seconds = rsw.seconds
+                else:
+                    self._baseline_snapshot()
             failure: Optional[WorkerFailure] = None
             while True:
                 try:
@@ -583,8 +609,11 @@ class RuntimeChromaticEngine:
         if self._ckpt is not None:
             extra["snapshots"] = self._ckpt.snapshots_taken
             extra["snapshot_bytes"] = self._ckpt.bytes_written
+            extra["snapshots_rejected"] = self._ckpt.snapshots_rejected
             extra["recoveries"] = self._recoveries
             extra["recovery_seconds"] = self._recovery_seconds
+            if self._resume_seconds is not None:
+                extra["resume_seconds"] = self._resume_seconds
         telemetry = None
         if collector is not None:
             spec = self._plane.spec if self._plane is not None else None
@@ -751,6 +780,17 @@ class RuntimeChromaticEngine:
             encode_worker(failure.worker_id, self._shared_blob),
         )
         _snapshot_id, meta, journals = self._ckpt.latest_state()
+        self._restore_cluster(meta, journals)
+        sw.stop()
+        self._cadence.mark(self._sweeps, sw.end)
+        self._recovery_seconds += sw.seconds
+
+    def _restore_cluster(
+        self, meta: Dict[str, Any], journals: List[Dict[str, Any]]
+    ) -> None:
+        """Send one verified snapshot's state to every worker and reset
+        the coordinator to match — shared by mid-run recovery and
+        ``run(resume_from=...)`` cold restarts."""
         merged = merge_journals(journals)
         mask = np.zeros(self._num_vertices, dtype=bool)
         mask_idx = np.asarray(meta["mask"], dtype=np.int64)
@@ -781,9 +821,6 @@ class RuntimeChromaticEngine:
         self._pending_spec = None
         self._published = []
         self._inboxes = [empty_inbox() for _ in range(self.num_workers)]
-        sw.stop()
-        self._cadence.mark(self._sweeps, sw.end)
-        self._recovery_seconds += sw.seconds
 
     # ------------------------------------------------------------------
     # Rounds.

@@ -275,6 +275,7 @@ class RuntimeLockingEngine:
         self._async: Optional[Dict[str, Any]] = None
         self._recoveries = 0
         self._recovery_seconds = 0.0
+        self._resume_seconds: Optional[float] = None
         # Observability (observe, never steer) — see the chromatic
         # engine; grant-latency spans here are the Fig. 3b/8b quantity.
         self.telemetry = telemetry
@@ -289,7 +290,11 @@ class RuntimeLockingEngine:
         return collector.coordinator if collector is not None else None
 
     # ------------------------------------------------------------------
-    def run(self, initial: Iterable = ()) -> RuntimeRunResult:
+    def run(
+        self,
+        initial: Iterable = (),
+        resume_from: Optional[Any] = None,
+    ) -> RuntimeRunResult:
         """Execute to quiescence (or a stop condition); single-use.
 
         With snapshots on, a :class:`WorkerFailure` mid-run respawns the
@@ -298,11 +303,22 @@ class RuntimeLockingEngine:
         schedulers all reset), and resumes — at most ``max_recoveries``
         times. Restart-from-snapshot means the termination detector also
         restarts: black flags and a fresh Misra token.
+
+        ``resume_from`` is a snapshot root from an earlier (crashed)
+        run: instead of a baseline snapshot, the freshly-launched
+        cluster is restored from the newest snapshot there that passes
+        integrity verification, and new snapshots continue in the same
+        directory. Requires ``snapshot_every``.
         """
         if self._ran:
             raise EngineError(
                 "runtime engine instances are single-use (worker "
                 "processes are torn down at run end); build a new one"
+            )
+        if resume_from is not None and self.snapshot_every is None:
+            raise EngineError(
+                "resume_from requires snapshot_every (a resumed run "
+                "must keep snapshotting into the same directory)"
             )
         self._ran = True
         collector = self._collector
@@ -325,7 +341,10 @@ class RuntimeLockingEngine:
         launch_seconds = 0.0
         try:
             if self.snapshot_every is not None:
-                root = self.snapshot_dir
+                root = (
+                    resume_from if resume_from is not None
+                    else self.snapshot_dir
+                )
                 if root is None:
                     root = tmp_root = tempfile.mkdtemp(prefix="repro-ckpt-")
                 self._ckpt = CheckpointManager(root, num_workers)
@@ -346,7 +365,14 @@ class RuntimeLockingEngine:
             ])
             launch_seconds = sw.elapsed()
             if self._ckpt is not None:
-                self._baseline_snapshot()
+                if resume_from is not None:
+                    with Stopwatch(self._rec, "recover") as rsw:
+                        _sid, meta, journals = self._ckpt.latest_state()
+                        self._restore_cluster(meta, journals)
+                    self._cadence.mark(self._rounds, rsw.end)
+                    self._resume_seconds = rsw.seconds
+                else:
+                    self._baseline_snapshot()
             failure: Optional[WorkerFailure] = None
             while True:
                 try:
@@ -391,8 +417,11 @@ class RuntimeLockingEngine:
         if self._ckpt is not None:
             result.extra["snapshots"] = self._ckpt.snapshots_taken
             result.extra["snapshot_bytes"] = self._ckpt.bytes_written
+            result.extra["snapshots_rejected"] = self._ckpt.snapshots_rejected
             result.extra["recoveries"] = self._recoveries
             result.extra["recovery_seconds"] = self._recovery_seconds
+            if self._resume_seconds is not None:
+                result.extra["resume_seconds"] = self._resume_seconds
         if self.trace:
             result.extra["trace"] = self._trace_entries
         if collector is not None:
@@ -465,6 +494,7 @@ class RuntimeLockingEngine:
             snap_done = True
             ssched_any = False
             snap_bytes = 0
+            snap_crcs: Dict[int, int] = {}
             for w, (half, body) in enumerate(replies):
                 executed = body["executed"]
                 if executed:
@@ -476,10 +506,12 @@ class RuntimeLockingEngine:
                     ssched_any = True
                 snap_done = snap_done and body.get("snap_done", False)
                 snap_bytes += body.get("snap_bytes") or 0
+                if body.get("snap_crc") is not None:
+                    snap_crcs[w] = body["snap_crc"]
                 self._route(w, half, body, self._inboxes, self._black)
             if async_state is not None:
                 if finishing:
-                    self._async_finalize(snap_bytes)
+                    self._async_finalize(snap_bytes, snap_crcs)
                 elif snap_done and not ssched_any:
                     # Every worker marked all it owns, holds no snapshot
                     # scope, and routed no propagation this round — the
@@ -602,13 +634,16 @@ class RuntimeLockingEngine:
             "watch": Stopwatch(self._rec, "snap"),
         }
 
-    def _async_finalize(self, snap_bytes: int) -> None:
+    def _async_finalize(
+        self, snap_bytes: int, snap_crcs: Optional[Dict[int, int]] = None
+    ) -> None:
         """Close the handshake: workers wrote their own journals this
-        round; verify, add meta, mark complete."""
+        round; verify, add meta + manifest (from the CRCs each worker
+        reported for its own journal), mark complete."""
         state = self._async
         self._async = None
         self._ckpt.finalize_async(
-            state["id"], self._snapshot_meta("async")
+            state["id"], self._snapshot_meta("async"), crcs=snap_crcs
         )
         # Worker-side journal bytes aren't visible to finalize_async;
         # fold the reported sizes into the coordinator's accounting.
@@ -633,6 +668,17 @@ class RuntimeLockingEngine:
             encode_worker(failure.worker_id, self._shared_blob),
         )
         _snapshot_id, meta, journals = self._ckpt.latest_state()
+        self._restore_cluster(meta, journals)
+        sw.stop()
+        self._cadence.mark(self._rounds, sw.end)
+        self._recovery_seconds += sw.seconds
+
+    def _restore_cluster(
+        self, meta: Dict[str, Any], journals: List[Dict[str, Any]]
+    ) -> None:
+        """Send one verified snapshot's state to every worker and reset
+        the coordinator to match — shared by mid-run recovery and
+        ``run(resume_from=...)`` cold restarts."""
         merged = merge_journals(journals)
         globals_items = list(meta.get("globals", {}).items())
         messages: List[Tuple[str, Dict[str, Any]]] = []
@@ -658,9 +704,6 @@ class RuntimeLockingEngine:
         self._token = MisraToken(self.num_workers)
         self._async = None
         self._inboxes = [empty_lock_inbox() for _ in range(self.num_workers)]
-        sw.stop()
-        self._cadence.mark(self._rounds, sw.end)
-        self._recovery_seconds += sw.seconds
 
     # ------------------------------------------------------------------
     # Routing.

@@ -275,6 +275,22 @@ class DataPlane:
     def writer_for(self, worker_id: int) -> RingWriter:
         return RingWriter(self.segments[worker_id], self.spec)
 
+    def reset_rings(self, worker_id: int) -> None:
+        """Zero one worker's dirty-ring descriptor arrays (both halves).
+
+        Called by the transports before respawning a dead worker: a
+        worker killed mid-write (hang-kill included) can leave a torn
+        ring half in shared memory, and the replacement must start from
+        clean descriptors. Data columns are left alone — the restore
+        round rewrites them, and ring values without descriptors are
+        unreachable.
+        """
+        for half in self.segments[worker_id].halves:
+            for arr in (half.v_index, half.v_version, half.e_slot,
+                        half.e_version):
+                if arr is not None:
+                    arr.fill(0)
+
     def close(self) -> None:  # pragma: no cover - trivial
         pass
 

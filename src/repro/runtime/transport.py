@@ -44,7 +44,7 @@ import pickle
 import time
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.errors import EngineError
+from repro.errors import EngineError, FaultSpecError
 from repro.runtime.plane import (
     DataPlane,
     LocalDataPlane,
@@ -56,40 +56,161 @@ from repro.runtime.worker import serve, worker_from_bytes
 
 Message = Tuple[str, Any]
 
-#: Deterministic fault-injection schedule: ``"w:round"`` entries (comma
-#: separated), where ``round`` is a 0-based count of completed rounds at
-#: which worker ``w`` dies, or the literal ``launch`` to kill it during
-#: startup. Parsed by every transport at construction; entries naming
-#: workers the transport does not have are ignored, so one schedule can
-#: drive a whole test run.
+#: Deterministic fault-injection schedule: comma-separated
+#: ``worker:when[:mode[=arg]]`` entries. ``when`` is a 0-based count of
+#: completed rounds at which the fault fires (for ``corrupt_snapshot``:
+#: the snapshot id), or the literal ``launch`` (``kill`` only). ``mode``
+#: defaults to ``kill``; see :data:`FAULT_MODES`. Parsed by every
+#: transport (and the checkpoint manager) at construction; entries
+#: naming workers the transport does not have are ignored, so one
+#: schedule can drive a whole test run.
 FAULT_ENV = "REPRO_FAULT"
 
+#: Every failure mode the injector understands. ``kill`` is SIGKILL
+#: between barriers (PR 6 behavior); ``hang`` freezes the worker
+#: mid-round (SIGSTOP — heartbeats stop, the process stays alive);
+#: ``stall`` sleeps ``arg`` seconds mid-round and then continues (a slow
+#: worker, not a dead one — must *not* be declared failed); ``corrupt_
+#: reply`` ships an unparseable reply blob; ``corrupt_snapshot``
+#: garbles one on-disk journal of snapshot ``when`` after it completes
+#: (consumed by the checkpoint manager, not the transport); ``crash_
+#: mid_snapshot`` kills the worker the first time it is sent a snapshot
+#: command at or after round ``when``.
+FAULT_MODES = (
+    "kill",
+    "hang",
+    "stall",
+    "corrupt_reply",
+    "corrupt_snapshot",
+    "crash_mid_snapshot",
+)
 
-def parse_fault_plan(text: Optional[str]) -> Dict[int, Union[int, str]]:
-    """Parse a :data:`FAULT_ENV` schedule into ``{worker: when}``.
 
-    ``when`` is an int round number or the string ``"launch"``. One
-    entry per worker (a later entry for the same worker wins).
+@dataclasses.dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: when it fires, how it fails, its argument
+    (only ``stall`` takes one: seconds to sleep)."""
+
+    when: Union[int, str]
+    mode: str = "kill"
+    arg: Optional[float] = None
+
+
+def _validate_fault(
+    when: Union[int, str],
+    mode: str,
+    arg: Optional[float],
+    fragment: str,
+) -> None:
+    """Shared checks behind the parser and ``schedule_fault``; raises
+    :class:`FaultSpecError` naming ``fragment``."""
+    if mode not in FAULT_MODES:
+        raise FaultSpecError(
+            f"bad {FAULT_ENV} entry {fragment!r}: unknown mode {mode!r} "
+            f"(expected one of {', '.join(FAULT_MODES)})"
+        )
+    if when == "launch":
+        if mode != "kill":
+            raise FaultSpecError(
+                f"bad {FAULT_ENV} entry {fragment!r}: mode {mode!r} "
+                "cannot fire at launch (only 'kill' can)"
+            )
+    elif not isinstance(when, int) or isinstance(when, bool) or when < 0:
+        raise FaultSpecError(
+            f"bad {FAULT_ENV} entry {fragment!r}: expected a 0-based "
+            "round number (or snapshot id for corrupt_snapshot) or the "
+            f"token 'launch', got {when!r}"
+        )
+    if mode == "stall":
+        if arg is None or arg < 0:
+            raise FaultSpecError(
+                f"bad {FAULT_ENV} entry {fragment!r}: stall needs "
+                "'stall=<seconds>' with a non-negative duration"
+            )
+    elif arg is not None:
+        raise FaultSpecError(
+            f"bad {FAULT_ENV} entry {fragment!r}: mode {mode!r} takes "
+            "no '=<arg>'"
+        )
+
+
+def parse_fault_plan(text: Optional[str]) -> Dict[int, FaultSpec]:
+    """Parse a :data:`FAULT_ENV` schedule into ``{worker: FaultSpec}``.
+
+    Every malformed fragment — a non-integer or negative worker id, an
+    unknown round token, an unknown mode, a missing/forbidden argument,
+    or a duplicate schedule for the same worker — raises
+    :class:`~repro.errors.FaultSpecError` (a ``ValueError``) naming the
+    offending fragment, instead of being silently ignored or silently
+    overriding an earlier entry.
     """
-    plan: Dict[int, Union[int, str]] = {}
+    plan: Dict[int, FaultSpec] = {}
     for part in (text or "").split(","):
         part = part.strip()
         if not part:
             continue
-        worker_text, _, when_text = part.partition(":")
-        try:
-            worker = int(worker_text)
-            when: Union[int, str] = (
-                "launch" if when_text.strip() == "launch"
-                else int(when_text)
-            )
-        except ValueError:
-            raise EngineError(
+        fields = part.split(":")
+        if len(fields) not in (2, 3):
+            raise FaultSpecError(
                 f"bad {FAULT_ENV} entry {part!r}; expected "
-                "'worker:round' or 'worker:launch'"
+                "'worker:when' or 'worker:when:mode[=arg]'"
+            )
+        try:
+            worker = int(fields[0])
+        except ValueError:
+            raise FaultSpecError(
+                f"bad {FAULT_ENV} entry {part!r}: worker id "
+                f"{fields[0]!r} is not an integer"
             ) from None
-        plan[worker] = when
+        if worker < 0:
+            raise FaultSpecError(
+                f"bad {FAULT_ENV} entry {part!r}: worker id must be "
+                ">= 0"
+            )
+        when_text = fields[1].strip()
+        when: Union[int, str]
+        if when_text == "launch":
+            when = "launch"
+        else:
+            try:
+                when = int(when_text)
+            except ValueError:
+                raise FaultSpecError(
+                    f"bad {FAULT_ENV} entry {part!r}: unknown round "
+                    f"token {when_text!r} (expected an integer or "
+                    "'launch')"
+                ) from None
+        mode, arg = "kill", None
+        if len(fields) == 3:
+            mode_text = fields[2].strip()
+            mode, sep, arg_text = mode_text.partition("=")
+            if sep:
+                try:
+                    arg = float(arg_text)
+                except ValueError:
+                    raise FaultSpecError(
+                        f"bad {FAULT_ENV} entry {part!r}: argument "
+                        f"{arg_text!r} is not a number"
+                    ) from None
+        _validate_fault(when, mode, arg, part)
+        if worker in plan:
+            raise FaultSpecError(
+                f"bad {FAULT_ENV} entry {part!r}: duplicate schedule "
+                f"for worker {worker}"
+            )
+        plan[worker] = FaultSpec(when=when, mode=mode, arg=arg)
     return plan
+
+
+def _is_snapshot_command(message: Message) -> bool:
+    """Does this command do snapshot work the ``crash_mid_snapshot``
+    mode should interrupt? Either the synchronous ``checkpoint`` round
+    or the finishing round of an async (Chandy–Lamport) snapshot, where
+    workers persist their own journals."""
+    tag, payload = message
+    if tag == "checkpoint":
+        return True
+    return bool(isinstance(payload, dict) and payload.get("snap_finish"))
 
 
 class WorkerFailure(EngineError):
@@ -140,28 +261,44 @@ class Transport:
         #: Per-worker clock offsets (worker perf_counter domain ->
         #: coordinator domain), measured by the launch handshake.
         self.clock_offsets: List[float] = [0.0] * num_workers
-        #: worker -> pending kill (round number or "launch"); seeded
-        #: from the environment, extended via :meth:`schedule_kill`.
-        #: Entries fire once and are removed.
-        self._fault_plan: Dict[int, Union[int, str]] = {
-            w: when
-            for w, when in parse_fault_plan(os.environ.get(FAULT_ENV)).items()
-            if 0 <= w < num_workers
+        #: worker -> pending :class:`FaultSpec`; seeded from the
+        #: environment, extended via :meth:`schedule_fault`. Entries
+        #: fire once and are removed. ``corrupt_snapshot`` entries are
+        #: disk faults, consumed by the checkpoint manager — not here.
+        self._fault_plan: Dict[int, FaultSpec] = {
+            w: spec
+            for w, spec in parse_fault_plan(os.environ.get(FAULT_ENV)).items()
+            if 0 <= w < num_workers and spec.mode != "corrupt_snapshot"
         }
+        #: Monotonic timestamp of the most recent injected fault fire;
+        #: lets the fault benchmarks measure detection latency.
+        self.last_fault_fired_at: Optional[float] = None
 
-    def schedule_kill(self, worker_id: int, when: Union[int, str]) -> None:
-        """Arrange for ``worker_id`` to die deterministically: at the
-        start of the round whose 0-based number equals ``when``
-        (i.e. after ``when`` rounds completed), or during ``"launch"``.
-        The programmatic twin of the :data:`FAULT_ENV` knob."""
+    def schedule_fault(
+        self,
+        worker_id: int,
+        when: Union[int, str],
+        mode: str = "kill",
+        arg: Optional[float] = None,
+    ) -> None:
+        """Arrange a deterministic fault: at the start of the round
+        whose 0-based number equals ``when`` (i.e. after ``when`` rounds
+        completed), or during ``"launch"`` (``kill`` only). The
+        programmatic twin of the :data:`FAULT_ENV` knob."""
         if not 0 <= worker_id < self.num_workers:
             raise EngineError(f"no such worker {worker_id}")
-        if when != "launch" and not isinstance(when, int):
-            raise EngineError(
-                f"kill schedule must be a round number or 'launch', "
-                f"got {when!r}"
+        fragment = f"{worker_id}:{when}:{mode}"
+        _validate_fault(when, mode, arg, fragment)
+        if mode == "corrupt_snapshot":
+            raise FaultSpecError(
+                f"bad {FAULT_ENV} entry {fragment!r}: corrupt_snapshot "
+                "is a disk fault; schedule it on the CheckpointManager"
             )
-        self._fault_plan[worker_id] = when
+        self._fault_plan[worker_id] = FaultSpec(when=when, mode=mode, arg=arg)
+
+    def schedule_kill(self, worker_id: int, when: Union[int, str]) -> None:
+        """Backward-compatible alias: ``schedule_fault(..., "kill")``."""
+        self.schedule_fault(worker_id, when, mode="kill")
 
     # Data-plane lifecycle -----------------------------------------------
     def plane_kind(self) -> Optional[str]:
@@ -360,9 +497,11 @@ class InprocTransport(Transport):
     def _launch(self, init_payloads: Iterable[bytes]) -> List[Any]:
         acks = []
         for worker_id, blob in enumerate(init_payloads):
-            if self._fault_plan.get(worker_id) == "launch":
+            spec = self._fault_plan.get(worker_id)
+            if spec is not None and spec.when == "launch":
                 del self._fault_plan[worker_id]
                 self._workers.append(None)
+                self.last_fault_fired_at = time.monotonic()
                 raise WorkerFailure(
                     worker_id,
                     "injected fault: killed at launch",
@@ -378,24 +517,71 @@ class InprocTransport(Transport):
         self._check_payload_count(len(acks))
         return acks
 
+    def _armed_fault(self, worker_id: int, message: Message) -> Optional[FaultSpec]:
+        """The fault due to fire for this worker on this round, if any
+        (popped from the plan). ``crash_mid_snapshot`` arms at round
+        ``when`` but holds fire until a snapshot command comes by."""
+        spec = self._fault_plan.get(worker_id)
+        if spec is None or spec.when == "launch":
+            return None
+        if spec.mode == "crash_mid_snapshot":
+            if self.rounds_completed < spec.when or not _is_snapshot_command(
+                message
+            ):
+                return None
+        elif spec.when != self.rounds_completed:
+            return None
+        del self._fault_plan[worker_id]
+        self.last_fault_fired_at = time.monotonic()
+        return spec
+
     def _round(self, messages: Sequence[Message]) -> List[Any]:
         replies = []
         for worker_id, (worker, message) in enumerate(
             zip(self._workers, messages)
         ):
-            if self._fault_plan.get(worker_id) == self.rounds_completed:
-                # Deterministic emulation of an mp worker dying at this
-                # round: the worker object is dropped (its state is
-                # unreachable, exactly like a dead process) and the
-                # round fails the same way _recv would.
-                del self._fault_plan[worker_id]
+            spec = self._armed_fault(worker_id, message)
+            if spec is not None and spec.mode != "stall":
+                # Deterministic emulation of the mp failure modes: the
+                # worker object is dropped (its state is unreachable,
+                # exactly like a dead or untrusted process) and the
+                # round fails with the same structured shape and detail
+                # _recv would produce. corrupt_reply processes the
+                # command first — on mp the worker finishes the round
+                # and only the wire blob is garbled.
+                if spec.mode == "corrupt_reply" and worker is not None:
+                    try:
+                        worker.handle(*pickle.loads(pickle.dumps(
+                            message, protocol=pickle.HIGHEST_PROTOCOL
+                        )))
+                    except Exception:
+                        pass
                 self._workers[worker_id] = None
+                detail = {
+                    "kill": "injected fault: killed by schedule",
+                    "hang": (
+                        "injected fault: hung (no progress heartbeat; "
+                        "declared dead)"
+                    ),
+                    "corrupt_reply": (
+                        "injected fault: corrupt reply "
+                        "(reply blob failed to unpickle)"
+                    ),
+                    "crash_mid_snapshot": (
+                        "injected fault: crashed mid-snapshot"
+                    ),
+                }[spec.mode]
                 raise WorkerFailure(
                     worker_id,
-                    "injected fault: killed by schedule",
+                    detail,
                     last_command=message[0],
                     phase="reply",
                 )
+            if spec is not None and spec.mode == "stall":
+                # A legitimately slow worker, not a failed one: the
+                # round simply takes longer. Must never be declared
+                # dead by liveness detection.
+                time.sleep(spec.arg or 0.0)
             if worker is None:
                 raise WorkerFailure(
                     worker_id,
@@ -430,6 +616,10 @@ class InprocTransport(Transport):
         return replies
 
     def _recover(self, worker_id: int, init_payload: bytes) -> Any:
+        if self.data_plane is not None:
+            # Same scrub as the mp respawn path: descriptors a dead
+            # worker left in its rings must not outlive it.
+            self.data_plane.reset_rings(worker_id)
         t_send = time.perf_counter()
         worker = self._build_worker(init_payload)
         self._workers[worker_id] = worker
@@ -441,16 +631,46 @@ class InprocTransport(Transport):
         self._workers = []
 
 
+def _proc_alive(proc: Any) -> bool:
+    """``Process.is_alive`` that treats a closed handle as dead."""
+    try:
+        return proc.is_alive()
+    except ValueError:  # pragma: no cover - handle already closed
+        return False
+
+
+def _proc_close(proc: Any) -> None:
+    """Release a Process handle's fds (sentinel included), best-effort:
+    closing a still-running handle raises and is skipped."""
+    try:
+        proc.close()
+    except ValueError:  # pragma: no cover - still running
+        pass
+
+
 class MpTransport(Transport):
     """One OS process per worker, one duplex pipe each.
 
     ``start_method`` defaults to ``fork`` where available (cheap launch;
     the init payload still ships pickled so the code path is identical)
-    and falls back to ``spawn``. ``reply_timeout`` bounds how long a
-    round waits on a silent worker before declaring it dead; a dead or
-    silent worker raises :class:`WorkerFailure` naming the worker and
-    the last command it was sent, instead of blocking forever on the
-    pipe.
+    and falls back to ``spawn``.
+
+    **Liveness.** Workers emit progress heartbeats — tiny ``("hb",
+    None)`` frames on the reply pipe, produced by a daemon thread while
+    a command is being processed (same piggyback discipline as the
+    telemetry batches: they ride the existing pipe and add no barrier;
+    the coordinator strips them in ``_recv`` and they are never counted
+    as data bytes). A worker that goes silent for ``heartbeat_timeout``
+    seconds while a reply is owed is declared hung — seconds, not the
+    old fixed two minutes. Independently, each round must finish within
+    an *adaptive deadline*: an EMA of observed round durations times
+    ``deadline_slack``, clamped below by ``deadline_floor`` (so early
+    noise and legitimately long kernel passes are never falsely killed)
+    and above by ``reply_timeout`` (the historical hard cap, still the
+    only deadline for the launch handshake, which precedes heartbeats).
+    A dead, hung, or deadline-blowing worker raises
+    :class:`WorkerFailure` naming the worker and the last command it
+    was sent, instead of blocking forever on the pipe.
     """
 
     name = "mp"
@@ -460,6 +680,10 @@ class MpTransport(Transport):
         num_workers: int,
         start_method: Optional[str] = None,
         reply_timeout: float = 120.0,
+        heartbeat_interval: Optional[float] = 0.25,
+        heartbeat_timeout: float = 2.0,
+        deadline_floor: float = 30.0,
+        deadline_slack: float = 8.0,
     ) -> None:
         super().__init__(num_workers)
         if start_method is None:
@@ -468,6 +692,18 @@ class MpTransport(Transport):
         self._ctx = multiprocessing.get_context(start_method)
         self.start_method = start_method
         self.reply_timeout = float(reply_timeout)
+        #: Seconds between worker heartbeat frames; ``None`` disables
+        #: heartbeats (and with them hang detection).
+        self.heartbeat_interval = heartbeat_interval
+        #: Declare a worker hung when no heartbeat (or reply) arrives
+        #: for this long while a reply is owed.
+        self.heartbeat_timeout = float(heartbeat_timeout)
+        self.deadline_floor = float(deadline_floor)
+        self.deadline_slack = float(deadline_slack)
+        #: EMA of observed round durations (seconds); None until the
+        #: first completed round.
+        self._round_ema: Optional[float] = None
+        self.heartbeats_received = 0
         self._procs: List[Any] = []
         self._conns: List[Any] = []
         self._last_cmd: List[str] = ["launch"] * num_workers
@@ -477,6 +713,33 @@ class MpTransport(Transport):
         #: True while a command has been sent and its reply not yet
         #: consumed; lets recovery drain survivors of an aborted round.
         self._pending: List[bool] = [False] * num_workers
+        #: Workers declared hung (missed heartbeats / injected hang):
+        #: recovery and shutdown skip the graceful SIGTERM dance — a
+        #: stopped process never handles it — and go straight to
+        #: SIGKILL, so a hang-kill releases its pipe fds and process
+        #: handle promptly instead of waiting out escalation timeouts.
+        self._hung: set = set()
+
+    def reply_deadline(self) -> float:
+        """Current adaptive per-round deadline (seconds).
+
+        ``reply_timeout`` until the first round lands, then
+        ``clamp(EMA * deadline_slack, deadline_floor, reply_timeout)``:
+        slow histories earn proportionally long deadlines, short ones
+        are floor-protected from false kills.
+        """
+        if self._round_ema is None:
+            return self.reply_timeout
+        return min(
+            max(self.deadline_floor, self._round_ema * self.deadline_slack),
+            self.reply_timeout,
+        )
+
+    def _observe_round(self, seconds: float) -> None:
+        ema = self._round_ema
+        self._round_ema = (
+            seconds if ema is None else 0.2 * seconds + 0.8 * ema
+        )
 
     def plane_kind(self) -> Optional[str]:
         return "shm" if shm_available() else None
@@ -497,7 +760,7 @@ class MpTransport(Transport):
         parent, child = self._ctx.Pipe()
         proc = self._ctx.Process(
             target=serve,
-            args=(child, blob),
+            args=(child, blob, self.heartbeat_interval),
             name=f"graphlab-runtime-w{worker_id}",
             daemon=True,
         )
@@ -513,15 +776,52 @@ class MpTransport(Transport):
     def kill_worker(self, worker_id: int) -> None:
         """Hard-kill one worker process (fault injection)."""
         proc = self._procs[worker_id]
-        if proc.is_alive():
+        if _proc_alive(proc):
             proc.kill()
             proc.join(timeout=2.0)
 
-    def _fire_kills(self, when: Union[int, str]) -> None:
-        for worker_id, at in list(self._fault_plan.items()):
-            if at == when and worker_id < len(self._procs):
+    def _fire_kills(self, when: Union[int, str]) -> List[int]:
+        """SIGKILL every worker whose *kill* schedule matches ``when``;
+        the other modes are worker-side directives injected per-round
+        by :meth:`_fault_directive`. Returns the killed worker ids."""
+        killed = []
+        for worker_id, spec in list(self._fault_plan.items()):
+            if (
+                spec.mode == "kill"
+                and spec.when == when
+                and worker_id < len(self._procs)
+            ):
                 del self._fault_plan[worker_id]
+                self.last_fault_fired_at = time.monotonic()
                 self.kill_worker(worker_id)
+                killed.append(worker_id)
+        return killed
+
+    def _fault_directive(
+        self, worker_id: int, message: Message
+    ) -> Optional[Dict[str, Any]]:
+        """Non-kill fault due this round, as the ``_fault`` payload
+        directive the worker's serve loop executes (hang = SIGSTOP
+        itself, stall = sleep, corrupt_reply = garble the wire blob,
+        crash = ``os._exit`` mid-command)."""
+        spec = self._fault_plan.get(worker_id)
+        if spec is None or spec.mode == "kill" or spec.when == "launch":
+            return None
+        if spec.mode == "crash_mid_snapshot":
+            if self.rounds_completed < spec.when or not _is_snapshot_command(
+                message
+            ):
+                return None
+            mode = "crash"
+        elif spec.when != self.rounds_completed:
+            return None
+        else:
+            mode = spec.mode
+        del self._fault_plan[worker_id]
+        self.last_fault_fired_at = time.monotonic()
+        if mode == "hang":
+            self._hung.add(worker_id)
+        return {"mode": mode, "arg": spec.arg}
 
     def _launch(self, init_payloads: Iterable[bytes]) -> List[Any]:
         count = 0
@@ -530,19 +830,41 @@ class MpTransport(Transport):
             count += 1
         self._check_payload_count(count)
         self._pending = [True] * self.num_workers
-        # Kill-at-launch fires after the spawn, before the ready acks:
-        # the failure surfaces through the normal _recv path.
-        self._fire_kills("launch")
-        return [self._recv(w, phase="launch") for w in range(self.num_workers)]
+        # Kill-at-launch fires after the spawn, before the ready acks.
+        # The failure is raised here, not discovered in _recv: a worker
+        # can squeeze its ack into the pipe before the SIGKILL lands,
+        # and trusting that ack would defer the failure to the first
+        # round's send — nondeterministic phase for a scheduled fault.
+        killed = self._fire_kills("launch")
+        acks = []
+        for worker_id in range(self.num_workers):
+            if worker_id in killed:
+                raise WorkerFailure(
+                    worker_id,
+                    "injected fault: killed at launch",
+                    last_command="launch",
+                    phase="launch",
+                )
+            acks.append(self._recv(worker_id, phase="launch"))
+        return acks
 
     def _round(self, messages: Sequence[Message]) -> List[Any]:
         # Scheduled kills fire before the sends, so the doomed worker
         # never processes this round's command — deterministic "machine
-        # lost between barriers" semantics.
+        # lost between barriers" semantics. The other fault modes ride
+        # the command payload as a worker-side directive instead: the
+        # worker starts the round and fails mid-command.
         self._fire_kills(self.rounds_completed)
+        t0 = time.monotonic()
         for worker_id, (conn, message) in enumerate(
             zip(self._conns, messages)
         ):
+            directive = self._fault_directive(worker_id, message)
+            if directive is not None:
+                tag, payload = message
+                payload = dict(payload)
+                payload["_fault"] = directive
+                message = (tag, payload)
             blob = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
             self.bytes_sent += len(blob)
             self._last_cmd[worker_id] = message[0]
@@ -558,15 +880,73 @@ class MpTransport(Transport):
             self._pending[worker_id] = True
         # All workers now compute concurrently; collecting every reply
         # is the barrier.
-        return [self._recv(w) for w in range(self.num_workers)]
+        replies = [self._recv(w) for w in range(self.num_workers)]
+        self._observe_round(time.monotonic() - t0)
+        return replies
 
     def _recv(self, worker_id: int, phase: str = "reply") -> Any:
         conn = self._conns[worker_id]
         proc = self._procs[worker_id]
         last = self._last_cmd[worker_id]
-        deadline = time.monotonic() + self.reply_timeout
-        while not conn.poll(0.05):
-            if not proc.is_alive():
+        start = last_beat = time.monotonic()
+        # The launch handshake precedes the worker's serve loop (graph
+        # unpickling, shard build), so no heartbeats flow and no round
+        # history exists: only the hard cap applies there.
+        timeout = (
+            self.reply_timeout if phase == "launch" else self.reply_deadline()
+        )
+        check_beats = phase != "launch" and self.heartbeat_interval
+        while True:
+            if conn.poll(0.05):
+                try:
+                    blob = conn.recv_bytes()
+                except (EOFError, OSError):
+                    raise WorkerFailure(
+                        worker_id,
+                        "pipe closed mid-reply",
+                        last_command=last,
+                        phase=phase,
+                    ) from None
+                try:
+                    tag, payload = pickle.loads(blob)
+                except Exception as exc:
+                    # A reply that does not parse is as dead as no
+                    # reply: the worker's state can no longer be
+                    # trusted (wire corruption — or a worker writing
+                    # garbage). Recovery respawns it.
+                    self._hung.add(worker_id)
+                    raise WorkerFailure(
+                        worker_id,
+                        "corrupt reply (reply blob failed to unpickle: "
+                        f"{type(exc).__name__})",
+                        last_command=last,
+                        phase=phase,
+                    ) from None
+                if tag == "hb":
+                    # Progress heartbeat: liveness control, not data —
+                    # refreshed deadline, never counted as wire bytes
+                    # (the byte counters stay backend-identical).
+                    last_beat = time.monotonic()
+                    self.heartbeats_received += 1
+                    if self.obs is not None:
+                        self.obs.count("heartbeats")
+                    continue
+                self.bytes_received += len(blob)
+                self._pending[worker_id] = False
+                if tag == "error":
+                    raise WorkerFailure(
+                        worker_id, payload, last_command=last, phase=phase
+                    )
+                if phase == "launch":
+                    self._set_offset(
+                        worker_id,
+                        self._spawn_at[worker_id],
+                        time.perf_counter(),
+                        payload,
+                    )
+                return payload
+            now = time.monotonic()
+            if not _proc_alive(proc):
                 raise WorkerFailure(
                     worker_id,
                     f"process exited with code {proc.exitcode} before "
@@ -574,37 +954,29 @@ class MpTransport(Transport):
                     last_command=last,
                     phase=phase,
                 )
-            if time.monotonic() > deadline:
+            if check_beats and now - last_beat > self.heartbeat_timeout:
+                self._hung.add(worker_id)
+                if self.obs is not None:
+                    self.obs.count("hang_detections")
                 raise WorkerFailure(
                     worker_id,
-                    f"no reply within {self.reply_timeout}s",
+                    "hung (no progress heartbeat within "
+                    f"{self.heartbeat_timeout:.1f}s; declared dead)",
                     last_command=last,
                     phase=phase,
                 )
-        try:
-            blob = conn.recv_bytes()
-        except (EOFError, OSError):
-            raise WorkerFailure(
-                worker_id,
-                "pipe closed mid-reply",
-                last_command=last,
-                phase=phase,
-            ) from None
-        self.bytes_received += len(blob)
-        self._pending[worker_id] = False
-        tag, payload = pickle.loads(blob)
-        if tag == "error":
-            raise WorkerFailure(
-                worker_id, payload, last_command=last, phase=phase
-            )
-        if phase == "launch":
-            self._set_offset(
-                worker_id,
-                self._spawn_at[worker_id],
-                time.perf_counter(),
-                payload,
-            )
-        return payload
+            if now - start > timeout:
+                raise WorkerFailure(
+                    worker_id,
+                    f"no reply within the {timeout:.1f}s "
+                    + (
+                        "launch deadline"
+                        if phase == "launch"
+                        else "adaptive round deadline"
+                    ),
+                    last_command=last,
+                    phase=phase,
+                )
 
     def _recover(self, worker_id: int, init_payload: bytes) -> Any:
         # Drain survivors of the aborted round first: they finished the
@@ -616,20 +988,36 @@ class MpTransport(Transport):
             if w != worker_id and self._pending[w]:
                 self._recv(w)
         # Reap what's left of the dead worker, then respawn on a fresh
-        # pipe. The init payload re-ships the full launch state (plane
-        # spec included, so an shm worker re-attaches its segments by
-        # name) and the ready ack is awaited like at launch.
+        # pipe. A worker declared hung (or untrusted) is still alive —
+        # SIGSTOPped processes never handle SIGTERM, so escalation goes
+        # straight to SIGKILL (which the kernel delivers even to a
+        # stopped process) instead of waiting out the graceful joins.
+        # The process handle and the old pipe fds are closed here, so a
+        # hang-kill releases its descriptors; the shm plane segment is
+        # coordinator-owned and survives for the respawn to re-attach.
         proc = self._procs[worker_id]
-        if proc.is_alive():
+        if worker_id in self._hung:
+            self._hung.discard(worker_id)
+            if _proc_alive(proc):
+                proc.kill()
+                proc.join(timeout=2.0)
+        elif _proc_alive(proc):
             proc.terminate()
             proc.join(timeout=2.0)
             if proc.is_alive():  # pragma: no cover - stuck in kernel
                 proc.kill()
                 proc.join(timeout=1.0)
+        _proc_close(proc)
         try:
             self._conns[worker_id].close()
         except OSError:  # pragma: no cover - already torn down
             pass
+        if self.data_plane is not None:
+            # Scrub the dead worker's dirty rings: a worker killed
+            # mid-write can leave a torn ring half behind, and the
+            # respawned attachment should start from zeroed descriptors
+            # rather than whatever the corpse left in shared memory.
+            self.data_plane.reset_rings(worker_id)
         self._last_cmd[worker_id] = "launch"
         self._spawn(worker_id, init_payload)
         self._pending[worker_id] = True
@@ -640,22 +1028,33 @@ class MpTransport(Transport):
 
         Never blocks on a dead pipe: sends are best-effort, every join
         is bounded, and stragglers are reaped with ``terminate`` then
-        ``kill`` so ``shutdown`` returns even when a worker wedged
-        mid-command.
+        ``kill`` — except workers already declared hung, which skip
+        straight to ``kill`` (a stopped process never honors SIGTERM,
+        and waiting out the graceful joins would stall every shutdown
+        after a hang). Pipe fds and process handles are closed on every
+        path, so a run that ends on a hang leaks neither.
         """
-        for conn in self._conns:
+        for worker_id, conn in enumerate(self._conns):
+            if worker_id in self._hung:
+                continue
             try:
                 conn.send_bytes(pickle.dumps(("stop", {})))
             except (OSError, ValueError):
                 pass
-        for proc in self._procs:
-            proc.join(timeout=2.0)
-            if proc.is_alive():
-                proc.terminate()
+        for worker_id, proc in enumerate(self._procs):
+            if worker_id in self._hung:
+                if _proc_alive(proc):
+                    proc.kill()
                 proc.join(timeout=2.0)
-            if proc.is_alive():  # pragma: no cover - stuck in kernel
-                proc.kill()
-                proc.join(timeout=1.0)
+            else:
+                proc.join(timeout=2.0)
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=2.0)
+                if proc.is_alive():  # pragma: no cover - stuck in kernel
+                    proc.kill()
+                    proc.join(timeout=1.0)
+            _proc_close(proc)
         for conn in self._conns:
             try:
                 conn.close()
@@ -663,6 +1062,7 @@ class MpTransport(Transport):
                 pass
         self._procs = []
         self._conns = []
+        self._hung = set()
 
 
 def make_transport(

@@ -64,11 +64,14 @@ so the inter-color communication barrier of the chromatic engine
 
 from __future__ import annotations
 
+import os
 import pickle
+import signal
+import threading
 import traceback
 from collections import deque
 from dataclasses import dataclass
-from time import perf_counter
+from time import perf_counter, sleep
 from typing import Any, Deque, Dict, List, Mapping, Optional, Set, Tuple
 
 import numpy as np
@@ -1184,10 +1187,10 @@ class LockingWorker(_PlaneClient):
                 rec.span("ghost", t0, perf_counter())
         if payload.get("snap_seed"):
             self._snap_seed()
-        snap_bytes = None
+        snap_written = None
         if payload.get("snap_finish"):
             t0 = perf_counter() if rec is not None else 0.0
-            snap_bytes = self._snap_finish()
+            snap_written = self._snap_finish()
             if rec is not None:
                 rec.span("snap", t0, perf_counter())
         t0 = perf_counter() if rec is not None else 0.0
@@ -1212,8 +1215,8 @@ class LockingWorker(_PlaneClient):
             "plane": meta or None,
             "data": overflow or None,
         }
-        if snap_bytes is not None:
-            body["snap_bytes"] = snap_bytes
+        if snap_written is not None:
+            body["snap_bytes"], body["snap_crc"] = snap_written
         snap = self._snap
         if snap is not None:
             body["snap_done"] = (
@@ -1437,7 +1440,7 @@ class LockingWorker(_PlaneClient):
             marked.add(vertex)
         self._release(ps)
 
-    def _snap_finish(self) -> Optional[int]:
+    def _snap_finish(self) -> Optional[Tuple[int, int]]:
         """Persist this worker's journal and end its snapshot epoch.
 
         The journal carries the shard state in the simulated DFS's shape
@@ -1460,11 +1463,11 @@ class LockingWorker(_PlaneClient):
                 for v in self.store.owned_vertices
             ],
         }
-        nbytes = SnapshotDirectory(snap["root"]).write_journal(
+        nbytes, crc = SnapshotDirectory(snap["root"]).write_journal(
             snap["id"], self.worker_id, journal
         )
         self._snap = None
-        return nbytes
+        return nbytes, crc
 
     # ------------------------------------------------------------------
     # Checkpoint / restore (runtime fault tolerance, Sec. 4.3).
@@ -1620,7 +1623,90 @@ def worker_from_bytes(blob: bytes) -> _PlaneClient:
     return RuntimeWorker(init)
 
 
-def serve(conn: Any, init_blob: bytes) -> None:
+#: A deliberately unparseable reply blob — the ``corrupt_reply`` fault.
+_CORRUPT_REPLY = b"repro-corrupt-reply"
+
+#: One pre-pickled heartbeat frame; tiny and constant, so the pump's
+#: steady-state cost is a lock acquire and a pipe write.
+_HB_FRAME = pickle.dumps(("hb", None))
+
+
+class _HeartbeatPump:
+    """Progress heartbeats for a pipe-connected worker.
+
+    A daemon thread that, while the serve loop is busy processing a
+    command (``begin``/``end`` bracket), writes one ``("hb", None)``
+    frame to the reply pipe every ``interval`` seconds — under the same
+    lock as real replies, so frames never interleave. The coordinator
+    strips the frames in its receive loop; silence longer than its
+    ``heartbeat_timeout`` while a reply is owed means this process is
+    wedged (SIGSTOP, kernel hang, livelocked machine) and gets declared
+    dead in seconds instead of tripping a two-minute timeout. Idle
+    periods produce no frames: no reply is owed, so nobody is waiting.
+    """
+
+    def __init__(self, conn: Any, lock: Any, interval: float) -> None:
+        self._conn = conn
+        self._lock = lock
+        self._interval = interval
+        self._busy = threading.Event()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-heartbeat", daemon=True
+        )
+        self._thread.start()
+
+    def begin(self) -> None:
+        self._busy.set()
+
+    def end(self) -> None:
+        self._busy.clear()
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._busy.set()  # unblock the wait-for-busy
+        self._thread.join(timeout=1.0)
+
+    def _run(self) -> None:
+        while True:
+            self._busy.wait()
+            if self._stop.wait(self._interval):
+                return
+            if not self._busy.is_set():
+                continue
+            with self._lock:
+                if self._stop.is_set():
+                    return
+                try:
+                    self._conn.send_bytes(_HB_FRAME)
+                except (OSError, ValueError):  # pragma: no cover - teardown
+                    return
+
+
+def _execute_fault(fault: Dict[str, Any]) -> bool:
+    """Worker-side leg of the transport's fault injector.
+
+    Runs the ``_fault`` directive the coordinator attached to this
+    command's payload. ``hang`` SIGSTOPs the whole process — every
+    thread freezes, heartbeats included, which is exactly what a
+    stalled machine looks like from the other end of the pipe (only
+    SIGKILL ends it). ``stall`` sleeps and then continues: a slow
+    round, not a failure. ``crash`` exits hard mid-command. Returns
+    True when the eventual reply must be shipped corrupted.
+    """
+    mode = fault.get("mode")
+    if mode == "hang":
+        os.kill(os.getpid(), signal.SIGSTOP)
+    elif mode == "stall":
+        sleep(float(fault.get("arg") or 0.0))
+    elif mode == "crash":
+        os._exit(13)
+    return mode == "corrupt_reply"
+
+
+def serve(
+    conn: Any, init_blob: bytes, heartbeat_interval: Optional[float] = None
+) -> None:
     """Request/reply loop for a pipe-connected worker process.
 
     Module-level so ``multiprocessing`` can target it under every start
@@ -1630,6 +1716,9 @@ def serve(conn: Any, init_blob: bytes) -> None:
     coordinator's send-all-then-receive-all round is a true barrier.
     Commands and replies cross the pipe as explicit pickled byte blobs
     (``send_bytes``), so both ends can account wire volume exactly.
+    With ``heartbeat_interval`` set, a :class:`_HeartbeatPump` emits
+    liveness frames on the same pipe while a command is in flight —
+    zero extra barriers, stripped coordinator-side before accounting.
     """
     try:
         worker = worker_from_bytes(init_blob)
@@ -1639,7 +1728,13 @@ def serve(conn: Any, init_blob: bytes) -> None:
         finally:
             conn.close()
         return
-    conn.send_bytes(pickle.dumps(
+    send_lock = threading.Lock()
+
+    def _send(blob: bytes) -> None:
+        with send_lock:
+            conn.send_bytes(blob)
+
+    _send(pickle.dumps(
         ("ok", {
             "worker": worker.worker_id,
             "owned": len(worker.store.owned_vertices),
@@ -1649,6 +1744,11 @@ def serve(conn: Any, init_blob: bytes) -> None:
             "clk": perf_counter(),
         })
     ))
+    pump = (
+        _HeartbeatPump(conn, send_lock, heartbeat_interval)
+        if heartbeat_interval
+        else None
+    )
     rec = getattr(worker, "_obs", None)
     try:
         while True:
@@ -1665,29 +1765,43 @@ def serve(conn: Any, init_blob: bytes) -> None:
             except EOFError:
                 break
             if tag == "stop":
-                conn.send_bytes(pickle.dumps(("ok", {})))
+                _send(pickle.dumps(("ok", {})))
                 break
+            fault = (
+                payload.pop("_fault", None)
+                if isinstance(payload, dict)
+                else None
+            )
+            if pump is not None:
+                pump.begin()
             try:
-                reply = worker.handle(tag, payload)
-            except BaseException:
-                conn.send_bytes(
-                    pickle.dumps(("error", traceback.format_exc()))
-                )
-            else:
-                if rec is None:
-                    conn.send_bytes(pickle.dumps(
-                        ("ok", reply), protocol=pickle.HIGHEST_PROTOCOL
-                    ))
+                corrupt = fault is not None and _execute_fault(fault)
+                try:
+                    reply = worker.handle(tag, payload)
+                except BaseException:
+                    _send(pickle.dumps(("error", traceback.format_exc())))
                 else:
-                    # This pickle+ship span necessarily rides the
-                    # *next* reply's batch — the current one is
-                    # already built when the span ends.
-                    t0 = perf_counter()
-                    out = pickle.dumps(
-                        ("ok", reply), protocol=pickle.HIGHEST_PROTOCOL
-                    )
-                    conn.send_bytes(out)
-                    rec.span("ser", t0, perf_counter())
+                    if corrupt:
+                        _send(_CORRUPT_REPLY)
+                    elif rec is None:
+                        _send(pickle.dumps(
+                            ("ok", reply), protocol=pickle.HIGHEST_PROTOCOL
+                        ))
+                    else:
+                        # This pickle+ship span necessarily rides the
+                        # *next* reply's batch — the current one is
+                        # already built when the span ends.
+                        t0 = perf_counter()
+                        out = pickle.dumps(
+                            ("ok", reply), protocol=pickle.HIGHEST_PROTOCOL
+                        )
+                        _send(out)
+                        rec.span("ser", t0, perf_counter())
+            finally:
+                if pump is not None:
+                    pump.end()
     finally:
+        if pump is not None:
+            pump.stop()
         worker.close_plane()
         conn.close()

@@ -17,6 +17,8 @@ Both ``use_plane`` settings run, pinning the shm and the pipe wire
 (``REPRO_NO_SHM`` CI lane re-runs the whole file without shm anyway).
 """
 
+import os
+
 import pytest
 
 from repro.apps.pagerank import make_pagerank_update
@@ -300,6 +302,270 @@ class TestCheckpointManager:
         manager.dir.write_journal(sid, 0, {"vdata": {}})
         fresh = CheckpointManager(str(tmp_path), 1)
         assert fresh.next_id() == sid + 1
+
+
+class TestSnapshotIntegrity:
+    """Tentpole: per-file CRCs + manifest; load-time verification
+    rejects corrupt/truncated snapshots and falls back to the previous
+    valid one."""
+
+    def _write_one(self, manager, value=1.0):
+        journals = [
+            {"vdata": {"v:0": value}, "edata": {}, "versions": {"v:0": 1}},
+            {"vdata": {"v:1": value}, "edata": {}, "versions": {"v:1": 1}},
+        ]
+        sid = manager.next_id()
+        manager.write(sid, journals, {"engine": "test", "value": value})
+        return sid
+
+    def test_manifest_written_and_verifies(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path), 2)
+        sid = self._write_one(manager)
+        entries = manager.dir.read_manifest(sid)
+        assert set(entries) == {"machine-0", "machine-1", "meta"}
+        for record in entries.values():
+            assert record["bytes"] > 0
+            assert 0 <= record["crc32"] <= 0xFFFFFFFF
+        manager.dir.verify(sid, 2)  # does not raise
+
+    def test_atomic_writes_leave_no_tmp_files(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path), 2)
+        sid = self._write_one(manager)
+        leftovers = [
+            name
+            for name in os.listdir(manager.dir.snapshot_dir(sid))
+            if name.endswith(".tmp")
+        ]
+        assert leftovers == []
+
+    def test_corrupt_journal_rejected_with_filename(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path), 2)
+        sid = self._write_one(manager)
+        path = manager.dir.journal_path(sid, 1)
+        blob = open(path, "rb").read()
+        with open(path, "wb") as fh:  # flip one byte, same size
+            fh.write(blob[:-1] + bytes([blob[-1] ^ 0xFF]))
+        with pytest.raises(SnapshotError) as info:
+            manager.dir.verify(sid, 2)
+        assert "machine-1" in str(info.value)
+        assert "CRC32" in str(info.value)
+
+    def test_truncated_journal_rejected(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path), 2)
+        sid = self._write_one(manager)
+        path = manager.dir.journal_path(sid, 0)
+        blob = open(path, "rb").read()
+        with open(path, "wb") as fh:
+            fh.write(blob[: len(blob) // 2])
+        with pytest.raises(SnapshotError) as info:
+            manager.dir.verify(sid, 2)
+        assert "machine-0" in str(info.value)
+        assert "truncated" in str(info.value)
+
+    def test_missing_manifest_rejected(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path), 2)
+        sid = self._write_one(manager)
+        os.remove(
+            os.path.join(manager.dir.snapshot_dir(sid), "MANIFEST")
+        )
+        with pytest.raises(SnapshotError):
+            manager.dir.verify(sid, 2)
+
+    def test_latest_state_falls_back_to_previous_valid(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path), 2)
+        good = self._write_one(manager, value=1.0)
+        bad = self._write_one(manager, value=2.0)
+        path = manager.dir.journal_path(bad, 0)
+        with open(path, "wb") as fh:
+            fh.write(b"garbage")
+        sid, meta, journals = manager.latest_state()
+        assert sid == good
+        assert meta["value"] == 1.0
+        assert manager.snapshots_rejected == 1
+
+    def test_all_snapshots_damaged_raises_with_list(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path), 1)
+        sid = manager.next_id()
+        manager.write(sid, [{"vdata": {}}], {})
+        with open(manager.dir.journal_path(sid, 0), "wb") as fh:
+            fh.write(b"garbage")
+        with pytest.raises(SnapshotError) as info:
+            manager.latest_state()
+        assert "failed integrity verification" in str(info.value)
+        assert f"snapshot {sid}" in str(info.value)
+
+    def test_finalize_async_builds_manifest_from_reported_crcs(
+        self, tmp_path
+    ):
+        manager = CheckpointManager(str(tmp_path), 2)
+        sid = manager.next_id()
+        crcs = {}
+        for w in range(2):
+            _nbytes, crcs[w] = manager.dir.write_journal(
+                sid, w, {"vdata": {f"v:{w}": float(w)}}
+            )
+        manager.finalize_async(sid, {"engine": "test"}, crcs=crcs)
+        manager.dir.verify(sid, 2)
+        got_sid, _meta, _journals = manager.latest_state()
+        assert got_sid == sid
+
+    def test_env_knob_corrupts_scheduled_snapshot(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(FAULT_ENV, "1:1:corrupt_snapshot")
+        manager = CheckpointManager(str(tmp_path), 2)
+        first = self._write_one(manager, value=1.0)
+        second = self._write_one(manager, value=2.0)
+        assert second == 1
+        with pytest.raises(SnapshotError):
+            manager.dir.verify(second, 2)
+        sid, meta, _ = manager.latest_state()
+        assert sid == first
+        assert manager.snapshots_rejected == 1
+
+    def test_schedule_corruption_validates_worker(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path), 2)
+        with pytest.raises(SnapshotError):
+            manager.schedule_corruption(5, 0)
+
+
+class TestResumeFromDisk:
+    """Tentpole: ``run(resume_from=...)`` cold-restarts a crashed run
+    from its snapshot directory, rejecting damaged snapshots on the
+    way."""
+
+    def _crashed_run(self, tmp_path):
+        g = web()
+        engine = RuntimeChromaticEngine(
+            g, PAGERANK, num_workers=2, transport="inproc",
+            max_sweeps=100, snapshot_every=1,
+            snapshot_dir=str(tmp_path), max_recoveries=0,
+        )
+        engine.transport.schedule_kill(1, 6)
+        with pytest.raises(WorkerFailure):
+            engine.run(initial=g.vertices())
+
+    def test_chromatic_resume_bit_identical(self, tmp_path):
+        clean, _ = clean_chromatic()
+        self._crashed_run(tmp_path)
+        g = web()
+        result = RuntimeChromaticEngine(
+            g, PAGERANK, num_workers=2, transport="inproc",
+            max_sweeps=100, snapshot_every=1,
+        ).run(initial=g.vertices(), resume_from=str(tmp_path))
+        assert result.converged
+        assert result.extra["resume_seconds"] >= 0.0
+        assert ranks(g) == clean
+
+    def test_resume_rejects_corrupt_then_falls_back(self, tmp_path):
+        clean, _ = clean_chromatic()
+        self._crashed_run(tmp_path)
+        directory = SnapshotDirectory(str(tmp_path))
+        newest = directory.latest()
+        assert newest is not None and newest >= 1
+        with open(directory.journal_path(newest, 0), "wb") as fh:
+            fh.write(b"repro-corrupt-snapshot")
+        g = web()
+        result = RuntimeChromaticEngine(
+            g, PAGERANK, num_workers=2, transport="inproc",
+            max_sweeps=100, snapshot_every=1,
+        ).run(initial=g.vertices(), resume_from=str(tmp_path))
+        assert result.converged
+        assert result.extra["snapshots_rejected"] >= 1
+        assert ranks(g) == clean
+
+    def test_locking_resume_fixed_point(self, tmp_path):
+        g_clean = web()
+        RuntimeLockingEngine(
+            g_clean, PAGERANK, num_workers=2, transport="inproc",
+        ).run(initial=g_clean.vertices())
+        clean = ranks(g_clean)
+        g = web()
+        engine = RuntimeLockingEngine(
+            g, PAGERANK, num_workers=2, transport="inproc",
+            snapshot_every=3, snapshot_dir=str(tmp_path),
+            max_recoveries=0,
+        )
+        engine.transport.schedule_kill(1, 6)
+        with pytest.raises(WorkerFailure):
+            engine.run(initial=g.vertices())
+        g2 = web()
+        result = RuntimeLockingEngine(
+            g2, PAGERANK, num_workers=2, transport="inproc",
+            snapshot_every=3,
+        ).run(initial=g2.vertices(), resume_from=str(tmp_path))
+        assert result.converged
+        assert result.extra["resume_seconds"] >= 0.0
+        got = ranks(g2)
+        for v, rank in clean.items():
+            assert got[v] == pytest.approx(rank, abs=1e-3)
+
+    def test_resume_requires_snapshots(self, tmp_path):
+        g = web()
+        engine = RuntimeChromaticEngine(
+            g, PAGERANK, num_workers=2, transport="inproc",
+        )
+        with pytest.raises(EngineError):
+            engine.run(initial=g.vertices(), resume_from=str(tmp_path))
+
+    def test_resume_from_empty_dir_raises(self, tmp_path):
+        g = web()
+        engine = RuntimeChromaticEngine(
+            g, PAGERANK, num_workers=2, transport="inproc",
+            snapshot_every=2,
+        )
+        with pytest.raises(SnapshotError):
+            engine.run(initial=g.vertices(), resume_from=str(tmp_path))
+
+
+class TestAsyncSnapshotNoShm:
+    """Satellite: recovery with ``snapshot_mode="async"`` combined with
+    the pickled wire (``use_plane=False`` inproc, ``REPRO_NO_SHM=1``
+    mp) — the corner the CI lanes previously only covered separately."""
+
+    def test_inproc_async_no_plane_recovers(self):
+        g_clean = web()
+        RuntimeLockingEngine(
+            g_clean, PAGERANK, num_workers=2, transport="inproc",
+            use_plane=False,
+        ).run(initial=g_clean.vertices())
+        clean = ranks(g_clean)
+        g = web()
+        engine = RuntimeLockingEngine(
+            g, PAGERANK, num_workers=2, transport="inproc",
+            use_plane=False, snapshot_every=3, snapshot_mode="async",
+            recovery_backoff=0.0,
+        )
+        engine.transport.schedule_kill(1, 6)
+        result = engine.run(initial=g.vertices())
+        assert result.converged
+        assert result.extra["recoveries"] == 1
+        assert result.data_plane is None
+        got = ranks(g)
+        for v, rank in clean.items():
+            assert got[v] == pytest.approx(rank, abs=1e-3)
+
+    def test_mp_async_no_shm_recovers(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_SHM", "1")
+        g_clean = web()
+        RuntimeLockingEngine(
+            g_clean, PAGERANK, num_workers=2, transport="inproc",
+        ).run(initial=g_clean.vertices())
+        clean = ranks(g_clean)
+        g = web()
+        engine = RuntimeLockingEngine(
+            g, PAGERANK, num_workers=2, transport="mp",
+            snapshot_every=3, snapshot_mode="async",
+            recovery_backoff=0.0,
+        )
+        engine.transport.schedule_kill(0, 6)
+        result = engine.run(initial=g.vertices())
+        assert result.converged
+        assert result.extra["recoveries"] == 1
+        assert result.data_plane is None
+        got = ranks(g)
+        for v, rank in clean.items():
+            assert got[v] == pytest.approx(rank, abs=1e-3)
 
 
 class TestSnapshotCadence:

@@ -12,12 +12,14 @@ Recovery itself — snapshots, respawn, rollback — is exercised in
 import doctest
 import glob
 import os
+import time
 
 import pytest
 
-from repro.errors import EngineError
+from repro.errors import EngineError, FaultSpecError
 from repro.runtime import (
     FAULT_ENV,
+    FaultSpec,
     InprocTransport,
     MpTransport,
     RuntimeChromaticEngine,
@@ -87,7 +89,21 @@ class TestWorkerFailureShape:
 class TestFaultPlan:
     def test_parse_rounds_and_launch(self):
         plan = parse_fault_plan(" 1:3, 0:launch ,2:0")
-        assert plan == {1: 3, 0: "launch", 2: 0}
+        assert {w: spec.when for w, spec in plan.items()} == {
+            1: 3, 0: "launch", 2: 0
+        }
+        assert all(spec.mode == "kill" for spec in plan.values())
+
+    def test_parse_modes_and_args(self):
+        plan = parse_fault_plan(
+            "0:2:hang,1:3:stall=0.5,2:1:corrupt_reply,"
+            "3:0:corrupt_snapshot,4:5:crash_mid_snapshot"
+        )
+        assert plan[0] == FaultSpec(when=2, mode="hang")
+        assert plan[1] == FaultSpec(when=3, mode="stall", arg=0.5)
+        assert plan[2].mode == "corrupt_reply"
+        assert plan[3].mode == "corrupt_snapshot"
+        assert plan[4] == FaultSpec(when=5, mode="crash_mid_snapshot")
 
     def test_parse_empty(self):
         assert parse_fault_plan(None) == {}
@@ -98,12 +114,51 @@ class TestFaultPlan:
         with pytest.raises(EngineError):
             parse_fault_plan(bad)
 
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "1",                      # no when
+            "x:3",                    # bad worker id
+            "-1:3",                   # negative worker id
+            "1:soon",                 # unknown round token
+            "1:3.5",                  # fractional round
+            "1:3:melt",               # unknown mode
+            "1:3:stall",              # stall without seconds
+            "1:3:stall=soon",         # non-numeric arg
+            "1:3:hang=2",             # arg on a mode that takes none
+            "1:launch:hang",          # only kill can fire at launch
+            "1:3,1:5",                # duplicate schedule
+        ],
+    )
+    def test_malformed_raises_valueerror_naming_fragment(self, bad):
+        """Satellite: every malformed fragment raises a ValueError (and
+        an EngineError) whose message quotes the fragment itself."""
+        with pytest.raises(ValueError) as info:
+            parse_fault_plan(bad)
+        assert isinstance(info.value, FaultSpecError)
+        assert isinstance(info.value, EngineError)
+        offending = bad.split(",")[-1]
+        assert repr(offending) in str(info.value)
+
+    def test_duplicate_schedule_rejected(self):
+        with pytest.raises(FaultSpecError) as info:
+            parse_fault_plan("0:1,0:2")
+        assert "duplicate" in str(info.value)
+        assert "worker 0" in str(info.value)
+
     def test_env_seeds_plan_within_range(self, monkeypatch):
         monkeypatch.setenv(FAULT_ENV, "1:4,7:2")
         transport = InprocTransport(2)
         # Entry for worker 7 is ignored: one schedule can drive a whole
         # test run over transports of different sizes.
-        assert transport._fault_plan == {1: 4}
+        assert transport._fault_plan == {1: FaultSpec(when=4)}
+
+    def test_corrupt_snapshot_entries_skip_transport(self, monkeypatch):
+        # Disk faults belong to the CheckpointManager; the transport
+        # must not treat the snapshot id as a round number.
+        monkeypatch.setenv(FAULT_ENV, "0:1:corrupt_snapshot,1:4")
+        transport = InprocTransport(2)
+        assert transport._fault_plan == {1: FaultSpec(when=4)}
 
     def test_schedule_kill_validates(self):
         transport = InprocTransport(2)
@@ -111,6 +166,19 @@ class TestFaultPlan:
             transport.schedule_kill(5, 1)
         with pytest.raises(EngineError):
             transport.schedule_kill(0, "soon")
+
+    def test_schedule_fault_validates(self):
+        transport = InprocTransport(2)
+        with pytest.raises(FaultSpecError):
+            transport.schedule_fault(0, 1, mode="melt")
+        with pytest.raises(FaultSpecError):
+            transport.schedule_fault(0, 1, mode="stall")  # needs arg
+        with pytest.raises(FaultSpecError):
+            transport.schedule_fault(0, "launch", mode="hang")
+        with pytest.raises(FaultSpecError):
+            transport.schedule_fault(0, 1, mode="corrupt_snapshot")
+        transport.schedule_fault(1, 2, mode="stall", arg=0.01)
+        assert transport._fault_plan[1].arg == 0.01
 
 
 class TestInjectedKills:
@@ -174,6 +242,200 @@ class TestInjectedKills:
         # The kill surfaces either as a broken pipe at the next send or
         # as a dead process while awaiting the reply — both structured.
         assert info.value.phase in ("send", "reply")
+
+
+class TestAdaptiveDeadline:
+    """Tentpole: the per-round reply deadline tracks an EMA of observed
+    round durations instead of the fixed two-minute timeout."""
+
+    def test_deadline_tracks_ema_between_floor_and_cap(self):
+        transport = MpTransport(
+            2, reply_timeout=120.0, deadline_floor=30.0, deadline_slack=8.0
+        )
+        # No history yet (launch included): the historical hard cap.
+        assert transport.reply_deadline() == 120.0
+        transport._observe_round(0.01)
+        # Fast rounds are floor-clamped — early noise can't shrink the
+        # deadline into false-kill territory.
+        assert transport.reply_deadline() == 30.0
+        transport._round_ema = 10.0
+        # Slow histories earn proportionally long deadlines...
+        assert transport.reply_deadline() == 80.0
+        transport._round_ema = 1000.0
+        # ...but never beyond the hard cap.
+        assert transport.reply_deadline() == 120.0
+
+    def test_ema_blend(self):
+        transport = MpTransport(2)
+        transport._observe_round(1.0)
+        assert transport._round_ema == 1.0
+        transport._observe_round(2.0)
+        assert abs(transport._round_ema - 1.2) < 1e-12
+
+
+class TestLiveness:
+    """Tentpole: a hung worker is declared dead in seconds via missed
+    progress heartbeats; a slow-but-alive worker never is."""
+
+    def test_mp_hang_detected_quickly(self):
+        transport = MpTransport(
+            2, heartbeat_interval=0.05, heartbeat_timeout=0.8
+        )
+        transport.schedule_fault(1, 0, mode="hang")
+        g = grid_graph(4, 4)
+        engine = RuntimeChromaticEngine(
+            g, flood_max, num_workers=2, transport=transport
+        )
+        t0 = time.monotonic()
+        with pytest.raises(WorkerFailure) as info:
+            engine.run(initial=g.vertices())
+        elapsed = time.monotonic() - t0
+        assert info.value.worker_id == 1
+        assert "hung" in info.value.detail
+        assert "heartbeat" in info.value.detail
+        # Without heartbeats this would sit out the full reply_timeout
+        # (120s); with them the hang surfaces in about heartbeat_timeout.
+        assert elapsed < 10.0
+        assert transport.last_fault_fired_at is not None
+
+    def test_mp_hang_recovery_matches_clean_run(self):
+        g_clean = grid_graph(4, 4)
+        clean = RuntimeChromaticEngine(
+            g_clean, flood_max, num_workers=2, transport="inproc"
+        )
+        clean.run(initial=g_clean.vertices())
+        transport = MpTransport(
+            2, heartbeat_interval=0.05, heartbeat_timeout=0.8
+        )
+        transport.schedule_fault(1, 2, mode="hang")
+        g = grid_graph(4, 4)
+        engine = RuntimeChromaticEngine(
+            g, flood_max, num_workers=2, transport=transport,
+            snapshot_every=1, max_recoveries=1, recovery_backoff=0.0,
+        )
+        result = engine.run(initial=g.vertices())
+        assert result.converged
+        assert result.extra["recoveries"] == 1
+        assert all(
+            g.vertex_data(v) == g_clean.vertex_data(v)
+            for v in g.vertices()
+        )
+
+    def test_mp_stall_is_slow_not_dead(self):
+        # The stall (1.2s) dwarfs heartbeat_timeout (0.4s), but the
+        # heartbeat pump keeps beating through a sleep — only a genuine
+        # freeze goes silent. No false kill.
+        transport = MpTransport(
+            2, heartbeat_interval=0.05, heartbeat_timeout=0.4
+        )
+        transport.schedule_fault(0, 1, mode="stall", arg=1.2)
+        g = grid_graph(4, 4)
+        engine = RuntimeChromaticEngine(
+            g, flood_max, num_workers=2, transport=transport
+        )
+        result = engine.run(initial=g.vertices())
+        assert result.converged
+        assert transport.heartbeats_received > 0
+
+    def test_mp_corrupt_reply_is_structured(self):
+        transport = MpTransport(2)
+        transport.schedule_fault(1, 1, mode="corrupt_reply")
+        g = grid_graph(4, 4)
+        engine = RuntimeChromaticEngine(
+            g, flood_max, num_workers=2, transport=transport
+        )
+        with pytest.raises(WorkerFailure) as info:
+            engine.run(initial=g.vertices())
+        assert info.value.worker_id == 1
+        assert "corrupt reply" in info.value.detail
+
+    def test_inproc_hang_and_corrupt_reply_deterministic(self):
+        for mode, needle in (
+            ("hang", "hung"),
+            ("corrupt_reply", "corrupt reply"),
+        ):
+            transport = InprocTransport(2)
+            transport.schedule_fault(1, 1, mode=mode)
+            g = grid_graph(4, 4)
+            engine = RuntimeChromaticEngine(
+                g, flood_max, num_workers=2, transport=transport
+            )
+            with pytest.raises(WorkerFailure) as info:
+                engine.run(initial=g.vertices())
+            assert info.value.worker_id == 1
+            assert needle in info.value.detail
+
+    def test_inproc_crash_mid_snapshot_recovers_from_previous(self):
+        # A multi-sweep workload so a real checkpoint round happens
+        # (flood_max on a uniform grid converges before the cadence is
+        # ever due).
+        from repro.apps.pagerank import make_pagerank_update
+        from repro.datasets.webgraph import power_law_web_graph
+        from repro.runtime import UpdateProgram
+
+        program = UpdateProgram(
+            make_pagerank_update,
+            kwargs={"schedule": "out", "epsilon": 1e-4},
+        )
+        transport = InprocTransport(2)
+        transport.schedule_fault(0, 0, mode="crash_mid_snapshot")
+        g = power_law_web_graph(60, out_degree=3, seed=11)
+        engine = RuntimeChromaticEngine(
+            g, program, num_workers=2, transport=transport,
+            max_sweeps=100, snapshot_every=1, max_recoveries=1,
+            recovery_backoff=0.0,
+        )
+        result = engine.run(initial=g.vertices())
+        # The worker died mid-checkpoint; the aborted snapshot never got
+        # its COMPLETE marker, so recovery fell back to the previous one
+        # and the run still finished.
+        assert result.extra["recoveries"] == 1
+        clean_g = power_law_web_graph(60, out_degree=3, seed=11)
+        RuntimeChromaticEngine(
+            clean_g, program, num_workers=2, transport="inproc",
+            max_sweeps=100,
+        ).run(initial=clean_g.vertices())
+        assert all(
+            g.vertex_data(v) == clean_g.vertex_data(v)
+            for v in g.vertices()
+        )
+
+
+class TestHangKillReleasesResources:
+    """Satellite: recovery/shutdown after a hang-kill releases the shm
+    segment and both pipe ends — the PR 6 leak regression, extended to
+    the hung (SIGSTOP → straight SIGKILL) path."""
+
+    @pytest.mark.skipif(
+        not shm_available() or not os.path.isdir("/dev/shm"),
+        reason="POSIX shared memory unavailable",
+    )
+    def test_hang_recover_then_shutdown_releases_everything(self):
+        before = set(glob.glob("/dev/shm/repro-plane-*"))
+        transport = MpTransport(
+            2, heartbeat_interval=0.05, heartbeat_timeout=0.8
+        )
+        transport.schedule_fault(1, 1, mode="hang")
+        g = grid_graph(4, 4)
+        engine = RuntimeChromaticEngine(
+            g, flood_max, num_workers=2, transport=transport,
+            snapshot_every=1, max_recoveries=1, recovery_backoff=0.0,
+        )
+        result = engine.run(initial=g.vertices())
+        assert result.extra["recoveries"] == 1
+        # run() shut the transport down; again must be a no-op.
+        transport.shutdown()
+        assert set(glob.glob("/dev/shm/repro-plane-*")) <= before
+        assert all(conn.closed for conn in transport._conns)
+        assert transport._hung == set()
+        assert all(not _proc_is_alive(p) for p in transport._procs)
+
+
+def _proc_is_alive(proc):
+    try:
+        return proc.is_alive()
+    except ValueError:  # handle already closed — certainly not alive
+        return False
 
 
 class TestShutdownAfterFailedLaunch:
@@ -263,9 +525,10 @@ class TestAmbientFaultRecovery:
 
         plan = parse_fault_plan(_AMBIENT_PLAN or "1:3")
         kills = {
-            w: when
-            for w, when in plan.items()
-            if isinstance(when, int) and 0 <= w < 2
+            w: spec.when
+            for w, spec in plan.items()
+            if spec.mode == "kill" and isinstance(spec.when, int)
+            and 0 <= w < 2
         }
         assert kills, "fault lane must schedule at least one round kill"
         program = UpdateProgram(
