@@ -46,7 +46,17 @@ throughput on three fronts:
   fast the heartbeat watchdog declares a SIGSTOPped worker dead
   (``hang_detection_seconds``) and how long a cold restart from
   verified on-disk snapshots takes (``resume_from_disk_seconds``),
-  both with bit-identity checks.
+  both with bit-identity checks;
+* **Socket wire** (PR 9, ``runtime_pagerank_tcp``): the Fig. 1a
+  workload over localhost TCP (``TcpTransport``) at 1/2/4 workers next
+  to fresh ``MpTransport`` rows measured in the same process, with the
+  per-row ``tcp_vs_mp`` throughput ratio, the connection-supervision
+  counters (``reconnects`` / ``retries`` — zero on a healthy link), and
+  a ``bit_identical_to_mp`` flag covering every TCP row.
+
+Sections can be re-measured independently with ``--sections`` (comma-
+separated top-level keys), which merges the fresh numbers into the
+existing ``BENCH_core.json`` instead of re-running the whole harness.
 
 Since PR 4 both runtime sections also record the communication
 counters the shared-memory data plane and color-merged rounds exist to
@@ -274,7 +284,9 @@ def build_threaded_fig1a_workload(num_workers: int = 4):
     return run
 
 
-def build_runtime_fig1a_workload(num_workers: int, telemetry: bool = False):
+def build_runtime_fig1a_workload(
+    num_workers: int, telemetry: bool = False, transport: str = "mp"
+):
     """Fig. 1a round-robin PageRank on real worker OS processes.
 
     The runner reports the engine's own throughput accounting
@@ -295,16 +307,18 @@ def build_runtime_fig1a_workload(num_workers: int, telemetry: bool = False):
             copy,
             program,
             num_workers=num_workers,
-            transport="mp",
+            transport=transport,
             coloring=coloring,
             max_sweeps=FIG1A_SWEEPS,
             telemetry=telemetry,
         )
         result = engine.run(initial=copy.vertices())
         run.last_graph = copy
+        run.last_result = result
         return result
 
     run.last_graph = None
+    run.last_result = None
     return run
 
 
@@ -445,6 +459,44 @@ def run_runtime_benchmarks(repeats: int = 3) -> Dict[str, Dict]:
             else 0.0
         )
     results["bit_identical_to_sequential"] = bit_identical
+    return results
+
+
+def run_runtime_tcp_benchmarks(repeats: int = 3) -> Dict[str, Dict]:
+    """Socket wire vs pipe wire (PR 9): the Fig. 1a workload over
+    localhost TCP at workers=1/2/4, next to fresh ``MpTransport`` rows
+    measured in the same process (same host-noise window, so the
+    ``tcp_vs_mp`` ratio is apples to apples). The supervision counters
+    ride along — ``reconnects`` / ``retries`` are expected to be zero on
+    a healthy localhost link; nonzero values mean the bench itself hit
+    connection churn — plus the correctness flag: every TCP run must be
+    bit-identical to its mp twin *and* to the sequential oracle.
+    """
+    oracle = fig1a_oracle_ranks()
+    results: Dict[str, Dict] = {}
+    bit_identical = True
+    for workers in (1, 2, 4):
+        mp_run = build_runtime_fig1a_workload(workers)
+        results[f"mp_{workers}_workers"] = measure_runtime(
+            mp_run, repeats=repeats
+        )
+        tcp_run = build_runtime_fig1a_workload(workers, transport="tcp")
+        row = measure_runtime(tcp_run, repeats=repeats)
+        extra = tcp_run.last_result.extra
+        row["reconnects"] = extra["reconnects"]
+        row["retries"] = extra["retries"]
+        mp_ups = results[f"mp_{workers}_workers"]["updates_per_sec"]
+        row["tcp_vs_mp"] = (
+            round(row["updates_per_sec"] / mp_ups, 2) if mp_ups else 0.0
+        )
+        results[f"tcp_{workers}_workers"] = row
+        bit_identical = bit_identical and all(
+            tcp_run.last_graph.vertex_data(v) == oracle[v]
+            and tcp_run.last_graph.vertex_data(v)
+            == mp_run.last_graph.vertex_data(v)
+            for v in oracle
+        )
+    results["bit_identical_to_mp"] = bit_identical
     return results
 
 
@@ -1186,6 +1238,21 @@ def run_benchmarks(repeats: int = 3) -> Dict[str, Dict[str, float]]:
     return results
 
 
+def _print_tcp_section(section: Dict[str, Dict]) -> None:
+    for workers in (1, 2, 4):
+        row = section[f"tcp_{workers}_workers"]
+        print(
+            f"  runtime_tcp/tcp_{workers}_workers: "
+            f"{row['updates_per_sec']:.0f} updates/s "
+            f"({row['tcp_vs_mp']}x vs mp; reconnects={row['reconnects']}, "
+            f"retries={row['retries']})"
+        )
+    print(
+        "  runtime_tcp/bit_identical_to_mp: "
+        f"{section['bit_identical_to_mp']}"
+    )
+
+
 def _tree_is_dirty() -> bool:
     try:
         out = subprocess.run(
@@ -1198,6 +1265,20 @@ def _tree_is_dirty() -> bool:
     except (OSError, subprocess.CalledProcessError):
         return False  # not a git checkout: nothing to protect
     return bool(out.strip())
+
+
+#: Independently re-runnable sections for ``--sections``: each callable
+#: takes ``repeats`` and returns that top-level key's value.
+SECTIONS: Dict[str, Callable[[int], Dict]] = {
+    "current": lambda repeats: run_benchmarks(repeats=repeats),
+    "runtime_pagerank": run_runtime_benchmarks,
+    "batch": run_batch_benchmarks,
+    "runtime_lbp": run_runtime_lbp_benchmarks,
+    "runtime_locking_pagerank": run_locking_pagerank_benchmarks,
+    "runtime_als": run_runtime_als_benchmarks,
+    "runtime_fault": run_runtime_fault_benchmarks,
+    "runtime_pagerank_tcp": run_runtime_tcp_benchmarks,
+}
 
 
 def main(argv=None) -> int:
@@ -1217,6 +1298,11 @@ def main(argv=None) -> int:
         "--print-only", action="store_true",
         help="measure and print without writing the output file",
     )
+    parser.add_argument(
+        "--sections", type=str, default=None, metavar="NAME[,NAME...]",
+        help="re-measure only the named sections and merge them into the "
+        "existing output file (choices: " + ", ".join(SECTIONS) + ")",
+    )
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
@@ -1234,6 +1320,34 @@ def main(argv=None) -> int:
         )
         return 1
 
+    if args.sections is not None:
+        names = [s.strip() for s in args.sections.split(",") if s.strip()]
+        unknown = sorted(set(names) - set(SECTIONS))
+        if not names or unknown:
+            parser.error(
+                "unknown sections: " + ", ".join(unknown or ["(none given)"])
+                + " (choices: " + ", ".join(SECTIONS) + ")"
+            )
+        if args.output.exists():
+            payload = json.loads(args.output.read_text())
+        else:
+            payload = {
+                "harness": "benchmarks.perf.bench_core",
+                "baseline": PRE_REFACTOR_BASELINE,
+            }
+        payload["python"] = platform.python_version()
+        for name in names:
+            payload[name] = SECTIONS[name](args.repeats)
+        text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        if args.print_only:
+            print(text, end="")
+            return 0
+        args.output.write_text(text)
+        print(f"wrote {args.output} (sections: {', '.join(names)})")
+        if "runtime_pagerank_tcp" in names:
+            _print_tcp_section(payload["runtime_pagerank_tcp"])
+        return 0
+
     results = run_benchmarks(repeats=args.repeats)
     runtime_results = run_runtime_benchmarks(repeats=args.repeats)
     batch_results = run_batch_benchmarks(repeats=args.repeats)
@@ -1241,6 +1355,7 @@ def main(argv=None) -> int:
     locking_pr_results = run_locking_pagerank_benchmarks(repeats=args.repeats)
     runtime_als_results = run_runtime_als_benchmarks(repeats=args.repeats)
     fault_results = run_runtime_fault_benchmarks(repeats=args.repeats)
+    tcp_results = run_runtime_tcp_benchmarks(repeats=args.repeats)
     payload = {
         "harness": "benchmarks.perf.bench_core",
         "python": platform.python_version(),
@@ -1252,6 +1367,7 @@ def main(argv=None) -> int:
         "runtime_locking_pagerank": locking_pr_results,
         "runtime_als": runtime_als_results,
         "runtime_fault": fault_results,
+        "runtime_pagerank_tcp": tcp_results,
         "speedup": {
             name: round(
                 results[name]["updates_per_sec"]
@@ -1339,6 +1455,7 @@ def main(argv=None) -> int:
         f"{recover['recovery_seconds'] * 1e3:.0f} ms, bit_identical="
         f"{recover['bit_identical_to_unkilled']}"
     )
+    _print_tcp_section(tcp_results)
     hang = fault_results["hang_detection"]
     resume = fault_results["resume_from_disk"]
     print(

@@ -83,8 +83,10 @@ from typing import Any, Dict, List, Optional, Tuple
 
 #: Span kinds recorded worker-side.
 WORKER_KINDS = ("compute", "kernel", "lockwait", "ghost", "ser", "idle", "snap")
-#: Span kinds recorded coordinator-side.
-COORDINATOR_KINDS = ("launch", "round", "run", "snap", "recover")
+#: Span kinds recorded coordinator-side. ``net`` brackets one
+#: connection re-establishment on a socket transport (PR 9): the wall
+#: time a round spent waiting out a drop, reconnect, and replay.
+COORDINATOR_KINDS = ("launch", "round", "run", "snap", "recover", "net")
 #: Every kind a conforming producer may emit.
 SPAN_KINDS = frozenset(WORKER_KINDS) | frozenset(COORDINATOR_KINDS)
 

@@ -10,7 +10,11 @@ compiled CSR structure), the same atom-based placement — executed by
 * :class:`MpTransport` — one process per worker over ``multiprocessing``
   pipes; real parallelism, real barriers;
 * :class:`InprocTransport` — same protocol (including the pickle
-  boundary) driven deterministically in one process, for tests.
+  boundary) driven deterministically in one process, for tests;
+* :class:`TcpTransport` — the same processes over length-prefixed TCP
+  frames with connection supervision (retries, backoff, idempotent
+  replay, partition tolerance); :class:`LoopbackTcpTransport` is its
+  thread-backed chaos-test double.
 
 The simulator remains the place for what real hardware can't give you —
 the calibrated cycle/byte cost model, EC2 pricing, fault injection at
@@ -38,8 +42,10 @@ from repro.runtime.plane import (
     ShmDataPlane,
     shm_available,
 )
+from repro.runtime.liveness import AdaptiveDeadline, HeartbeatPump, RetryPolicy
 from repro.runtime.program import UpdateProgram, named_program, resolve_program
 from repro.runtime.shard import CSRShardStore
+from repro.runtime.socket_transport import LoopbackTcpTransport, TcpTransport
 from repro.runtime.transport import (
     FAULT_ENV,
     FAULT_MODES,
@@ -59,6 +65,7 @@ from repro.runtime.worker import (
 )
 
 __all__ = [
+    "AdaptiveDeadline",
     "CSRShardStore",
     "CheckpointManager",
     "ColorSweepScheduler",
@@ -66,11 +73,14 @@ __all__ = [
     "FAULT_ENV",
     "FAULT_MODES",
     "FaultSpec",
+    "HeartbeatPump",
     "InprocTransport",
     "LocalDataPlane",
     "LockWorkerInit",
     "LockingWorker",
+    "LoopbackTcpTransport",
     "MpTransport",
+    "RetryPolicy",
     "PlaneSpec",
     "RuntimeChromaticEngine",
     "RuntimeLockingEngine",
@@ -79,6 +89,7 @@ __all__ = [
     "ShmDataPlane",
     "SnapshotCadence",
     "SnapshotDirectory",
+    "TcpTransport",
     "Transport",
     "UpdateProgram",
     "WorkerFailure",

@@ -606,6 +606,9 @@ class RuntimeChromaticEngine:
         wall = sw.stop()
         transport = self.transport
         extra: Dict[str, Any] = {}
+        # Socket backends report their connection-supervision counters
+        # (reconnects / replayed commands); pipe backends report none.
+        extra.update(transport.net_counters())
         if self._ckpt is not None:
             extra["snapshots"] = self._ckpt.snapshots_taken
             extra["snapshot_bytes"] = self._ckpt.bytes_written

@@ -1,0 +1,154 @@
+"""Shared liveness machinery for the runtime transports.
+
+PR 8 grew hang-aware supervision inside ``MpTransport`` (adaptive reply
+deadlines from an EMA of round times, heartbeat frames while a reply is
+owed); PR 9 adds a socket backend that needs the exact same arithmetic
+plus connection retries. This module is the single home for all three
+pieces so the pipe and socket backends cannot drift:
+
+- :class:`AdaptiveDeadline` — the EMA-tracked per-round reply deadline.
+  ``observe`` blends each completed round's wall time into the estimate
+  (``0.2 * new + 0.8 * old``); ``current`` returns the cap until the
+  first observation, then ``clamp(ema * slack, floor, cap)``.
+- :class:`HeartbeatPump` — a daemon thread that, while the serve loop
+  is busy with a command (``begin``/``end`` bracket), invokes a send
+  callable every ``interval`` seconds. The callable owns the framing
+  and the send lock; the pump only owns the cadence, so one class
+  drives both pipe (``send_bytes``) and socket (framed ``sendall``)
+  heartbeats.
+- :class:`RetryPolicy` — bounded exponential backoff with deterministic
+  jitter for connect/RPC retries. Jitter is derived from a seeded
+  :class:`random.Random` keyed on ``(seed, attempt)`` so retry timing
+  is replayable under the chaos harness, never wall-clock dependent.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+
+class AdaptiveDeadline:
+    """EMA-tracked reply deadline shared by the pipe and socket backends.
+
+    A fixed two-minute reply timeout makes hang detection uselessly slow
+    on fast workloads; a tight fixed deadline kills slow-but-honest
+    rounds. The PR 8 compromise, kept bit-for-bit here: track an
+    exponential moving average of round wall times and allow each round
+    ``slack`` times that, clamped to ``[floor, cap]``. Until the first
+    round completes there is no estimate, so ``current()`` returns the
+    cap (launch and first rounds are governed by the full timeout).
+    """
+
+    __slots__ = ("floor", "slack", "cap", "alpha", "ema")
+
+    def __init__(
+        self,
+        floor: float,
+        slack: float,
+        cap: float,
+        alpha: float = 0.2,
+    ) -> None:
+        self.floor = float(floor)
+        self.slack = float(slack)
+        self.cap = float(cap)
+        self.alpha = float(alpha)
+        self.ema: Optional[float] = None
+
+    def observe(self, seconds: float) -> None:
+        """Blend one completed round's wall time into the estimate."""
+        if self.ema is None:
+            self.ema = seconds
+        else:
+            self.ema = self.alpha * seconds + (1.0 - self.alpha) * self.ema
+
+    def current(self) -> float:
+        """The deadline to allow the next round's replies."""
+        if self.ema is None:
+            return self.cap
+        return min(max(self.floor, self.ema * self.slack), self.cap)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic jitter.
+
+    ``delay(attempt)`` for the 0-based attempt is
+    ``min(base * factor**attempt, cap)`` scaled by a jitter factor in
+    ``[1 - jitter, 1 + jitter]``. The jitter draw is seeded from
+    ``f"{seed}:{attempt}"`` so two runs with the same seed back off
+    identically — chaos schedules replay exactly — while distinct
+    workers (distinct seeds) still de-synchronize their retries.
+    """
+
+    attempts: int = 4
+    base: float = 0.05
+    factor: float = 2.0
+    cap: float = 2.0
+    jitter: float = 0.25
+
+    def delay(self, attempt: int, seed: object = 0) -> float:
+        d = min(self.base * (self.factor ** attempt), self.cap)
+        if self.jitter:
+            r = random.Random(f"{seed}:{attempt}").random()
+            d *= 1.0 + self.jitter * (2.0 * r - 1.0)
+        return d
+
+    def total(self, seed: object = 0) -> float:
+        """Worst-case wall time the policy is willing to wait overall."""
+        return sum(self.delay(i, seed) for i in range(self.attempts))
+
+
+class HeartbeatPump:
+    """Progress heartbeats for a connected worker.
+
+    A daemon thread that, while the serve loop is busy processing a
+    command (``begin``/``end`` bracket), invokes ``send`` every
+    ``interval`` seconds. The callable writes one heartbeat frame under
+    the same lock as real replies, so frames never interleave; the
+    coordinator strips the frames in its receive loop. Silence longer
+    than the coordinator's ``heartbeat_timeout`` while a reply is owed
+    means this process is wedged (SIGSTOP, kernel hang, livelocked
+    machine) and gets declared dead in seconds instead of tripping a
+    two-minute timeout. Idle periods produce no frames: no reply is
+    owed, so nobody is waiting. A send that raises ``OSError`` /
+    ``ValueError`` (torn pipe, closed socket) silently ends the pump —
+    connection supervision, not the pump, owns that failure.
+    """
+
+    def __init__(self, send: Callable[[], None], interval: float) -> None:
+        self._send = send
+        self._interval = interval
+        self._busy = threading.Event()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-heartbeat", daemon=True
+        )
+        self._thread.start()
+
+    def begin(self) -> None:
+        self._busy.set()
+
+    def end(self) -> None:
+        self._busy.clear()
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._busy.set()  # unblock the wait-for-busy
+        self._thread.join(timeout=1.0)
+
+    def _run(self) -> None:
+        while True:
+            self._busy.wait()
+            if self._stop.wait(self._interval):
+                return
+            if not self._busy.is_set():
+                continue
+            if self._stop.is_set():
+                return
+            try:
+                self._send()
+            except (OSError, ValueError):  # pragma: no cover - teardown
+                return

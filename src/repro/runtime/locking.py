@@ -414,6 +414,7 @@ class RuntimeLockingEngine:
         )
         result.extra["token_hops"] = token_hops
         result.extra["pipeline_window"] = self.pipeline_window
+        result.extra.update(transport.net_counters())
         if self._ckpt is not None:
             result.extra["snapshots"] = self._ckpt.snapshots_taken
             result.extra["snapshot_bytes"] = self._ckpt.bytes_written

@@ -1,0 +1,1009 @@
+"""Fault-hardened TCP socket transport.
+
+:class:`TcpTransport` speaks the same ``launch / round / shutdown``
+contract as :class:`~repro.runtime.transport.MpTransport`, but over
+length-prefixed TCP frames: the coordinator binds a listener, spawns
+one OS process per worker, and each worker dials back, handshakes, and
+then serves framed request/reply rounds. Init payloads and round
+messages are the exact pickled blobs the pipe backends ship, so the
+pickled frame wire *is* the TCP data plane for now (``plane_kind`` is
+``None``; a peer data plane is future work).
+
+**Wire protocol.** Every frame is a 5-byte header — one kind byte plus
+a big-endian u32 body length — followed by the body:
+
+====  =======================================================
+``O``  hello: pickled ``{"worker", "gen", "last_seq"}``, sent by
+       the worker immediately after every (re)connect
+``I``  init: the pickled init payload, coordinator -> worker
+``A``  ready ack: pickled ``("ok", ack)`` / ``("error", tb)``
+``C``  command: u64 sequence number + pickled ``(tag, payload)``
+``R``  reply: u64 sequence number + pickled envelope
+``H``  heartbeat: empty body, worker -> coordinator
+====  =======================================================
+
+**Connection supervision.** Workers dial with bounded exponential
+backoff + deterministic jitter (:class:`~repro.runtime.liveness.
+RetryPolicy`). Heartbeats ride the socket exactly as PR 8's pipe
+heartbeats — same ``heartbeat_timeout`` hang detection, same
+:class:`~repro.runtime.liveness.AdaptiveDeadline` round deadlines,
+one shared implementation. A dropped or half-open connection is
+re-established inside a per-drop retry budget: the coordinator waits
+for the worker to re-dial (growing backoff windows) and replays the
+in-flight command; commands carry sequence numbers and workers cache
+their last reply, so a replayed round is answered from the cache,
+never executed twice. Budget exhaustion raises the same structured
+:class:`~repro.runtime.transport.WorkerFailure` the snapshot/recovery
+path in ``run()`` already consumes — a worker that loses its link for
+good is respawned and rolled back with no new engine code.
+
+**Byte accounting.** ``bytes_sent``/``bytes_received`` count the
+pickled command/reply bodies exactly once per sequence number — frame
+headers, sequence prefixes, hellos, init blobs, heartbeats, and
+retransmissions are all excluded — so a deterministic run reports
+byte-identical counters on ``inproc``, ``mp``, and ``tcp``.
+
+**Fault injection** (``REPRO_FAULT`` network modes, framing-layer,
+deterministic): ``worker:round:drop_conn`` delivers the command and
+severs the link before the reply; ``worker:round:delay=ms`` holds the
+command frame back; ``worker:round:partition=n`` severs the link
+before the command and eats the next ``n`` reconnect attempts (heals
+transparently when ``n`` is inside the budget, exhausts it into a
+``WorkerFailure`` otherwise); ``worker:round:reset_mid_frame`` ships a
+torn half-frame and resets. The process modes (``kill``, ``hang``,
+``stall``, ``corrupt_reply``, ``crash_mid_snapshot``) work unchanged.
+:class:`LoopbackTcpTransport` is the chaos harness's test double: the
+identical coordinator code over real localhost sockets, with workers
+as daemon threads — every wire-level mode, no process scheduling.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import socket
+import struct
+import threading
+import time
+import traceback
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.runtime.liveness import AdaptiveDeadline, HeartbeatPump, RetryPolicy
+from repro.runtime.transport import (
+    Message,
+    NETWORK_MODES,
+    PROCESS_FAULT_MODES,
+    FaultSpec,
+    ProcessFaultMixin,
+    Transport,
+    WorkerFailure,
+    _proc_alive,
+    _proc_close,
+)
+from repro.runtime.worker import _CORRUPT_REPLY, _execute_fault, worker_from_bytes
+
+_HELLO = b"O"
+_INIT = b"I"
+_ACK = b"A"
+_CMD = b"C"
+_REPLY = b"R"
+_HB = b"H"
+
+_HEADER = struct.Struct("!cI")
+_SEQ = struct.Struct("!Q")
+
+#: Once a frame's first byte has arrived, the rest must follow within
+#: this bound; a frame that stalls mid-body is torn, not slow.
+_FRAME_TIMEOUT = 5.0
+
+#: Worker-side dial policy: patient (the coordinator owns the failure
+#: decision), fast cadence so healed links are retaken promptly.
+_WORKER_DIAL = RetryPolicy(attempts=48, base=0.02, factor=1.5, cap=0.25)
+
+
+def _close(sock: Optional[socket.socket]) -> None:
+    if sock is not None:
+        try:
+            sock.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+
+
+def _send_frame(sock: socket.socket, kind: bytes, body: bytes = b"") -> None:
+    sock.sendall(_HEADER.pack(kind, len(body)) + body)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    buf = bytearray()
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            raise ConnectionError("connection closed mid-frame")
+        buf += chunk
+    return bytes(buf)
+
+
+def _recv_frame(sock: socket.socket) -> Tuple[bytes, bytes]:
+    """One whole frame, blocking; raises ``ConnectionError`` on EOF."""
+    kind, length = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
+    body = _recv_exact(sock, length) if length else b""
+    return kind, body
+
+
+def _poll_frame(
+    sock: socket.socket, idle_timeout: float
+) -> Optional[Tuple[bytes, bytes]]:
+    """One frame, or ``None`` if no byte arrived within ``idle_timeout``.
+
+    Raises ``ConnectionError`` on EOF, reset, or a torn frame (a frame
+    that started but stalled past :data:`_FRAME_TIMEOUT` — the
+    ``reset_mid_frame`` failure shape).
+    """
+    sock.settimeout(idle_timeout)
+    try:
+        first = sock.recv(1)
+    except TimeoutError:
+        return None
+    except OSError as exc:
+        raise ConnectionError(f"socket error ({exc})") from None
+    if not first:
+        raise ConnectionError("connection closed by peer")
+    sock.settimeout(_FRAME_TIMEOUT)
+    try:
+        header = first + _recv_exact(sock, _HEADER.size - 1)
+        kind, length = _HEADER.unpack(header)
+        body = _recv_exact(sock, length) if length else b""
+    except (TimeoutError, OSError) as exc:
+        raise ConnectionError(f"torn frame ({exc})") from None
+    return kind, body
+
+
+def serve_socket(
+    host: str,
+    port: int,
+    worker_id: int,
+    gen: int,
+    heartbeat_interval: Optional[float] = None,
+    dial_policy: Optional[RetryPolicy] = None,
+    control: Optional[Any] = None,
+) -> None:
+    """Socket leg of the worker serve loop (module-level so
+    ``multiprocessing`` can target it under every start method).
+
+    Dials the coordinator with backoff, sends a hello, builds the
+    worker from the init frame, then answers framed commands. Commands
+    are deduplicated by sequence number and the last reply is cached:
+    a command replayed after a reconnect is answered from the cache,
+    never executed twice — the coordinator-side idempotent-replay
+    contract. A lost link is simply re-dialed; the coordinator owns the
+    retry budget and the failure decision. ``control`` (loopback
+    threads only) carries a ``stopped`` flag standing in for SIGKILL.
+    """
+    policy = dial_policy or _WORKER_DIAL
+    last_seq = 0
+    cached_reply: Optional[bytes] = None
+    worker: Optional[Any] = None
+    conn: Optional[socket.socket] = None
+    pump: Optional[HeartbeatPump] = None
+    send_lock = threading.Lock()
+
+    def _stopped() -> bool:
+        return control is not None and getattr(control, "stopped", False)
+
+    def _dial() -> bool:
+        nonlocal conn
+        for attempt in range(policy.attempts):
+            if _stopped():
+                return False
+            try:
+                s = socket.create_connection((host, port), timeout=2.0)
+            except OSError:
+                time.sleep(policy.delay(attempt, seed=f"dial:{worker_id}"))
+                continue
+            try:
+                s.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                s.settimeout(None)
+                _send_frame(s, _HELLO, pickle.dumps({
+                    "worker": worker_id, "gen": gen, "last_seq": last_seq,
+                }))
+            except OSError:
+                _close(s)
+                time.sleep(policy.delay(attempt, seed=f"dial:{worker_id}"))
+                continue
+            conn = s
+            return True
+        return False
+
+    def _send(kind: bytes, body: bytes) -> None:
+        with send_lock:
+            _send_frame(conn, kind, body)
+
+    def _hb() -> None:
+        # Swallow link errors: a heartbeat lost with the connection is
+        # the reconnect logic's problem, and the pump must survive to
+        # beat again on the next link.
+        c = conn
+        if c is None:
+            return
+        try:
+            with send_lock:
+                _send_frame(c, _HB, b"")
+        except OSError:
+            pass
+
+    def _redial() -> bool:
+        nonlocal conn
+        _close(conn)
+        conn = None
+        if _stopped():
+            return False
+        time.sleep(policy.base)
+        return _dial()
+
+    if not _dial():
+        return
+    try:
+        while True:
+            if _stopped():
+                break
+            rec = None if worker is None else getattr(worker, "_obs", None)
+            try:
+                if rec is None:
+                    kind, body = _recv_frame(conn)
+                else:
+                    t0 = time.perf_counter()
+                    kind, body = _recv_frame(conn)
+                    rec.span("idle", t0, time.perf_counter())
+            except (ConnectionError, OSError):
+                if not _redial():
+                    break
+                continue
+            if kind == _INIT:
+                try:
+                    worker = worker_from_bytes(body)
+                except BaseException:
+                    try:
+                        _send(_ACK, pickle.dumps(
+                            ("error", traceback.format_exc())
+                        ))
+                    except OSError:
+                        pass
+                    break
+                # Same ack envelope as serve()'s pipe handshake (the
+                # clock-offset bracket included), so launch accounting
+                # and timeline mapping are backend-identical.
+                ack = pickle.dumps(("ok", {
+                    "worker": worker.worker_id,
+                    "owned": len(worker.store.owned_vertices),
+                    "clk": time.perf_counter(),
+                }), protocol=pickle.HIGHEST_PROTOCOL)
+                try:
+                    _send(_ACK, ack)
+                except OSError:
+                    if not _redial():
+                        break
+                    continue
+                if heartbeat_interval and pump is None:
+                    pump = HeartbeatPump(_hb, heartbeat_interval)
+                continue
+            if kind != _CMD or worker is None:
+                continue
+            (seq,) = _SEQ.unpack(body[: _SEQ.size])
+            blob = body[_SEQ.size:]
+            if seq == last_seq and cached_reply is not None:
+                # Replayed in-flight command: the round already ran;
+                # idempotency = ship the cached reply verbatim.
+                try:
+                    _send(_REPLY, cached_reply)
+                except OSError:
+                    if not _redial():
+                        break
+                continue
+            if seq <= last_seq:
+                continue
+            if rec is None:
+                tag, payload = pickle.loads(blob)
+            else:
+                t0 = time.perf_counter()
+                tag, payload = pickle.loads(blob)
+                rec.span("ser", t0, time.perf_counter())
+            if tag == "stop":
+                last_seq = seq
+                try:
+                    _send(_REPLY, _SEQ.pack(seq) + pickle.dumps(
+                        ("ok", {}), protocol=pickle.HIGHEST_PROTOCOL
+                    ))
+                except OSError:
+                    pass
+                break
+            fault = (
+                payload.pop("_fault", None)
+                if isinstance(payload, dict)
+                else None
+            )
+            if pump is not None:
+                pump.begin()
+            try:
+                corrupt = fault is not None and _execute_fault(fault)
+                try:
+                    reply = worker.handle(tag, payload)
+                except BaseException:
+                    env = pickle.dumps(("error", traceback.format_exc()))
+                else:
+                    env = (
+                        _CORRUPT_REPLY
+                        if corrupt
+                        else pickle.dumps(
+                            ("ok", reply), protocol=pickle.HIGHEST_PROTOCOL
+                        )
+                    )
+            finally:
+                if pump is not None:
+                    pump.end()
+            last_seq = seq
+            cached_reply = _SEQ.pack(seq) + env
+            try:
+                _send(_REPLY, cached_reply)
+            except OSError:
+                # Reply lost with the link; replayed from the cache
+                # once the coordinator reconnects us.
+                if not _redial():
+                    break
+    finally:
+        if pump is not None:
+            pump.stop()
+        if worker is not None:
+            worker.close_plane()
+        _close(conn)
+
+
+class TcpTransport(ProcessFaultMixin, Transport):
+    """One OS process per worker over localhost (or LAN) TCP.
+
+    Same contract, liveness machinery, and fault grammar as
+    :class:`~repro.runtime.transport.MpTransport`, plus connection
+    supervision (see the module docstring): per-drop reconnect budget
+    ``retry_budget`` with ``retry_policy`` backoff windows, idempotent
+    in-flight replay, and the ``REPRO_FAULT`` network modes. Reports
+    ``reconnects``/``retries`` via ``net_counters`` and a coordinator
+    ``net`` span per re-established link.
+    """
+
+    name = "tcp"
+    fault_caps = PROCESS_FAULT_MODES | NETWORK_MODES
+
+    def __init__(
+        self,
+        num_workers: int,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        start_method: Optional[str] = None,
+        reply_timeout: float = 120.0,
+        heartbeat_interval: Optional[float] = 0.25,
+        heartbeat_timeout: float = 2.0,
+        deadline_floor: float = 30.0,
+        deadline_slack: float = 8.0,
+        retry_budget: int = 4,
+        retry_policy: Optional[RetryPolicy] = None,
+        dial_policy: Optional[RetryPolicy] = None,
+    ) -> None:
+        super().__init__(num_workers)
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(start_method)
+        self.start_method = start_method
+        self.host = host
+        #: Requested port; 0 means kernel-assigned, fixed at launch.
+        self.port = port
+        self.reply_timeout = float(reply_timeout)
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = float(heartbeat_timeout)
+        self.deadline_floor = float(deadline_floor)
+        self.deadline_slack = float(deadline_slack)
+        self._deadline = AdaptiveDeadline(
+            floor=self.deadline_floor,
+            slack=self.deadline_slack,
+            cap=self.reply_timeout,
+        )
+        #: Reconnect attempts allowed per dropped link before the
+        #: worker is declared lost (one structured WorkerFailure).
+        self.retry_budget = int(retry_budget)
+        #: Backoff windows for those attempts (deterministic jitter).
+        self.retry_policy = retry_policy or RetryPolicy(
+            attempts=retry_budget, base=0.05, factor=2.0, cap=1.0
+        )
+        self.dial_policy = dial_policy
+        self.heartbeats_received = 0
+        #: Links re-established after a drop (transparent recoveries).
+        self.reconnects = 0
+        #: In-flight commands replayed after a reconnect.
+        self.retries = 0
+        self._listener: Optional[socket.socket] = None
+        self._procs: List[Any] = [None] * num_workers
+        self._conns: List[Optional[socket.socket]] = [None] * num_workers
+        #: Spawn generation per worker: hellos from a pre-respawn
+        #: incarnation are recognized and never adopted.
+        self._gen = [0] * num_workers
+        self._last_cmd: List[str] = ["launch"] * num_workers
+        self._spawn_at: List[float] = [0.0] * num_workers
+        self._pending: List[bool] = [False] * num_workers
+        #: Sequence number of the last command sent to each worker.
+        self._seq = [0] * num_workers
+        #: The in-flight command frame body (seq-prefixed), kept until
+        #: its reply lands so a reconnect can replay it verbatim.
+        self._sent_body: List[Optional[bytes]] = [None] * num_workers
+        self._hung: set = set()
+        #: worker -> reconnect attempts an injected partition still eats.
+        self._partition: Dict[int, int] = {}
+        #: worker -> (conn, hello) accepted but not yet adopted.
+        self._stray: Dict[int, Tuple[socket.socket, Dict[str, Any]]] = {}
+
+    def reply_deadline(self) -> float:
+        """Adaptive per-round deadline; see ``MpTransport``."""
+        return self._deadline.current()
+
+    def _observe_round(self, seconds: float) -> None:
+        self._deadline.observe(seconds)
+
+    def net_counters(self) -> Dict[str, int]:
+        return {"reconnects": self.reconnects, "retries": self.retries}
+
+    def plane_kind(self) -> Optional[str]:
+        # The pickled frame wire is the TCP data plane for now.
+        return None
+
+    # Connection plumbing -------------------------------------------------
+    def _listen(self) -> None:
+        s = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        s.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        s.bind((self.host, self.port))
+        s.listen(self.num_workers + 2)
+        self.port = s.getsockname()[1]
+        self._listener = s
+
+    def _spawn(self, worker_id: int) -> None:
+        self._spawn_at[worker_id] = time.perf_counter()
+        self._gen[worker_id] += 1
+        proc = self._ctx.Process(
+            target=serve_socket,
+            args=(self.host, self.port, worker_id, self._gen[worker_id]),
+            kwargs={
+                "heartbeat_interval": self.heartbeat_interval,
+                "dial_policy": self.dial_policy,
+            },
+            name=f"graphlab-runtime-tcp-w{worker_id}",
+            daemon=True,
+        )
+        proc.start()
+        self._procs[worker_id] = proc
+
+    def _drop_conn(self, worker_id: int) -> None:
+        _close(self._conns[worker_id])
+        self._conns[worker_id] = None
+
+    def _accept_hello(self, timeout: float) -> bool:
+        """Accept one dial-in and stash it by its hello; False on idle.
+
+        Junk connections, out-of-range workers, and hellos from a
+        stale spawn generation are closed, never adopted.
+        """
+        self._listener.settimeout(timeout)
+        try:
+            conn, _addr = self._listener.accept()
+        except (TimeoutError, OSError):
+            return False
+        try:
+            conn.settimeout(_FRAME_TIMEOUT)
+            kind, body = _recv_frame(conn)
+            if kind != _HELLO:
+                raise ConnectionError("expected a hello frame")
+            hello = pickle.loads(body)
+            w = int(hello["worker"])
+            gen = int(hello.get("gen", 0))
+        except Exception:
+            _close(conn)
+            return True
+        if not (0 <= w < self.num_workers) or gen != self._gen[w]:
+            _close(conn)
+            return True
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        conn.settimeout(None)
+        old = self._stray.pop(w, None)
+        if old is not None:
+            _close(old[0])
+        self._stray[w] = (conn, hello)
+        return True
+
+    def _adopt(
+        self, worker_id: int, window: float, proc: Any = None
+    ) -> Optional[Tuple[socket.socket, Dict[str, Any]]]:
+        """Wait up to ``window`` for an adoptable connection from
+        ``worker_id``; ``None`` on timeout or (if ``proc`` is given)
+        as soon as the process is seen dead with nothing to adopt."""
+        end = time.monotonic() + window
+        while True:
+            got = self._stray.pop(worker_id, None)
+            if got is not None:
+                return got
+            remaining = end - time.monotonic()
+            if remaining <= 0:
+                return None
+            if proc is not None and not _proc_alive(proc):
+                return None
+            self._accept_hello(min(remaining, 0.1))
+
+    def _reestablish(self, worker_id: int, why: str) -> None:
+        """Reconnect-and-replay after a lost link, inside the budget.
+
+        Each attempt opens one backoff window for the worker's re-dial;
+        an injected partition deterministically eats its scheduled
+        number of attempts before any offer is adoptable. On adoption
+        the in-flight command is replayed (the worker dedups by
+        sequence number). Exhaustion marks the worker untrusted and
+        raises the structured :class:`WorkerFailure` recovery consumes.
+        """
+        proc = self._procs[worker_id]
+        self._drop_conn(worker_id)
+        rec = self.obs
+        t0 = time.perf_counter()
+        policy = self.retry_policy
+        for attempt in range(self.retry_budget):
+            if not _proc_alive(proc):
+                raise WorkerFailure(
+                    worker_id,
+                    f"process exited with code {proc.exitcode} "
+                    f"(connection lost: {why})",
+                    last_command=self._last_cmd[worker_id],
+                    phase="reply",
+                )
+            window = policy.delay(attempt, seed=f"re:{worker_id}")
+            if self._partition.get(worker_id, 0) > 0:
+                self._partition[worker_id] -= 1
+                if self._partition[worker_id] == 0:
+                    del self._partition[worker_id]
+                # The attempt is refused by decree; keep draining the
+                # listener so the worker's offer is staged, not stuck.
+                end = time.monotonic() + window
+                while time.monotonic() < end:
+                    self._accept_hello(0.02)
+                continue
+            got = self._adopt(worker_id, window, proc=proc)
+            if got is None:
+                continue
+            conn, _hello = got
+            self._conns[worker_id] = conn
+            self.reconnects += 1
+            if rec is not None:
+                rec.count("reconnects")
+            body = self._sent_body[worker_id]
+            if body is not None and self._pending[worker_id]:
+                self.retries += 1
+                if rec is not None:
+                    rec.count("retries")
+                try:
+                    _send_frame(conn, _CMD, body)
+                except OSError:
+                    self._drop_conn(worker_id)
+                    continue
+            if rec is not None:
+                rec.span("net", t0, time.perf_counter(), worker_id)
+            return
+        # Budget exhausted: the machine is declared lost. The partition
+        # (if any) is considered healed for the respawn, and the still-
+        # running process is untrusted — recovery goes straight to kill.
+        self._partition.pop(worker_id, None)
+        stray = self._stray.pop(worker_id, None)
+        if stray is not None:
+            _close(stray[0])
+        self._hung.add(worker_id)
+        if rec is not None:
+            rec.count("conn_lost")
+            rec.span("net", t0, time.perf_counter(), worker_id)
+        raise WorkerFailure(
+            worker_id,
+            "connection lost and not re-established within the retry "
+            f"budget ({self.retry_budget} attempts): {why}",
+            last_command=self._last_cmd[worker_id],
+            phase="reply",
+        )
+
+    # Contract hooks ------------------------------------------------------
+    def _launch(self, init_payloads: Iterable[bytes]) -> List[Any]:
+        self._listen()
+        blobs = list(init_payloads)
+        self._check_payload_count(len(blobs))
+        for worker_id in range(self.num_workers):
+            self._spawn(worker_id)
+        self._pending = [True] * self.num_workers
+        killed = self._fire_kills("launch")
+        acks = []
+        for worker_id in range(self.num_workers):
+            if worker_id in killed:
+                raise WorkerFailure(
+                    worker_id,
+                    "injected fault: killed at launch",
+                    last_command="launch",
+                    phase="launch",
+                )
+            acks.append(self._handshake(worker_id, blobs[worker_id]))
+        return acks
+
+    def _handshake(self, worker_id: int, blob: bytes) -> Any:
+        proc = self._procs[worker_id]
+        got = self._adopt(worker_id, self.reply_timeout, proc=proc)
+        if got is None:
+            if not _proc_alive(proc):
+                raise WorkerFailure(
+                    worker_id,
+                    f"process exited with code {proc.exitcode} before "
+                    "connecting",
+                    last_command="launch",
+                    phase="launch",
+                )
+            raise WorkerFailure(
+                worker_id,
+                "no connection from worker within "
+                f"{self.reply_timeout:.1f}s",
+                last_command="launch",
+                phase="launch",
+            )
+        conn, _hello = got
+        self._conns[worker_id] = conn
+        try:
+            # Init blobs are not wire-accounted: MpTransport ships them
+            # via process args, so counting them would break the
+            # cross-backend byte parity the tests pin.
+            _send_frame(conn, _INIT, blob)
+        except OSError as exc:
+            raise WorkerFailure(
+                worker_id,
+                f"init send failed ({exc})",
+                last_command="launch",
+                phase="launch",
+            ) from None
+        return self._recv(worker_id, phase="launch")
+
+    def _net_fault(self, worker_id: int) -> Optional[FaultSpec]:
+        spec = self._fault_plan.get(worker_id)
+        if spec is None or spec.mode not in NETWORK_MODES:
+            return None
+        if spec.when != self.rounds_completed:
+            return None
+        del self._fault_plan[worker_id]
+        self.last_fault_fired_at = time.monotonic()
+        return spec
+
+    def _send_cmd(self, worker_id: int, body: bytes) -> None:
+        try:
+            conn = self._conns[worker_id]
+            if conn is None:
+                raise ConnectionError("no connection")
+            _send_frame(conn, _CMD, body)
+        except (ConnectionError, OSError) as exc:
+            # A link that died while idle: re-establish inside the same
+            # budget; _reestablish replays the pending command itself.
+            self._reestablish(worker_id, f"send failed ({exc})")
+
+    def _inject_net(
+        self, worker_id: int, spec: FaultSpec, body: bytes
+    ) -> None:
+        """Fire one network fault at the framing layer, coordinator
+        side, deterministically (see the module docstring)."""
+        conn = self._conns[worker_id]
+        if spec.mode == "delay":
+            time.sleep(float(spec.arg or 0.0) / 1000.0)
+            self._send_cmd(worker_id, body)
+        elif spec.mode == "drop_conn":
+            # The command makes it out; the link dies before the reply.
+            try:
+                if conn is not None:
+                    _send_frame(conn, _CMD, body)
+            except OSError:
+                pass
+            self._drop_conn(worker_id)
+        elif spec.mode == "reset_mid_frame":
+            frame = _HEADER.pack(_CMD, len(body)) + body
+            try:
+                if conn is not None:
+                    conn.sendall(frame[: max(1, len(frame) // 2)])
+            except OSError:
+                pass
+            self._drop_conn(worker_id)
+        else:  # partition
+            self._partition[worker_id] = int(spec.arg or 1)
+            self._drop_conn(worker_id)
+
+    def _round(self, messages: Sequence[Message]) -> List[Any]:
+        self._fire_kills(self.rounds_completed)
+        t0 = time.monotonic()
+        for worker_id, message in enumerate(messages):
+            directive = self._fault_directive(worker_id, message)
+            if directive is not None:
+                tag, payload = message
+                payload = dict(payload)
+                payload["_fault"] = directive
+                message = (tag, payload)
+            net = self._net_fault(worker_id)
+            blob = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+            # Framed byte accounting: the pickled body, once per
+            # sequence number — headers, seq prefixes, heartbeats, and
+            # retransmissions excluded, for cross-backend parity.
+            self.bytes_sent += len(blob)
+            self._last_cmd[worker_id] = message[0]
+            self._seq[worker_id] += 1
+            body = _SEQ.pack(self._seq[worker_id]) + blob
+            self._sent_body[worker_id] = body
+            self._pending[worker_id] = True
+            if net is not None:
+                self._inject_net(worker_id, net, body)
+            else:
+                self._send_cmd(worker_id, body)
+        replies = [self._recv(w) for w in range(self.num_workers)]
+        self._observe_round(time.monotonic() - t0)
+        return replies
+
+    def _recv(self, worker_id: int, phase: str = "reply") -> Any:
+        proc = self._procs[worker_id]
+        last = self._last_cmd[worker_id]
+        start = last_beat = time.monotonic()
+        timeout = (
+            self.reply_timeout if phase == "launch" else self.reply_deadline()
+        )
+        check_beats = phase != "launch" and self.heartbeat_interval
+        expected = self._seq[worker_id]
+        while True:
+            conn = self._conns[worker_id]
+            try:
+                if conn is None:
+                    raise ConnectionError("no connection")
+                frame = _poll_frame(conn, 0.05)
+            except ConnectionError as exc:
+                if phase == "launch":
+                    raise WorkerFailure(
+                        worker_id,
+                        f"connection lost during launch ({exc})",
+                        last_command=last,
+                        phase=phase,
+                    ) from None
+                self._reestablish(worker_id, str(exc))
+                # Fresh link: the retry budget bounded the disconnected
+                # window, so the liveness clocks restart here.
+                start = last_beat = time.monotonic()
+                timeout = self.reply_deadline()
+                continue
+            if frame is not None:
+                kind, body = frame
+                if kind == _HB:
+                    last_beat = time.monotonic()
+                    self.heartbeats_received += 1
+                    if self.obs is not None:
+                        self.obs.count("heartbeats")
+                    continue
+                if phase == "launch":
+                    if kind != _ACK:
+                        continue
+                    blob = body
+                else:
+                    if kind != _REPLY:
+                        continue
+                    (seq,) = _SEQ.unpack(body[: _SEQ.size])
+                    if seq != expected:
+                        continue  # a replayed older reply; drop uncounted
+                    blob = body[_SEQ.size:]
+                try:
+                    tag, payload = pickle.loads(blob)
+                except Exception as exc:
+                    self._hung.add(worker_id)
+                    raise WorkerFailure(
+                        worker_id,
+                        "corrupt reply (reply blob failed to unpickle: "
+                        f"{type(exc).__name__})",
+                        last_command=last,
+                        phase=phase,
+                    ) from None
+                self.bytes_received += len(blob)
+                self._pending[worker_id] = False
+                self._sent_body[worker_id] = None
+                if tag == "error":
+                    raise WorkerFailure(
+                        worker_id, payload, last_command=last, phase=phase
+                    )
+                if phase == "launch":
+                    self._set_offset(
+                        worker_id,
+                        self._spawn_at[worker_id],
+                        time.perf_counter(),
+                        payload,
+                    )
+                return payload
+            now = time.monotonic()
+            if not _proc_alive(proc):
+                raise WorkerFailure(
+                    worker_id,
+                    f"process exited with code {proc.exitcode} before "
+                    "replying",
+                    last_command=last,
+                    phase=phase,
+                )
+            if check_beats and now - last_beat > self.heartbeat_timeout:
+                self._hung.add(worker_id)
+                if self.obs is not None:
+                    self.obs.count("hang_detections")
+                raise WorkerFailure(
+                    worker_id,
+                    "hung (no progress heartbeat within "
+                    f"{self.heartbeat_timeout:.1f}s; declared dead)",
+                    last_command=last,
+                    phase=phase,
+                )
+            if now - start > timeout:
+                raise WorkerFailure(
+                    worker_id,
+                    f"no reply within the {timeout:.1f}s "
+                    + (
+                        "launch deadline"
+                        if phase == "launch"
+                        else "adaptive round deadline"
+                    ),
+                    last_command=last,
+                    phase=phase,
+                )
+
+    def _recover(self, worker_id: int, init_payload: bytes) -> Any:
+        # Drain survivors of the aborted round first (same contract as
+        # MpTransport): their replies are discarded by the rollback,
+        # but the barrier must be re-aligned before the respawn.
+        for w in range(self.num_workers):
+            if w != worker_id and self._pending[w]:
+                self._recv(w)
+        # Close the dead worker's sockets *before* joining it: a
+        # loopback thread blocked in recv only unblocks on EOF.
+        self._drop_conn(worker_id)
+        stray = self._stray.pop(worker_id, None)
+        if stray is not None:
+            _close(stray[0])
+        self._partition.pop(worker_id, None)
+        proc = self._procs[worker_id]
+        if worker_id in self._hung:
+            self._hung.discard(worker_id)
+            if _proc_alive(proc):
+                proc.kill()
+                proc.join(timeout=2.0)
+        elif _proc_alive(proc):
+            proc.terminate()
+            proc.join(timeout=2.0)
+            if proc.is_alive():  # pragma: no cover - stuck in kernel
+                proc.kill()
+                proc.join(timeout=1.0)
+        _proc_close(proc)
+        self._last_cmd[worker_id] = "launch"
+        self._seq[worker_id] = 0
+        self._sent_body[worker_id] = None
+        self._spawn(worker_id)
+        self._pending[worker_id] = True
+        return self._handshake(worker_id, init_payload)
+
+    def _shutdown(self) -> None:
+        for worker_id, conn in enumerate(self._conns):
+            if worker_id in self._hung or conn is None:
+                continue
+            try:
+                self._seq[worker_id] += 1
+                _send_frame(conn, _CMD, _SEQ.pack(self._seq[worker_id])
+                            + pickle.dumps(("stop", {})))
+            except OSError:
+                pass
+        # Unblock anything parked on an unadopted connection before the
+        # joins (loopback threads cannot be signalled awake).
+        for conn, _hello in self._stray.values():
+            _close(conn)
+        self._stray = {}
+        for worker_id, proc in enumerate(self._procs):
+            if proc is None:
+                continue
+            if worker_id in self._hung:
+                if _proc_alive(proc):
+                    proc.kill()
+                proc.join(timeout=2.0)
+            else:
+                proc.join(timeout=2.0)
+                if _proc_alive(proc):
+                    proc.terminate()
+                    proc.join(timeout=2.0)
+                if _proc_alive(proc):  # pragma: no cover - stuck in kernel
+                    proc.kill()
+                    proc.join(timeout=1.0)
+            _proc_close(proc)
+        for conn in self._conns:
+            _close(conn)
+        _close(self._listener)
+        self._listener = None
+        self._procs = [None] * self.num_workers
+        self._conns = [None] * self.num_workers
+        self._hung = set()
+
+
+class _ThreadControl:
+    """Stop flag shared with a loopback worker thread."""
+
+    def __init__(self) -> None:
+        self.stopped = False
+
+
+class _ThreadProc:
+    """Duck-typed process handle around a loopback worker thread.
+
+    Threads cannot be signalled; ``kill``/``terminate`` raise the stop
+    flag and rely on the coordinator closing the thread's sockets to
+    unblock it (every blocking point in ``serve_socket`` re-checks the
+    flag after a socket error or dial timeout).
+    """
+
+    exitcode: Optional[int] = None
+
+    def __init__(self, thread: threading.Thread, control: _ThreadControl):
+        self._thread = thread
+        self._control = control
+
+    def is_alive(self) -> bool:
+        return self._thread.is_alive()
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        self._thread.join(timeout)
+
+    def kill(self) -> None:
+        self._control.stopped = True
+
+    def terminate(self) -> None:
+        self._control.stopped = True
+
+    def close(self) -> None:
+        pass
+
+
+class LoopbackTcpTransport(TcpTransport):
+    """The socket backend's deterministic test double.
+
+    Identical coordinator code — framing, supervision, retry budget,
+    network fault injection — over real localhost sockets, but each
+    worker is a daemon *thread* running :func:`serve_socket`: no OS
+    process scheduling, no signals, cheap enough for the chaos harness
+    to run hundreds of seeded schedules. Thread workers cannot be
+    SIGKILLed or SIGSTOPped, so ``fault_caps`` excludes the
+    process-signal modes; every wire-level mode is fully supported.
+    Defaults to snappy retry/dial windows — the point is exercising the
+    reconnect logic, not simulating WAN latency.
+    """
+
+    name = "tcp-loopback"
+    fault_caps = NETWORK_MODES | frozenset(("stall", "corrupt_reply"))
+
+    def __init__(self, num_workers: int, **kwargs: Any) -> None:
+        kwargs.setdefault(
+            "retry_policy",
+            RetryPolicy(attempts=4, base=0.05, factor=2.0, cap=0.4),
+        )
+        kwargs.setdefault(
+            "dial_policy",
+            RetryPolicy(attempts=40, base=0.01, factor=1.5, cap=0.1),
+        )
+        super().__init__(num_workers, **kwargs)
+
+    def _spawn(self, worker_id: int) -> None:
+        self._spawn_at[worker_id] = time.perf_counter()
+        self._gen[worker_id] += 1
+        control = _ThreadControl()
+        thread = threading.Thread(
+            target=serve_socket,
+            args=(self.host, self.port, worker_id, self._gen[worker_id]),
+            kwargs={
+                "heartbeat_interval": self.heartbeat_interval,
+                "dial_policy": self.dial_policy,
+                "control": control,
+            },
+            name=f"graphlab-runtime-loop-w{worker_id}",
+            daemon=True,
+        )
+        thread.start()
+        self._procs[worker_id] = _ThreadProc(thread, control)

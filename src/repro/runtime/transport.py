@@ -2,7 +2,7 @@
 
 The runtime engine is written against one tiny contract — launch N
 workers from pickled init payloads, then exchange full *rounds* (send a
-command to every worker, collect every reply). Two implementations:
+command to every worker, collect every reply). Implementations here:
 
 * :class:`InprocTransport` — workers are plain objects driven
   synchronously in worker-id order inside the calling process. Every
@@ -16,6 +16,20 @@ command to every worker, collect every reply). Two implementations:
   sends and the receives all workers compute concurrently on real
   cores — the paper's claim that the abstraction carries unchanged from
   shared memory to distributed execution, cashed in (Sec. 4).
+
+A third backend, :class:`~repro.runtime.socket_transport.TcpTransport`,
+speaks the same contract over length-prefixed TCP frames (one OS
+process per worker dialing back to a coordinator listener) and adds
+connection supervision: retries with backoff, idempotent in-flight
+replay, and partition tolerance. It lives in its own module; see its
+docstring for the wire protocol and the ``REPRO_FAULT`` *network* fault
+modes (``drop_conn``, ``delay=ms``, ``partition=n``,
+``reset_mid_frame``) that only socket backends can inject. This module
+owns the fault grammar itself: :data:`FAULT_MODES` lists every mode,
+:data:`NETWORK_MODES` the subset that needs a wire to break, and each
+transport declares the subset it can inject via ``fault_caps`` — a
+schedule naming a mode the backend cannot inject raises
+:class:`~repro.errors.FaultSpecError` instead of silently not firing.
 
 Transports also own the **data plane** lifecycle
 (:mod:`repro.runtime.plane`): the engine asks for the backend's plane
@@ -45,6 +59,7 @@ import time
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import EngineError, FaultSpecError
+from repro.runtime.liveness import AdaptiveDeadline
 from repro.runtime.plane import (
     DataPlane,
     LocalDataPlane,
@@ -76,6 +91,18 @@ FAULT_ENV = "REPRO_FAULT"
 #: (consumed by the checkpoint manager, not the transport); ``crash_
 #: mid_snapshot`` kills the worker the first time it is sent a snapshot
 #: command at or after round ``when``.
+#:
+#: The last four are **network modes** (PR 9), injected at the framing
+#: layer of socket transports only: ``drop_conn`` delivers the round's
+#: command and then severs the connection before the reply (the worker
+#: keeps running; supervision must reconnect and replay); ``delay``
+#: holds the command frame back ``arg`` milliseconds (latency, not
+#: failure — must complete normally); ``partition`` severs the link
+#: *before* the command and refuses the next ``arg`` reconnect
+#: attempts, so a small ``arg`` heals inside the retry budget and a
+#: large one exhausts it into a structured :class:`WorkerFailure`;
+#: ``reset_mid_frame`` ships a torn half-frame and then resets, so the
+#: receiver must discard the fragment and resynchronize via replay.
 FAULT_MODES = (
     "kill",
     "hang",
@@ -83,13 +110,29 @@ FAULT_MODES = (
     "corrupt_reply",
     "corrupt_snapshot",
     "crash_mid_snapshot",
+    "drop_conn",
+    "delay",
+    "partition",
+    "reset_mid_frame",
+)
+
+#: Fault modes that need a wire to break: only transports whose
+#: ``fault_caps`` include them (the socket backends) can inject them.
+NETWORK_MODES = frozenset(
+    ("drop_conn", "delay", "partition", "reset_mid_frame")
+)
+
+#: The PR 6/8 process-level modes every in-host backend understands.
+PROCESS_FAULT_MODES = frozenset(
+    ("kill", "hang", "stall", "corrupt_reply", "crash_mid_snapshot")
 )
 
 
 @dataclasses.dataclass(frozen=True)
 class FaultSpec:
     """One scheduled fault: when it fires, how it fails, its argument
-    (only ``stall`` takes one: seconds to sleep)."""
+    (``stall`` takes seconds to sleep, ``delay`` milliseconds to hold
+    the frame, ``partition`` the number of reconnects to refuse)."""
 
     when: Union[int, str]
     mode: str = "kill"
@@ -126,6 +169,19 @@ def _validate_fault(
             raise FaultSpecError(
                 f"bad {FAULT_ENV} entry {fragment!r}: stall needs "
                 "'stall=<seconds>' with a non-negative duration"
+            )
+    elif mode == "delay":
+        if arg is None or arg < 0:
+            raise FaultSpecError(
+                f"bad {FAULT_ENV} entry {fragment!r}: delay needs "
+                "'delay=<milliseconds>' with a non-negative duration"
+            )
+    elif mode == "partition":
+        if arg is None or arg < 1 or arg != int(arg):
+            raise FaultSpecError(
+                f"bad {FAULT_ENV} entry {fragment!r}: partition needs "
+                "'partition=<n>' with a positive integer count of "
+                "refused reconnect attempts"
             )
     elif arg is not None:
         raise FaultSpecError(
@@ -245,6 +301,13 @@ class Transport:
 
     name: str = "abstract"
 
+    #: Fault modes this backend can inject. Scheduling a mode outside
+    #: the set (env knob or :meth:`schedule_fault`) raises
+    #: :class:`~repro.errors.FaultSpecError` — a network fault that a
+    #: pipe backend silently never fires would be a hole in the chaos
+    #: harness, not a convenience.
+    fault_caps: frozenset = PROCESS_FAULT_MODES
+
     def __init__(self, num_workers: int) -> None:
         if num_workers < 1:
             raise EngineError("need at least one worker")
@@ -265,11 +328,12 @@ class Transport:
         #: environment, extended via :meth:`schedule_fault`. Entries
         #: fire once and are removed. ``corrupt_snapshot`` entries are
         #: disk faults, consumed by the checkpoint manager — not here.
-        self._fault_plan: Dict[int, FaultSpec] = {
-            w: spec
-            for w, spec in parse_fault_plan(os.environ.get(FAULT_ENV)).items()
-            if 0 <= w < num_workers and spec.mode != "corrupt_snapshot"
-        }
+        self._fault_plan: Dict[int, FaultSpec] = {}
+        for w, spec in parse_fault_plan(os.environ.get(FAULT_ENV)).items():
+            if not 0 <= w < num_workers or spec.mode == "corrupt_snapshot":
+                continue
+            self._check_fault_cap(spec.mode, f"{w}:{spec.when}:{spec.mode}")
+            self._fault_plan[w] = spec
         #: Monotonic timestamp of the most recent injected fault fire;
         #: lets the fault benchmarks measure detection latency.
         self.last_fault_fired_at: Optional[float] = None
@@ -294,11 +358,33 @@ class Transport:
                 f"bad {FAULT_ENV} entry {fragment!r}: corrupt_snapshot "
                 "is a disk fault; schedule it on the CheckpointManager"
             )
+        self._check_fault_cap(mode, fragment)
         self._fault_plan[worker_id] = FaultSpec(when=when, mode=mode, arg=arg)
+
+    def _check_fault_cap(self, mode: str, fragment: str) -> None:
+        if mode not in self.fault_caps:
+            hint = (
+                " (network faults need a socket transport)"
+                if mode in NETWORK_MODES
+                else ""
+            )
+            raise FaultSpecError(
+                f"bad {FAULT_ENV} entry {fragment!r}: mode {mode!r} is "
+                f"not injectable on the {self.name!r} transport{hint}"
+            )
 
     def schedule_kill(self, worker_id: int, when: Union[int, str]) -> None:
         """Backward-compatible alias: ``schedule_fault(..., "kill")``."""
         self.schedule_fault(worker_id, when, mode="kill")
+
+    def net_counters(self) -> Dict[str, int]:
+        """Connection-supervision counters for the run result/bench.
+
+        Socket backends report ``{"reconnects": n, "retries": n}``
+        (re-established connections and replayed in-flight commands);
+        in-host backends have no links to lose and report nothing.
+        """
+        return {}
 
     # Data-plane lifecycle -----------------------------------------------
     def plane_kind(self) -> Optional[str]:
@@ -648,7 +734,77 @@ def _proc_close(proc: Any) -> None:
         pass
 
 
-class MpTransport(Transport):
+class ProcessFaultMixin:
+    """Round-keyed fault arming shared by the process-backed transports
+    (mp pipes and the TCP socket backend).
+
+    Hosts expect ``self._procs`` (killable process handles),
+    ``self._hung`` (workers declared untrusted), and the base
+    :class:`Transport` fault plan. ``kill`` fires coordinator-side as a
+    SIGKILL between barriers; the other process modes ride the command
+    payload as a ``_fault`` directive the worker's serve loop executes.
+    Network modes are *not* directives — they never reach the worker;
+    the socket transport injects them at its framing layer and pops
+    them from the plan itself.
+    """
+
+    def kill_worker(self, worker_id: int) -> None:
+        """Hard-kill one worker process (fault injection)."""
+        proc = self._procs[worker_id]
+        if _proc_alive(proc):
+            proc.kill()
+            proc.join(timeout=2.0)
+
+    def _fire_kills(self, when: Union[int, str]) -> List[int]:
+        """SIGKILL every worker whose *kill* schedule matches ``when``;
+        the other modes are worker-side directives injected per-round
+        by :meth:`_fault_directive`. Returns the killed worker ids."""
+        killed = []
+        for worker_id, spec in list(self._fault_plan.items()):
+            if (
+                spec.mode == "kill"
+                and spec.when == when
+                and worker_id < len(self._procs)
+            ):
+                del self._fault_plan[worker_id]
+                self.last_fault_fired_at = time.monotonic()
+                self.kill_worker(worker_id)
+                killed.append(worker_id)
+        return killed
+
+    def _fault_directive(
+        self, worker_id: int, message: Message
+    ) -> Optional[Dict[str, Any]]:
+        """Non-kill process fault due this round, as the ``_fault``
+        payload directive the worker's serve loop executes (hang =
+        SIGSTOP itself, stall = sleep, corrupt_reply = garble the wire
+        blob, crash = ``os._exit`` mid-command)."""
+        spec = self._fault_plan.get(worker_id)
+        if (
+            spec is None
+            or spec.mode == "kill"
+            or spec.when == "launch"
+            or spec.mode in NETWORK_MODES
+        ):
+            return None
+        if spec.mode == "crash_mid_snapshot":
+            if self.rounds_completed < spec.when or not _is_snapshot_command(
+                message
+            ):
+                return None
+            mode = "crash"
+        elif spec.when != self.rounds_completed:
+            return None
+        else:
+            mode = spec.mode
+        del self._fault_plan[worker_id]
+        self.last_fault_fired_at = time.monotonic()
+        if mode == "hang":
+            self._hung.add(worker_id)
+        return {"mode": mode, "arg": spec.arg}
+
+
+class MpTransport(ProcessFaultMixin, Transport):
     """One OS process per worker, one duplex pipe each.
 
     ``start_method`` defaults to ``fork`` where available (cheap launch;
@@ -700,9 +856,13 @@ class MpTransport(Transport):
         self.heartbeat_timeout = float(heartbeat_timeout)
         self.deadline_floor = float(deadline_floor)
         self.deadline_slack = float(deadline_slack)
-        #: EMA of observed round durations (seconds); None until the
-        #: first completed round.
-        self._round_ema: Optional[float] = None
+        #: The EMA/clamp arithmetic, shared with the socket backend
+        #: (:mod:`repro.runtime.liveness`).
+        self._deadline = AdaptiveDeadline(
+            floor=self.deadline_floor,
+            slack=self.deadline_slack,
+            cap=self.reply_timeout,
+        )
         self.heartbeats_received = 0
         self._procs: List[Any] = []
         self._conns: List[Any] = []
@@ -720,6 +880,17 @@ class MpTransport(Transport):
         #: handle promptly instead of waiting out escalation timeouts.
         self._hung: set = set()
 
+    @property
+    def _round_ema(self) -> Optional[float]:
+        """EMA of observed round durations (seconds); None until the
+        first completed round. A settable view into the shared
+        :class:`AdaptiveDeadline` so tests can pin the arithmetic."""
+        return self._deadline.ema
+
+    @_round_ema.setter
+    def _round_ema(self, value: Optional[float]) -> None:
+        self._deadline.ema = value
+
     def reply_deadline(self) -> float:
         """Current adaptive per-round deadline (seconds).
 
@@ -728,18 +899,10 @@ class MpTransport(Transport):
         slow histories earn proportionally long deadlines, short ones
         are floor-protected from false kills.
         """
-        if self._round_ema is None:
-            return self.reply_timeout
-        return min(
-            max(self.deadline_floor, self._round_ema * self.deadline_slack),
-            self.reply_timeout,
-        )
+        return self._deadline.current()
 
     def _observe_round(self, seconds: float) -> None:
-        ema = self._round_ema
-        self._round_ema = (
-            seconds if ema is None else 0.2 * seconds + 0.8 * ema
-        )
+        self._deadline.observe(seconds)
 
     def plane_kind(self) -> Optional[str]:
         return "shm" if shm_available() else None
@@ -772,56 +935,6 @@ class MpTransport(Transport):
         else:
             self._procs.append(proc)
             self._conns.append(parent)
-
-    def kill_worker(self, worker_id: int) -> None:
-        """Hard-kill one worker process (fault injection)."""
-        proc = self._procs[worker_id]
-        if _proc_alive(proc):
-            proc.kill()
-            proc.join(timeout=2.0)
-
-    def _fire_kills(self, when: Union[int, str]) -> List[int]:
-        """SIGKILL every worker whose *kill* schedule matches ``when``;
-        the other modes are worker-side directives injected per-round
-        by :meth:`_fault_directive`. Returns the killed worker ids."""
-        killed = []
-        for worker_id, spec in list(self._fault_plan.items()):
-            if (
-                spec.mode == "kill"
-                and spec.when == when
-                and worker_id < len(self._procs)
-            ):
-                del self._fault_plan[worker_id]
-                self.last_fault_fired_at = time.monotonic()
-                self.kill_worker(worker_id)
-                killed.append(worker_id)
-        return killed
-
-    def _fault_directive(
-        self, worker_id: int, message: Message
-    ) -> Optional[Dict[str, Any]]:
-        """Non-kill fault due this round, as the ``_fault`` payload
-        directive the worker's serve loop executes (hang = SIGSTOP
-        itself, stall = sleep, corrupt_reply = garble the wire blob,
-        crash = ``os._exit`` mid-command)."""
-        spec = self._fault_plan.get(worker_id)
-        if spec is None or spec.mode == "kill" or spec.when == "launch":
-            return None
-        if spec.mode == "crash_mid_snapshot":
-            if self.rounds_completed < spec.when or not _is_snapshot_command(
-                message
-            ):
-                return None
-            mode = "crash"
-        elif spec.when != self.rounds_completed:
-            return None
-        else:
-            mode = spec.mode
-        del self._fault_plan[worker_id]
-        self.last_fault_fired_at = time.monotonic()
-        if mode == "hang":
-            self._hung.add(worker_id)
-        return {"mode": mode, "arg": spec.arg}
 
     def _launch(self, init_payloads: Iterable[bytes]) -> List[Any]:
         count = 0
@@ -1070,9 +1183,10 @@ def make_transport(
     num_workers: int,
     reply_timeout: Optional[float] = None,
 ) -> Transport:
-    """``"mp"`` / ``"inproc"`` / an unlaunched :class:`Transport`.
+    """``"mp"`` / ``"inproc"`` / ``"tcp"`` / ``"tcp-loopback"`` / an
+    unlaunched :class:`Transport`.
 
-    ``reply_timeout`` overrides :class:`MpTransport`'s dead-worker
+    ``reply_timeout`` overrides the process backends' dead-worker
     deadline (long color-steps on big graphs legitimately exceed the
     default); it is ignored by backends without one.
     """
@@ -1089,7 +1203,18 @@ def make_transport(
         return MpTransport(num_workers)
     if backend == "inproc":
         return InprocTransport(num_workers)
+    if backend in ("tcp", "tcp-loopback"):
+        # Imported lazily: socket_transport imports this module.
+        from repro.runtime.socket_transport import (
+            LoopbackTcpTransport,
+            TcpTransport,
+        )
+
+        cls = TcpTransport if backend == "tcp" else LoopbackTcpTransport
+        if reply_timeout is not None:
+            return cls(num_workers, reply_timeout=reply_timeout)
+        return cls(num_workers)
     raise EngineError(
-        f"unknown transport {backend!r}; expected 'mp', 'inproc', or a "
-        "Transport instance"
+        f"unknown transport {backend!r}; expected 'mp', 'inproc', "
+        "'tcp', 'tcp-loopback', or a Transport instance"
     )

@@ -87,6 +87,7 @@ from repro.distributed.locks import RWQueueCore, build_lock_chain
 from repro.errors import EngineError, SnapshotError
 from repro.obs.events import SpanRecorder
 from repro.runtime.checkpoint import SnapshotDirectory
+from repro.runtime.liveness import HeartbeatPump
 from repro.runtime.plane import DataPlane, PlaneSpec, ShmDataPlane
 from repro.runtime.shard import CSRShardStore
 
@@ -1631,58 +1632,6 @@ _CORRUPT_REPLY = b"repro-corrupt-reply"
 _HB_FRAME = pickle.dumps(("hb", None))
 
 
-class _HeartbeatPump:
-    """Progress heartbeats for a pipe-connected worker.
-
-    A daemon thread that, while the serve loop is busy processing a
-    command (``begin``/``end`` bracket), writes one ``("hb", None)``
-    frame to the reply pipe every ``interval`` seconds — under the same
-    lock as real replies, so frames never interleave. The coordinator
-    strips the frames in its receive loop; silence longer than its
-    ``heartbeat_timeout`` while a reply is owed means this process is
-    wedged (SIGSTOP, kernel hang, livelocked machine) and gets declared
-    dead in seconds instead of tripping a two-minute timeout. Idle
-    periods produce no frames: no reply is owed, so nobody is waiting.
-    """
-
-    def __init__(self, conn: Any, lock: Any, interval: float) -> None:
-        self._conn = conn
-        self._lock = lock
-        self._interval = interval
-        self._busy = threading.Event()
-        self._stop = threading.Event()
-        self._thread = threading.Thread(
-            target=self._run, name="repro-heartbeat", daemon=True
-        )
-        self._thread.start()
-
-    def begin(self) -> None:
-        self._busy.set()
-
-    def end(self) -> None:
-        self._busy.clear()
-
-    def stop(self) -> None:
-        self._stop.set()
-        self._busy.set()  # unblock the wait-for-busy
-        self._thread.join(timeout=1.0)
-
-    def _run(self) -> None:
-        while True:
-            self._busy.wait()
-            if self._stop.wait(self._interval):
-                return
-            if not self._busy.is_set():
-                continue
-            with self._lock:
-                if self._stop.is_set():
-                    return
-                try:
-                    self._conn.send_bytes(_HB_FRAME)
-                except (OSError, ValueError):  # pragma: no cover - teardown
-                    return
-
-
 def _execute_fault(fault: Dict[str, Any]) -> bool:
     """Worker-side leg of the transport's fault injector.
 
@@ -1716,9 +1665,10 @@ def serve(
     coordinator's send-all-then-receive-all round is a true barrier.
     Commands and replies cross the pipe as explicit pickled byte blobs
     (``send_bytes``), so both ends can account wire volume exactly.
-    With ``heartbeat_interval`` set, a :class:`_HeartbeatPump` emits
-    liveness frames on the same pipe while a command is in flight —
-    zero extra barriers, stripped coordinator-side before accounting.
+    With ``heartbeat_interval`` set, a shared
+    :class:`~repro.runtime.liveness.HeartbeatPump` emits liveness
+    frames on the same pipe while a command is in flight — zero extra
+    barriers, stripped coordinator-side before accounting.
     """
     try:
         worker = worker_from_bytes(init_blob)
@@ -1745,7 +1695,7 @@ def serve(
         })
     ))
     pump = (
-        _HeartbeatPump(conn, send_lock, heartbeat_interval)
+        HeartbeatPump(lambda: _send(_HB_FRAME), heartbeat_interval)
         if heartbeat_interval
         else None
     )

@@ -19,9 +19,13 @@ workload itself is deterministic).
 
 Coverage: 100 inproc schedules (25 cases x 2 engines x both SHM-plane
 modes, the deterministic backends where every mode — kill, hang, stall,
-corrupt_reply, crash_mid_snapshot, corrupt_snapshot — replays exactly)
-plus mp smoke schedules under tight liveness deadlines, where hangs are
-real SIGSTOPs and detection rides the heartbeat protocol.
+corrupt_reply, crash_mid_snapshot, corrupt_snapshot — replays exactly),
+mp smoke schedules under tight liveness deadlines, where hangs are real
+SIGSTOPs and detection rides the heartbeat protocol, plus the PR 9
+network pool: loopback-socket schedules drawing ``drop_conn`` /
+``partition`` / ``reset_mid_frame`` / ``delay`` (and the wire-agnostic
+``stall`` / ``corrupt_reply``) through the framed TCP layer, and
+real-process TCP schedules mixing process kills with link faults.
 
 When ``REPRO_CHAOS_ARTIFACTS`` names a directory (the CI chaos lane
 sets it), every failing case dumps its schedule, its snapshot directory,
@@ -39,9 +43,11 @@ from repro.datasets.webgraph import power_law_web_graph
 from repro.obs import write_chrome_trace
 from repro.runtime import (
     FAULT_ENV,
+    LoopbackTcpTransport,
     MpTransport,
     RuntimeChromaticEngine,
     RuntimeLockingEngine,
+    TcpTransport,
     UpdateProgram,
     WorkerFailure,
 )
@@ -61,6 +67,20 @@ MODES = ["kill"] * 4 + [
     "corrupt_reply",
     "crash_mid_snapshot",
     "corrupt_snapshot",
+]
+
+#: Network pool for the socket backends (PR 9): link drops dominate;
+#: partitions draw 1–6 eaten reconnect attempts so schedules land on
+#: both sides of the retry budget (transparent heal vs. structured
+#: failure + rollback); stall/corrupt_reply ride along because they are
+#: wire-agnostic and keep heartbeats/integrity honest over frames.
+NETWORK_POOL = ["drop_conn"] * 3 + [
+    "partition",
+    "partition",
+    "reset_mid_frame",
+    "delay",
+    "stall",
+    "corrupt_reply",
 ]
 
 PAGERANK = UpdateProgram(
@@ -100,6 +120,25 @@ def make_schedule(rng):
             parts.append(f"{w}:{rng.randint(1, 3)}:corrupt_snapshot")
         else:
             parts.append(f"{w}:{rng.randint(0, 8)}:{mode}")
+    return ",".join(parts)
+
+
+def make_network_schedule(rng):
+    """One random 1–2 entry schedule drawn from the network pool."""
+    workers = rng.sample([0, 1], k=rng.randint(1, 2))
+    parts = []
+    for w in workers:
+        mode = rng.choice(NETWORK_POOL)
+        when = rng.randint(0, 8)
+        if mode == "partition":
+            parts.append(f"{w}:{when}:partition={rng.randint(1, 6)}")
+        elif mode == "delay":
+            parts.append(f"{w}:{when}:delay={rng.randint(1, 30)}")
+        elif mode == "stall":
+            seconds = round(rng.uniform(0.01, 0.05), 3)
+            parts.append(f"{w}:{when}:stall={seconds}")
+        else:
+            parts.append(f"{w}:{when}:{mode}")
     return ",".join(parts)
 
 
@@ -148,9 +187,15 @@ def dump_artifacts(label, schedule, snapshot_dir, engine):
 def run_case(engine_cls, exact, label, schedule, tmp_path, monkeypatch,
              transport="inproc", use_plane=True, snapshot_mode="sync"):
     """Run one schedule; the only acceptable outcomes are a verified
-    answer or a structured WorkerFailure."""
+    answer or a structured WorkerFailure.
+
+    ``transport`` may be a backend name or a zero-arg factory; a factory
+    is called *after* ``REPRO_FAULT`` lands in the environment so socket
+    transports pick the schedule up at construction."""
     ref = reference(engine_cls, use_plane if transport == "inproc" else True)
     monkeypatch.setenv(FAULT_ENV, schedule)
+    if callable(transport):
+        transport = transport()
     g = web()
     kw = dict(
         num_workers=2,
@@ -276,6 +321,79 @@ class TestChaosMp:
             raise AssertionError(f"{context}: {exc}") from exc
 
 
+class TestChaosTcpLoopback:
+    """Network faults through the framed socket layer, on the
+    thread-backed loopback double where every schedule replays exactly:
+    drops and torn frames must heal inside the retry budget, partitions
+    past it must surface as one structured WorkerFailure that the
+    snapshot/recovery path in ``run()`` turns into a respawned,
+    rolled-back, *verified* completion."""
+
+    @staticmethod
+    def _transport():
+        return LoopbackTcpTransport(
+            2,
+            reply_timeout=60.0,
+            heartbeat_interval=0.02,
+            heartbeat_timeout=1.0,
+            retry_budget=4,
+        )
+
+    @pytest.mark.parametrize("case", range(12))
+    def test_chromatic(self, case, tmp_path, monkeypatch):
+        label = f"tcp-chromatic-{case}"
+        rng = random.Random(f"{BASE_SEED}:{label}")
+        run_case(
+            RuntimeChromaticEngine, True, label,
+            make_network_schedule(rng), tmp_path, monkeypatch,
+            transport=self._transport,
+        )
+
+    @pytest.mark.parametrize("case", range(12))
+    def test_locking(self, case, tmp_path, monkeypatch):
+        label = f"tcp-locking-{case}"
+        rng = random.Random(f"{BASE_SEED}:{label}")
+        snapshot_mode = rng.choice(["sync", "async"])
+        run_case(
+            RuntimeLockingEngine, False, label,
+            make_network_schedule(rng), tmp_path, monkeypatch,
+            transport=self._transport, snapshot_mode=snapshot_mode,
+        )
+
+
+class TestChaosTcpReal:
+    """Real worker processes over localhost TCP: process kills and link
+    faults drawn from one combined pool, under tight liveness deadlines
+    so dead links and dead processes are both detected in test time."""
+
+    POOL = ["kill", "hang", "drop_conn", "partition", "reset_mid_frame"]
+
+    @pytest.mark.parametrize("case", range(4))
+    def test_chromatic_tcp(self, case, tmp_path, monkeypatch):
+        label = f"tcp-real-{case}"
+        rng = random.Random(f"{BASE_SEED}:{label}")
+        mode = rng.choice(self.POOL)
+        worker = rng.randint(0, 1)
+        when = rng.randint(0, 6)
+        if mode == "kill":
+            schedule = f"{worker}:{when}"
+        elif mode == "partition":
+            schedule = f"{worker}:{when}:partition={rng.randint(1, 6)}"
+        else:
+            schedule = f"{worker}:{when}:{mode}"
+        run_case(
+            RuntimeChromaticEngine, True, label, schedule,
+            tmp_path, monkeypatch,
+            transport=lambda: TcpTransport(
+                2,
+                reply_timeout=60.0,
+                heartbeat_interval=0.05,
+                heartbeat_timeout=1.0,
+                retry_budget=4,
+            ),
+        )
+
+
 def test_schedule_generator_is_reproducible():
     """Same seed, same schedules — the property the failure-replay
     instructions depend on."""
@@ -290,7 +408,10 @@ def test_schedule_generator_is_reproducible():
 
 def test_harness_covers_at_least_100_schedules():
     """The acceptance bar: >=100 seeded fault schedules across engines,
-    transports, and SHM modes."""
+    transports, and SHM modes, drawn from the combined process +
+    network pools."""
     inproc = 25 * 2 * 2  # cases x engines x plane modes
     mp = 4
-    assert inproc + mp >= 100
+    tcp_loopback = 12 * 2  # network-pool cases x engines
+    tcp_real = 4
+    assert inproc + mp + tcp_loopback + tcp_real >= 100

@@ -1,0 +1,130 @@
+"""Unit tests for the shared liveness module (PR 9 satellite).
+
+The EMA/clamp arithmetic was pinned only end-to-end before the
+extraction; these tests pin it directly, plus the retry-policy
+determinism and the heartbeat pump's busy-bracket behavior, so the
+pipe and socket backends share one verified implementation.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.runtime import AdaptiveDeadline, HeartbeatPump, MpTransport, RetryPolicy
+
+
+class TestAdaptiveDeadline:
+    def test_cap_until_first_observation(self):
+        d = AdaptiveDeadline(floor=30.0, slack=8.0, cap=120.0)
+        assert d.ema is None
+        assert d.current() == 120.0
+
+    def test_first_observation_seeds_ema(self):
+        d = AdaptiveDeadline(floor=30.0, slack=8.0, cap=120.0)
+        d.observe(0.5)
+        assert d.ema == 0.5
+
+    def test_ema_blend_is_point_two(self):
+        d = AdaptiveDeadline(floor=30.0, slack=8.0, cap=120.0)
+        d.observe(1.0)
+        d.observe(2.0)
+        assert abs(d.ema - (0.2 * 2.0 + 0.8 * 1.0)) < 1e-12
+
+    def test_floor_clamp(self):
+        d = AdaptiveDeadline(floor=30.0, slack=8.0, cap=120.0)
+        d.observe(0.01)  # 0.08s of slack, far under the floor
+        assert d.current() == 30.0
+
+    def test_slack_multiply_between_clamps(self):
+        d = AdaptiveDeadline(floor=30.0, slack=8.0, cap=120.0)
+        d.ema = 10.0
+        assert d.current() == 80.0
+
+    def test_cap_clamp(self):
+        d = AdaptiveDeadline(floor=30.0, slack=8.0, cap=120.0)
+        d.ema = 1000.0
+        assert d.current() == 120.0
+
+    def test_mp_transport_delegates(self):
+        """The transport surface (`reply_deadline`, `_observe_round`,
+        settable `_round_ema`) is a view into one shared deadline."""
+        t = MpTransport(1)
+        assert t.reply_deadline() == t.reply_timeout
+        t._observe_round(1.0)
+        t._observe_round(2.0)
+        assert abs(t._round_ema - 1.2) < 1e-12
+        t._round_ema = 10.0
+        assert t._deadline.ema == 10.0
+        assert t.reply_deadline() == 80.0
+
+
+class TestRetryPolicy:
+    def test_deterministic_per_seed(self):
+        p = RetryPolicy(attempts=5, base=0.05, factor=2.0, cap=1.0)
+        a = [p.delay(i, seed="w0") for i in range(5)]
+        b = [p.delay(i, seed="w0") for i in range(5)]
+        assert a == b
+        c = [p.delay(i, seed="w1") for i in range(5)]
+        assert a != c  # distinct seeds de-synchronize retries
+
+    def test_exponential_growth_and_cap_without_jitter(self):
+        p = RetryPolicy(attempts=6, base=0.05, factor=2.0, cap=0.5, jitter=0.0)
+        delays = [p.delay(i) for i in range(6)]
+        assert delays[:4] == [0.05, 0.1, 0.2, 0.4]
+        assert delays[4] == delays[5] == 0.5
+
+    def test_jitter_bounds(self):
+        p = RetryPolicy(attempts=4, base=0.1, factor=2.0, cap=10.0, jitter=0.25)
+        for i in range(4):
+            raw = min(0.1 * 2.0 ** i, 10.0)
+            d = p.delay(i, seed="x")
+            assert raw * 0.75 <= d <= raw * 1.25
+
+    def test_total_sums_the_budget(self):
+        p = RetryPolicy(attempts=3, base=0.1, factor=2.0, cap=1.0, jitter=0.0)
+        assert p.total() == pytest.approx(0.1 + 0.2 + 0.4)
+
+
+class TestHeartbeatPump:
+    def _wait_for(self, cond, timeout=2.0):
+        end = time.monotonic() + timeout
+        while time.monotonic() < end:
+            if cond():
+                return True
+            time.sleep(0.005)
+        return False
+
+    def test_beats_only_while_busy(self):
+        beats = []
+        pump = HeartbeatPump(lambda: beats.append(time.monotonic()), 0.01)
+        try:
+            time.sleep(0.1)
+            assert beats == []  # idle: no reply owed, nobody waiting
+            pump.begin()
+            assert self._wait_for(lambda: len(beats) >= 3)
+            pump.end()
+            time.sleep(0.05)
+            settled = len(beats)
+            time.sleep(0.1)
+            assert len(beats) <= settled + 1  # at most one straggler
+        finally:
+            pump.stop()
+
+    def test_stop_joins_the_thread(self):
+        pump = HeartbeatPump(lambda: None, 0.01)
+        pump.begin()
+        pump.stop()
+        assert not pump._thread.is_alive()
+
+    def test_send_error_ends_the_pump(self):
+        calls = []
+
+        def send():
+            calls.append(1)
+            raise OSError("pipe gone")
+
+        pump = HeartbeatPump(send, 0.01)
+        pump.begin()
+        assert self._wait_for(lambda: not pump._thread.is_alive())
+        assert len(calls) == 1

@@ -1,0 +1,364 @@
+"""The socket transport (PR 9 tentpole): framed TCP rounds, connection
+supervision, network fault injection, and the recovery contract.
+
+Three layers of assertions:
+
+* **Equivalence** — chromatic runs over TCP localhost are bit-identical
+  to ``MpTransport`` at workers 1/2/4, the loopback double matches the
+  deterministic ``InprocTransport`` under a hypothesis sweep, the
+  locking engine reaches its fixed point over TCP, and a deterministic
+  run reports byte-identical wire counters on all three backends.
+* **Supervision** — a dropped / torn / partitioned link inside the
+  retry budget is re-established transparently (run completes,
+  ``reconnects > 0``, result verified); budget exhaustion raises one
+  structured :class:`WorkerFailure` that the existing snapshot/recovery
+  path turns into a respawn-and-rollback completion; ``resume_from``
+  cold-restarts over TCP from the snapshots a partition stranded.
+* **Grammar** — the ``REPRO_FAULT`` network modes parse, validate, and
+  are rejected (loudly) by backends that cannot inject them.
+"""
+
+import os
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.apps.pagerank import make_pagerank_update
+from repro.datasets.webgraph import power_law_web_graph
+from repro.errors import FaultSpecError
+from repro.runtime import (
+    FAULT_ENV,
+    InprocTransport,
+    LoopbackTcpTransport,
+    MpTransport,
+    RuntimeChromaticEngine,
+    RuntimeLockingEngine,
+    TcpTransport,
+    UpdateProgram,
+    WorkerFailure,
+    make_transport,
+    parse_fault_plan,
+)
+
+PAGERANK = UpdateProgram(
+    make_pagerank_update, kwargs={"schedule": "out", "epsilon": 1e-4}
+)
+
+
+@pytest.fixture(autouse=True)
+def _clear_fault_env(monkeypatch):
+    monkeypatch.delenv(FAULT_ENV, raising=False)
+
+
+def web(n=48, seed=11):
+    return power_law_web_graph(n, out_degree=3, seed=seed)
+
+
+def ranks(graph):
+    return {v: graph.vertex_data(v) for v in graph.vertices()}
+
+
+def chromatic_run(graph, transport, **kw):
+    engine = RuntimeChromaticEngine(
+        graph, PAGERANK, num_workers=transport.num_workers,
+        transport=transport, max_sweeps=100, **kw,
+    )
+    return engine.run(initial=graph.vertices())
+
+
+def loopback(num_workers=2, **kw):
+    """A snappy loopback double for fault tests: tight liveness knobs
+    so failure paths resolve in milliseconds, not default deadlines."""
+    kw.setdefault("heartbeat_interval", 0.02)
+    kw.setdefault("heartbeat_timeout", 1.0)
+    kw.setdefault("reply_timeout", 60.0)
+    return LoopbackTcpTransport(num_workers, **kw)
+
+
+def reference_ranks(num_workers=2, n=48, seed=11):
+    g = web(n, seed)
+    chromatic_run(g, InprocTransport(num_workers))
+    return ranks(g)
+
+
+class TestEquivalence:
+    def test_make_transport_names(self):
+        assert isinstance(make_transport("tcp", 2), TcpTransport)
+        assert isinstance(
+            make_transport("tcp-loopback", 2), LoopbackTcpTransport
+        )
+        t = make_transport("tcp", 3, reply_timeout=45.0)
+        assert t.reply_timeout == 45.0
+        assert t.num_workers == 3
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_tcp_bit_identical_to_mp(self, workers):
+        g_mp = web()
+        chromatic_run(g_mp, MpTransport(workers))
+        g_tcp = web()
+        result = chromatic_run(g_tcp, TcpTransport(workers))
+        assert ranks(g_tcp) == ranks(g_mp)
+        assert result.extra["reconnects"] == 0
+        assert result.extra["retries"] == 0
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(seed=st.integers(0, 10_000), workers=st.sampled_from([1, 2, 3]))
+    def test_loopback_bit_identical_property(self, seed, workers):
+        """Any worker count, any graph: the framed socket wire changes
+        nothing about the chromatic engine's answer."""
+        g_ref = web(36, seed)
+        chromatic_run(g_ref, InprocTransport(workers))
+        g = web(36, seed)
+        chromatic_run(g, LoopbackTcpTransport(workers))
+        assert ranks(g) == ranks(g_ref)
+
+    def test_locking_fixed_point_over_tcp(self):
+        ref = reference_ranks()
+        g = web()
+        result = RuntimeLockingEngine(
+            g, PAGERANK, num_workers=2, transport=TcpTransport(2)
+        ).run(initial=g.vertices())
+        assert result.converged
+        got = ranks(g)
+        for v, rank in ref.items():
+            assert got[v] == pytest.approx(rank, abs=1e-3)
+
+    def test_byte_counters_agree_across_three_backends(self):
+        """The PR 5 parity contract extended to the framed wire: the
+        pickled bodies are counted once per sequence number, never the
+        frame headers, hellos, heartbeats, or retransmissions — so a
+        deterministic no-plane run reports identical counters on
+        inproc, mp, and tcp."""
+        observed = {}
+        for label, transport in (
+            ("inproc", InprocTransport(2)),
+            ("mp", MpTransport(2)),
+            ("tcp", TcpTransport(2)),
+        ):
+            g = web()
+            chromatic_run(g, transport, use_plane=False)
+            observed[label] = (
+                transport.bytes_sent,
+                transport.bytes_received,
+                transport.rounds_completed,
+            )
+        assert observed["tcp"] == observed["inproc"] == observed["mp"]
+
+    def test_retransmissions_not_counted(self):
+        """A drop forces a replayed command; the byte counters must
+        match the clean run exactly (retransmissions excluded)."""
+        g_clean = web()
+        clean = LoopbackTcpTransport(2)
+        chromatic_run(g_clean, clean)
+        t = loopback()
+        t.schedule_fault(0, 3, mode="drop_conn")
+        g = web()
+        chromatic_run(g, t)
+        assert t.retries > 0
+        assert (t.bytes_sent, t.bytes_received) == (
+            clean.bytes_sent, clean.bytes_received
+        )
+
+
+class TestSupervision:
+    def test_drop_conn_recovers_transparently(self):
+        ref = reference_ranks()
+        t = loopback()
+        t.schedule_fault(0, 3, mode="drop_conn")
+        g = web()
+        result = chromatic_run(g, t)
+        assert ranks(g) == ref
+        assert result.extra["reconnects"] > 0
+        assert result.extra["retries"] > 0
+        assert t.reconnects == result.extra["reconnects"]
+
+    def test_reset_mid_frame_recovers_transparently(self):
+        ref = reference_ranks()
+        t = loopback()
+        t.schedule_fault(1, 5, mode="reset_mid_frame")
+        g = web()
+        result = chromatic_run(g, t)
+        assert ranks(g) == ref
+        assert result.extra["reconnects"] > 0
+
+    def test_delay_is_latency_not_failure(self):
+        ref = reference_ranks()
+        t = loopback()
+        t.schedule_fault(0, 2, mode="delay", arg=30)
+        g = web()
+        result = chromatic_run(g, t)
+        assert ranks(g) == ref
+        assert result.extra["reconnects"] == 0
+
+    def test_partition_inside_budget_heals(self):
+        ref = reference_ranks()
+        t = loopback(retry_budget=4)
+        t.schedule_fault(0, 4, mode="partition", arg=2)
+        g = web()
+        result = chromatic_run(g, t)
+        assert ranks(g) == ref
+        assert result.extra["reconnects"] > 0
+
+    def test_partition_exhausts_budget_into_worker_failure(self):
+        t = loopback(retry_budget=3)
+        t.schedule_fault(1, 3, mode="partition", arg=5)
+        g = web()
+        with pytest.raises(WorkerFailure) as exc_info:
+            chromatic_run(g, t)
+        failure = exc_info.value
+        assert failure.worker_id == 1
+        assert "retry budget" in failure.detail
+
+    def test_exhaustion_recovers_via_snapshots(self, tmp_path):
+        """Budget exhaustion is the same structured failure the PR 6/8
+        recovery path consumes: respawn, roll back, finish verified."""
+        ref = reference_ranks()
+        t = loopback(retry_budget=3)
+        t.schedule_fault(1, 3, mode="partition", arg=5)
+        g = web()
+        result = chromatic_run(
+            g, t, snapshot_every=2, max_recoveries=4,
+            recovery_backoff=0.0, snapshot_dir=str(tmp_path),
+        )
+        assert ranks(g) == ref
+        assert result.extra["recoveries"] >= 1
+        assert result.extra["reconnects"] == 0  # the link never healed
+
+    def test_stall_keeps_heartbeats_flowing(self):
+        """A slow worker over TCP is slow, not dead: heartbeats ride
+        the socket through the stall and no failure is declared."""
+        ref = reference_ranks()
+        t = loopback()
+        t.schedule_fault(0, 2, mode="stall", arg=0.2)
+        g = web()
+        chromatic_run(g, t)
+        assert ranks(g) == ref
+        assert t.heartbeats_received > 0
+
+    def test_hang_detected_and_recovered_over_real_tcp(self, tmp_path):
+        """PR 8's hang detection carried to the socket backend: a real
+        SIGSTOPped process is declared dead by heartbeat silence and
+        the run completes through respawn + rollback."""
+        ref = reference_ranks()
+        t = TcpTransport(
+            2, reply_timeout=60.0, heartbeat_interval=0.05,
+            heartbeat_timeout=1.0,
+        )
+        t.schedule_fault(0, 4, mode="hang")
+        g = web()
+        result = chromatic_run(
+            g, t, snapshot_every=2, max_recoveries=4,
+            recovery_backoff=0.0, snapshot_dir=str(tmp_path),
+        )
+        assert ranks(g) == ref
+        assert result.extra["recoveries"] >= 1
+
+    def test_net_span_and_counters_in_telemetry(self):
+        t = loopback()
+        t.schedule_fault(0, 3, mode="drop_conn")
+        g = web()
+        result = chromatic_run(g, t, telemetry=True)
+        tel = result.telemetry
+        coord = tel.counters.get(-1, {})
+        assert coord.get("reconnects", 0) > 0
+        assert coord.get("retries", 0) > 0
+        net_spans = [e for e in tel.events if e[1] == "net"]
+        assert net_spans, "reconnects must record a coordinator net span"
+        for (_track, _kind, start, end, _a, _b) in net_spans:
+            assert end >= start
+
+
+class TestResumeOverTcp:
+    @pytest.mark.parametrize("engine_cls", [
+        RuntimeChromaticEngine, RuntimeLockingEngine,
+    ])
+    def test_cold_restart_after_partition(self, engine_cls, tmp_path):
+        """A partition strands run 1 with no recovery budget; run 2 on
+        a fresh TCP transport cold-restarts from the verified snapshot
+        directory and finishes correctly — both engines."""
+        ref = reference_ranks()
+
+        def build(transport, **extra_kw):
+            g = web()
+            kw = dict(
+                num_workers=2, transport=transport, snapshot_every=2,
+                snapshot_dir=str(tmp_path), **extra_kw,
+            )
+            if engine_cls is RuntimeChromaticEngine:
+                kw["max_sweeps"] = 100
+            return g, engine_cls(g, PAGERANK, **kw)
+
+        t = loopback(retry_budget=3)
+        t.schedule_fault(0, 5, mode="partition", arg=5)
+        g1, engine1 = build(t, max_recoveries=0)
+        with pytest.raises(WorkerFailure):
+            engine1.run(initial=g1.vertices())
+        assert os.path.isdir(str(tmp_path))
+
+        g2, engine2 = build(loopback())
+        result = engine2.run(
+            initial=g2.vertices(), resume_from=str(tmp_path)
+        )
+        got = ranks(g2)
+        if engine_cls is RuntimeChromaticEngine:
+            assert got == ref
+        else:
+            assert result.converged
+            # a rollback + cold restart stacks two epsilon-bounded
+            # convergences, so allow a little more drift than the
+            # single-run 1e-3 contract
+            for v, rank in ref.items():
+                assert got[v] == pytest.approx(rank, abs=5e-3)
+        assert "resume_seconds" in result.extra
+
+
+class TestFaultGrammar:
+    def test_network_modes_parse(self):
+        plan = parse_fault_plan(
+            "0:3:drop_conn,1:2:partition=3,2:4:delay=20,3:1:reset_mid_frame"
+        )
+        assert plan[0].mode == "drop_conn" and plan[0].arg is None
+        assert plan[1].mode == "partition" and plan[1].arg == 3
+        assert plan[2].mode == "delay" and plan[2].arg == 20
+        assert plan[3].mode == "reset_mid_frame"
+
+    @pytest.mark.parametrize("text", [
+        "0:3:partition",          # partition needs a count
+        "0:3:partition=0",        # ... a positive one
+        "0:3:partition=1.5",      # ... an integral one
+        "0:3:delay",              # delay needs milliseconds
+        "0:3:delay=-1",           # ... non-negative
+        "0:3:drop_conn=2",        # drop_conn takes no arg
+        "0:3:reset_mid_frame=1",  # reset_mid_frame takes no arg
+        "0:launch:drop_conn",     # network modes cannot fire at launch
+    ])
+    def test_malformed_network_entries_raise(self, text):
+        with pytest.raises(FaultSpecError):
+            parse_fault_plan(text)
+
+    @pytest.mark.parametrize("transport_cls", [InprocTransport, MpTransport])
+    def test_pipe_backends_reject_network_modes(self, transport_cls):
+        t = transport_cls(2)
+        with pytest.raises(FaultSpecError, match="socket transport"):
+            t.schedule_fault(0, 3, mode="drop_conn")
+
+    def test_pipe_backend_rejects_network_mode_from_env(self, monkeypatch):
+        monkeypatch.setenv(FAULT_ENV, "0:3:drop_conn")
+        with pytest.raises(FaultSpecError, match="socket transport"):
+            InprocTransport(2)
+
+    def test_loopback_rejects_process_signal_modes(self):
+        t = LoopbackTcpTransport(2)
+        with pytest.raises(FaultSpecError, match="not injectable"):
+            t.schedule_fault(0, 3, mode="hang")
+
+    def test_socket_backends_accept_network_modes(self):
+        for cls in (TcpTransport, LoopbackTcpTransport):
+            t = cls(2)
+            t.schedule_fault(0, 3, mode="partition", arg=2)
+            assert t._fault_plan[0].mode == "partition"
