@@ -52,7 +52,13 @@ throughput on three fronts:
   to fresh ``MpTransport`` rows measured in the same process, with the
   per-row ``tcp_vs_mp`` throughput ratio, the connection-supervision
   counters (``reconnects`` / ``retries`` — zero on a healthy link), and
-  a ``bit_identical_to_mp`` flag covering every TCP row.
+  a ``bit_identical_to_mp`` flag covering every TCP row;
+* **Serving** (PR 10, ``serve``): a :class:`repro.serve.GraphService`
+  — the resident graph parked at the barrier — under a seeded 80/20
+  mixed read/write stream through both front ends (in-process and
+  socket), recording client-observed ``queries_per_sec`` plus
+  admission-to-reply latency percentiles (``read_p50_ms`` …
+  ``write_p99_ms``) and the count of backpressure rejections.
 
 Sections can be re-measured independently with ``--sections`` (comma-
 separated top-level keys), which merges the fresh numbers into the
@@ -1211,6 +1217,92 @@ def run_runtime_fault_benchmarks(repeats: int = 3) -> Dict[str, Dict]:
 
 
 # ----------------------------------------------------------------------
+# Serving subsystem (PR 10): queries/sec + latency percentiles.
+# ----------------------------------------------------------------------
+SERVE_VERTICES = 256
+SERVE_REQUESTS = 400
+SERVE_WRITE_FRAC = 0.2
+SERVE_SEED = 10
+
+
+def _measure_serve(frontend: str, repeats: int) -> Dict:
+    """Best-of-``repeats`` mixed read/write load through one front end.
+
+    Each repeat stands a fresh :class:`~repro.serve.GraphService`
+    (locking engine, inproc transport, warm-started incremental
+    PageRank) and replays the same seeded 80/20 read/write stream;
+    queries/sec is client-observed wall over answered requests, and the
+    latency percentiles come from the service's own per-request
+    measurements (admission to reply, the same numbers the telemetry
+    spans carry).
+    """
+    from repro.serve import (
+        GraphService,
+        InprocClient,
+        SocketClient,
+        SocketFrontend,
+        build_serving_graph,
+        run_mixed_load,
+    )
+
+    best: Dict = {}
+    for _ in range(repeats):
+        graph = build_serving_graph(SERVE_VERTICES, seed=SERVE_SEED)
+        service = GraphService(
+            graph, num_workers=2, transport="inproc", telemetry=False
+        )
+        service.start()
+        sock_front = None
+        client = InprocClient(service)
+        try:
+            if frontend == "socket":
+                sock_front = SocketFrontend(service)
+                client = SocketClient(sock_front.address)
+            t0 = time.perf_counter()
+            outcome = run_mixed_load(
+                client,
+                SERVE_VERTICES,
+                SERVE_REQUESTS,
+                write_frac=SERVE_WRITE_FRAC,
+                seed=SERVE_SEED,
+            )
+            elapsed = time.perf_counter() - t0
+            stats = service.stats()
+        finally:
+            if sock_front is not None:
+                client.close()
+                sock_front.close()
+            result = service.close()
+        qps = (outcome["reads"] + outcome["writes"]) / elapsed
+        if best and qps <= best["queries_per_sec"]:
+            continue
+        row: Dict = {
+            "frontend": frontend,
+            "requests": SERVE_REQUESTS,
+            "write_frac": SERVE_WRITE_FRAC,
+            "seconds": round(elapsed, 4),
+            "queries_per_sec": round(qps, 1),
+            "rejected": outcome["rejected"],
+            "background_updates": result.num_updates,
+        }
+        for op in ("read", "write"):
+            for pct in ("p50_ms", "p95_ms", "p99_ms"):
+                row[f"{op}_{pct}"] = round(stats[op][pct], 3)
+        best = row
+    return best
+
+
+def run_serve_benchmarks(repeats: int = 3) -> Dict[str, Dict]:
+    """PR 10 serving load test: the resident graph under a mixed
+    stream, through both front ends, with request-latency percentiles
+    next to the queries/sec headline."""
+    return {
+        "mixed_inproc": _measure_serve("inproc", repeats),
+        "mixed_socket": _measure_serve("socket", repeats),
+    }
+
+
+# ----------------------------------------------------------------------
 # Measurement.
 # ----------------------------------------------------------------------
 def measure(run: Callable[[], int], repeats: int = 3) -> Dict[str, float]:
@@ -1253,6 +1345,16 @@ def _print_tcp_section(section: Dict[str, Dict]) -> None:
     )
 
 
+def _print_serve_section(section: Dict[str, Dict]) -> None:
+    for name, row in section.items():
+        print(
+            f"  serve/{name}: {row['queries_per_sec']:.0f} queries/s "
+            f"(read p50={row['read_p50_ms']}ms p99={row['read_p99_ms']}ms; "
+            f"write p50={row['write_p50_ms']}ms p99={row['write_p99_ms']}ms; "
+            f"rejected={row['rejected']})"
+        )
+
+
 def _tree_is_dirty() -> bool:
     try:
         out = subprocess.run(
@@ -1278,6 +1380,7 @@ SECTIONS: Dict[str, Callable[[int], Dict]] = {
     "runtime_als": run_runtime_als_benchmarks,
     "runtime_fault": run_runtime_fault_benchmarks,
     "runtime_pagerank_tcp": run_runtime_tcp_benchmarks,
+    "serve": run_serve_benchmarks,
 }
 
 
@@ -1346,6 +1449,8 @@ def main(argv=None) -> int:
         print(f"wrote {args.output} (sections: {', '.join(names)})")
         if "runtime_pagerank_tcp" in names:
             _print_tcp_section(payload["runtime_pagerank_tcp"])
+        if "serve" in names:
+            _print_serve_section(payload["serve"])
         return 0
 
     results = run_benchmarks(repeats=args.repeats)
@@ -1356,6 +1461,7 @@ def main(argv=None) -> int:
     runtime_als_results = run_runtime_als_benchmarks(repeats=args.repeats)
     fault_results = run_runtime_fault_benchmarks(repeats=args.repeats)
     tcp_results = run_runtime_tcp_benchmarks(repeats=args.repeats)
+    serve_results = run_serve_benchmarks(repeats=args.repeats)
     payload = {
         "harness": "benchmarks.perf.bench_core",
         "python": platform.python_version(),
@@ -1368,6 +1474,7 @@ def main(argv=None) -> int:
         "runtime_als": runtime_als_results,
         "runtime_fault": fault_results,
         "runtime_pagerank_tcp": tcp_results,
+        "serve": serve_results,
         "speedup": {
             name: round(
                 results[name]["updates_per_sec"]
@@ -1466,6 +1573,7 @@ def main(argv=None) -> int:
         f"{resume['resume_from_disk_seconds'] * 1e3:.0f} ms, bit_identical="
         f"{resume['bit_identical_to_unkilled']}"
     )
+    _print_serve_section(serve_results)
     return 0
 
 

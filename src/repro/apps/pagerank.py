@@ -146,6 +146,53 @@ def make_pagerank_update(
 pagerank_update = make_pagerank_update()
 
 
+def make_pagerank_delta_update(
+    alpha: float = 0.15,
+    epsilon: float = 1e-4,
+):
+    """Incremental PageRank for serving (``repro.serve``).
+
+    The residual-scheduled variant of :func:`make_pagerank_update`'s
+    dynamic form, tuned for a resident graph under a write stream: each
+    update recomputes the exact pull-model rank from the current
+    neighborhood (so it is self-healing — any perturbation of an
+    in-neighbor's rank, e.g. a client write, is fully absorbed by one
+    recomputation) and propagates only while the residual ``|change|``
+    exceeds ``epsilon``, scheduling out-neighbors at priority equal to
+    the residual. A freshly perturbed region therefore re-converges in
+    a wave that dies out geometrically (each hop damps the residual by
+    ``1 - alpha`` times the edge weight), keeping results warm without
+    ever re-running the full graph.
+
+    ``epsilon`` defaults tighter than the batch program's: a serving
+    deployment amortizes convergence over the stream, so the steady
+    state can afford more precision. The scheduled priority makes the
+    locking engine's priority scheduler drain the largest residuals
+    first — the prioritized dynamic PageRank of Fig. 1(b), applied to
+    the serving write path.
+    """
+    damp = 1.0 - alpha
+
+    def pagerank_delta_update(scope: Scope):
+        old_rank = scope.data
+        rank = alpha / scope.graph.num_vertices
+        for _u, weight, nbr_rank in scope.gather_in():
+            rank += damp * weight * nbr_rank
+        scope.data = rank
+        residual = abs(rank - old_rank)
+        if residual > epsilon:
+            return [(u, residual) for u in scope.out_neighbors]
+        return None
+
+    # The batch kernel of the non-delta program computes the identical
+    # recompute-from-scope rank with "out" scheduling; reuse it so the
+    # chromatic fallback can run the delta program in kernel mode.
+    pagerank_delta_update.kernel = PageRankKernel(
+        alpha=alpha, epsilon=epsilon, schedule="out"
+    )
+    return pagerank_delta_update
+
+
 def initialize_ranks(graph: DataGraph, value: Optional[float] = None) -> None:
     """Reset every vertex's rank (default: uniform ``1/n``)."""
     n = graph.num_vertices

@@ -84,6 +84,17 @@ class EngineError(GraphLabError):
     twice, using the chromatic engine without a valid coloring)."""
 
 
+class TransportError(EngineError):
+    """A transport was used outside its lifecycle contract.
+
+    Transports are single-use: one ``launch``, any number of rounds,
+    one ``shutdown``. Reusing one — a second ``launch``, or launching
+    after ``shutdown`` — previously died with an incidental error deep
+    in backend setup (a closed pipe, a rebound port); now it raises
+    this structured error up front.
+    """
+
+
 class FaultSpecError(EngineError, ValueError):
     """A ``REPRO_FAULT`` schedule entry is malformed.
 

@@ -86,7 +86,13 @@ WORKER_KINDS = ("compute", "kernel", "lockwait", "ghost", "ser", "idle", "snap")
 #: Span kinds recorded coordinator-side. ``net`` brackets one
 #: connection re-establishment on a socket transport (PR 9): the wall
 #: time a round spent waiting out a drop, reconnect, and replay.
-COORDINATOR_KINDS = ("launch", "round", "run", "snap", "recover", "net")
+#: ``read`` / ``write`` are serving request spans (``repro.serve``,
+#: PR 10): admission to reply for one client read or write (``a`` =
+#: queue depth at admission), recorded on the coordinator track by the
+#: service front end.
+COORDINATOR_KINDS = (
+    "launch", "round", "run", "snap", "recover", "net", "read", "write",
+)
 #: Every kind a conforming producer may emit.
 SPAN_KINDS = frozenset(WORKER_KINDS) | frozenset(COORDINATOR_KINDS)
 

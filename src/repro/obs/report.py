@@ -58,10 +58,20 @@ def summarize(telemetry: RunTelemetry) -> Dict[str, Any]:
     grant_hops: List[int] = []
     coord_secs: Dict[str, float] = {}
     coord_counts: Dict[str, int] = {}
+    serve_lat: Dict[str, List[float]] = {"read": [], "write": []}
+    serve_depth: List[int] = []
 
     for (track, kind, start, end, a, b) in telemetry.events:
         dur = end - start
         if track == COORDINATOR_TRACK:
+            if kind in serve_lat:
+                # Serving request spans (repro.serve): admission ->
+                # reply, with the queue depth at admission in `a`. Kept
+                # out of the coordinator phase totals — requests overlap
+                # rounds by design.
+                serve_lat[kind].append(dur)
+                serve_depth.append(a)
+                continue
             coord_secs[kind] = coord_secs.get(kind, 0.0) + dur
             coord_counts[kind] = coord_counts.get(kind, 0) + 1
             continue
@@ -161,8 +171,29 @@ def summarize(telemetry: RunTelemetry) -> Dict[str, Any]:
         if cap_e:
             plane["ring_e_occupancy"] = ring_e / (ring_rounds * cap_e)
 
+    serving: Dict[str, Any] = {}
+    if serve_lat["read"] or serve_lat["write"]:
+        for op, lats in serve_lat.items():
+            if not lats:
+                continue
+            serving[op] = {
+                "count": len(lats),
+                "p50_ms": percentile(lats, 50) * 1e3,
+                "p95_ms": percentile(lats, 95) * 1e3,
+                "p99_ms": percentile(lats, 99) * 1e3,
+                "max_ms": max(lats) * 1e3,
+                "hist_us": log2_histogram(lats, scale=1e6),
+            }
+        serving["requests"] = len(serve_lat["read"]) + len(serve_lat["write"])
+        serving["queue_depth_mean"] = sum(serve_depth) / len(serve_depth)
+        serving["queue_depth_max"] = max(serve_depth)
+        serving["rejected"] = telemetry.counters.get(
+            COORDINATOR_TRACK, {}
+        ).get("serve_rejected", 0)
+
     report = {
         "meta": dict(telemetry.meta),
+        "serving": serving,
         "phases": phases,
         "attribution": attribution,
         "workers": worker_rows,
@@ -258,6 +289,26 @@ def format_report(report: Dict[str, Any]) -> str:
             f"ring_v={plane['ring_v_entries']} ring_e={plane['ring_e_entries']} "
             f"overflow_batches={plane['overflow_batches']}{occ}"
         )
+    serving = report.get("serving") or {}
+    if serving:
+        lines.append("")
+        lines.append(
+            f"serving: requests={serving.get('requests', 0)} "
+            f"rejected={serving.get('rejected', 0)} "
+            f"queue_depth mean={serving.get('queue_depth_mean', 0.0):.2f} "
+            f"max={serving.get('queue_depth_max', 0)}"
+        )
+        for op in ("read", "write"):
+            entry = serving.get(op)
+            if not entry:
+                continue
+            lines.append(
+                f"  {op:<5} n={entry['count']} "
+                f"p50={entry['p50_ms']:.3f}ms "
+                f"p95={entry['p95_ms']:.3f}ms "
+                f"p99={entry['p99_ms']:.3f}ms "
+                f"max={entry['max_ms']:.3f}ms"
+            )
     snaps = report.get("snapshots") or {}
     if snaps.get("count"):
         lines.append(

@@ -604,6 +604,16 @@ class RuntimeChromaticEngine:
             if tmp_root is not None:
                 shutil.rmtree(tmp_root, ignore_errors=True)
         wall = sw.stop()
+        return self._build_result(counts, wall, launch_seconds)
+
+    def _build_result(
+        self,
+        counts: Dict[VertexId, int],
+        wall: float,
+        launch_seconds: float,
+    ) -> RuntimeRunResult:
+        """Assemble the run summary — shared by :meth:`run` and the
+        serving-mode teardown (:meth:`close_service`)."""
         transport = self.transport
         extra: Dict[str, Any] = {}
         # Socket backends report their connection-supervision counters
@@ -618,6 +628,7 @@ class RuntimeChromaticEngine:
             if self._resume_seconds is not None:
                 extra["resume_seconds"] = self._resume_seconds
         telemetry = None
+        collector = self._collector
         if collector is not None:
             spec = self._plane.spec if self._plane is not None else None
             telemetry = collector.finalize(
@@ -715,6 +726,218 @@ class RuntimeChromaticEngine:
                 else:
                     pos = group[-1][0] + 1
             self._sweeps += 1
+
+    # ------------------------------------------------------------------
+    # Serving mode (repro.serve): the resident graph as a service.
+    # ------------------------------------------------------------------
+    def open_service(self, initial: Iterable = ()) -> None:
+        """Launch the cluster and park it at the barrier (serving mode).
+
+        The chromatic fallback behind :class:`repro.serve.GraphService`
+        when the locking engine can't be used. Setup matches
+        :meth:`run` through launch and baseline snapshot, then returns
+        with the workers parked; :meth:`service_pump_round` here runs
+        whole sweeps to convergence (color-step granularity — coarser
+        than the locking engine's single rounds, the reason locking is
+        the preferred serving substrate). Single-use, mutually exclusive
+        with :meth:`run`; stop conditions are a run-mode feature.
+        """
+        if self._ran:
+            raise EngineError(
+                "runtime engine instances are single-use (worker "
+                "processes are torn down at run end); build a new one"
+            )
+        if self.max_sweeps is not None or self.max_updates is not None:
+            raise EngineError(
+                "serving mode pumps to quiescence between bursts; "
+                "max_sweeps/max_updates stop conditions would park the "
+                "service short of convergence forever"
+            )
+        self._ran = True
+        self._serving = True
+        collector = self._collector
+        rec = collector.coordinator if collector is not None else None
+        self.transport.obs = rec
+        self._service_sw = Stopwatch(rec, "run")
+        num_workers = self.num_workers
+        self._inboxes = [empty_inbox() for _ in range(num_workers)]
+        mask = np.zeros(self._num_vertices, dtype=bool)
+        self._mask = mask
+        index_of = self._csr.index_of
+        owner_idx = self._owner_idx
+        init_by_worker: List[List[int]] = [[] for _ in range(num_workers)]
+        for vertex, _prio in normalize_schedule(initial, graph=self.graph):
+            idx = index_of[vertex]
+            if not mask[idx]:
+                mask[idx] = True
+                init_by_worker[owner_idx[idx]].append(idx)
+        for w, indices in enumerate(init_by_worker):
+            if indices:
+                self._inboxes[w]["sched"].append(
+                    np.asarray(indices, dtype=np.int32)
+                )
+        self._converged = False
+        self._sweeps = 0
+        self._total_updates = 0
+        self._published = []
+        self._service_tmp_root: Optional[str] = None
+        self._service_launch_seconds = 0.0
+        try:
+            if self.snapshot_every is not None:
+                root = self.snapshot_dir
+                if root is None:
+                    root = self._service_tmp_root = tempfile.mkdtemp(
+                        prefix="repro-ckpt-"
+                    )
+                self._ckpt = CheckpointManager(root, num_workers)
+                self._cadence = SnapshotCadence(
+                    self.snapshot_every, num_workers
+                )
+            self._provision_plane()
+            self.transport.launch(self._encoded_inits())
+            self._service_launch_seconds = self._service_sw.elapsed()
+            if self._ckpt is not None:
+                self._baseline_snapshot()
+        except Exception:
+            self.transport.shutdown()
+            if self._service_tmp_root is not None:
+                shutil.rmtree(self._service_tmp_root, ignore_errors=True)
+            raise
+
+    def service_barrier(
+        self,
+        writes: Optional[Iterable[Tuple[VertexId, Any]]] = None,
+        reads: Optional[Iterable[Tuple[Any, VertexId, bool]]] = None,
+    ) -> Dict[Any, Dict[str, Any]]:
+        """One serve barrier: writes at their owners, version-tagged reads.
+
+        Same contract as the locking engine's ``service_barrier``; the
+        serve command delivers pending data-plane inbox entries (the
+        double-buffered ring's R/R+1 consumption window) and its reply
+        routes the writes' dirty entries to ghost holders through the
+        normal wire. The pending speculation verdict, if any, stays
+        queued for the next step round — at sweep quiescence any
+        outstanding verdict is a full commit, so reads here always
+        observe committed state.
+        """
+        num_workers = self.num_workers
+        owner = self.owner
+        writes_by: List[List[Tuple[VertexId, Any]]] = [
+            [] for _ in range(num_workers)
+        ]
+        reads_by: List[List[Tuple[Any, VertexId, bool]]] = [
+            [] for _ in range(num_workers)
+        ]
+        for vid, value in writes or ():
+            writes_by[owner[vid]].append((vid, value))
+        for req_id, vid, want_scope in reads or ():
+            reads_by[owner[vid]].append((req_id, vid, want_scope))
+        inboxes = self._inboxes
+        messages = []
+        for w in range(num_workers):
+            payload: Dict[str, Any] = {}
+            inbox = inboxes[w]
+            attach: Dict[str, Any] = {}
+            if inbox["plane"]:
+                attach["plane"] = inbox["plane"]
+                inbox["plane"] = []
+            if inbox["data"] is not None:
+                attach["data"] = inbox["data"]
+                inbox["data"] = None
+            if attach:
+                payload["inbox"] = attach
+            if writes_by[w]:
+                payload["writes"] = writes_by[w]
+            if reads_by[w]:
+                payload["reads"] = reads_by[w]
+            messages.append(("serve", payload))
+        replies = drain_telemetry(
+            self.transport.round(messages), self._collector
+        )
+        results: Dict[Any, Dict[str, Any]] = {}
+        for w, (half, body) in enumerate(replies):
+            served = body.get("serve")
+            if served:
+                results.update(served)
+            plane = body.get("plane")
+            if plane:
+                for dst, run in plane.items():
+                    inboxes[dst]["plane"].append(
+                        (w, half, run[0], run[1], run[2], run[3])
+                    )
+            data = body.get("data")
+            if data:
+                for dst, batch in data.items():
+                    inbox = inboxes[dst]
+                    if inbox["data"] is None:
+                        inbox["data"] = batch
+                    else:
+                        inbox["data"].extend(batch)
+        return results
+
+    def service_schedule(self, schedule: Iterable) -> int:
+        """Inject dynamic updates into the global task set.
+
+        Chromatic variant: deduplicates against the coordinator's exact
+        task mask and routes dense int32 index arrays to the owners,
+        exactly like a run's initial schedule (priorities are a locking
+        engine concept). Returns the number of *fresh* tasks injected.
+        """
+        num_workers = self.num_workers
+        index_of = self._csr.index_of
+        owner_idx = self._owner_idx
+        mask = self._mask
+        by_worker: List[List[int]] = [[] for _ in range(num_workers)]
+        count = 0
+        for vertex, _prio in normalize_schedule(schedule, graph=self.graph):
+            idx = index_of[vertex]
+            if not mask[idx]:
+                mask[idx] = True
+                by_worker[owner_idx[idx]].append(idx)
+                count += 1
+        for w, indices in enumerate(by_worker):
+            if indices:
+                self._inboxes[w]["sched"].append(
+                    np.asarray(indices, dtype=np.int32)
+                )
+        return count
+
+    def service_pump_round(self) -> bool:
+        """Run sweeps until the task set drains; always ends quiescent.
+
+        The chromatic engine has no notion of a single background round
+        — its unit of progress is the color-step sweep — so one pump
+        call runs :meth:`_run_loop` to convergence and returns ``True``.
+        With an empty task set this is free: no round is sent, so any
+        residual routed entries stay valid for the next barrier (the
+        ring's consumption window counts commands, not method calls).
+        """
+        self._converged = False
+        self._run_loop()
+        return True
+
+    def close_service(self, snapshot: bool = True) -> RuntimeRunResult:
+        """Graceful drain: quiesce, snapshot, collect, tear down."""
+        if not getattr(self, "_serving", False):
+            raise EngineError(
+                "no open service (open_service was never called, or the "
+                "service is already closed)"
+            )
+        self._serving = False
+        counts: Dict[VertexId, int] = {}
+        try:
+            self.service_pump_round()
+            if snapshot and self._ckpt is not None:
+                self._take_snapshot()
+            counts = self._collect_and_write_back(self._inboxes)
+        finally:
+            self.transport.shutdown()
+            if self._service_tmp_root is not None:
+                shutil.rmtree(self._service_tmp_root, ignore_errors=True)
+        wall = self._service_sw.stop()
+        return self._build_result(
+            counts, wall, self._service_launch_seconds
+        )
 
     # ------------------------------------------------------------------
     # Snapshots and recovery (Sec. 4.3).

@@ -396,6 +396,17 @@ class RuntimeLockingEngine:
             if tmp_root is not None:
                 shutil.rmtree(tmp_root, ignore_errors=True)
         wall = sw.stop()
+        return self._build_result(counts, wall, launch_seconds, token_hops)
+
+    def _build_result(
+        self,
+        counts: Dict[VertexId, int],
+        wall: float,
+        launch_seconds: float,
+        token_hops: int,
+    ) -> RuntimeRunResult:
+        """Assemble the run summary — shared by :meth:`run` and the
+        serving-mode teardown (:meth:`close_service`)."""
         transport = self.transport
         result = RuntimeRunResult(
             num_updates=self._total_updates,
@@ -405,7 +416,7 @@ class RuntimeLockingEngine:
             sweeps=0,
             wall_seconds=wall,
             launch_seconds=launch_seconds,
-            num_workers=num_workers,
+            num_workers=self.num_workers,
             backend=transport.name,
             updates_per_worker=dict(self.updates_per_worker),
             rounds=transport.rounds_completed,
@@ -425,6 +436,7 @@ class RuntimeLockingEngine:
                 result.extra["resume_seconds"] = self._resume_seconds
         if self.trace:
             result.extra["trace"] = self._trace_entries
+        collector = self._collector
         if collector is not None:
             spec = self._plane.spec if self._plane is not None else None
             result.telemetry = collector.finalize(
@@ -432,7 +444,7 @@ class RuntimeLockingEngine:
                 {
                     "engine": "locking",
                     "backend": transport.name,
-                    "num_workers": num_workers,
+                    "num_workers": self.num_workers,
                     "data_plane": spec.kind if spec is not None else None,
                     "ring_v": spec.ring_v if spec is not None else 0,
                     "ring_e": spec.ring_e if spec is not None else 0,
@@ -547,6 +559,284 @@ class RuntimeLockingEngine:
                 assert _inboxes_quiet(inboxes)
                 self._converged = True
                 break
+
+    # ------------------------------------------------------------------
+    # Serving mode (repro.serve): the resident graph as a service.
+    # ------------------------------------------------------------------
+    def open_service(self, initial: Iterable = ()) -> None:
+        """Launch the cluster and park it at the barrier (serving mode).
+
+        The alternative to :meth:`run` for a long-lived deployment:
+        setup, plane provisioning, launch, and the baseline snapshot
+        happen exactly as in a run, but instead of rounding to
+        quiescence the engine returns with every worker blocked on its
+        pipe waiting for the next command — the "park at barrier" state.
+        From here the owner alternates :meth:`service_barrier` /
+        :meth:`service_schedule` (client traffic) with
+        :meth:`service_pump_round` (one locking round of background
+        computation) and finally :meth:`close_service`. Single-use, like
+        :meth:`run`; the two entry points are mutually exclusive.
+        """
+        if self._ran:
+            raise EngineError(
+                "runtime engine instances are single-use (worker "
+                "processes are torn down at run end); build a new one"
+            )
+        self._ran = True
+        self._serving = True
+        collector = self._collector
+        rec = collector.coordinator if collector is not None else None
+        self.transport.obs = rec
+        self._service_sw = Stopwatch(rec, "run")
+        num_workers = self.num_workers
+        self._inboxes = [empty_lock_inbox() for _ in range(num_workers)]
+        self._seed_initial(initial, self._inboxes)
+        self._black = [True] * num_workers
+        self._token = MisraToken(num_workers)
+        self._token_hops = 0
+        self._total_updates = 0
+        self._rounds = 0
+        self._converged = False
+        self._trace_entries = []
+        self._service_tmp_root: Optional[str] = None
+        self._service_launch_seconds = 0.0
+        try:
+            if self.snapshot_every is not None:
+                root = self.snapshot_dir
+                if root is None:
+                    root = self._service_tmp_root = tempfile.mkdtemp(
+                        prefix="repro-ckpt-"
+                    )
+                self._ckpt = CheckpointManager(root, num_workers)
+                self._cadence = SnapshotCadence(
+                    self.snapshot_every, num_workers
+                )
+            self._plane = provision_plane(
+                self.transport,
+                self.graph,
+                num_workers,
+                self.use_plane,
+                self._plane_ring_cap,
+            )
+            self._shared_blob = encode_shared_init(self._worker_init(0))
+            self.transport.launch([
+                encode_worker(w, self._shared_blob)
+                for w in range(num_workers)
+            ])
+            self._service_launch_seconds = self._service_sw.elapsed()
+            if self._ckpt is not None:
+                self._baseline_snapshot()
+        except Exception:
+            self.transport.shutdown()
+            if self._service_tmp_root is not None:
+                shutil.rmtree(self._service_tmp_root, ignore_errors=True)
+            raise
+
+    def service_barrier(
+        self,
+        writes: Optional[Iterable[Tuple[VertexId, Any]]] = None,
+        reads: Optional[Iterable[Tuple[Any, VertexId, bool]]] = None,
+    ) -> Dict[Any, Dict[str, Any]]:
+        """One serve barrier: writes at their owners, version-tagged reads.
+
+        ``writes`` are ``(vertex, value)`` mutations, each applied at
+        the vertex's owner (version bump + dirty mark, so the change
+        propagates to ghost holders through the normal routed wire);
+        ``reads`` are ``(request_id, vertex, want_scope)`` and return
+        ``{request_id: snapshot}`` from
+        :meth:`~repro.runtime.shard.CSRShardStore.read_snapshot`. Both
+        happen inside one command on every worker — reads observe every
+        write of the same barrier and never a half-applied update.
+
+        Pending data-plane inbox entries are delivered with this
+        barrier (ring descriptors written in command R must be consumed
+        in command R+1 or go stale under the double-buffered ring);
+        lock-protocol traffic stays queued for the next ``lstep``,
+        which is safe — data may arrive earlier than a grant, never
+        later.
+        """
+        num_workers = self.num_workers
+        owner = self.owner
+        writes_by: List[List[Tuple[VertexId, Any]]] = [
+            [] for _ in range(num_workers)
+        ]
+        reads_by: List[List[Tuple[Any, VertexId, bool]]] = [
+            [] for _ in range(num_workers)
+        ]
+        for vid, value in writes or ():
+            writes_by[owner[vid]].append((vid, value))
+        for req_id, vid, want_scope in reads or ():
+            reads_by[owner[vid]].append((req_id, vid, want_scope))
+        inboxes = self._inboxes
+        messages = []
+        for w in range(num_workers):
+            payload: Dict[str, Any] = {}
+            inbox = inboxes[w]
+            attach: Dict[str, Any] = {}
+            if inbox["plane"]:
+                attach["plane"] = inbox["plane"]
+                inbox["plane"] = []
+            if inbox["data"] is not None:
+                attach["data"] = inbox["data"]
+                inbox["data"] = None
+            if attach:
+                payload["inbox"] = attach
+            if writes_by[w]:
+                payload["writes"] = writes_by[w]
+            if reads_by[w]:
+                payload["reads"] = reads_by[w]
+            messages.append(("serve", payload))
+        replies = drain_telemetry(
+            self.transport.round(messages), self._collector
+        )
+        self._rounds += 1
+        results: Dict[Any, Dict[str, Any]] = {}
+        black = self._black
+        for w, (half, body) in enumerate(replies):
+            served = body.get("serve")
+            if served:
+                results.update(served)
+            if writes_by[w]:
+                black[w] = True
+            self._route(w, half, body, inboxes, black)
+        return results
+
+    def service_schedule(self, schedule: Iterable) -> int:
+        """Inject dynamic updates (the serving write path's follow-up).
+
+        Routes ``(vertex, priority)`` pairs into their owners' inboxes
+        exactly like the initial schedule of a run and blackens the
+        receivers so the termination detector knows new work exists.
+        Returns the number of injected tasks; they execute on subsequent
+        :meth:`service_pump_round` calls.
+        """
+        pairs = list(normalize_schedule(schedule, graph=self.graph))
+        if not pairs:
+            return 0
+        index_of = self._csr.index_of
+        owner_idx = self._owner_idx
+        by_worker: Dict[int, Tuple[List[int], List[float]]] = {}
+        for vertex, prio in pairs:
+            idx = index_of[vertex]
+            indices, priorities = by_worker.setdefault(
+                int(owner_idx[idx]), ([], [])
+            )
+            indices.append(idx)
+            priorities.append(prio)
+        for w, (indices, priorities) in by_worker.items():
+            prio_arr = (
+                np.asarray(priorities, dtype=np.float64)
+                if any(priorities)
+                else None
+            )
+            self._inboxes[w]["sched"].append(
+                (np.asarray(indices, dtype=np.int32), prio_arr)
+            )
+            self._black[w] = True
+        return len(pairs)
+
+    def service_pump_round(self) -> bool:
+        """One locking round of background work; ``True`` at quiescence.
+
+        The serving twin of one :meth:`_run_loop` iteration: run a
+        budgeted ``lstep``, route replies, advance the Misra token.
+        Returns ``True`` when a full white circuit has witnessed global
+        quiescence — the cluster is parked and no round need run until
+        new work arrives. Injected work after convergence restarts the
+        detector (fresh token; the black flags are already set by
+        :meth:`service_schedule` / :meth:`service_barrier` routing).
+        Snapshot cadence fires here too, always via the synchronous
+        drain-then-journal path — serving interleaves rounds with
+        barriers, so the paper's async snapshot machinery stays a
+        run-mode feature.
+        """
+        num_workers = self.num_workers
+        if self._token.terminated:
+            if _inboxes_quiet(self._inboxes) and not any(self._black):
+                return True
+            self._token_hops += self._token.hops
+            self._token = MisraToken(num_workers)
+        if (
+            self._cadence is not None
+            and self._cadence.due(self._rounds, time.perf_counter())
+        ):
+            self._sync_snapshot()
+        extra: Dict[str, Any] = {
+            "round": self._rounds,
+            "budget": self.round_budget,
+        }
+        replies = self._send_round("lstep", extra, self._inboxes)
+        self._rounds += 1
+        self._inboxes = [empty_lock_inbox() for _ in range(num_workers)]
+        reported_idle = []
+        for w, (half, body) in enumerate(replies):
+            executed = body["executed"]
+            if executed:
+                self._total_updates += executed
+                self.updates_per_worker[w] += executed
+                self._black[w] = True
+            reported_idle.append(body["idle"])
+            self._route(w, half, body, self._inboxes, self._black)
+        black = self._black
+        inboxes = self._inboxes
+        # Same idle discipline as _run_loop: an undelivered inbox keeps
+        # its receiver busy in the token's eyes.
+        idle = [
+            reported_idle[w]
+            and all(not value for value in inboxes[w].values())
+            for w in range(num_workers)
+        ]
+
+        def take_black(w: int) -> bool:
+            was = black[w]
+            black[w] = False
+            return was
+
+        if self._token.advance(idle, take_black):
+            assert _inboxes_quiet(inboxes)
+            return True
+        return False
+
+    def close_service(self, snapshot: bool = True) -> RuntimeRunResult:
+        """Graceful drain: quiesce, snapshot, collect, tear down.
+
+        Pumps rounds until the termination detector witnesses global
+        quiescence (every accepted write's scheduled work completes),
+        takes one final synchronous snapshot through the PR 6 checkpoint
+        path when snapshots are configured (``snapshot=False`` skips
+        it), then collects the shards back into the parent graph and
+        shuts the transport down. Returns the same
+        :class:`RuntimeRunResult` a run would.
+        """
+        if not getattr(self, "_serving", False):
+            raise EngineError(
+                "no open service (open_service was never called, or the "
+                "service is already closed)"
+            )
+        self._serving = False
+        counts: Dict[VertexId, int] = {}
+        try:
+            drains = 0
+            while not self.service_pump_round():
+                drains += 1
+                if drains > _MAX_DRAIN_ROUNDS:
+                    raise SnapshotError(
+                        "serving drain failed to reach quiescence within "
+                        f"{_MAX_DRAIN_ROUNDS} rounds"
+                    )
+            self._converged = True
+            if snapshot and self._ckpt is not None:
+                self._sync_snapshot()
+            counts = self._collect_and_write_back(self._inboxes)
+        finally:
+            self.transport.shutdown()
+            if self._service_tmp_root is not None:
+                shutil.rmtree(self._service_tmp_root, ignore_errors=True)
+        wall = self._service_sw.stop()
+        self._token_hops += self._token.hops
+        return self._build_result(
+            counts, wall, self._service_launch_seconds, self._token_hops
+        )
 
     # ------------------------------------------------------------------
     # Snapshots and recovery (Sec. 4.3).

@@ -66,8 +66,10 @@ def resolve_program(program: Any) -> UpdateFunction:
 #: module load (apps import this module for :class:`UpdateProgram`).
 REGISTERED_PROGRAMS: Dict[str, Tuple[str, str]] = {
     "pagerank": ("repro.apps.pagerank", "make_pagerank_update"),
+    "pagerank_delta": ("repro.apps.pagerank", "make_pagerank_delta_update"),
     "lbp": ("repro.apps.lbp", "make_lbp_update_typed"),
     "als": ("repro.apps.als", "make_als_update"),
+    "coem": ("repro.apps.coem", "make_coem_update"),
 }
 
 

@@ -533,6 +533,44 @@ class CSRShardStore:
         index = self._index_of.get(vid)
         return index is not None and bool(self._held_v_mask[index])
 
+    def read_snapshot(
+        self, vid: VertexId, scope: bool = False
+    ) -> Dict[str, Any]:
+        """Version-tagged read of one vertex (optionally its in-scope).
+
+        The serving read path (``repro.serve``): taken at a command
+        barrier, after every routed delivery and client write of the
+        barrier applied, so the values and version tags form a
+        consistent cut — a concurrently executing update's writes are
+        visible either fully or not at all, never partially (updates run
+        atomically within one command on the owner). With ``scope``, the
+        in-gather neighborhood travels too: each in-neighbor's data and
+        each in-edge's data, every entry tagged with its version
+        counter.
+        """
+        try:
+            index = self._index_of[vid]
+        except KeyError:
+            raise GraphStructureError(f"unknown vertex {vid!r}") from None
+        out: Dict[str, Any] = {
+            "vertex": vid,
+            "value": self.vdata_flat[index],
+            "version": int(self._vversion[index]),
+        }
+        if scope:
+            vdata = self.vdata_flat
+            edata = self.edata_flat
+            vversion = self._vversion
+            eversion = self._eversion
+            neighbors: Dict[VertexId, Tuple[Any, int]] = {}
+            in_edges: Dict[VertexId, Tuple[Any, int]] = {}
+            for (u, slot, ui) in self._csr.in_gather[index]:
+                neighbors[u] = (vdata[ui], int(vversion[ui]))
+                in_edges[u] = (edata[slot], int(eversion[slot]))
+            out["neighbors"] = neighbors
+            out["in_edges"] = in_edges
+        return out
+
     # ------------------------------------------------------------------
     # Coherence protocol (wire-compatible with LocalGraphStore).
     # ------------------------------------------------------------------

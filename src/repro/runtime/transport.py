@@ -58,7 +58,7 @@ import pickle
 import time
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.errors import EngineError, FaultSpecError
+from repro.errors import EngineError, FaultSpecError, TransportError
 from repro.runtime.liveness import AdaptiveDeadline
 from repro.runtime.plane import (
     DataPlane,
@@ -418,8 +418,11 @@ class Transport:
         holds more than one serialized copy at a time. Exactly
         ``num_workers`` payloads must be yielded.
         """
-        if self._launched:
-            raise EngineError("transport already launched (single-use)")
+        if self._launched or self._closed:
+            # A reuse attempt used to fail with whatever incidental
+            # error the backend hit first (closed pipe, rebound port);
+            # the structured error names the actual contract violation.
+            raise TransportError("transport is single-use")
         self._launched = True
         rec = self.obs
         if rec is None:

@@ -366,6 +366,39 @@ class _PlaneClient:
             return meta, overflow
         return {}, self.store.collect_dirty_flat()
 
+    def _serve(self, payload: Mapping[str, Any]) -> Tuple:
+        """One serving barrier (``repro.serve``): apply routed ghost
+        state, apply client writes at their owners, answer version-tagged
+        reads — in that order, all inside one command, so every read
+        observes a consistent cut (updates execute atomically within a
+        single command; their dirty entries travel and apply as one
+        batch).
+
+        The reply body reuses the round wire: client writes bump the
+        store's version counters and mark slots dirty, so the normal
+        dirty-part collection routes them to ghost holders exactly like
+        an update's writes — and delivering the attached inbox every
+        serve round keeps the double-buffered ring contract intact
+        (descriptors written in command R are consumed in command R+1).
+        """
+        inbox = payload.get("inbox")
+        if inbox:
+            self._apply_entries(inbox)
+        writes = payload.get("writes") or ()
+        store = self.store
+        for vid, value in writes:
+            store.set_vertex_data(vid, value)
+        results = {}
+        for req_id, vid, want_scope in payload.get("reads") or ():
+            results[req_id] = store.read_snapshot(vid, bool(want_scope))
+        meta, overflow = self._collect_dirty_part()
+        body = {
+            "serve": results,
+            "plane": meta or None,
+            "data": overflow or None,
+        }
+        return (self._ring.half if self._ring is not None else 0, body)
+
     def _collect_payload(self, counts: Dict[VertexId, int]) -> Dict[str, Any]:
         """The collect reply: counts plus whatever the plane can't carry.
 
@@ -472,6 +505,8 @@ class RuntimeWorker(_PlaneClient):
             return self._checkpoint(payload.get("inbox"))
         if tag == "restore":
             return self._restore(payload)
+        if tag == "serve":
+            return self._serve(payload)
         raise EngineError(f"worker {self.worker_id}: unknown command {tag!r}")
 
     # ------------------------------------------------------------------
@@ -999,6 +1034,8 @@ class LockingWorker(_PlaneClient):
             return self._checkpoint(payload.get("inbox"))
         if tag == "restore":
             return self._restore(payload)
+        if tag == "serve":
+            return self._serve(payload)
         raise EngineError(f"worker {self.worker_id}: unknown command {tag!r}")
 
     # ------------------------------------------------------------------

@@ -1,0 +1,54 @@
+"""Online serving subsystem (PR 10): the resident graph as a service.
+
+The paper's engines run a computation to convergence and tear the
+cluster down; this package keeps the launched runtime **resident** —
+parked at the barrier between bursts of work — and puts a small
+request/reply front end on it: version-consistent point/scope reads,
+vertex-data writes that re-converge their neighborhoods through an
+incremental update program, bounded-queue admission control with
+structured shedding, and a graceful drain that checkpoints before exit.
+Request latency is measured end to end through ``repro.obs``.
+
+Entry points: :class:`GraphService` (the long-lived wrapper),
+:class:`InprocClient` / :class:`SocketFrontend` + :class:`SocketClient`
+(the two front ends), and ``python -m repro.serve`` (a seeded
+load-generator smoke used by CI's serve lane).
+"""
+
+from repro.serve.frontend import InprocClient, SocketClient, SocketFrontend
+from repro.serve.loadgen import build_serving_graph, run_mixed_load
+from repro.serve.protocol import (
+    REJECT_BAD_REQUEST,
+    REJECT_DRAINING,
+    REJECT_FAILED,
+    REJECT_QUEUE_FULL,
+    ReadReply,
+    ReadRequest,
+    Rejection,
+    StatsReply,
+    StatsRequest,
+    WriteReply,
+    WriteRequest,
+)
+from repro.serve.service import GraphService, Ticket
+
+__all__ = [
+    "GraphService",
+    "Ticket",
+    "InprocClient",
+    "SocketFrontend",
+    "SocketClient",
+    "ReadRequest",
+    "WriteRequest",
+    "StatsRequest",
+    "ReadReply",
+    "WriteReply",
+    "StatsReply",
+    "Rejection",
+    "REJECT_BAD_REQUEST",
+    "REJECT_QUEUE_FULL",
+    "REJECT_DRAINING",
+    "REJECT_FAILED",
+    "build_serving_graph",
+    "run_mixed_load",
+]

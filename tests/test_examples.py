@@ -38,6 +38,7 @@ SMOKE_ARGS = {
         "num_users": 16, "num_movies": 8, "ratings_per_user": 4,
         "num_workers": 2,
     },
+    "serve_pagerank": {"num_vertices": 48, "num_workers": 2},
 }
 
 

@@ -1,0 +1,527 @@
+"""Serving subsystem (PR 10): GraphService, front ends, drain, and the
+single-use transport contract.
+
+The serving-semantics trio the PR pins down:
+
+* **consistent reads** — a scope snapshot taken during a concurrent
+  write storm never shows a half-applied update (every in-edge stamp
+  equals the vertex stamp, because the update wrote them atomically);
+* **backpressure** — a full queue sheds with a structured 429-style
+  :class:`Rejection` instead of queueing unboundedly;
+* **lossless drain** — ``close()`` completes every accepted request
+  before tearing the runtime down, and the writes are visible in the
+  collected graph.
+
+Each runs over both front ends (in-process and socket), seeded.
+"""
+
+import random
+import threading
+
+import numpy as np
+import pytest
+
+from repro.apps.pagerank import exact_pagerank, l1_error
+from repro.core import Consistency, SequentialEngine
+from repro.core.graph import DataGraph
+from repro.datasets import synthetic_ner
+from repro.errors import EngineError, TransportError
+from repro.obs.report import summarize
+from repro.runtime.locking import RuntimeLockingEngine
+from repro.runtime.program import REGISTERED_PROGRAMS, named_program
+from repro.runtime.transport import make_transport
+from repro.serve import (
+    REJECT_BAD_REQUEST,
+    REJECT_DRAINING,
+    REJECT_QUEUE_FULL,
+    GraphService,
+    InprocClient,
+    ReadReply,
+    ReadRequest,
+    Rejection,
+    SocketClient,
+    SocketFrontend,
+    WriteReply,
+    WriteRequest,
+    build_serving_graph,
+    run_mixed_load,
+)
+
+from helpers import ring_graph
+
+
+# ----------------------------------------------------------------------
+# Satellite: transports are single-use, and say so.
+# ----------------------------------------------------------------------
+class TestTransportSingleUse:
+    @pytest.mark.parametrize("backend", ["inproc", "mp", "tcp", "tcp-loopback"])
+    def test_launch_after_shutdown_is_structured(self, backend):
+        transport = make_transport(backend, 1)
+        transport.shutdown()
+        with pytest.raises(TransportError, match="transport is single-use"):
+            transport.launch([])
+
+    def test_relaunch_after_run_is_structured(self):
+        g = ring_graph(6)
+        engine = RuntimeLockingEngine(
+            g, named_program("pagerank"), num_workers=2, transport="inproc"
+        )
+        engine.run(initial=g.vertices())
+        with pytest.raises(TransportError, match="transport is single-use"):
+            engine.transport.launch([])
+
+    def test_transport_error_is_an_engine_error(self):
+        # Existing except EngineError handlers keep catching it.
+        assert issubclass(TransportError, EngineError)
+
+
+# ----------------------------------------------------------------------
+# Read/write basics through the in-process front end.
+# ----------------------------------------------------------------------
+class TestServingBasics:
+    def test_read_write_read_with_versions(self):
+        graph = build_serving_graph(16, seed=1)
+        with GraphService(graph, num_workers=2, telemetry=False) as service:
+            client = InprocClient(service)
+            first = client.read(3)
+            assert isinstance(first, ReadReply)
+            assert first.vertex == 3
+            ack = client.write(3, 0.5, schedule=False)
+            assert isinstance(ack, WriteReply)
+            assert ack.scheduled == 0
+            second = client.read(3)
+            assert second.value == 0.5
+            assert second.version > first.version
+
+    def test_scope_read_carries_neighborhood(self):
+        graph = build_serving_graph(16, seed=2)
+        with GraphService(graph, num_workers=2, telemetry=False) as service:
+            reply = InprocClient(service).read(5, scope=True)
+            assert set(reply.neighbors) == set(graph.in_neighbors(5))
+            assert set(reply.in_edges) == set(graph.in_neighbors(5))
+            for _value, version in reply.neighbors.values():
+                assert version >= 0
+
+    def test_write_schedules_touched_neighborhood(self):
+        graph = build_serving_graph(16, seed=3)
+        with GraphService(graph, num_workers=2, telemetry=False) as service:
+            ack = InprocClient(service).write(7, 0.25)
+            assert ack.scheduled == len(graph.out_neighbors(7))
+
+    def test_unknown_vertex_rejects_400(self):
+        graph = build_serving_graph(8, seed=4)
+        with GraphService(graph, num_workers=1, telemetry=False) as service:
+            reply = InprocClient(service).read("nope")
+            assert isinstance(reply, Rejection)
+            assert reply.code == REJECT_BAD_REQUEST
+
+    def test_stats_surface(self):
+        graph = build_serving_graph(8, seed=5)
+        with GraphService(graph, num_workers=1, telemetry=False) as service:
+            client = InprocClient(service)
+            client.read(0)
+            client.write(1, 0.1, schedule=False)
+            stats = client.stats()
+            assert stats["served"] == 2
+            assert stats["rejected"] == 0
+            assert stats["read"]["count"] == 1
+            assert stats["write"]["count"] == 1
+            assert stats["queue_limit"] == service.queue_limit
+
+    def test_service_is_single_use(self):
+        graph = build_serving_graph(8, seed=6)
+        service = GraphService(graph, num_workers=1, telemetry=False)
+        service.start()
+        service.close()
+        with pytest.raises(EngineError, match="single-use"):
+            service.start()
+
+    def test_chromatic_fallback_serves(self):
+        graph = build_serving_graph(12, seed=7)
+        with GraphService(
+            graph, engine="chromatic", num_workers=2, telemetry=False
+        ) as service:
+            client = InprocClient(service)
+            assert isinstance(client.read(2), ReadReply)
+            assert isinstance(client.write(2, 0.3), WriteReply)
+            assert isinstance(client.read(2), ReadReply)
+
+
+# ----------------------------------------------------------------------
+# Consistent reads under a concurrent write storm (seeded, both front
+# ends). The resident program stamps a vertex and all its in-edges with
+# the same value in one update; a scope snapshot that ever disagrees
+# has observed a half-applied update.
+# ----------------------------------------------------------------------
+STAMP_LIMIT = 12.0
+
+
+def stamp_update(scope):
+    value = scope.data + 1.0
+    scope.data = value
+    for u in scope.in_neighbors:
+        scope.set_edge(u, scope.vertex, value)
+    if value < STAMP_LIMIT:
+        return (scope.vertex,)
+    return None
+
+
+def _stamp_graph(n: int) -> DataGraph:
+    graph = DataGraph()
+    for v in range(n):
+        graph.add_vertex(v, data=0.0)
+    for v in range(n):
+        for hop in (1, 2, 3):
+            graph.add_edge(v, (v + hop) % n, data=0.0)
+    return graph.finalize(vertex_dtype=float, edge_dtype=float)
+
+
+def _assert_scope_consistent(reply):
+    __tracebackhide__ = True
+    assert isinstance(reply, ReadReply)
+    for u, (edge_value, _ver) in reply.in_edges.items():
+        assert edge_value == reply.value, (
+            f"half-applied scope at {reply.vertex}: vertex stamp "
+            f"{reply.value} but in-edge {u} has {edge_value}"
+        )
+
+
+class TestConsistentReads:
+    @pytest.mark.parametrize("frontend", ["inproc", "socket"])
+    def test_scope_reads_never_half_applied(self, frontend):
+        n, seed = 18, 11
+        graph = _stamp_graph(n)
+        service = GraphService(
+            graph,
+            stamp_update,
+            num_workers=3,
+            telemetry=False,
+            consistency=Consistency.EDGE,
+            warm=True,
+        )
+        service.start()
+        sock_front = None
+        try:
+            rng = random.Random(seed)
+            failures = []
+
+            def make_client():
+                if frontend == "socket":
+                    return SocketClient(sock_front.address)
+                return InprocClient(service)
+
+            if frontend == "socket":
+                sock_front = SocketFrontend(service)
+
+            def storm(reader_seed):
+                r = random.Random(reader_seed)
+                client = make_client()
+                try:
+                    for _ in range(40):
+                        reply = client.read(r.randrange(n), scope=True)
+                        try:
+                            _assert_scope_consistent(reply)
+                        except AssertionError as exc:
+                            failures.append(exc)
+                            return
+                finally:
+                    client.close()
+
+            readers = [
+                threading.Thread(target=storm, args=(rng.randrange(1 << 30),))
+                for _ in range(4)
+            ]
+            for t in readers:
+                t.start()
+            for t in readers:
+                t.join()
+            assert not failures, failures[0]
+        finally:
+            if sock_front is not None:
+                sock_front.close()
+            result = service.close()
+        assert result.converged
+        # Quiesced state: every vertex and every edge carries the limit.
+        for v in range(n):
+            assert graph.vertex_data(v) == STAMP_LIMIT
+            for u in graph.in_neighbors(v):
+                assert graph.edge_data(u, v) == STAMP_LIMIT
+
+    def test_scope_reads_consistent_on_chromatic(self):
+        n = 12
+        graph = _stamp_graph(n)
+        service = GraphService(
+            graph,
+            stamp_update,
+            engine="chromatic",
+            num_workers=2,
+            telemetry=False,
+            warm=True,
+        )
+        service.start()
+        client = InprocClient(service)
+        for v in range(n):
+            _assert_scope_consistent(client.read(v, scope=True))
+        result = service.close()
+        assert result.converged
+
+
+# ----------------------------------------------------------------------
+# Backpressure: bounded queue, structured shed, nothing lost.
+# ----------------------------------------------------------------------
+class TestBackpressure:
+    def test_full_queue_sheds_429_style(self):
+        graph = build_serving_graph(16, seed=21)
+        service = GraphService(
+            graph,
+            num_workers=1,
+            telemetry=False,
+            queue_limit=2,
+            batch_max=1,
+            warm=False,
+        )
+        service.start()
+        tickets, rejections = [], []
+        for i in range(300):
+            out = service.submit(ReadRequest(i % 16))
+            if isinstance(out, Rejection):
+                rejections.append(out)
+            else:
+                tickets.append(out)
+        # A submit loop outruns barrier rounds by orders of magnitude:
+        # the 2-deep queue must have shed most of the flood.
+        assert rejections, "queue never filled — backpressure is broken"
+        for rejection in rejections:
+            assert rejection.code == REJECT_QUEUE_FULL
+            assert rejection.limit == 2
+            assert 0 <= rejection.depth <= 2
+        # ...and every admitted request still resolves with a reply.
+        for ticket in tickets:
+            assert isinstance(ticket.wait(30.0), ReadReply)
+        stats = service.stats()
+        assert stats["rejected"] == len(rejections)
+        assert stats["rejected_by_code"] == {
+            REJECT_QUEUE_FULL: len(rejections)
+        }
+        service.close()
+
+    def test_submit_after_close_sheds_draining(self):
+        graph = build_serving_graph(8, seed=22)
+        service = GraphService(graph, num_workers=1, telemetry=False)
+        service.start()
+        service.close()
+        out = service.submit(ReadRequest(0))
+        assert isinstance(out, Rejection)
+        assert out.code == REJECT_DRAINING
+
+
+# ----------------------------------------------------------------------
+# Graceful drain: every accepted request completes, writes survive into
+# the collected graph, the final snapshot lands.
+# ----------------------------------------------------------------------
+class TestGracefulDrain:
+    def test_drain_loses_no_accepted_request(self):
+        n, seed = 24, 31
+        graph = build_serving_graph(n, seed=seed)
+        # warm=False + schedule=False: no background program runs, so
+        # the accepted write values are the vertices' final state.
+        service = GraphService(
+            graph, num_workers=2, telemetry=False, warm=False
+        )
+        service.start()
+        rng = random.Random(seed)
+        expected = {}
+        tickets = []
+        for i in range(60):
+            vertex = rng.randrange(n)
+            if i % 2 == 0:
+                value = round(rng.uniform(0.1, 0.9), 6)
+                expected[vertex] = value
+                out = service.submit(
+                    WriteRequest(vertex, value, schedule=False)
+                )
+            else:
+                out = service.submit(ReadRequest(vertex))
+            assert not isinstance(out, Rejection)
+            tickets.append(out)
+        result = service.close()  # drain begins with the queue loaded
+        for ticket in tickets:
+            assert ticket.done(), "drain abandoned an accepted request"
+            assert not isinstance(ticket.reply, Rejection)
+        assert result.converged
+        # schedule=False writes are the last touch on their vertices:
+        # the collected graph must carry exactly the accepted values.
+        for vertex, value in expected.items():
+            assert graph.vertex_data(vertex) == value
+
+    def test_drain_over_socket_answers_every_wire_request(self):
+        n, seed = 16, 32
+        graph = build_serving_graph(n, seed=seed)
+        service = GraphService(graph, num_workers=2, telemetry=False)
+        service.start()
+        frontend = SocketFrontend(service)
+        outcomes = []
+        lock = threading.Lock()
+
+        def hammer(client_seed):
+            rng = random.Random(client_seed)
+            client = SocketClient(frontend.address)
+            try:
+                for _ in range(25):
+                    if rng.random() < 0.3:
+                        reply = client.write(
+                            rng.randrange(n), rng.random(), schedule=False
+                        )
+                    else:
+                        reply = client.read(rng.randrange(n))
+                    with lock:
+                        outcomes.append(reply)
+            finally:
+                client.close()
+
+        threads = [
+            threading.Thread(target=hammer, args=(seed + i,))
+            for i in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        frontend.close()
+        result = service.close()
+        assert result.converged
+        assert len(outcomes) == 75  # no hang, no dropped connection
+        for reply in outcomes:
+            assert isinstance(reply, (ReadReply, WriteReply))
+
+    def test_drain_takes_final_snapshot(self, tmp_path):
+        graph = build_serving_graph(12, seed=33)
+        service = GraphService(
+            graph,
+            num_workers=2,
+            telemetry=False,
+            snapshot_every=10_000,  # cadence never fires: only the drain
+            snapshot_dir=str(tmp_path),
+        )
+        service.start()
+        InprocClient(service).write(0, 0.5)
+        before = list(tmp_path.iterdir())
+        service.close(snapshot=True)
+        after = list(tmp_path.iterdir())
+        assert after, "drain did not write the final checkpoint"
+        assert len(after) >= len(before)
+
+
+# ----------------------------------------------------------------------
+# Serving telemetry: request spans + shed counter flow through
+# repro.obs into the report's serving section.
+# ----------------------------------------------------------------------
+class TestServingTelemetry:
+    def test_report_serving_section(self):
+        n = 16
+        graph = build_serving_graph(n, seed=41)
+        service = GraphService(graph, num_workers=2, telemetry=True)
+        service.start()
+        client = InprocClient(service)
+        outcome = run_mixed_load(client, n, 40, write_frac=0.25, seed=41)
+        result = service.close()
+        assert result.telemetry is not None
+        report = summarize(result.telemetry)
+        serving = report["serving"]
+        assert serving["requests"] == outcome["reads"] + outcome["writes"]
+        assert serving["read"]["count"] == outcome["reads"]
+        assert serving["write"]["count"] == outcome["writes"]
+        assert serving["rejected"] == 0
+        for op in ("read", "write"):
+            section = serving[op]
+            assert 0 < section["p50_ms"] <= section["p99_ms"]
+            assert section["p99_ms"] <= section["max_ms"]
+
+    def test_shed_requests_become_counter(self):
+        graph = build_serving_graph(12, seed=42)
+        service = GraphService(
+            graph,
+            num_workers=1,
+            telemetry=True,
+            queue_limit=1,
+            batch_max=1,
+            warm=False,
+        )
+        service.start()
+        shed = 0
+        for i in range(200):
+            if isinstance(service.submit(ReadRequest(i % 12)), Rejection):
+                shed += 1
+        result = service.close()
+        assert shed > 0
+        assert summarize(result.telemetry)["serving"]["rejected"] == shed
+
+
+# ----------------------------------------------------------------------
+# The resident program: incremental PageRank stays warm under writes.
+# ----------------------------------------------------------------------
+class TestDeltaPageRank:
+    def test_registry_has_delta_program(self):
+        assert "pagerank_delta" in REGISTERED_PROGRAMS
+        assert callable(named_program("pagerank_delta").resolve())
+
+    def test_writes_heal_back_to_exact_ranks(self):
+        n, seed = 32, 51
+        graph = build_serving_graph(n, seed=seed)
+        truth = exact_pagerank(graph)
+        service = GraphService(
+            graph,
+            named_program("pagerank_delta", epsilon=1e-6),
+            num_workers=2,
+            telemetry=False,
+            touch="self",  # a perturbed vertex recomputes itself first
+        )
+        service.start()
+        client = InprocClient(service)
+        rng = random.Random(seed)
+        for _ in range(10):
+            client.write(rng.randrange(n), rng.uniform(0.5, 2.0) / n)
+        result = service.close()
+        assert result.converged
+        # The delta program recomputes every perturbed vertex from its
+        # neighborhood, so the client noise is fully absorbed and the
+        # graph drains back to the unique PageRank fixed point.
+        assert l1_error(graph, truth) < 1e-3
+
+
+# ----------------------------------------------------------------------
+# Satellite: CoEM registered + engine equivalence.
+# ----------------------------------------------------------------------
+class TestCoEMProgram:
+    def test_registry_has_coem(self):
+        assert "coem" in REGISTERED_PROGRAMS
+
+    def test_runtime_matches_sequential_fixed_point(self):
+        data = synthetic_ner(phrases_per_type=8, num_contexts=24, seed=61)
+        sequential = data.graph.copy()
+        runtime = data.graph.copy()
+        program = named_program("coem", data.seeds)
+        seq_result = SequentialEngine(
+            sequential, program.resolve(), scheduler="fifo",
+            max_updates=100000,
+        ).run(initial=sequential.vertices())
+        assert seq_result.converged
+        run_result = RuntimeLockingEngine(
+            runtime,
+            program,
+            num_workers=3,
+            transport="inproc",
+            scheduler="priority",
+            consistency=Consistency.EDGE,
+        ).run(initial=runtime.vertices())
+        assert run_result.converged
+        # Both engines drain the same epsilon-gated EM iteration; the
+        # clamped seeds anchor one fixed point, so the distributions
+        # agree to within the scheduling tolerance.
+        for v in sequential.vertices():
+            delta = float(
+                np.abs(
+                    sequential.vertex_data(v) - runtime.vertex_data(v)
+                ).sum()
+            )
+            assert delta < 5e-2, f"engines disagree at {v}: L1 {delta}"
